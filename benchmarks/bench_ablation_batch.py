@@ -1,0 +1,23 @@
+"""Bench: multiple-choice batches (Sec. 6 extension) — screens vs answers."""
+
+from conftest import BENCH_SCALE, report_tables
+
+from repro.experiments import ablation
+
+
+def test_batch_size_ablation(benchmark):
+    tables = benchmark.pedantic(
+        lambda: [
+            ablation.run_batch_ablation(
+                BENCH_SCALE, batch_sizes=(1, 2, 3, 4)
+            )
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    report_tables("ablation_batch", tables)
+    [table] = tables
+    screens = table.column("mean screens")
+    # One screen per question at b=1; fewer screens as b grows.
+    assert screens == sorted(screens, reverse=True)
+    assert screens[-1] < screens[0]

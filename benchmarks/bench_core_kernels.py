@@ -1,0 +1,92 @@
+"""Microbenchmarks of the core kernels every experiment leans on.
+
+Not a paper artifact — these isolate the primitives (partition,
+informative-entity scan, root selection per strategy, exact bounds) so a
+performance regression in any of them is visible before it distorts the
+table/figure benches.
+"""
+
+import pytest
+
+from repro.core.bounds import AD, H
+from repro.core.gain_k import lb_k
+from repro.core.lookahead import KLPSelector
+from repro.core.optimal import optimal_cost
+from repro.core.selection import InfoGainSelector, MostEvenSelector
+from repro.data.synthetic import SyntheticConfig, generate_collection
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return generate_collection(
+        SyntheticConfig(
+            n_sets=400, size_lo=30, size_hi=40, overlap=0.85, seed=13
+        )
+    )
+
+
+def test_partition_kernel(benchmark, collection):
+    eid, _ = collection.informative_entities(collection.full_mask)[0]
+    pos, neg = benchmark(collection.partition, collection.full_mask, eid)
+    assert pos | neg == collection.full_mask
+
+
+def test_informative_entities_kernel(benchmark, collection):
+    def scan():
+        collection.clear_caches()
+        return collection.informative_entities(collection.full_mask)
+
+    pairs = benchmark(scan)
+    assert pairs
+
+
+def test_root_selection_most_even(benchmark, collection):
+    selector = MostEvenSelector()
+    entity = benchmark(
+        selector.select, collection, collection.full_mask
+    )
+    assert entity >= 0
+
+
+def test_root_selection_infogain(benchmark, collection):
+    selector = InfoGainSelector()
+    entity = benchmark(
+        selector.select, collection, collection.full_mask
+    )
+    assert entity >= 0
+
+
+def test_root_selection_2lp(benchmark, collection):
+    def select():
+        selector = KLPSelector(k=2, metric=AD)
+        return selector.select(collection, collection.full_mask)
+
+    assert benchmark(select) >= 0
+
+
+def test_root_selection_3lplve(benchmark, collection):
+    def select():
+        selector = KLPSelector(k=3, metric=AD, q=10, variable=True)
+        return selector.select(collection, collection.full_mask)
+
+    assert benchmark(select) >= 0
+
+
+def test_lb2_reference_kernel(benchmark):
+    small = generate_collection(
+        SyntheticConfig(
+            n_sets=30, size_lo=8, size_hi=12, overlap=0.8, seed=14
+        )
+    )
+    bound = benchmark(lb_k, small, small.full_mask, 2, H)
+    assert bound >= 0
+
+
+def test_optimal_search_kernel(benchmark):
+    tiny = generate_collection(
+        SyntheticConfig(
+            n_sets=11, size_lo=5, size_hi=8, overlap=0.7, seed=15
+        )
+    )
+    cost = benchmark(optimal_cost, tiny, AD)
+    assert cost > 0

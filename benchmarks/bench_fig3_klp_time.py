@@ -1,0 +1,41 @@
+"""Bench: Fig. 3 — k-LP tree construction time as k grows.
+
+Regenerates the construction-time-vs-k curve on web-table
+sub-collections and checks the paper's monotone trends.
+"""
+
+from conftest import BENCH_SCALE, report_tables
+
+from repro.core.lookahead import KLPSelector
+from repro.core.construction import build_tree
+from repro.experiments import fig3
+from repro.experiments.workloads import webtable_tasks
+
+
+def test_fig3_construction_time(benchmark):
+    tables = benchmark.pedantic(
+        lambda: [fig3.run_fig3(BENCH_SCALE, ks=(1, 2, 3), max_tasks=4)],
+        rounds=1,
+        iterations=1,
+    )
+    report_tables("fig3", tables)
+    [table] = tables
+    times = table.column("mean time (s)")
+    ads = table.column("mean AD")
+    # Deeper lookahead costs more and never hurts tree quality here.
+    assert times == sorted(times)
+    assert ads[-1] <= ads[0] + 1e-9
+
+
+def test_klp2_full_tree_kernel(benchmark):
+    """Microbenchmark: one 2-LP tree over one sub-collection."""
+    tasks = webtable_tasks(BENCH_SCALE, max_tasks=1)
+    assert tasks
+    task = tasks[0]
+
+    def build():
+        selector = KLPSelector(k=2)
+        return build_tree(task.collection, selector, task.mask)
+
+    tree = benchmark(build)
+    assert tree.n_leaves == task.n_sets

@@ -1,0 +1,46 @@
+"""Bench: Fig. 4 — speedup of k-LP over gain-k (the pruning payoff).
+
+gain-k has no pruning and costs O(m^k n) per node, so its inputs are kept
+deliberately small (see the fig4 runner's docstring); even then the
+speedups reach several orders of magnitude, matching the paper's trend.
+"""
+
+from conftest import BENCH_SCALE, report_tables
+
+from repro.experiments import fig4
+
+
+def test_fig4a_webtables_speedup(benchmark):
+    tables = benchmark.pedantic(
+        lambda: [
+            fig4.run_fig4a(
+                BENCH_SCALE, ks=(2, 3), max_tasks=2, max_sets=50
+            )
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    report_tables("fig4a", tables)
+    [table] = tables
+    speedups = table.column("speedup (geo-mean)")
+    assert all(s > 1.0 for s in speedups)
+    # The paper's key trend: speedup grows with k.
+    assert speedups[-1] > speedups[0]
+
+
+def test_fig4b_synthetic_speedup(benchmark):
+    tables = benchmark.pedantic(
+        lambda: [
+            fig4.run_fig4b(
+                BENCH_SCALE, set_counts=(50, 100, 200, 400), k=2
+            )
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    report_tables("fig4b", tables)
+    [table] = tables
+    speedups = table.column("speedup")
+    # Speedup grows with the collection size (paper Fig. 4b).
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 50

@@ -1,0 +1,24 @@
+"""Bench: Fig. 5 — effect of set overlap on questions and time."""
+
+from conftest import BENCH_SCALE, report_tables
+
+from repro.experiments import fig567
+
+
+def test_fig5_overlap_sweep(benchmark):
+    tables = benchmark.pedantic(
+        lambda: [fig567.run_fig5(BENCH_SCALE)], rounds=1, iterations=1
+    )
+    report_tables("fig5", tables)
+    [table] = tables
+    ads = table.column("AD 2-LP[AD]")
+    times = table.column("time(s) 2-LP[AD]")
+    overlaps = table.column("param")
+    # Paper shape: construction time falls as overlap rises (fewer
+    # distinct entities to scan).  Rows sweep overlap downward, so time
+    # should trend upward along the rows.
+    assert times[-1] > times[0]
+    # AD varies within a narrow band around log2(n); the minimum should
+    # not sit at the lowest overlap (the paper's upward trend below 0.9).
+    best_at = overlaps[ads.index(min(ads))]
+    assert best_at >= 0.8

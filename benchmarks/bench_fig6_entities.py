@@ -1,0 +1,20 @@
+"""Bench: Fig. 6 — effect of the number of distinct entities."""
+
+from conftest import BENCH_SCALE, report_tables
+
+from repro.experiments import fig567
+
+
+def test_fig6_entity_sweep(benchmark):
+    tables = benchmark.pedantic(
+        lambda: [fig567.run_fig6(BENCH_SCALE)], rounds=1, iterations=1
+    )
+    report_tables("fig6", tables)
+    [table] = tables
+    entities = table.column("n_entities")
+    assert entities == sorted(entities)
+    # Paper shape: AD flat, time grows with m.
+    ads = table.column("AD 2-LP[AD]")
+    assert max(ads) - min(ads) < 1.0
+    times = table.column("time(s) 2-LP[AD]")
+    assert times[-1] > times[0]

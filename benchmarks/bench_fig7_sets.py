@@ -1,0 +1,19 @@
+"""Bench: Fig. 7 — effect of the number of sets."""
+
+from conftest import BENCH_SCALE, report_tables
+
+from repro.experiments import fig567
+
+
+def test_fig7_set_count_sweep(benchmark):
+    tables = benchmark.pedantic(
+        lambda: [fig567.run_fig7(BENCH_SCALE)], rounds=1, iterations=1
+    )
+    report_tables("fig7", tables)
+    [table] = tables
+    ads = table.column("AD 2-LP[AD]")
+    times = table.column("time(s) 2-LP[AD]")
+    # Paper shape: each doubling of n adds roughly one question.
+    deltas = [b - a for a, b in zip(ads, ads[1:])]
+    assert all(0.4 < d < 1.6 for d in deltas), deltas
+    assert times == sorted(times)

@@ -1,0 +1,44 @@
+"""Bench: Fig. 8 — query discovery on the baseball database.
+
+Regenerates both panels (questions and discovery time) for InfoGain,
+2-LP, 3-LPLE and 3-LPLVE over targets T1-T7.
+"""
+
+from conftest import BENCH_SCALE, report_tables
+
+from repro.core.lookahead import KLPSelector
+from repro.experiments import fig8
+from repro.experiments.workloads import baseball_workload
+from repro.querydisc.pipeline import (
+    build_query_collection,
+    discover_target_query,
+)
+
+
+def test_fig8_question_counts_and_time(benchmark):
+    tables = benchmark.pedantic(
+        lambda: fig8.run_fig8(BENCH_SCALE), rounds=1, iterations=1
+    )
+    report_tables("fig8", tables)
+    questions, timing = tables
+    infogain = questions.column("InfoGain")
+    klp = questions.column("2-LP[AD]")
+    # Paper shape: lookahead needs no more questions in aggregate.
+    assert sum(klp) <= sum(infogain) + 1
+    # Paper shape: InfoGain is the fastest method overall.
+    ig_time = sum(timing.column("InfoGain"))
+    klp_time = sum(timing.column("2-LP[AD]"))
+    assert ig_time <= klp_time
+
+
+def test_discovery_kernel(benchmark):
+    """Microbenchmark: one full T1 discovery with 2-LP."""
+    workload = baseball_workload(BENCH_SCALE)
+    case = workload.case("T1")
+    qc = build_query_collection(case)
+
+    def run():
+        return discover_target_query(case, KLPSelector(k=2), qc)
+
+    outcome = benchmark(run)
+    assert outcome.resolved

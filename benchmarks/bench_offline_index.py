@@ -1,0 +1,78 @@
+"""Bench: Sec. 4.5 — offline tree construction vs online selection.
+
+"With the decision tree constructed offline, a set discovery can be
+efficiently performed by asking questions and following only a single path
+through the tree in real-time."  This bench quantifies that: total
+discovery time over many targets served from a precomputed
+:class:`~repro.core.treeindex.TreeIndex` versus re-selecting online with
+Algorithm 2, on the same collection with the same selector.
+"""
+
+import time
+
+from conftest import BENCH_SCALE, report_tables
+
+from repro.core.discovery import DiscoverySession
+from repro.core.lookahead import KLPSelector
+from repro.core.treeindex import TreeIndex
+from repro.experiments.common import ResultTable
+from repro.experiments.workloads import synthetic_collection
+from repro.oracle import SimulatedUser
+
+
+def test_offline_vs_online_discovery(benchmark):
+    collection = synthetic_collection(
+        n_sets=BENCH_SCALE.scaled(10_000), overlap=0.9
+    )
+    targets = list(range(0, collection.n_sets, 3))
+
+    index = TreeIndex(collection)
+    start = time.perf_counter()
+    index.add(set(), KLPSelector(k=2))
+    build_seconds = time.perf_counter() - start
+
+    def serve_all_offline():
+        total = 0.0
+        for target in targets:
+            result = index.discover(
+                set(), SimulatedUser(collection, target_index=target)
+            )
+            assert result.target == target
+            total += result.seconds
+        return total
+
+    offline_seconds = benchmark.pedantic(
+        serve_all_offline, rounds=1, iterations=1
+    )
+
+    online_seconds = 0.0
+    for target in targets:
+        session = DiscoverySession(collection, KLPSelector(k=2))
+        result = session.run(
+            SimulatedUser(collection, target_index=target)
+        )
+        assert result.target == target
+        online_seconds += result.seconds
+
+    table = ResultTable(
+        title=(
+            f"Sec. 4.5 (scale={BENCH_SCALE.name}): offline index vs "
+            f"online selection ({len(targets)} discoveries, "
+            f"{collection.n_sets} sets)"
+        ),
+        columns=["mode", "one-off build (s)", "total discovery (s)"],
+    )
+    table.add("online Algorithm 2", 0.0, round(online_seconds, 4))
+    table.add(
+        "offline TreeIndex",
+        round(build_seconds, 4),
+        round(offline_seconds, 4),
+    )
+    table.note(
+        "the index pays construction once; each discovery then walks a "
+        "single root-to-leaf path"
+    )
+    report_tables("sec45_offline_index", [table])
+
+    # The Sec. 4.5 claim: per-discovery time collapses once offline.
+    assert offline_seconds < online_seconds

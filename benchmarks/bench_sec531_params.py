@@ -1,0 +1,26 @@
+"""Bench: Sec. 5.3.1 — choosing the parameters k and q."""
+
+from conftest import BENCH_SCALE, report_tables
+
+from repro.experiments import params
+
+
+def test_k_and_q_sweeps(benchmark):
+    tables = benchmark.pedantic(
+        lambda: [
+            params.run_k_sweep(BENCH_SCALE, ks=(1, 2, 3), max_tasks=4),
+            params.run_q_sweep(
+                BENCH_SCALE, qs=(1, 5, 10, 20), max_tasks=4
+            ),
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    report_tables("sec531_params", tables)
+    k_sweep, q_sweep = tables
+    # Deeper k never worsens mean AD on these tasks.
+    ads = k_sweep.column("mean AD")
+    assert ads[-1] <= ads[0] + 1e-9
+    # Paper: quality flat past q=10.
+    le_ads = q_sweep.column("LE mean AD")
+    assert abs(le_ads[-1] - le_ads[-2]) < 0.2

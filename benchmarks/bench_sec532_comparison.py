@@ -1,0 +1,37 @@
+"""Bench: Sec. 5.3.2 — improvement over InfoGain and gap to optimal."""
+
+from conftest import BENCH_SCALE, report_tables
+
+from repro.experiments import comparison
+
+
+def test_infogain_comparison_and_optimal_gap(benchmark):
+    tables = benchmark.pedantic(
+        lambda: [
+            comparison.run_infogain_comparison(BENCH_SCALE, max_tasks=8),
+            comparison.run_optimal_gap(BENCH_SCALE, max_tasks=5),
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    report_tables("sec532_comparison", tables)
+    improvement_table = tables[0]
+    improvements = improvement_table.column("mean improvement")
+    assert all(v >= -1e-9 for v in improvements)
+    # H improvements at least match AD improvements (paper: "the mean
+    # improvement in H is close to one, the AD improvement is less").
+    by_metric = {}
+    for metric, value in zip(
+        improvement_table.column("metric"), improvements
+    ):
+        by_metric.setdefault(metric, []).append(value)
+    if by_metric.get("AD") and by_metric.get("H"):
+        assert max(by_metric["H"]) >= max(by_metric["AD"]) - 1e-9
+    gap_table = tables[1]
+    if gap_table.rows:
+        gaps = dict(
+            zip(gap_table.column("method"), gap_table.column("mean gap"))
+        )
+        # Optimal gaps are non-negative; lookahead closes InfoGain's gap.
+        assert all(g >= -1e-9 for g in gaps.values())
+        assert gaps["2-LP[AD]"] <= gaps["InfoGain"] + 1e-9

@@ -1,0 +1,33 @@
+"""Bench: Table 1 — synthetic collection generation and statistics.
+
+Times the copy-add generator across the three parameter families and
+regenerates the distinct-entity counts of Table 1a/1b/1c.
+"""
+
+from conftest import BENCH_SCALE, report_tables
+
+from repro.data.synthetic import SyntheticConfig, generate_sets
+from repro.experiments import table1
+
+
+def test_table1_panels(benchmark):
+    tables = benchmark.pedantic(
+        lambda: table1.run(BENCH_SCALE), rounds=1, iterations=1
+    )
+    report_tables("table1", tables)
+    # Shape assertions mirror the paper.
+    t1a = tables[0]
+    entities = t1a.column("distinct_entities")
+    assert entities == sorted(entities), "entities grow as overlap falls"
+    t1b = tables[1]
+    growth = t1b.column("distinct_entities")
+    assert growth == sorted(growth), "entities grow with n"
+
+
+def test_generator_kernel(benchmark):
+    """Microbenchmark: raw copy-add generation of 500 sets."""
+    config = SyntheticConfig(
+        n_sets=500, size_lo=50, size_hi=60, overlap=0.9
+    )
+    sets = benchmark(generate_sets, config)
+    assert len(sets) == 500

@@ -1,0 +1,35 @@
+"""Bench: Tables 2 and 3 — baseball targets and candidate generation.
+
+Times the full workload build (synthetic People table + target outputs +
+example selection) and the candidate-query generation, and regenerates
+both tables.
+"""
+
+from conftest import BENCH_SCALE, report_tables
+
+from repro.experiments import table2_3
+from repro.experiments.workloads import baseball_workload
+from repro.querydisc.pipeline import build_query_collection
+
+
+def test_tables_2_and_3(benchmark):
+    tables = benchmark.pedantic(
+        lambda: table2_3.run(BENCH_SCALE), rounds=1, iterations=1
+    )
+    report_tables("table2_3", tables)
+    t2 = tables[0]
+    sizes = dict(zip(t2.column("target"), t2.column("output tuples")))
+    # Paper regime: T3 largest, T5-T7 smallest.
+    assert sizes["T3"] == max(sizes.values())
+    assert min(sizes, key=sizes.get) in {"T5", "T6", "T7"}
+    t3 = tables[1]
+    for count in t3.column("# candidates"):
+        assert count > 50
+
+
+def test_candidate_generation_kernel(benchmark):
+    """Microbenchmark: Sec. 5.2.3 candidate generation for one target."""
+    workload = baseball_workload(BENCH_SCALE)
+    case = workload.case("T1")
+    qc = benchmark(build_query_collection, case)
+    assert qc.n_candidate_queries > 100

@@ -1,0 +1,22 @@
+"""Bench: Table 4 — pruning effectiveness on the baseball dataset.
+
+Builds instrumented 2-LP trees over every target's candidate collection
+and regenerates the average/minimum %-pruned-per-node table.
+"""
+
+from conftest import BENCH_SCALE, report_tables
+
+from repro.experiments import table4
+
+
+def test_table4_pruning(benchmark):
+    tables = benchmark.pedantic(
+        lambda: table4.run(BENCH_SCALE), rounds=1, iterations=1
+    )
+    report_tables("table4", tables)
+    [table] = tables
+    # Paper: >90% average pruning in most cases; assert a loose floor.
+    for avg in table.column("avg % pruned"):
+        assert avg > 60.0
+    for minimum in table.column("min % pruned"):
+        assert minimum >= 0.0

@@ -1,0 +1,55 @@
+"""Multiple-choice screens (Sec. 6, *Multiple-choice examples*).
+
+Instead of one membership question per interaction, show the user a small
+set of entities and let them tick all that belong to their target set.
+One screen with b entities can split the candidates into up to 2^b cells,
+so the number of *interactions* (screens) drops even though the number of
+individual ticks stays comparable.
+
+Run:  python examples/batch_questions.py
+"""
+
+from repro.core.batch import BatchDiscoverySession, select_batch
+from repro.data import SyntheticConfig, generate_collection
+from repro.oracle import SimulatedUser
+
+
+def main() -> None:
+    collection = generate_collection(
+        SyntheticConfig(
+            n_sets=120, size_lo=10, size_hi=15, overlap=0.8, seed=9
+        )
+    )
+    print(f"collection: {collection}")
+
+    # What would the first screen of three questions look like?
+    batch = select_batch(collection, collection.full_mask, batch_size=3)
+    labels = [collection.universe.label(e) for e in batch]
+    print(f"first screen would ask about entities {labels}")
+
+    print(
+        f"\n{'batch':>5} | {'screens':>7} | {'answers':>7} | resolved"
+    )
+    targets = list(range(0, collection.n_sets, 7))
+    for b in (1, 2, 3, 4, 5):
+        screens = answers = resolved = 0
+        for target in targets:
+            session = BatchDiscoverySession(collection, batch_size=b)
+            oracle = SimulatedUser(collection, target_index=target)
+            result = session.run(oracle)
+            screens += result.n_batches
+            answers += result.n_answers
+            resolved += int(result.resolved)
+        n = len(targets)
+        print(
+            f"{b:>5} | {screens / n:>7.2f} | {answers / n:>7.2f} | "
+            f"{resolved}/{n}"
+        )
+    print(
+        "\nscreens per discovery shrink with batch size; individual "
+        "answers stay roughly flat — the Sec. 6 trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""The paper's motivating scenario: symptom-driven triage.
+
+"Consider a patient walking to a clinic and being greeted by a machine who
+does the triage.  The patient types headache, nausea and fatigue as
+symptoms, and the machine checks its database of disease cases..."  Each
+disease profile is a set of symptoms; the patient's typed symptoms are the
+initial example set; follow-up yes/no symptom questions narrow the
+candidates to one profile with as few questions as possible.
+
+Run:  python examples/medical_triage.py
+"""
+
+import random
+
+from repro import DiscoverySession, KLPSelector, SetCollection
+from repro.oracle import SimulatedUser
+
+SYMPTOMS = [
+    "headache", "nausea", "fatigue", "fever", "cough", "sore throat",
+    "runny nose", "muscle aches", "chills", "dizziness", "rash",
+    "shortness of breath", "chest pain", "abdominal pain", "diarrhea",
+    "vomiting", "light sensitivity", "stiff neck", "joint pain",
+    "loss of appetite", "night sweats", "swollen glands", "ear pain",
+    "blurred vision", "palpitations",
+]
+
+#: A few hand-written profiles; the rest are generated perturbations
+#: (real triage databases hold thousands of case profiles).
+BASE_PROFILES = {
+    "migraine": {"headache", "nausea", "light sensitivity", "dizziness"},
+    "influenza": {
+        "fever", "cough", "fatigue", "muscle aches", "chills", "headache",
+    },
+    "common cold": {"runny nose", "sore throat", "cough", "fatigue"},
+    "meningitis": {
+        "fever", "headache", "stiff neck", "light sensitivity", "nausea",
+    },
+    "gastroenteritis": {
+        "nausea", "vomiting", "diarrhea", "abdominal pain", "fatigue",
+    },
+    "mononucleosis": {
+        "fatigue", "fever", "sore throat", "swollen glands",
+        "loss of appetite", "headache",
+    },
+    "covid-like": {
+        "fever", "cough", "fatigue", "shortness of breath", "headache",
+        "muscle aches",
+    },
+}
+
+
+def build_case_database(n_variants: int = 8, seed: int = 3) -> SetCollection:
+    """Disease *case* sets: each base profile plus per-case variations."""
+    rng = random.Random(seed)
+    cases: dict[str, set[str]] = {}
+    for disease, profile in BASE_PROFILES.items():
+        cases[disease] = set(profile)
+        for i in range(n_variants):
+            variant = set(profile)
+            # Drop one symptom, add one or two comorbid ones.
+            if len(variant) > 3 and rng.random() < 0.7:
+                variant.discard(rng.choice(sorted(variant)))
+            for _ in range(rng.randint(1, 2)):
+                variant.add(rng.choice(SYMPTOMS))
+            if variant not in cases.values():
+                cases[f"{disease} (case {i + 1})"] = variant
+    return SetCollection.from_named_sets(cases, dedupe=True)
+
+
+def main() -> None:
+    collection = build_case_database()
+    print(
+        f"case database: {collection.n_sets} case profiles over "
+        f"{collection.n_entities} symptoms"
+    )
+
+    typed = {"headache", "nausea"}
+    session = DiscoverySession(
+        collection, KLPSelector(k=2), initial=typed
+    )
+    print(
+        f"patient typed {sorted(typed)} -> {session.n_candidates} "
+        "matching case profiles"
+    )
+
+    # Simulate a patient whose true condition is one of the matching
+    # cases (a migraine-family profile when available).
+    candidates = session.candidates
+    migraines = [
+        i for i in candidates if "migraine" in collection.name_of(i)
+    ]
+    target = migraines[0] if migraines else candidates[0]
+    print(f"(simulated ground truth: {collection.name_of(target)})")
+    patient = SimulatedUser(collection, target_index=target)
+    result = session.run(patient)
+
+    print(f"\ntriage questions ({result.n_questions}):")
+    for step in result.transcript:
+        symptom = collection.universe.label(step.entity)
+        print(
+            f"  do you have {symptom}? -> "
+            f"{'yes' if step.answer else 'no'}"
+        )
+    if result.resolved:
+        print(f"\nmatched profile: {collection.name_of(result.target)}")
+    else:
+        names = [collection.name_of(i) for i in result.candidates]
+        print(f"\nremaining possibilities: {names}")
+
+
+if __name__ == "__main__":
+    main()

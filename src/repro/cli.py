@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``generate`` — write a synthetic or web-tables-like collection to a file;
+* ``discover`` — interactive set discovery over a collection file (answer
+  y/n/? on the terminal) or a simulated run against a named target set;
+* ``experiment`` — run one of the paper's experiments and print its
+  tables (``--list`` shows the ids);
+* ``baseball`` — end-to-end query discovery for one target query T1-T7.
+
+Installed as ``repro-setdisc`` (see pyproject) and runnable as
+``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core.bounds import AD, metric_by_name
+from .core.discovery import DiscoverySession
+from .core.lookahead import KLPSelector
+from .core.selection import InfoGainSelector
+from .data.loaders import load_collection, save_collection
+from .data.synthetic import SyntheticConfig, generate_collection
+from .data.webtables import WebTableConfig, generate_webtable_collection
+from .oracle.user import SimulatedUser, StdinUser
+
+
+def _build_selector(args: argparse.Namespace):
+    metric = metric_by_name(getattr(args, "metric", "AD"))
+    if getattr(args, "selector", "klp") == "infogain":
+        return InfoGainSelector()
+    q = getattr(args, "q", None)
+    variable = bool(getattr(args, "variable", False))
+    if variable and q is None:
+        q = 10
+    return KLPSelector(
+        k=getattr(args, "k", 2), metric=metric, q=q, variable=variable
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "synthetic":
+        config = SyntheticConfig(
+            n_sets=args.n_sets,
+            size_lo=args.size_lo,
+            size_hi=args.size_hi,
+            overlap=args.overlap,
+            seed=args.seed,
+        )
+        collection = generate_collection(config)
+    else:
+        collection = generate_webtable_collection(
+            WebTableConfig(n_sets=args.n_sets, seed=args.seed)
+        )
+    save_collection(collection, args.out)
+    print(
+        f"wrote {collection.n_sets} sets over "
+        f"{collection.n_entities} entities to {args.out}"
+    )
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    collection = load_collection(args.collection)
+    selector = _build_selector(args)
+    initial = args.initial or []
+    session = DiscoverySession(
+        collection,
+        selector,
+        initial=initial,
+        max_questions=args.max_questions,
+    )
+    if session.n_candidates == 0:
+        print("no set contains all the initial entities", file=sys.stderr)
+        return 1
+    print(
+        f"{session.n_candidates} candidate sets match the initial "
+        f"examples {initial!r}"
+    )
+    if args.target is not None:
+        oracle = SimulatedUser(
+            collection, target_index=collection.index_of(args.target)
+        )
+    else:
+        oracle = StdinUser(collection)
+    result = session.run(oracle)
+    if result.resolved:
+        idx = result.target
+        print(
+            f"found {collection.name_of(idx)} after "
+            f"{result.n_questions} questions"
+        )
+        members = sorted(str(x) for x in collection.set_labels(idx))
+        print("members:", ", ".join(members))
+    else:
+        names = [collection.name_of(i) for i in result.candidates]
+        print(
+            f"stopped with {len(names)} candidates after "
+            f"{result.n_questions} questions: {', '.join(names[:10])}"
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import REGISTRY, run_experiment
+
+    if args.list or args.name is None:
+        for name in sorted(REGISTRY):
+            print(name)
+        return 0
+    for table in run_experiment(args.name, args.scale):
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_baseball(args: argparse.Namespace) -> int:
+    from .querydisc import BaseballWorkload, discover_target_query
+
+    workload = BaseballWorkload.build(n_players=args.players)
+    case = workload.case(args.target)
+    print(f"target {case.name}: {case.query.sql()}")
+    print(
+        f"output tuples: {case.output_size}; example tuples: "
+        f"{', '.join(case.example_player_ids())}"
+    )
+    outcome = discover_target_query(case, _build_selector(args))
+    print(
+        f"candidates: {outcome.n_candidate_queries} queries / "
+        f"{outcome.n_unique_sets} unique outputs"
+    )
+    print(
+        f"questions: {outcome.n_questions}; "
+        f"discovery time: {outcome.discovery_seconds:.3f}s; "
+        f"target found: {outcome.target_found}"
+    )
+    for sql in outcome.discovered_queries[:5]:
+        print("  ", sql)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-setdisc",
+        description=(
+            "Interactive set discovery (EDBT 2023 reproduction): find a "
+            "target set in a closed collection with few membership "
+            "questions."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a collection file")
+    gen.add_argument("kind", choices=["synthetic", "webtables"])
+    gen.add_argument("out", help="output path (.json or text)")
+    gen.add_argument("--n-sets", type=int, default=1000)
+    gen.add_argument("--size-lo", type=int, default=50)
+    gen.add_argument("--size-hi", type=int, default=60)
+    gen.add_argument("--overlap", type=float, default=0.9)
+    gen.add_argument("--seed", type=int, default=42)
+    gen.set_defaults(func=_cmd_generate)
+
+    disc = sub.add_parser("discover", help="interactive discovery")
+    disc.add_argument("collection", help="collection file (.json or text)")
+    disc.add_argument(
+        "--initial", nargs="*", help="initial example entities"
+    )
+    disc.add_argument(
+        "--target",
+        help="simulate a user looking for this named set "
+        "(omit for interactive y/n/? prompts)",
+    )
+    disc.add_argument("--selector", choices=["klp", "infogain"], default="klp")
+    disc.add_argument("--k", type=int, default=2)
+    disc.add_argument("--q", type=int, default=None)
+    disc.add_argument("--variable", action="store_true")
+    disc.add_argument("--metric", choices=["AD", "H"], default="AD")
+    disc.add_argument("--max-questions", type=int, default=None)
+    disc.set_defaults(func=_cmd_discover)
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("name", nargs="?", help="experiment id")
+    exp.add_argument(
+        "--scale", choices=["small", "medium", "paper"], default="small"
+    )
+    exp.add_argument("--list", action="store_true", help="list experiments")
+    exp.set_defaults(func=_cmd_experiment)
+
+    bb = sub.add_parser("baseball", help="query discovery for T1-T7")
+    bb.add_argument(
+        "target", choices=[f"T{i}" for i in range(1, 8)], help="target query"
+    )
+    bb.add_argument("--players", type=int, default=20_185)
+    bb.add_argument("--selector", choices=["klp", "infogain"], default="klp")
+    bb.add_argument("--k", type=int, default=2)
+    bb.add_argument("--q", type=int, default=None)
+    bb.add_argument("--variable", action="store_true")
+    bb.add_argument("--metric", choices=["AD", "H"], default="AD")
+    bb.set_defaults(func=_cmd_baseball)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,227 @@
+"""Tree and session diagnostics.
+
+Tooling a user of the library reaches for right after building a tree:
+
+* :func:`tree_stats` — depth distribution, balance, entity usage;
+* :func:`question_distribution` — how many targets need q questions, the
+  empirical version of the intro's claim that discovery takes ~log2(k)
+  questions for k candidates (worst case k-1);
+* :func:`compare_trees` — side-by-side cost comparison of two trees over
+  the same sub-collection (e.g. InfoGain vs 2-LP), with the per-target
+  depth deltas that aggregate numbers hide;
+* :func:`entity_usage` — which entities the tree actually asks about and
+  how much of the collection each question touches.
+
+Everything here is read-only over :class:`~repro.core.tree.DecisionTree`
+and :class:`~repro.core.collection.SetCollection`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .bitmask import popcount
+from .bounds import lb_ad0, lb_h0
+from .collection import SetCollection
+from .tree import DecisionTree
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Summary statistics of one decision tree."""
+
+    n_leaves: int
+    n_internal: int
+    average_depth: float
+    height: int
+    min_depth: int
+    #: leaf-count per depth, ascending depth order
+    depth_histogram: dict[int, int]
+    #: AD minus its zero-step lower bound
+    ad_slack: float
+    #: H minus its zero-step lower bound
+    h_slack: int
+    #: distinct entities asked about / internal nodes (1.0 = no reuse)
+    entity_diversity: float
+
+    @property
+    def is_perfectly_balanced(self) -> bool:
+        """True when leaves sit on at most two adjacent levels."""
+        depths = sorted(self.depth_histogram)
+        return len(depths) <= 1 or (
+            len(depths) == 2 and depths[1] - depths[0] == 1
+        )
+
+
+def tree_stats(tree: DecisionTree) -> TreeStats:
+    """Compute :class:`TreeStats` in one traversal."""
+    depths = tree.depths()
+    histogram = dict(sorted(Counter(depths).items()))
+    n = len(depths)
+    entities = tree.internal_entities()
+    internal = len(entities)
+    return TreeStats(
+        n_leaves=n,
+        n_internal=internal,
+        average_depth=sum(depths) / n,
+        height=max(depths),
+        min_depth=min(depths),
+        depth_histogram=histogram,
+        ad_slack=sum(depths) / n - lb_ad0(n),
+        h_slack=max(depths) - lb_h0(n),
+        entity_diversity=(
+            len(set(entities)) / internal if internal else 1.0
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class QuestionDistribution:
+    """Distribution of questions-to-discover over all possible targets."""
+
+    n_candidates: int
+    #: questions -> number of targets needing exactly that many
+    counts: dict[int, int]
+
+    @property
+    def mean(self) -> float:
+        total = sum(q * c for q, c in self.counts.items())
+        return total / self.n_candidates
+
+    @property
+    def worst(self) -> int:
+        return max(self.counts)
+
+    @property
+    def log2_k(self) -> float:
+        """The intro's yardstick: log2 of the number of candidates."""
+        return math.log2(self.n_candidates) if self.n_candidates else 0.0
+
+    def within_log_bound(self, slack: float = 1.0) -> float:
+        """Fraction of targets found within ``log2(k) + slack`` questions.
+
+        The paper's introduction: "the number of interactions is k-1 in
+        the worst cases and closer to log k in most cases".
+        """
+        bound = self.log2_k + slack
+        good = sum(c for q, c in self.counts.items() if q <= bound)
+        return good / self.n_candidates
+
+
+def question_distribution(tree: DecisionTree) -> QuestionDistribution:
+    """How many questions each possible target needs under ``tree``."""
+    depths = tree.depths()
+    return QuestionDistribution(
+        n_candidates=len(depths),
+        counts=dict(sorted(Counter(depths).items())),
+    )
+
+
+@dataclass(frozen=True)
+class TreeComparison:
+    """Per-target comparison of two trees over the same leaf set."""
+
+    ad_a: float
+    ad_b: float
+    height_a: int
+    height_b: int
+    #: targets where tree A is shallower / deeper than tree B
+    a_wins: int
+    b_wins: int
+    ties: int
+    #: set index -> (depth in A, depth in B), only where they differ
+    differing: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def ad_improvement(self) -> float:
+        """Positive when tree B needs fewer questions on average."""
+        return self.ad_a - self.ad_b
+
+
+def compare_trees(a: DecisionTree, b: DecisionTree) -> TreeComparison:
+    """Compare two trees leaf-by-leaf; they must cover the same sets."""
+    depths_a = a.leaf_depths()
+    depths_b = b.leaf_depths()
+    if set(depths_a) != set(depths_b):
+        raise ValueError(
+            "trees cover different sets and cannot be compared"
+        )
+    a_wins = b_wins = ties = 0
+    differing: dict[int, tuple[int, int]] = {}
+    for idx, da in depths_a.items():
+        db = depths_b[idx]
+        if da < db:
+            a_wins += 1
+        elif db < da:
+            b_wins += 1
+        else:
+            ties += 1
+        if da != db:
+            differing[idx] = (da, db)
+    n = len(depths_a)
+    return TreeComparison(
+        ad_a=sum(depths_a.values()) / n,
+        ad_b=sum(depths_b.values()) / n,
+        height_a=max(depths_a.values()),
+        height_b=max(depths_b.values()),
+        a_wins=a_wins,
+        b_wins=b_wins,
+        ties=ties,
+        differing=differing,
+    )
+
+
+@dataclass(frozen=True)
+class EntityUsage:
+    """How one entity is used across a tree's internal nodes."""
+
+    entity: int
+    times_asked: int
+    #: sets (collection-wide) containing the entity
+    support: int
+
+
+def entity_usage(
+    tree: DecisionTree, collection: SetCollection
+) -> list[EntityUsage]:
+    """Usage records for every entity the tree asks about, most-used
+    first (ties by support, then id, for determinism)."""
+    counts = Counter(tree.internal_entities())
+    usage = [
+        EntityUsage(
+            entity=eid,
+            times_asked=times,
+            support=popcount(collection.entity_mask(eid)),
+        )
+        for eid, times in counts.items()
+    ]
+    usage.sort(key=lambda u: (-u.times_asked, -u.support, u.entity))
+    return usage
+
+
+def describe_tree(
+    tree: DecisionTree, collection: SetCollection | None = None
+) -> str:
+    """Multi-line human-readable diagnostic report."""
+    stats = tree_stats(tree)
+    dist = question_distribution(tree)
+    lines = [
+        f"leaves: {stats.n_leaves}  internal: {stats.n_internal}",
+        f"AD: {stats.average_depth:.3f} (slack {stats.ad_slack:+.3f})  "
+        f"H: {stats.height} (slack {stats.h_slack:+d})",
+        f"depth histogram: {stats.depth_histogram}",
+        f"balanced: {'yes' if stats.is_perfectly_balanced else 'no'}  "
+        f"entity diversity: {stats.entity_diversity:.2f}",
+        f"targets within log2(k)+1 questions: "
+        f"{100 * dist.within_log_bound():.0f}%",
+    ]
+    if collection is not None:
+        top = entity_usage(tree, collection)[:5]
+        labels = ", ".join(
+            f"{collection.universe.label(u.entity)}x{u.times_asked}"
+            for u in top
+        )
+        lines.append(f"most-asked entities: {labels}")
+    return "\n".join(lines)

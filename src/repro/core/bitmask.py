@@ -1,0 +1,71 @@
+"""Bitmask algebra over sub-collections.
+
+Sub-collections of a :class:`~repro.core.collection.SetCollection` are
+represented as arbitrary-precision Python integers used as bitsets: bit ``i``
+set means "set number ``i`` is a member of this sub-collection".  Python's
+big-int bitwise operations run at C speed, which makes partitioning a
+sub-collection by an entity a couple of machine-level AND operations even
+when the collection holds hundreds of thousands of sets.
+
+All helpers here are pure functions of plain ints so they are trivially
+reusable by every module (bounds, lookahead, optimal search, experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def full_mask(n: int) -> int:
+    """Mask selecting all of sets ``0..n-1``."""
+    if n < 0:
+        raise ValueError(f"collection size must be non-negative, got {n}")
+    return (1 << n) - 1
+
+
+def bit(i: int) -> int:
+    """Mask selecting only set ``i``."""
+    if i < 0:
+        raise ValueError(f"set indices are non-negative, got {i}")
+    return 1 << i
+
+
+def popcount(mask: int) -> int:
+    """Number of sets selected by ``mask``."""
+    return mask.bit_count()
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of set bits in ascending order.
+
+    >>> list(iter_bits(0b10110))
+    [1, 2, 4]
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def lowest_bit(mask: int) -> int:
+    """Index of the lowest set bit; raises on the empty mask."""
+    if mask == 0:
+        raise ValueError("empty mask has no bits")
+    return (mask & -mask).bit_length() - 1
+
+def single_bit(mask: int) -> bool:
+    """True when exactly one set is selected."""
+    return mask != 0 and mask & (mask - 1) == 0
+
+
+def mask_of(indices: "Iterator[int] | list[int] | tuple[int, ...]") -> int:
+    """Build a mask from an iterable of set indices."""
+    mask = 0
+    for i in indices:
+        mask |= 1 << i
+    return mask
+
+
+def subtract(mask: int, other: int) -> int:
+    """Sets in ``mask`` but not in ``other`` (``C - P`` in Algorithm 2)."""
+    return mask & ~other

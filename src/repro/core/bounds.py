@@ -1,0 +1,226 @@
+"""Cost lower bounds and cost metrics (Sec. 3 and Sec. 4.1 of the paper).
+
+Two cost metrics characterise a full binary decision tree ``T`` over a
+collection of ``n`` unique sets:
+
+* **AD** (average depth, Definition 3.2): expected number of questions when
+  every set is equally likely to be the target;
+* **H** (height, footnote 2): worst-case number of questions.
+
+Zero-step lower bounds (Eqs. 1-2)::
+
+    LB_AD0(C) = ceil(|C| * log2 |C|) / |C|
+    LB_H0(C)  = ceil(log2 |C|)
+
+One-step bounds after placing entity ``e`` that splits ``C`` into ``C1`` and
+``C2`` (Eqs. 3-4), and their k-step generalisations (Eqs. 6-7), are produced
+by :meth:`CostMetric.combine`; the recursive upper limits used by the pruning
+strategy (Eqs. 11-14) by :meth:`CostMetric.upper_limit_first` /
+:meth:`CostMetric.upper_limit_second`.
+
+Both metrics are exposed as singleton strategy objects :data:`AD` and
+:data:`H` so that every algorithm in the package (k-LP, gain-k, optimal
+search) is written once, generically over the metric.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+#: Tolerance when ceiling ``n * log2(n)``: the quantity is either exactly an
+#: integer (n a power of two, exactly representable in binary floating point)
+#: or irrational, so a tiny downward nudge before ``ceil`` removes the only
+#: realistic source of error (float rounding just above an integer).
+_CEIL_EPS = 1e-9
+
+INFINITY = math.inf
+
+
+def ceil_log2(n: int) -> int:
+    """``ceil(log2 n)`` computed exactly via bit length (n >= 1)."""
+    if n < 1:
+        raise ValueError(f"ceil_log2 requires n >= 1, got {n}")
+    return (n - 1).bit_length()
+
+
+def ceil_n_log2_n(n: int) -> int:
+    """``ceil(n * log2 n)`` (n >= 1), the numerator of LB_AD0."""
+    if n < 1:
+        raise ValueError(f"ceil_n_log2_n requires n >= 1, got {n}")
+    if n & (n - 1) == 0:
+        return n * (n.bit_length() - 1)
+    return math.ceil(n * math.log2(n) - _CEIL_EPS)
+
+
+def min_external_path_length(n: int) -> int:
+    """Exact minimal sum of leaf depths of a binary tree with ``n`` leaves.
+
+    ``E(n) = n*ceil(log2 n) - 2^ceil(log2 n) + n``: the most balanced tree
+    puts leaves on at most two adjacent levels.  Used by the exact optimal
+    search as an admissible (and tight) heuristic; the paper's LB_AD0 equals
+    ``ceil(n log2 n)/n`` which this never undercuts.
+    """
+    if n < 1:
+        raise ValueError(f"n >= 1 required, got {n}")
+    c = ceil_log2(n)
+    return n * c - (1 << c) + n
+
+
+def lb_ad0(n: int) -> float:
+    """Eq. 1: zero-step lower bound on average depth for ``n`` sets."""
+    if n <= 1:
+        return 0.0
+    return ceil_n_log2_n(n) / n
+
+
+def lb_h0(n: int) -> int:
+    """Eq. 2: zero-step lower bound on height for ``n`` sets."""
+    if n <= 1:
+        return 0
+    return ceil_log2(n)
+
+
+def lb_ad1(n1: int, n2: int) -> float:
+    """Eq. 3: one-step AD bound for a split into ``n1`` and ``n2`` sets."""
+    n = n1 + n2
+    return (n1 * lb_ad0(n1) + n2 * lb_ad0(n2)) / n + 1.0
+
+
+def lb_h1(n1: int, n2: int) -> int:
+    """Eq. 4: one-step H bound for a split into ``n1`` and ``n2`` sets."""
+    return max(lb_h0(n1), lb_h0(n2)) + 1
+
+
+class CostMetric(ABC):
+    """Strategy object bundling the per-metric formulas of Secs. 3-4."""
+
+    #: short name used in reports ("AD" or "H")
+    name: str = "?"
+
+    @abstractmethod
+    def lb0(self, n: int) -> float:
+        """Zero-step lower bound for a sub-collection of ``n`` sets."""
+
+    @abstractmethod
+    def combine(
+        self, n1: int, l1: float, n2: int, l2: float
+    ) -> float:
+        """k-step bound from the two children's (k-1)-step bounds.
+
+        Implements Eq. 6 (AD) or Eq. 7 (H); also yields Eqs. 3-4 when fed
+        the children's zero-step bounds.
+        """
+
+    @abstractmethod
+    def upper_limit_first(
+        self, ul: float, n1: int, lb2: float, n2: int
+    ) -> float:
+        """Eq. 11 / Eq. 12: limit for the first child's recursive search.
+
+        ``ul`` is the already-found least value (AFLV) that a candidate
+        entity must beat; ``lb2`` is the *optimistic* (zero-step) bound for
+        the sibling sub-collection.
+        """
+
+    @abstractmethod
+    def upper_limit_second(
+        self, ul: float, n2: int, l1: float, n1: int
+    ) -> float:
+        """Eq. 13 / Eq. 14: limit for the second child, given the first
+        child's actual (k-1)-step bound ``l1``."""
+
+    @abstractmethod
+    def tree_cost(self, depths: "list[int]") -> float:
+        """Exact cost of a tree given the depths of all its leaves."""
+
+    def lb1(self, n1: int, n2: int) -> float:
+        """One-step bound for a split (Eqs. 3-4), via :meth:`combine`."""
+        return self.combine(n1, self.lb0(n1), n2, self.lb0(n2))
+
+    def __repr__(self) -> str:
+        return f"<CostMetric {self.name}>"
+
+
+class AverageDepthMetric(CostMetric):
+    """The AD metric: expected number of questions (Definition 3.2)."""
+
+    name = "AD"
+
+    def lb0(self, n: int) -> float:
+        return lb_ad0(n)
+
+    def combine(self, n1: int, l1: float, n2: int, l2: float) -> float:
+        return (n1 * l1 + n2 * l2) / (n1 + n2) + 1.0
+
+    def upper_limit_first(
+        self, ul: float, n1: int, lb2: float, n2: int
+    ) -> float:
+        if ul == INFINITY:
+            return INFINITY
+        n = n1 + n2
+        return ((ul - 1.0) * n - n2 * lb2) / n1
+
+    def upper_limit_second(
+        self, ul: float, n2: int, l1: float, n1: int
+    ) -> float:
+        if ul == INFINITY:
+            return INFINITY
+        n = n1 + n2
+        return ((ul - 1.0) * n - n1 * l1) / n2
+
+    def tree_cost(self, depths: list[int]) -> float:
+        if not depths:
+            raise ValueError("a tree has at least one leaf")
+        return sum(depths) / len(depths)
+
+
+class HeightMetric(CostMetric):
+    """The H metric: worst-case number of questions (footnote 2)."""
+
+    name = "H"
+
+    def lb0(self, n: int) -> float:
+        return float(lb_h0(n))
+
+    def combine(self, n1: int, l1: float, n2: int, l2: float) -> float:
+        return max(l1, l2) + 1.0
+
+    def upper_limit_first(
+        self, ul: float, n1: int, lb2: float, n2: int
+    ) -> float:
+        if ul == INFINITY:
+            return INFINITY
+        return ul - 1.0
+
+    def upper_limit_second(
+        self, ul: float, n2: int, l1: float, n1: int
+    ) -> float:
+        if ul == INFINITY:
+            return INFINITY
+        return ul - 1.0
+
+    def tree_cost(self, depths: list[int]) -> float:
+        if not depths:
+            raise ValueError("a tree has at least one leaf")
+        return float(max(depths))
+
+
+#: Singleton AD metric (average number of questions).
+AD = AverageDepthMetric()
+
+#: Singleton H metric (maximum number of questions).
+H = HeightMetric()
+
+#: All metrics by name, for CLI / experiment configuration.
+METRICS: dict[str, CostMetric] = {"AD": AD, "H": H}
+
+
+def metric_by_name(name: str) -> CostMetric:
+    """Look up a metric by its short name, case-insensitively."""
+    try:
+        return METRICS[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown cost metric {name!r}; choose from {sorted(METRICS)}"
+        ) from None

@@ -1,0 +1,299 @@
+"""Set collections: the closed collection ``C`` of unique sets (Sec. 3).
+
+A :class:`SetCollection` stores:
+
+* the sets themselves as frozensets of dense entity ids (see
+  :class:`~repro.core.universe.Universe`),
+* an inverted index ``entity id -> bitmask of containing sets``, which is the
+  workhorse of every algorithm in the paper: partitioning a sub-collection
+  ``C`` by entity ``e`` (the yes/no outcome of one membership question) is
+  ``C+ = C & mask[e]`` and ``C- = C & ~mask[e]``.
+
+The collection is immutable after construction.  Sub-collections are plain
+integer bitmasks (:mod:`repro.core.bitmask`), never copies of the sets, so
+algorithms can explore millions of sub-collections cheaply and use the masks
+directly as memoisation keys.
+
+Uniqueness: the paper assumes all sets are unique ("if not, duplicates can be
+removed without affecting the search task").  Construction therefore either
+rejects duplicates (default) or silently merges them (``dedupe=True``),
+remembering which input names collapsed onto each stored set.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+from .bitmask import full_mask, iter_bits, popcount
+from .universe import Universe
+
+
+class DuplicateSetError(ValueError):
+    """Raised when two input sets are equal and ``dedupe`` is off."""
+
+
+class SetCollection:
+    """An immutable collection of unique finite sets over a shared universe.
+
+    Parameters
+    ----------
+    sets:
+        Iterable of iterables of entity labels (any hashables).
+    names:
+        Optional human-readable name per set (defaults to ``S1..Sn`` as in
+        the paper's running example).
+    universe:
+        Optional pre-existing :class:`Universe` to intern labels into; a new
+        one is created when omitted.
+    dedupe:
+        When true, duplicate sets are merged instead of raising
+        :class:`DuplicateSetError`.
+    """
+
+    __slots__ = (
+        "universe",
+        "_sets",
+        "_names",
+        "_entity_masks",
+        "_full_mask",
+        "_aliases",
+        "_informative_cache",
+    )
+
+    def __init__(
+        self,
+        sets: Iterable[Iterable[Hashable]],
+        names: Sequence[str] | None = None,
+        universe: Universe | None = None,
+        dedupe: bool = False,
+    ) -> None:
+        self.universe = universe if universe is not None else Universe()
+        interned: list[frozenset[int]] = []
+        kept_names: list[str] = []
+        seen: dict[frozenset[int], int] = {}
+        aliases: dict[int, list[str]] = {}
+        for position, raw in enumerate(sets):
+            name = (
+                names[position]
+                if names is not None
+                else f"S{position + 1}"
+            )
+            fs = frozenset(self.universe.intern(label) for label in raw)
+            if fs in seen:
+                if not dedupe:
+                    raise DuplicateSetError(
+                        f"set {name!r} duplicates set "
+                        f"{kept_names[seen[fs]]!r}; pass dedupe=True to merge"
+                    )
+                aliases.setdefault(seen[fs], []).append(name)
+                continue
+            seen[fs] = len(interned)
+            interned.append(fs)
+            kept_names.append(name)
+        self._sets: tuple[frozenset[int], ...] = tuple(interned)
+        self._names: tuple[str, ...] = tuple(kept_names)
+        self._aliases: dict[int, tuple[str, ...]] = {
+            idx: tuple(extra) for idx, extra in aliases.items()
+        }
+        masks: dict[int, int] = {}
+        for idx, fs in enumerate(self._sets):
+            bit = 1 << idx
+            for eid in fs:
+                masks[eid] = masks.get(eid, 0) | bit
+        self._entity_masks: dict[int, int] = masks
+        self._full_mask: int = full_mask(len(self._sets))
+        self._informative_cache: dict[int, tuple[tuple[int, int], ...]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_named_sets(
+        cls,
+        named: Mapping[str, Iterable[Hashable]],
+        universe: Universe | None = None,
+        dedupe: bool = False,
+    ) -> "SetCollection":
+        """Build from a ``name -> iterable of labels`` mapping."""
+        names = list(named)
+        return cls(
+            (named[name] for name in names),
+            names=names,
+            universe=universe,
+            dedupe=dedupe,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_sets(self) -> int:
+        """``n``: number of unique sets in the collection."""
+        return len(self._sets)
+
+    @property
+    def n_entities(self) -> int:
+        """``m``: number of distinct entities across all sets."""
+        return len(self._entity_masks)
+
+    @property
+    def full_mask(self) -> int:
+        """Bitmask selecting every set (the root sub-collection)."""
+        return self._full_mask
+
+    @property
+    def sets(self) -> tuple[frozenset[int], ...]:
+        """All sets, as frozensets of entity ids, indexed by set number."""
+        return self._sets
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    def name_of(self, index: int) -> str:
+        return self._names[index]
+
+    def index_of(self, name: str) -> int:
+        """Index of the set with the given name (O(n))."""
+        try:
+            return self._names.index(name)
+        except ValueError:
+            raise KeyError(name) from None
+
+    def aliases_of(self, index: int) -> tuple[str, ...]:
+        """Names of duplicate input sets merged into set ``index``."""
+        return self._aliases.get(index, ())
+
+    def set_labels(self, index: int) -> frozenset[Hashable]:
+        """The stored set with entity ids translated back to labels."""
+        return frozenset(self.universe.label(e) for e in self._sets[index])
+
+    def entity_mask(self, eid: int) -> int:
+        """Bitmask of the sets containing entity ``eid`` (0 if absent)."""
+        return self._entity_masks.get(eid, 0)
+
+    def entity_ids(self) -> Iterator[int]:
+        """All entity ids present in at least one set."""
+        return iter(self._entity_masks)
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def __repr__(self) -> str:
+        return (
+            f"SetCollection(n_sets={self.n_sets}, "
+            f"n_entities={self.n_entities})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sub-collection algebra
+    # ------------------------------------------------------------------ #
+
+    def count(self, mask: int) -> int:
+        """Number of sets in the sub-collection ``mask``."""
+        return popcount(mask)
+
+    def partition(self, mask: int, eid: int) -> tuple[int, int]:
+        """Split ``mask`` by entity ``eid`` into ``(C+, C-)``.
+
+        ``C+`` holds the sets containing the entity (the user answered
+        *yes*), ``C-`` the rest (*no*).
+        """
+        positive = mask & self._entity_masks.get(eid, 0)
+        return positive, mask & ~positive
+
+    def positive_count(self, mask: int, eid: int) -> int:
+        """``|C+|`` without materialising the negative side."""
+        return popcount(mask & self._entity_masks.get(eid, 0))
+
+    def sets_in(self, mask: int) -> Iterator[int]:
+        """Indices of the sets selected by ``mask``, ascending."""
+        return iter_bits(mask)
+
+    def entities_in(self, mask: int) -> set[int]:
+        """Union of entities over the sets selected by ``mask``."""
+        union: set[int] = set()
+        for idx in iter_bits(mask):
+            union.update(self._sets[idx])
+        return union
+
+    def informative_entities(
+        self,
+        mask: int,
+        candidates: Iterable[int] | None = None,
+    ) -> list[tuple[int, int]]:
+        """Informative entities of the sub-collection ``mask``.
+
+        An entity is *informative* (Sec. 3) when it is present in some but
+        not all sets of the sub-collection; only informative entities can
+        reduce the candidate space, so only they may label tree nodes.
+
+        Returns ``(entity id, |C+|)`` pairs.  ``candidates`` restricts the
+        scan (children of a node only need their parent's informative
+        entities); when omitted the union of member sets is scanned.
+        Results for the no-candidates form are cached per mask since the
+        same sub-collection recurs across lookahead invocations.
+        """
+        n = popcount(mask)
+        if candidates is None:
+            cached = self._informative_cache.get(mask)
+            if cached is not None:
+                return list(cached)
+            scan: Iterable[int] = self.entities_in(mask)
+        else:
+            scan = candidates
+        masks = self._entity_masks
+        result = []
+        for eid in scan:
+            cnt = popcount(mask & masks.get(eid, 0))
+            if 0 < cnt < n:
+                result.append((eid, cnt))
+        if candidates is None:
+            self._informative_cache[mask] = tuple(result)
+        return result
+
+    def clear_caches(self) -> None:
+        """Drop the informative-entity cache (frees memory after a run)."""
+        self._informative_cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Candidate filtering (Algorithm 2, lines 2-4)
+    # ------------------------------------------------------------------ #
+
+    def supersets_of(self, initial: Iterable[Hashable]) -> int:
+        """Mask of the sets that contain every entity in ``initial``.
+
+        This is the candidate sub-collection ``CS`` seeded by the user's
+        initial example set ``I``.  Labels unknown to the universe cannot be
+        contained in any set, so they yield the empty mask.
+        """
+        mask = self._full_mask
+        for label in initial:
+            if label not in self.universe:
+                return 0
+            mask &= self._entity_masks.get(self.universe.id_of(label), 0)
+            if mask == 0:
+                return 0
+        return mask
+
+    def supersets_of_ids(self, initial_ids: Iterable[int]) -> int:
+        """Like :meth:`supersets_of` but over already-interned entity ids."""
+        mask = self._full_mask
+        for eid in initial_ids:
+            mask &= self._entity_masks.get(eid, 0)
+            if mask == 0:
+                return 0
+        return mask
+
+    def find(self, labels: Iterable[Hashable]) -> int | None:
+        """Index of the set exactly equal to ``labels``, or ``None``."""
+        try:
+            fs = frozenset(self.universe.id_of(label) for label in labels)
+        except KeyError:
+            return None
+        for idx, stored in enumerate(self._sets):
+            if stored == fs:
+                return idx
+        return None

@@ -1,0 +1,316 @@
+"""Interactive set discovery (Algorithm 2, Sec. 4.5).
+
+A :class:`DiscoverySession` drives the question/answer loop: starting from
+the candidate sub-collection (all supersets of the user's initial example
+set ``I``), it repeatedly picks the best entity via the configured selection
+strategy, asks the user a membership question, and narrows the candidates
+with the answer, until one set remains or a halt condition fires.
+
+Two usage styles are supported:
+
+* **pull** — call :meth:`DiscoverySession.next_question` and
+  :meth:`DiscoverySession.answer` yourself (e.g. a UI event loop);
+* **push** — :meth:`DiscoverySession.run` with an oracle object answering
+  every question (the paper's simulated-user evaluation protocol).
+
+"Don't know" answers (Sec. 6, *Unanswered questions*) are first-class: the
+entity is excluded from further selection and the candidate sub-collection
+is left untouched, exactly as the paper prescribes.  A session whose
+remaining entities are all excluded ends with more than one candidate.
+
+A session can also navigate a precomputed tree (Sec. 4.5, offline
+construction) via :class:`TreeDiscoverySession`: follow one root-to-leaf
+path with no selection cost at question time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable
+
+from .bitmask import popcount
+from .collection import SetCollection
+from .selection import EntitySelector, NoInformativeEntityError
+from .tree import DecisionTree
+
+#: An oracle answers a membership question about an entity id with
+#: True (in the target set), False (not in it), or None ("don't know").
+Oracle = Callable[[int], "bool | None"]
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One question/answer exchange of a session transcript."""
+
+    entity: int
+    answer: bool | None
+    candidates_before: int
+    candidates_after: int
+
+
+@dataclass
+class DiscoveryResult:
+    """Outcome of a completed discovery run."""
+
+    #: indices of the sets consistent with all answers (1 on full success)
+    candidates: list[int]
+    #: full transcript, in question order
+    transcript: list[Interaction] = field(default_factory=list)
+    #: wall-clock seconds spent selecting questions and filtering (the
+    #: paper's *discovery time*; excludes the oracle's own answer time)
+    seconds: float = 0.0
+
+    @property
+    def n_questions(self) -> int:
+        """Questions that received a yes/no answer (don't-knows excluded)."""
+        return sum(1 for i in self.transcript if i.answer is not None)
+
+    @property
+    def n_unanswered(self) -> int:
+        return sum(1 for i in self.transcript if i.answer is None)
+
+    @property
+    def resolved(self) -> bool:
+        """True when a single candidate set remains."""
+        return len(self.candidates) == 1
+
+    @property
+    def target(self) -> int:
+        """The discovered set index; raises unless :attr:`resolved`."""
+        if not self.resolved:
+            raise ValueError(
+                f"discovery ended with {len(self.candidates)} candidates"
+            )
+        return self.candidates[0]
+
+
+class DiscoverySession:
+    """Algorithm 2 as a stateful session.
+
+    Parameters
+    ----------
+    collection:
+        The closed collection ``C``.
+    selector:
+        Entity-selection strategy ``Υ``.
+    initial:
+        The user's initial example set ``I`` (entity labels).  Candidates
+        are the sets containing all of ``I`` (lines 2-4 of Algorithm 2).
+    initial_ids:
+        Alternative to ``initial`` with already-interned entity ids.
+    max_questions:
+        Optional halt condition ``Γ``: stop after this many answered
+        questions even if several candidates remain.
+    """
+
+    def __init__(
+        self,
+        collection: SetCollection,
+        selector: EntitySelector,
+        initial: Iterable[Hashable] = (),
+        initial_ids: Iterable[int] | None = None,
+        max_questions: int | None = None,
+    ) -> None:
+        self.collection = collection
+        self.selector = selector
+        self.max_questions = max_questions
+        if initial_ids is not None:
+            self._mask = collection.supersets_of_ids(initial_ids)
+        else:
+            self._mask = collection.supersets_of(initial)
+        self._excluded: set[int] = set()
+        self._transcript: list[Interaction] = []
+        self._pending: int | None = None
+        self._seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # State inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def candidates_mask(self) -> int:
+        """Bitmask of the sets consistent with all answers so far."""
+        return self._mask
+
+    @property
+    def candidates(self) -> list[int]:
+        return list(self.collection.sets_in(self._mask))
+
+    @property
+    def n_candidates(self) -> int:
+        return popcount(self._mask)
+
+    @property
+    def transcript(self) -> list[Interaction]:
+        return list(self._transcript)
+
+    @property
+    def n_questions(self) -> int:
+        return sum(1 for i in self._transcript if i.answer is not None)
+
+    @property
+    def finished(self) -> bool:
+        """True when the loop of Algorithm 2 would exit."""
+        if popcount(self._mask) <= 1:
+            return True
+        if (
+            self.max_questions is not None
+            and self.n_questions >= self.max_questions
+        ):
+            return True
+        return not self._has_askable_entity()
+
+    def _has_askable_entity(self) -> bool:
+        try:
+            pairs = self.collection.informative_entities(self._mask)
+        except ValueError:
+            return False
+        if not self._excluded:
+            return bool(pairs)
+        return any(e not in self._excluded for e, _ in pairs)
+
+    # ------------------------------------------------------------------ #
+    # Pull-style API
+    # ------------------------------------------------------------------ #
+
+    def next_question(self) -> int:
+        """Select and return the entity id to ask about next (line 6).
+
+        Idempotent until :meth:`answer` is called.  Raises ``RuntimeError``
+        once the session is finished.
+        """
+        if self._pending is not None:
+            return self._pending
+        if self.finished:
+            raise RuntimeError("session is finished; no further questions")
+        start = time.perf_counter()
+        entity = self.selector.select(
+            self.collection, self._mask, exclude=self._excluded
+        )
+        self._seconds += time.perf_counter() - start
+        self._pending = entity
+        return entity
+
+    def next_question_label(self) -> Hashable:
+        """As :meth:`next_question`, translated to the entity's label."""
+        return self.collection.universe.label(self.next_question())
+
+    def answer(self, value: bool | None) -> None:
+        """Record the user's answer to the pending question (lines 7-12).
+
+        ``None`` means "don't know": the entity is excluded from future
+        selection and the candidates are unchanged (Sec. 6).
+        """
+        if self._pending is None:
+            raise RuntimeError("no pending question; call next_question()")
+        entity = self._pending
+        self._pending = None
+        before = popcount(self._mask)
+        start = time.perf_counter()
+        if value is None:
+            self._excluded.add(entity)
+        else:
+            positive, negative = self.collection.partition(self._mask, entity)
+            self._mask = positive if value else negative
+        self._seconds += time.perf_counter() - start
+        self._transcript.append(
+            Interaction(entity, value, before, popcount(self._mask))
+        )
+
+    # ------------------------------------------------------------------ #
+    # Push-style API
+    # ------------------------------------------------------------------ #
+
+    def run(self, oracle: Oracle) -> DiscoveryResult:
+        """Drive the full loop with ``oracle`` answering every question."""
+        while not self.finished:
+            try:
+                entity = self.next_question()
+            except (RuntimeError, NoInformativeEntityError):
+                break
+            self.answer(oracle(entity))
+        return self.result()
+
+    def result(self) -> DiscoveryResult:
+        """Snapshot of the current outcome (line 13 of Algorithm 2)."""
+        return DiscoveryResult(
+            candidates=self.candidates,
+            transcript=list(self._transcript),
+            seconds=self._seconds,
+        )
+
+
+class TreeDiscoverySession:
+    """Discovery over a precomputed tree (offline construction, Sec. 4.5).
+
+    Follows a single root-to-leaf path, so the per-question cost is O(1)
+    selection-wise.  Precomputed trees cannot honour "don't know" answers
+    (the next question is fixed by the tree); callers needing that must use
+    :class:`DiscoverySession`.
+    """
+
+    def __init__(self, collection: SetCollection, tree: DecisionTree) -> None:
+        self.collection = collection
+        self._node = tree
+        self._transcript: list[Interaction] = []
+        self._seconds = 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self._node.is_leaf
+
+    @property
+    def n_questions(self) -> int:
+        return len(self._transcript)
+
+    def next_question(self) -> int:
+        if self._node.is_leaf:
+            raise RuntimeError("reached a leaf; discovery is finished")
+        assert self._node.entity is not None
+        return self._node.entity
+
+    def answer(self, value: bool) -> None:
+        entity = self.next_question()
+        start = time.perf_counter()
+        node = self._node
+        before_leaves = node.n_leaves
+        self._node = node.pos if value else node.neg  # type: ignore[assignment]
+        self._seconds += time.perf_counter() - start
+        self._transcript.append(
+            Interaction(entity, value, before_leaves, self._node.n_leaves)
+        )
+
+    def run(self, oracle: Oracle) -> DiscoveryResult:
+        while not self.finished:
+            entity = self.next_question()
+            value = oracle(entity)
+            if value is None:
+                raise ValueError(
+                    "precomputed trees cannot handle 'don't know' answers; "
+                    "use DiscoverySession"
+                )
+            self.answer(value)
+        assert self._node.set_index is not None
+        return DiscoveryResult(
+            candidates=[self._node.set_index],
+            transcript=list(self._transcript),
+            seconds=self._seconds,
+        )
+
+
+def discover(
+    collection: SetCollection,
+    selector: EntitySelector,
+    oracle: Oracle,
+    initial: Iterable[Hashable] = (),
+    max_questions: int | None = None,
+) -> DiscoveryResult:
+    """One-shot convenience wrapper around :class:`DiscoverySession`."""
+    session = DiscoverySession(
+        collection,
+        selector,
+        initial=initial,
+        max_questions=max_questions,
+    )
+    return session.run(oracle)

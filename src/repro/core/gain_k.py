@@ -1,0 +1,342 @@
+"""Unpruned lookahead baselines (Sec. 2.3 / Sec. 5).
+
+Two baselines live here, both deliberately *without* the paper's pruning:
+
+* :class:`GainKSelector` — the gain-k lookahead of Esmeir & Markovitch [14]:
+  an exhaustive k-step expansion minimising lookahead entropy (equivalently,
+  maximising k-step information gain).  This is the competitor whose running
+  time Fig. 4 compares against; ``gain-1`` selects the same entity as
+  InfoGain and 1-LP (Lemma 4.3).
+* :class:`UnprunedKLPSelector` — semantically identical to
+  :class:`~repro.core.lookahead.KLPSelector` (same bounds, same tie-breaks)
+  but with every pruning device disabled: no sorted early break, no
+  recursive upper limits, no memoisation.  It is the reference
+  implementation the test suite checks k-LP against, and the ablation
+  baseline for ``bench_ablation_pruning``.
+
+The module also exposes :func:`lb_k` and :func:`lb_k_entity`, direct
+transcriptions of Eqs. 6-8 used by the property tests of Lemmas 4.1/4.2 and
+by the worked example of Sec. 4.3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Collection as AbcCollection
+from typing import Iterable
+
+from .bitmask import popcount
+from .bounds import AD, CostMetric
+from .collection import SetCollection
+from .selection import EntitySelector, NoInformativeEntityError
+
+
+# --------------------------------------------------------------------- #
+# Reference lower bounds (Eqs. 6-8), exhaustive and unmemoised
+# --------------------------------------------------------------------- #
+
+
+def lb_k_entity(
+    collection: SetCollection,
+    mask: int,
+    eid: int,
+    k: int,
+    metric: CostMetric = AD,
+) -> float:
+    """``LB_k(C, e)`` per Eqs. 6-7 (k >= 1); raises if ``e`` is uninformative."""
+    if k < 1:
+        raise ValueError(f"k >= 1 required, got {k}")
+    n = popcount(mask)
+    n1 = collection.positive_count(mask, eid)
+    n2 = n - n1
+    if n1 == 0 or n2 == 0:
+        raise ValueError(
+            f"entity {eid} is uninformative for this sub-collection"
+        )
+    if k == 1:
+        return metric.lb1(n1, n2)
+    pos, neg = collection.partition(mask, eid)
+    l1 = lb_k(collection, pos, k - 1, metric)
+    l2 = lb_k(collection, neg, k - 1, metric)
+    return metric.combine(n1, l1, n2, l2)
+
+
+def lb_k(
+    collection: SetCollection,
+    mask: int,
+    k: int,
+    metric: CostMetric = AD,
+) -> float:
+    """``LB_k(C)`` per Eq. 8: min over informative entities (k >= 0)."""
+    n = popcount(mask)
+    if n <= 1:
+        return 0.0
+    if k == 0:
+        return metric.lb0(n)
+    k = min(k, n - 1)
+    best = math.inf
+    for eid, _ in collection.informative_entities(mask):
+        value = lb_k_entity(collection, mask, eid, k, metric)
+        if value < best:
+            best = value
+    return best
+
+
+# --------------------------------------------------------------------- #
+# gain-k (Esmeir & Markovitch)
+# --------------------------------------------------------------------- #
+
+
+class GainKSelector(EntitySelector):
+    """Exhaustive k-step lookahead entropy minimisation (gain-k [14]).
+
+    Every set is its own class under a uniform prior, so a sub-collection of
+    ``n`` sets has entropy ``log2 n``.  The k-step lookahead entropy is::
+
+        ent_0(C) = log2 |C|          (0 for |C| <= 1)
+        ent_k(C) = min_e [ |C1|/|C| * ent_{k-1}(C1) + |C2|/|C| * ent_{k-1}(C2) ]
+
+    and the selected entity maximises the k-step gain, i.e. minimises the
+    expected lookahead entropy of its split.  No pruning, no memoisation —
+    this is the literature baseline whose cost Fig. 4 measures; an optional
+    ``memoize`` flag exists only for the ablation bench.
+    """
+
+    def __init__(self, k: int = 2, memoize: bool = False) -> None:
+        if k < 1:
+            raise ValueError(f"lookahead depth must be >= 1, got {k}")
+        self.k = k
+        self.memoize = memoize
+        self._cache: dict[tuple[int, int], float] = {}
+        self.name = f"gain-{k}"
+
+    def reset(self) -> None:
+        self._cache.clear()
+
+    def select(
+        self,
+        collection: SetCollection,
+        mask: int,
+        candidates: Iterable[int] | None = None,
+        exclude: AbcCollection[int] = frozenset(),
+    ) -> int:
+        pairs = self._informative(collection, mask, candidates, exclude)
+        n = popcount(mask)
+        k = min(self.k, n - 1)
+        child_candidates = [e for e, _ in pairs]
+        best = None
+        best_key = None
+        for eid, cnt in pairs:
+            expected = self._expected_entropy(
+                collection, mask, eid, cnt, k, child_candidates, exclude
+            )
+            key = (expected, abs(2 * cnt - n), eid)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = eid
+        assert best is not None
+        return best
+
+    def _expected_entropy(
+        self,
+        coll: SetCollection,
+        mask: int,
+        eid: int,
+        cnt: int,
+        k: int,
+        candidates: list[int],
+        exclude: AbcCollection[int],
+    ) -> float:
+        n = popcount(mask)
+        pos, neg = coll.partition(mask, eid)
+        e1 = self._entropy(coll, pos, k - 1, candidates, exclude)
+        e2 = self._entropy(coll, neg, k - 1, candidates, exclude)
+        return (cnt * e1 + (n - cnt) * e2) / n
+
+    def _entropy(
+        self,
+        coll: SetCollection,
+        mask: int,
+        k: int,
+        candidates: list[int],
+        exclude: AbcCollection[int],
+    ) -> float:
+        n = popcount(mask)
+        if n <= 1:
+            return 0.0
+        if k == 0:
+            return math.log2(n)
+        if self.memoize and not exclude:
+            hit = self._cache.get((mask, k))
+            if hit is not None:
+                return hit
+        pairs = coll.informative_entities(mask, candidates)
+        if exclude:
+            pairs = [(e, c) for e, c in pairs if e not in exclude]
+        if not pairs:
+            return math.log2(n)
+        child_candidates = [e for e, _ in pairs]
+        best = math.inf
+        for eid, cnt in pairs:
+            value = self._expected_entropy(
+                coll, mask, eid, cnt, k, child_candidates, exclude
+            )
+            if value < best:
+                best = value
+        if self.memoize and not exclude:
+            self._cache[(mask, k)] = best
+        return best
+
+
+# --------------------------------------------------------------------- #
+# k-LP with pruning disabled (reference / ablation)
+# --------------------------------------------------------------------- #
+
+
+class UnprunedKLPSelector(EntitySelector):
+    """k-LP semantics with all pruning devices switched off.
+
+    Selects the first entity, in most-even order, achieving the minimum
+    ``LB_k(C, e)`` — the same entity (and bound) :class:`KLPSelector`
+    returns, established property-based in the test suite.  The individual
+    pruning devices can be re-enabled one at a time for the ablation bench:
+
+    * ``sorted_break`` — stop at the first entity whose 1-step bound
+      reaches the best k-step bound so far (Algorithm 1, l. 14-15);
+    * ``upper_limits`` — derived limits for recursive calls (Eqs. 11-14);
+    * ``memoize`` — the (sub-collection, k) cache.
+    """
+
+    def __init__(
+        self,
+        k: int = 2,
+        metric: CostMetric = AD,
+        sorted_break: bool = False,
+        upper_limits: bool = False,
+        memoize: bool = False,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"lookahead depth must be >= 1, got {k}")
+        self.k = k
+        self.metric = metric
+        self.sorted_break = sorted_break
+        self.upper_limits = upper_limits
+        self.memoize = memoize
+        self._cache: dict[tuple[int, int], tuple[int | None, float]] = {}
+        devices = "".join(
+            flag
+            for flag, on in (
+                ("s", sorted_break),
+                ("u", upper_limits),
+                ("m", memoize),
+            )
+            if on
+        )
+        suffix = f"+{devices}" if devices else ""
+        self.name = f"{k}-LP-unpruned{suffix}[{metric.name}]"
+
+    def reset(self) -> None:
+        self._cache.clear()
+
+    def select(
+        self,
+        collection: SetCollection,
+        mask: int,
+        candidates: Iterable[int] | None = None,
+        exclude: AbcCollection[int] = frozenset(),
+    ) -> int:
+        n = popcount(mask)
+        if n < 2:
+            raise ValueError(
+                "selection needs at least two candidate sets; "
+                f"sub-collection has {n}"
+            )
+        entity, _ = self._search(
+            collection,
+            mask,
+            min(self.k, n - 1),
+            math.inf,
+            candidates,
+            exclude,
+        )
+        if entity is None:
+            raise NoInformativeEntityError(
+                f"no informative entity for a sub-collection of {n} sets"
+            )
+        return entity
+
+    def _search(
+        self,
+        coll: SetCollection,
+        mask: int,
+        k: int,
+        ul: float,
+        candidates: Iterable[int] | None,
+        exclude: AbcCollection[int],
+    ) -> tuple[int | None, float]:
+        metric = self.metric
+        n = popcount(mask)
+        cacheable = self.memoize and not exclude
+        if cacheable:
+            hit = self._cache.get((mask, k))
+            if hit is not None:
+                entity, bound = hit
+                if ul <= bound:
+                    return None, bound
+                if entity is not None:
+                    return entity, bound
+        pairs = coll.informative_entities(mask, candidates)
+        if exclude:
+            pairs = [(e, c) for e, c in pairs if e not in exclude]
+        if not pairs:
+            return None, metric.lb0(n)
+        pairs.sort(key=lambda ec: (abs(2 * ec[1] - n), ec[0]))
+        if k == 1:
+            eid, cnt = pairs[0]
+            bound = metric.lb1(cnt, n - cnt)
+            if cacheable:
+                self._cache[(mask, k)] = (eid, bound)
+            if ul <= bound:
+                return None, bound
+            return eid, bound
+        child_candidates = [e for e, _ in pairs]
+        best_entity: int | None = None
+        no_limit = math.inf
+        for eid, cnt in pairs:
+            n1, n2 = cnt, n - cnt
+            if self.sorted_break and metric.lb1(n1, n2) >= ul:
+                break
+            pos, neg = coll.partition(mask, eid)
+            if n1 == 1:
+                l1 = 0.0
+            else:
+                ul1 = (
+                    metric.upper_limit_first(ul, n1, metric.lb0(n2), n2)
+                    if self.upper_limits
+                    else no_limit
+                )
+                e1, l1 = self._search(
+                    coll, pos, k - 1, ul1, child_candidates, exclude
+                )
+                if e1 is None:
+                    continue
+            if n2 == 1:
+                l2 = 0.0
+            else:
+                ul2 = (
+                    metric.upper_limit_second(ul, n2, l1, n1)
+                    if self.upper_limits
+                    else no_limit
+                )
+                e2, l2 = self._search(
+                    coll, neg, k - 1, ul2, child_candidates, exclude
+                )
+                if e2 is None:
+                    continue
+            bound = metric.combine(n1, l1, n2, l2)
+            if bound < ul:
+                ul = bound
+                best_entity = eid
+        if cacheable:
+            self._cache[(mask, k)] = (best_entity, ul)
+        return best_entity, ul

@@ -1,0 +1,171 @@
+"""Prior-aware online discovery (Sec. 7 future work, online half).
+
+:mod:`repro.core.priors` handles the *offline* side of non-uniform targets
+(weighted costs, weighted trees); this module is the *online* counterpart:
+a discovery session that tracks the posterior over candidate sets as
+answers arrive and can stop early once one candidate holds enough of the
+probability mass — the natural halt condition Γ when targets are not
+equally likely (a triage machine does not need certainty to suggest the
+overwhelmingly probable diagnosis).
+
+With a uniform prior and ``confidence_threshold=1.0`` the session behaves
+exactly like :class:`~repro.core.discovery.DiscoverySession` (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from .bitmask import iter_bits, popcount
+from .collection import SetCollection
+from .discovery import Oracle
+from .priors import Prior, WeightedEvenSelector
+from .selection import EntitySelector, NoInformativeEntityError
+
+
+@dataclass
+class PosteriorResult:
+    """Outcome of a posterior-driven discovery run."""
+
+    #: candidates with their posterior probability, best first
+    ranked: list[tuple[int, float]] = field(default_factory=list)
+    n_questions: int = 0
+    stopped_early: bool = False
+
+    @property
+    def top(self) -> int:
+        if not self.ranked:
+            raise ValueError("no candidate remains")
+        return self.ranked[0][0]
+
+    @property
+    def top_probability(self) -> float:
+        if not self.ranked:
+            return 0.0
+        return self.ranked[0][1]
+
+    @property
+    def resolved(self) -> bool:
+        return len(self.ranked) == 1
+
+
+class PosteriorDiscoverySession:
+    """Discovery that stops once one candidate is probable enough.
+
+    Parameters
+    ----------
+    collection, prior:
+        The closed collection and a prior over its sets.
+    selector:
+        Defaults to the weighted most-even rule for the prior; any
+        :class:`~repro.core.selection.EntitySelector` works.
+    confidence_threshold:
+        Stop as soon as some candidate's posterior reaches this value.
+        1.0 (the paper's base setting) demands logical certainty — a
+        single surviving candidate — so a confident prior alone never
+        ends a session.
+    max_questions:
+        Optional hard cap (halt condition Γ).
+    """
+
+    def __init__(
+        self,
+        collection: SetCollection,
+        prior: Prior,
+        selector: EntitySelector | None = None,
+        initial: Iterable[Hashable] = (),
+        confidence_threshold: float = 1.0,
+        max_questions: int | None = None,
+    ) -> None:
+        if prior.collection is not collection:
+            raise ValueError("prior belongs to a different collection")
+        if not 0.0 < confidence_threshold <= 1.0:
+            raise ValueError(
+                "confidence_threshold must be in (0, 1], got "
+                f"{confidence_threshold}"
+            )
+        self.collection = collection
+        self.prior = prior
+        self.selector = selector or WeightedEvenSelector(prior)
+        self.confidence_threshold = confidence_threshold
+        self.max_questions = max_questions
+        self._mask = collection.supersets_of(initial)
+        self._n_questions = 0
+
+    # ------------------------------------------------------------------ #
+
+    def posterior(self) -> list[tuple[int, float]]:
+        """Current posterior over consistent candidates, best first.
+
+        The posterior is the prior restricted to the consistent mask and
+        renormalised; with zero surviving mass (the target had zero prior)
+        the restriction falls back to uniform over survivors.
+        """
+        indices = list(iter_bits(self._mask))
+        if not indices:
+            return []
+        weights = [self.prior.p[i] for i in indices]
+        total = sum(weights)
+        if total <= 0:
+            weights = [1.0] * len(indices)
+            total = float(len(indices))
+        ranked = sorted(
+            zip(indices, (w / total for w in weights)),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return ranked
+
+    @property
+    def n_candidates(self) -> int:
+        return popcount(self._mask)
+
+    def _confident(self) -> bool:
+        # Threshold 1.0 demands *logical* certainty (a single surviving
+        # candidate), not a prior that merely claims probability 1 — a
+        # point-mass prior must not end the session before any evidence.
+        if self.confidence_threshold >= 1.0:
+            return False
+        ranked = self.posterior()
+        return bool(ranked) and ranked[0][1] >= self.confidence_threshold
+
+    @property
+    def finished(self) -> bool:
+        if popcount(self._mask) <= 1:
+            return True
+        if self._confident():
+            return True
+        if (
+            self.max_questions is not None
+            and self._n_questions >= self.max_questions
+        ):
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, oracle: Oracle) -> PosteriorResult:
+        stopped_early = False
+        excluded: set[int] = set()
+        while not self.finished:
+            try:
+                entity = self.selector.select(
+                    self.collection, self._mask, exclude=excluded
+                )
+            except NoInformativeEntityError:
+                break
+            answer = oracle(entity)
+            self._n_questions += 1
+            if answer is None:
+                excluded.add(entity)
+                continue
+            positive = self._mask & self.collection.entity_mask(entity)
+            self._mask = positive if answer else self._mask & ~positive
+        ranked = self.posterior()
+        if len(ranked) > 1 and self._confident():
+            stopped_early = True
+        return PosteriorResult(
+            ranked=ranked,
+            n_questions=self._n_questions,
+            stopped_early=stopped_early,
+        )

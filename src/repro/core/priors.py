@@ -1,0 +1,223 @@
+"""Non-uniform target priors (Sec. 7, future work).
+
+The paper's cost model assumes "all candidate sets in C being equally
+likely to be the target"; Sec. 7 proposes "scenarios where the sets to be
+discovered are not equally likely" as an extension.  This module supplies
+that extension:
+
+* **Weighted cost**: the expected number of questions under a prior ``p``
+  is ``WAD(T) = sum_s p(s) * depth(s, T)``.
+* **Lower bound**: by Shannon's noiseless-coding theorem, any binary
+  decision tree satisfies ``WAD(T) >= H(p)`` (the entropy of the prior), a
+  strictly tighter analogue of Lemma 3.3 — which it reduces to, up to the
+  ceiling, for the uniform prior.
+* **Selection**: :class:`WeightedEvenSelector` splits the *probability
+  mass* (not the set count) most evenly, generalising the most-even rule;
+  ties break toward even counts, then entity id.
+* **Exact optimum**: :func:`weighted_optimal_cost` — a memoised exact
+  search over sub-collections minimising the weighted depth sum, for
+  small collections (ground truth in tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Collection as AbcCollection
+from typing import Iterable, Mapping, Sequence
+
+from .bitmask import iter_bits, popcount, single_bit
+from .collection import SetCollection
+from .selection import EntitySelector, NoInformativeEntityError, unevenness
+from .tree import DecisionTree
+
+
+class Prior:
+    """A normalised probability distribution over the sets of a collection.
+
+    Built from any non-negative weight per set; zero-weight sets are legal
+    (they just never cost anything to mis-place).
+    """
+
+    def __init__(
+        self, collection: SetCollection, weights: Sequence[float]
+    ) -> None:
+        if len(weights) != collection.n_sets:
+            raise ValueError(
+                f"need one weight per set: {collection.n_sets} sets, "
+                f"{len(weights)} weights"
+            )
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must have positive total mass")
+        self.collection = collection
+        self.p: tuple[float, ...] = tuple(w / total for w in weights)
+
+    @classmethod
+    def uniform(cls, collection: SetCollection) -> "Prior":
+        return cls(collection, [1.0] * collection.n_sets)
+
+    @classmethod
+    def from_mapping(
+        cls,
+        collection: SetCollection,
+        weights: Mapping[str, float],
+        default: float = 0.0,
+    ) -> "Prior":
+        """Weights keyed by set name; unnamed sets get ``default``."""
+        return cls(
+            collection,
+            [
+                weights.get(collection.name_of(i), default)
+                for i in range(collection.n_sets)
+            ],
+        )
+
+    def mass(self, mask: int) -> float:
+        """Total probability of the sets selected by ``mask``."""
+        return sum(self.p[idx] for idx in iter_bits(mask))
+
+    def entropy(self, mask: int | None = None) -> float:
+        """Shannon entropy (bits) of the prior restricted to ``mask``.
+
+        The restriction is renormalised; this is the weighted analogue of
+        ``log2 n`` and the Kraft lower bound on the weighted average
+        depth of any binary decision tree over those sets.
+        """
+        if mask is None:
+            mask = self.collection.full_mask
+        total = self.mass(mask)
+        if total <= 0:
+            return 0.0
+        acc = 0.0
+        for idx in iter_bits(mask):
+            q = self.p[idx] / total
+            if q > 0:
+                acc -= q * math.log2(q)
+        return acc
+
+    def weighted_average_depth(self, tree: DecisionTree) -> float:
+        """``WAD(T) = sum_s p(s) depth(s, T)`` over the tree's leaves."""
+        return sum(self.p[idx] * depth for idx, depth in tree.leaves())
+
+
+class WeightedEvenSelector(EntitySelector):
+    """Split the probability mass most evenly (weighted most-even rule)."""
+
+    name = "WeightedEven"
+
+    def __init__(self, prior: Prior) -> None:
+        self.prior = prior
+
+    def select(
+        self,
+        collection: SetCollection,
+        mask: int,
+        candidates: Iterable[int] | None = None,
+        exclude: AbcCollection[int] = frozenset(),
+    ) -> int:
+        if collection is not self.prior.collection:
+            raise ValueError("prior belongs to a different collection")
+        pairs = self._informative(collection, mask, candidates, exclude)
+        n = popcount(mask)
+        total = self.prior.mass(mask)
+        best = None
+        best_key = None
+        for eid, cnt in pairs:
+            pos_mass = self.prior.mass(mask & collection.entity_mask(eid))
+            key = (
+                abs(2.0 * pos_mass - total),
+                unevenness(n, cnt),
+                eid,
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best = eid
+        assert best is not None
+        return best
+
+
+def weighted_optimal_cost(
+    collection: SetCollection,
+    prior: Prior,
+    mask: int | None = None,
+    max_sets: int = 16,
+) -> float:
+    """Exact minimal weighted average depth over all decision trees.
+
+    Memoised recursion over sub-collection masks::
+
+        W(mask) = 0                       if |mask| == 1
+        W(mask) = mass(mask) + min_split [W(pos) + W(neg)]
+
+    (every split adds one question for all the mass below it).  Exponential
+    in the number of sets — guarded by ``max_sets`` like
+    :func:`repro.core.optimal.optimal_tree`.
+    """
+    if mask is None:
+        mask = collection.full_mask
+    n = popcount(mask)
+    if n > max_sets:
+        raise ValueError(
+            f"weighted optimal search limited to {max_sets} sets; got {n}"
+        )
+    if n == 0:
+        raise ValueError("empty sub-collection")
+    memo: dict[int, float] = {}
+
+    def solve(sub: int) -> float:
+        if single_bit(sub):
+            return 0.0
+        hit = memo.get(sub)
+        if hit is not None:
+            return hit
+        seen: set[int] = set()
+        best = math.inf
+        for eid, _ in collection.informative_entities(sub):
+            pos = sub & collection.entity_mask(eid)
+            canon = min(pos, sub & ~pos)
+            if canon in seen:
+                continue
+            seen.add(canon)
+            value = solve(pos) + solve(sub & ~pos)
+            if value < best:
+                best = value
+        if best is math.inf:
+            raise NoInformativeEntityError(
+                "unique sets always admit an informative split"
+            )
+        best += prior.mass(sub)
+        memo[sub] = best
+        return best
+
+    return solve(mask)
+
+
+def huffman_lower_bound(prior: Prior, mask: int | None = None) -> float:
+    """The entropy lower bound ``H(p)`` on WAD (Kraft inequality).
+
+    Decision trees are constrained by which splits entities can realise,
+    so the true optimum can exceed this; it can never undercut it.
+    """
+    return prior.entropy(mask)
+
+
+def expected_questions(
+    prior: Prior,
+    tree: DecisionTree,
+) -> float:
+    """Alias of :meth:`Prior.weighted_average_depth` (readability)."""
+    return prior.weighted_average_depth(tree)
+
+
+def skewed_prior(
+    collection: SetCollection, zipf_s: float = 1.0
+) -> Prior:
+    """A Zipf-like prior over set indices (handy for experiments/tests)."""
+    if zipf_s < 0:
+        raise ValueError("zipf_s must be non-negative")
+    weights = [
+        1.0 / ((idx + 1) ** zipf_s) for idx in range(collection.n_sets)
+    ]
+    return Prior(collection, weights)

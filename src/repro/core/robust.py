@@ -1,0 +1,305 @@
+"""Error-tolerant discovery (Sec. 6, *Possibility of errors in answers*).
+
+Users make mistakes.  With a perfect oracle, Algorithm 2's candidate
+sub-collection always contains the target; a wrong answer can filter the
+target out, and once the *entire* sub-collection empties the contradiction
+becomes observable.  The paper sketches two recovery ideas, both
+implemented here:
+
+* **Backtracking** (:class:`BacktrackingDiscoverySession`): "backtrack when
+  no target set satisfies all constraints and revisit those constraints".
+  When the candidate set empties, previously given answers are revisited —
+  least-confident first — by flipping one answer and replaying the
+  remainder; the search over flip sets proceeds breadth-first (single
+  flips, then pairs, ...) up to ``max_flips``.
+* **Certainty weighting** (:func:`rank_by_violations`): "assign a level of
+  certainty, and make the optimization process aware of the uncertainties".
+  Instead of hard filtering, every set is scored by the confidence-weighted
+  number of answers it violates; discovery then returns a ranking, and the
+  target is recoverable as long as wrong answers carry less total
+  confidence than right ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable
+
+from .bitmask import popcount
+from .collection import SetCollection
+from .selection import EntitySelector, NoInformativeEntityError
+
+#: A confident oracle returns (answer, confidence in [0, 1]).
+ConfidentOracle = Callable[[int], tuple[bool, float]]
+
+
+@dataclass(frozen=True)
+class AnsweredQuestion:
+    """One answer with an attached confidence."""
+
+    entity: int
+    answer: bool
+    confidence: float = 1.0
+
+
+def consistent_mask(
+    collection: SetCollection,
+    base_mask: int,
+    answers: Iterable[AnsweredQuestion],
+) -> int:
+    """Sets of ``base_mask`` consistent with every answer."""
+    mask = base_mask
+    for qa in answers:
+        positive = mask & collection.entity_mask(qa.entity)
+        mask = positive if qa.answer else mask & ~positive
+        if mask == 0:
+            break
+    return mask
+
+
+def violation_scores(
+    collection: SetCollection,
+    base_mask: int,
+    answers: Iterable[AnsweredQuestion],
+) -> dict[int, float]:
+    """Confidence-weighted violation count per candidate set.
+
+    A set violates a *yes* answer when it lacks the entity, and a *no*
+    answer when it contains it; each violation costs that answer's
+    confidence.  Zero score means fully consistent.
+    """
+    answers = list(answers)
+    scores: dict[int, float] = {}
+    for idx in collection.sets_in(base_mask):
+        members = collection.sets[idx]
+        score = 0.0
+        for qa in answers:
+            holds = qa.entity in members
+            if holds != qa.answer:
+                score += qa.confidence
+        scores[idx] = score
+    return scores
+
+
+def rank_by_violations(
+    collection: SetCollection,
+    base_mask: int,
+    answers: Iterable[AnsweredQuestion],
+) -> list[tuple[int, float]]:
+    """Candidates of ``base_mask`` ranked best-first by violation score."""
+    scores = violation_scores(collection, base_mask, answers)
+    return sorted(scores.items(), key=lambda kv: (kv[1], kv[0]))
+
+
+@dataclass
+class RobustDiscoveryResult:
+    """Outcome of an error-tolerant discovery run."""
+
+    candidates: list[int]
+    answers: list[AnsweredQuestion] = field(default_factory=list)
+    #: answers the recovery decided were wrong (flipped), question order
+    flipped: list[int] = field(default_factory=list)
+    #: total questions asked, including those asked again after backtracks
+    n_questions: int = 0
+    backtracks: int = 0
+
+    @property
+    def resolved(self) -> bool:
+        return len(self.candidates) == 1
+
+    @property
+    def target(self) -> int:
+        if not self.resolved:
+            raise ValueError(
+                f"discovery ended with {len(self.candidates)} candidates"
+            )
+        return self.candidates[0]
+
+
+class BacktrackingDiscoverySession:
+    """Discovery that survives wrong answers by revisiting them.
+
+    The loop mirrors Algorithm 2, but instead of mutating a single mask it
+    keeps the full answer list and recomputes consistency.  On
+    contradiction (no set satisfies every answer), it searches for the
+    smallest set of answers to flip — trying low-confidence answers first —
+    such that the remaining constraints are satisfiable, then resumes.
+
+    ``max_flips`` bounds the flip-set size (the number of user errors the
+    session can recover from); beyond it, the best-effort ranking is
+    returned instead of an exact result.
+    """
+
+    def __init__(
+        self,
+        collection: SetCollection,
+        selector: EntitySelector,
+        initial: Iterable[Hashable] = (),
+        max_flips: int = 2,
+        max_questions: int | None = None,
+        verify_questions: int = 0,
+    ) -> None:
+        if max_flips < 0:
+            raise ValueError("max_flips must be non-negative")
+        if verify_questions < 0:
+            raise ValueError("verify_questions must be non-negative")
+        self.collection = collection
+        self.selector = selector
+        self.max_flips = max_flips
+        self.max_questions = max_questions
+        self.verify_questions = verify_questions
+        self._base_mask = collection.supersets_of(initial)
+        self._answers: list[AnsweredQuestion] = []
+        self._flipped: set[int] = set()
+        self._n_questions = 0
+        self._backtracks = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _current_mask(self) -> int:
+        return consistent_mask(
+            self.collection, self._base_mask, self._answers
+        )
+
+    def _try_recover(self) -> bool:
+        """Flip the cheapest answer subset that restores consistency.
+
+        Returns True on success.  Single flips are tried before pairs
+        (breadth-first in flip-set size), and within a size, subsets with
+        the lowest total confidence first — the least trusted answers are
+        the most likely mistakes.
+        """
+        indices = [
+            i for i in range(len(self._answers)) if i not in self._flipped
+        ]
+        for size in range(1, self.max_flips - len(self._flipped) + 1):
+            combos = sorted(
+                itertools.combinations(indices, size),
+                key=lambda combo: sum(
+                    self._answers[i].confidence for i in combo
+                ),
+            )
+            for combo in combos:
+                trial = list(self._answers)
+                for i in combo:
+                    qa = trial[i]
+                    trial[i] = AnsweredQuestion(
+                        qa.entity, not qa.answer, qa.confidence
+                    )
+                if consistent_mask(
+                    self.collection, self._base_mask, trial
+                ):
+                    self._answers = trial
+                    self._flipped.update(combo)
+                    self._backtracks += 1
+                    return True
+        return False
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, oracle: ConfidentOracle) -> RobustDiscoveryResult:
+        """Drive the loop; ``oracle`` returns ``(answer, confidence)``.
+
+        With ``verify_questions > 0``, reaching a single candidate does not
+        end the session immediately: up to that many extra questions are
+        asked about entities distinguishing the found set from the
+        next-most-plausible candidate.  A wrong earlier answer usually
+        steers the search to a wrong leaf *without* a contradiction (every
+        answer pattern leads somewhere); verification converts such silent
+        mistakes into detectable contradictions that backtracking can fix.
+        """
+        asked: set[int] = set()
+        verifications_left = self.verify_questions
+        while True:
+            mask = self._current_mask()
+            if mask == 0:
+                if not self._try_recover():
+                    return self._best_effort()
+                continue
+            if (
+                self.max_questions is not None
+                and self._n_questions >= self.max_questions
+            ):
+                break
+            if popcount(mask) == 1:
+                if verifications_left <= 0:
+                    break
+                entity = self._verification_entity(mask, asked)
+                if entity is None:
+                    break
+                verifications_left -= 1
+            else:
+                try:
+                    entity = self.selector.select(
+                        self.collection, mask, exclude=asked
+                    )
+                except NoInformativeEntityError:
+                    break
+            asked.add(entity)
+            answer, confidence = oracle(entity)
+            self._n_questions += 1
+            self._answers.append(
+                AnsweredQuestion(entity, answer, confidence)
+            )
+        mask = self._current_mask()
+        return RobustDiscoveryResult(
+            candidates=list(self.collection.sets_in(mask)),
+            answers=list(self._answers),
+            flipped=sorted(self._flipped),
+            n_questions=self._n_questions,
+            backtracks=self._backtracks,
+        )
+
+    def _verification_entity(
+        self, mask: int, asked: "set[int]"
+    ) -> int | None:
+        """An unasked entity separating the found set from the runner-up.
+
+        The runner-up is the best-scoring *other* set under the
+        confidence-weighted violation ranking; entities in the symmetric
+        difference of the two sets are exactly the questions whose answer
+        can tell them apart.
+        """
+        found_idx = next(iter(self.collection.sets_in(mask)))
+        ranking = rank_by_violations(
+            self.collection, self._base_mask, self._answers
+        )
+        found_members = self.collection.sets[found_idx]
+        for other_idx, _score in ranking:
+            if other_idx == found_idx:
+                continue
+            diff = found_members ^ self.collection.sets[other_idx]
+            fresh = sorted(e for e in diff if e not in asked)
+            if fresh:
+                return fresh[0]
+        return None
+
+    def _best_effort(self) -> RobustDiscoveryResult:
+        """Certainty-weighted fallback when flips cannot restore
+        consistency: rank all initial candidates by violation score."""
+        ranking = rank_by_violations(
+            self.collection, self._base_mask, self._answers
+        )
+        best_score = ranking[0][1] if ranking else 0.0
+        best = [idx for idx, score in ranking if score == best_score]
+        return RobustDiscoveryResult(
+            candidates=best,
+            answers=list(self._answers),
+            flipped=sorted(self._flipped),
+            n_questions=self._n_questions,
+            backtracks=self._backtracks,
+        )
+
+
+def with_confidence(
+    oracle: Callable[[int], bool], confidence: float = 1.0
+) -> ConfidentOracle:
+    """Adapt a plain bool oracle to the (answer, confidence) protocol."""
+    if not 0.0 <= confidence <= 1.0:
+        raise ValueError("confidence must be in [0, 1]")
+
+    def wrapped(entity: int) -> tuple[bool, float]:
+        return bool(oracle(entity)), confidence
+
+    return wrapped

@@ -1,0 +1,268 @@
+"""Decision trees for set discovery (Sec. 3).
+
+A decision tree over a collection of ``n`` unique sets is a *full* binary
+tree: every internal node carries a membership question about one entity and
+has exactly two children (*yes* on the left / positive side, *no* on the
+right / negative side); every leaf carries exactly one set of the collection.
+A tree therefore has ``n`` leaves and ``n - 1`` internal nodes.
+
+The class stores entity ids and set indices (ints); rendering helpers accept
+the owning collection to translate back to labels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from .collection import SetCollection
+
+
+class DecisionTree:
+    """A node of a full binary decision tree.
+
+    Exactly one of the two layouts is populated:
+
+    * leaf: ``set_index`` is the collection index of the set found there;
+    * internal: ``entity`` is the entity id asked about, ``pos``/``neg`` are
+      the subtrees for *yes*/*no* answers.
+    """
+
+    __slots__ = ("entity", "pos", "neg", "set_index")
+
+    def __init__(
+        self,
+        entity: int | None,
+        pos: "DecisionTree | None",
+        neg: "DecisionTree | None",
+        set_index: int | None,
+    ) -> None:
+        internal = entity is not None
+        if internal and (pos is None or neg is None or set_index is not None):
+            raise ValueError("internal nodes need two children and no set")
+        if not internal and (
+            pos is not None or neg is not None or set_index is None
+        ):
+            raise ValueError("leaf nodes need a set index and no children")
+        self.entity = entity
+        self.pos = pos
+        self.neg = neg
+        self.set_index = set_index
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def leaf(cls, set_index: int) -> "DecisionTree":
+        return cls(None, None, None, set_index)
+
+    @classmethod
+    def internal(
+        cls, entity: int, pos: "DecisionTree", neg: "DecisionTree"
+    ) -> "DecisionTree":
+        return cls(entity, pos, neg, None)
+
+    # ------------------------------------------------------------------ #
+    # Shape
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entity is None
+
+    def leaves(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(set index, depth)`` for every leaf, left to right.
+
+        Iterative to survive very deep (degenerate) trees.
+        """
+        stack: list[tuple[DecisionTree, int]] = [(self, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if node.is_leaf:
+                yield node.set_index, depth  # type: ignore[misc]
+            else:
+                stack.append((node.neg, depth + 1))  # type: ignore[arg-type]
+                stack.append((node.pos, depth + 1))  # type: ignore[arg-type]
+
+    def leaf_depths(self) -> dict[int, int]:
+        """Map ``set index -> depth`` (number of questions to reach it)."""
+        return dict(self.leaves())
+
+    def depths(self) -> list[int]:
+        """Depths of all leaves (order unspecified)."""
+        return [depth for _, depth in self.leaves()]
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for _ in self.leaves())
+
+    @property
+    def n_internal(self) -> int:
+        return self.n_leaves - 1
+
+    def height(self) -> int:
+        """H: depth of the deepest leaf (worst-case #questions)."""
+        return max(depth for _, depth in self.leaves())
+
+    def average_depth(self) -> float:
+        """AD: mean leaf depth (expected #questions, Definition 3.2)."""
+        total = 0
+        count = 0
+        for _, depth in self.leaves():
+            total += depth
+            count += 1
+        return total / count
+
+    def weighted_average_depth(self, weights: dict[int, float]) -> float:
+        """Prior-weighted AD (future-work extension): ``sum w(s)*depth(s)``.
+
+        ``weights`` maps set index to a non-negative weight; they are
+        normalised internally, so any positive scale works.
+        """
+        total = 0.0
+        norm = 0.0
+        for idx, depth in self.leaves():
+            w = weights.get(idx, 0.0)
+            total += w * depth
+            norm += w
+        if norm <= 0:
+            raise ValueError("weights must have positive total mass")
+        return total / norm
+
+    def path_to(self, set_index: int) -> list[tuple[int, bool]]:
+        """Question path from root to a leaf: ``(entity, answer)`` pairs.
+
+        The answers are what a user looking for that set would give; raises
+        ``KeyError`` if the set does not occur in this tree.
+        """
+        path: list[tuple[int, bool]] = []
+        node = self
+        while not node.is_leaf:
+            assert node.entity is not None
+            if node.pos is not None and set_index in (
+                idx for idx, _ in node.pos.leaves()
+            ):
+                path.append((node.entity, True))
+                node = node.pos
+            else:
+                path.append((node.entity, False))
+                node = node.neg  # type: ignore[assignment]
+        if node.set_index != set_index:
+            raise KeyError(f"set {set_index} not present in this tree")
+        return path
+
+    def internal_entities(self) -> list[int]:
+        """Entity ids asked anywhere in the tree (with repetitions)."""
+        found: list[int] = []
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if not node.is_leaf:
+                found.append(node.entity)  # type: ignore[arg-type]
+                stack.append(node.pos)  # type: ignore[arg-type]
+                stack.append(node.neg)  # type: ignore[arg-type]
+        return found
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def validate(self, collection: SetCollection, mask: int | None = None) -> None:
+        """Check the tree is a correct discovery tree for ``collection``.
+
+        * leaves biject with the sets selected by ``mask`` (default: all);
+        * at every internal node, the positive subtree holds exactly the
+          member sets that contain the node's entity.
+
+        Raises ``AssertionError`` with a description on the first violation.
+        """
+        if mask is None:
+            mask = collection.full_mask
+        expected = set(collection.sets_in(mask))
+        seen = [idx for idx, _ in self.leaves()]
+        assert len(seen) == len(set(seen)), "duplicate leaves"
+        assert set(seen) == expected, "leaves do not biject with collection"
+        stack: list[tuple[DecisionTree, int]] = [(self, mask)]
+        while stack:
+            node, node_mask = stack.pop()
+            if node.is_leaf:
+                assert node_mask == 1 << node.set_index, (
+                    f"leaf for set {node.set_index} reached with mask "
+                    f"{node_mask:b}"
+                )
+                continue
+            assert node.entity is not None
+            pos_mask, neg_mask = collection.partition(node_mask, node.entity)
+            assert pos_mask != 0 and neg_mask != 0, (
+                f"entity {node.entity} is uninformative at this node"
+            )
+            stack.append((node.pos, pos_mask))  # type: ignore[arg-type]
+            stack.append((node.neg, neg_mask))  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-safe) for offline tree storage (Sec. 4.5)."""
+        if self.is_leaf:
+            return {"set": self.set_index}
+        return {
+            "entity": self.entity,
+            "pos": self.pos.to_dict(),  # type: ignore[union-attr]
+            "neg": self.neg.to_dict(),  # type: ignore[union-attr]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DecisionTree":
+        if "set" in data:
+            return cls.leaf(data["set"])
+        return cls.internal(
+            data["entity"],
+            cls.from_dict(data["pos"]),
+            cls.from_dict(data["neg"]),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+
+    def render(
+        self,
+        collection: SetCollection | None = None,
+        entity_label: Callable[[int], str] | None = None,
+        set_label: Callable[[int], str] | None = None,
+    ) -> str:
+        """ASCII rendering, one node per line, children indented.
+
+        With a collection, entity ids and set indices are shown as labels.
+        """
+        if entity_label is None:
+            if collection is not None:
+                entity_label = lambda e: str(collection.universe.label(e))
+            else:
+                entity_label = lambda e: f"e{e}"
+        if set_label is None:
+            if collection is not None:
+                set_label = collection.name_of
+            else:
+                set_label = lambda i: f"set#{i}"
+        lines: list[str] = []
+
+        def walk(node: DecisionTree, prefix: str, tag: str) -> None:
+            if node.is_leaf:
+                lines.append(f"{prefix}{tag}[{set_label(node.set_index)}]")
+                return
+            lines.append(f"{prefix}{tag}{entity_label(node.entity)}?")
+            walk(node.pos, prefix + "  ", "+ ")  # type: ignore[arg-type]
+            walk(node.neg, prefix + "  ", "- ")  # type: ignore[arg-type]
+
+        walk(self, "", "")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        if self.is_leaf:
+            return f"DecisionTree.leaf({self.set_index})"
+        return (
+            f"DecisionTree(entity={self.entity}, leaves={self.n_leaves})"
+        )

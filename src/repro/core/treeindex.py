@@ -1,0 +1,173 @@
+"""Offline tree index (Sec. 4.5, *Offline tree construction*).
+
+"Our tree construction may be done offline for static collections, for
+example, when the initial query sets are known in advance or are always
+empty.  An offline construction may be useful when the same decision tree
+is constructed multiple times or is used by multiple queries."
+
+A :class:`TreeIndex` is exactly that artifact: a persistent map from an
+initial example set (canonicalised) to the precomputed decision tree over
+its candidate sub-collection.  Discoveries against an indexed initial set
+follow a single root-to-leaf path with zero selection cost; unindexed
+initial sets either fall back to online construction or raise, as
+configured.
+
+The index serialises to a single JSON file next to the collection; trees
+are stored via :meth:`~repro.core.tree.DecisionTree.to_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Hashable, Iterable
+
+from .bitmask import single_bit
+from .collection import SetCollection
+from .construction import build_tree
+from .discovery import DiscoveryResult, Oracle, TreeDiscoverySession
+from .selection import EntitySelector
+from .tree import DecisionTree
+
+
+def _key_for(collection: SetCollection, initial: Iterable[Hashable]) -> str:
+    """Canonical string key for an initial example set.
+
+    Entity ids (not labels) are used so the key survives label types;
+    order-independent via sorting.
+    """
+    ids = sorted(
+        collection.universe.id_of(label)
+        for label in set(initial)
+        if label in collection.universe
+    )
+    return ",".join(str(i) for i in ids)
+
+
+class TreeIndex:
+    """Precomputed decision trees keyed by initial example set."""
+
+    def __init__(self, collection: SetCollection) -> None:
+        self.collection = collection
+        self._trees: dict[str, DecisionTree] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add(
+        self,
+        initial: Iterable[Hashable],
+        selector: EntitySelector,
+    ) -> DecisionTree | None:
+        """Build and index the tree for one initial set.
+
+        Returns the tree, or ``None`` when the initial set matches fewer
+        than two candidate sets (nothing to precompute: zero candidates
+        cannot be searched, one candidate needs no questions).
+        """
+        initial = list(initial)
+        mask = self.collection.supersets_of(initial)
+        if mask == 0 or single_bit(mask):
+            return None
+        selector.reset()
+        tree = build_tree(self.collection, selector, mask)
+        self._trees[_key_for(self.collection, initial)] = tree
+        return tree
+
+    def add_all(
+        self,
+        initial_sets: Iterable[Iterable[Hashable]],
+        selector: EntitySelector,
+    ) -> int:
+        """Index many initial sets; returns how many produced trees."""
+        added = 0
+        for initial in initial_sets:
+            if self.add(initial, selector) is not None:
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------ #
+    # Lookup and discovery
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._trees)
+
+    def __contains__(self, initial: Iterable[Hashable]) -> bool:
+        return _key_for(self.collection, initial) in self._trees
+
+    def get(self, initial: Iterable[Hashable]) -> DecisionTree | None:
+        return self._trees.get(_key_for(self.collection, initial))
+
+    def discover(
+        self,
+        initial: Iterable[Hashable],
+        oracle: Oracle,
+        fallback: EntitySelector | None = None,
+    ) -> DiscoveryResult:
+        """Run a discovery for ``initial`` using the indexed tree.
+
+        Unindexed initial sets use ``fallback`` for online selection
+        (Algorithm 2) when given, otherwise raise ``KeyError``.
+        """
+        initial = list(initial)
+        tree = self.get(initial)
+        if tree is not None:
+            return TreeDiscoverySession(self.collection, tree).run(oracle)
+        if fallback is None:
+            raise KeyError(
+                f"initial set {initial!r} is not indexed and no fallback "
+                "selector was given"
+            )
+        from .discovery import DiscoverySession
+
+        return DiscoverySession(
+            self.collection, fallback, initial=initial
+        ).run(oracle)
+
+    def stats(self) -> dict[str, float]:
+        """Aggregate quality of the indexed trees."""
+        if not self._trees:
+            return {"trees": 0, "mean_ad": 0.0, "max_height": 0}
+        ads = []
+        heights = []
+        for tree in self._trees.values():
+            depths = tree.depths()
+            ads.append(sum(depths) / len(depths))
+            heights.append(max(depths))
+        return {
+            "trees": len(self._trees),
+            "mean_ad": sum(ads) / len(ads),
+            "max_height": max(heights),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: "Path | str") -> None:
+        payload = {
+            "n_sets": self.collection.n_sets,
+            "trees": {
+                key: tree.to_dict() for key, tree in self._trees.items()
+            },
+        }
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(
+        cls, collection: SetCollection, path: "Path | str"
+    ) -> "TreeIndex":
+        """Load an index; validates it was built for a same-sized
+        collection (full structural validation is per-tree on use)."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("n_sets") != collection.n_sets:
+            raise ValueError(
+                f"index was built for {payload.get('n_sets')} sets; "
+                f"collection has {collection.n_sets}"
+            )
+        index = cls(collection)
+        for key, data in payload["trees"].items():
+            index._trees[key] = DecisionTree.from_dict(data)
+        return index

@@ -1,0 +1,86 @@
+"""Entity universe: interning of arbitrary hashable entity labels to dense ids.
+
+The paper (Sec. 3) works over a universe of *entities* (tuples, values, ...)
+of size ``m = |union of all sets|``.  All core algorithms in this package
+operate on dense integer entity ids; :class:`Universe` is the bidirectional
+mapping between user-facing labels and those ids.
+
+Interning is append-only: once a label receives an id, the id never changes,
+so collections built against the same universe can be compared and merged.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+
+class Universe:
+    """A bidirectional, append-only mapping ``label <-> dense int id``.
+
+    >>> u = Universe()
+    >>> u.intern("headache")
+    0
+    >>> u.intern("nausea")
+    1
+    >>> u.intern("headache")
+    0
+    >>> u.label(1)
+    'nausea'
+    """
+
+    __slots__ = ("_labels", "_ids")
+
+    def __init__(self, labels: Iterable[Hashable] = ()) -> None:
+        self._labels: list[Hashable] = []
+        self._ids: dict[Hashable, int] = {}
+        for label in labels:
+            self.intern(label)
+
+    def intern(self, label: Hashable) -> int:
+        """Return the id for ``label``, assigning a fresh one if unseen."""
+        eid = self._ids.get(label)
+        if eid is None:
+            eid = len(self._labels)
+            self._ids[label] = eid
+            self._labels.append(label)
+        return eid
+
+    def intern_many(self, labels: Iterable[Hashable]) -> list[int]:
+        """Intern every label in ``labels``, preserving order."""
+        return [self.intern(label) for label in labels]
+
+    def label(self, eid: int) -> Hashable:
+        """Return the label for entity id ``eid``.
+
+        Raises ``IndexError`` for ids that were never assigned.
+        """
+        if eid < 0:
+            raise IndexError(f"entity ids are non-negative, got {eid}")
+        return self._labels[eid]
+
+    def labels(self, eids: Iterable[int]) -> list[Hashable]:
+        """Vectorised :meth:`label`."""
+        return [self.label(eid) for eid in eids]
+
+    def id_of(self, label: Hashable) -> int:
+        """Return the id of an already-interned label.
+
+        Unlike :meth:`intern`, raises ``KeyError`` for unknown labels.
+        """
+        return self._ids[label]
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._ids
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._labels)
+
+    def __repr__(self) -> str:
+        return f"Universe({len(self)} entities)"
+
+    def as_sequence(self) -> Sequence[Hashable]:
+        """Read-only view of labels ordered by id."""
+        return tuple(self._labels)

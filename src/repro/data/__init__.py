@@ -1,0 +1,59 @@
+"""Dataset generators and collection I/O (Sec. 5.2 of the paper)."""
+
+from .loaders import (
+    load_collection,
+    load_collection_json,
+    load_collection_text,
+    save_collection,
+    save_collection_json,
+    save_collection_text,
+)
+from .synthetic import (
+    TABLE1A_OVERLAPS,
+    TABLE1B_SET_COUNTS,
+    TABLE1C_SIZE_RANGES,
+    SyntheticConfig,
+    generate_collection,
+    generate_sets,
+    table1a_configs,
+    table1b_configs,
+    table1c_configs,
+)
+from .webtables import (
+    DEFAULT_STOPWORDS,
+    InitialPair,
+    WebTableConfig,
+    WebTableWorkload,
+    clean_sets,
+    generate_webtable_collection,
+    generate_webtable_sets,
+    initial_pair_subcollections,
+    is_all_numeric,
+)
+
+__all__ = [
+    "load_collection",
+    "load_collection_json",
+    "load_collection_text",
+    "save_collection",
+    "save_collection_json",
+    "save_collection_text",
+    "TABLE1A_OVERLAPS",
+    "TABLE1B_SET_COUNTS",
+    "TABLE1C_SIZE_RANGES",
+    "SyntheticConfig",
+    "generate_collection",
+    "generate_sets",
+    "table1a_configs",
+    "table1b_configs",
+    "table1c_configs",
+    "DEFAULT_STOPWORDS",
+    "InitialPair",
+    "WebTableConfig",
+    "WebTableWorkload",
+    "clean_sets",
+    "generate_webtable_collection",
+    "generate_webtable_sets",
+    "initial_pair_subcollections",
+    "is_all_numeric",
+]

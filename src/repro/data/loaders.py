@@ -1,0 +1,100 @@
+"""File formats for set collections.
+
+Two interchange formats, both line/structure-stable for diffing and both
+round-trip tested:
+
+* **text** — one set per line: ``name<TAB>member<TAB>member...``.  The
+  classic format of set-similarity benchmarks; human-greppable.
+* **JSON** — ``{"sets": {name: [members...]}}``; keeps arbitrary label
+  types as produced by ``json`` (strings, numbers).
+
+Loading returns a fresh :class:`~repro.core.collection.SetCollection`;
+duplicate handling is delegated to the collection's ``dedupe`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Hashable
+
+from ..core.collection import SetCollection
+
+
+def save_collection_text(
+    collection: SetCollection, path: "Path | str"
+) -> None:
+    """Write ``name<TAB>members...`` lines; labels are str()-ed."""
+    lines = []
+    for idx in range(collection.n_sets):
+        labels = sorted(
+            str(label) for label in collection.set_labels(idx)
+        )
+        lines.append("\t".join([collection.name_of(idx), *labels]))
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_collection_text(
+    path: "Path | str", dedupe: bool = False
+) -> SetCollection:
+    """Read the text format written by :func:`save_collection_text`."""
+    names: list[str] = []
+    sets: list[list[str]] = []
+    for lineno, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.rstrip("\n")
+        if not line.strip():
+            continue
+        fields = line.split("\t")
+        if len(fields) < 2:
+            raise ValueError(
+                f"{path}:{lineno}: expected 'name<TAB>member...', "
+                f"got {line!r}"
+            )
+        names.append(fields[0])
+        sets.append(fields[1:])
+    return SetCollection(sets, names=names, dedupe=dedupe)
+
+
+def save_collection_json(
+    collection: SetCollection, path: "Path | str"
+) -> None:
+    """Write the JSON format (labels must be JSON-serialisable)."""
+    payload: dict[str, list[Hashable]] = {}
+    for idx in range(collection.n_sets):
+        labels = sorted(collection.set_labels(idx), key=repr)
+        payload[collection.name_of(idx)] = list(labels)
+    Path(path).write_text(
+        json.dumps({"sets": payload}, indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+
+
+def load_collection_json(
+    path: "Path | str", dedupe: bool = False
+) -> SetCollection:
+    """Read the JSON format written by :func:`save_collection_json`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if "sets" not in data or not isinstance(data["sets"], dict):
+        raise ValueError(f"{path}: missing top-level 'sets' object")
+    named = data["sets"]
+    names = list(named)
+    return SetCollection(
+        (named[name] for name in names), names=names, dedupe=dedupe
+    )
+
+
+def load_collection(path: "Path | str", dedupe: bool = False) -> SetCollection:
+    """Dispatch on extension: ``.json`` -> JSON, anything else -> text."""
+    if str(path).endswith(".json"):
+        return load_collection_json(path, dedupe=dedupe)
+    return load_collection_text(path, dedupe=dedupe)
+
+
+def save_collection(collection: SetCollection, path: "Path | str") -> None:
+    """Dispatch on extension: ``.json`` -> JSON, anything else -> text."""
+    if str(path).endswith(".json"):
+        save_collection_json(collection, path)
+    else:
+        save_collection_text(collection, path)

@@ -1,0 +1,71 @@
+"""Experiment runners regenerating every table and figure of Sec. 5.
+
+Each module exposes ``run(scale) -> list[ResultTable]``; :data:`REGISTRY`
+maps experiment ids (as used by the CLI and the benches) to those runners.
+"""
+
+from typing import Callable
+
+from . import (
+    ablation,
+    comparison,
+    fig3,
+    fig4,
+    fig567,
+    fig8,
+    params,
+    table1,
+    table2_3,
+    table4,
+)
+from .common import (
+    MEDIUM,
+    PAPER,
+    SCALES,
+    SMALL,
+    ResultTable,
+    Scale,
+    scale_by_name,
+)
+
+#: experiment id -> runner; ids mirror the paper's tables and figures.
+REGISTRY: dict[str, Callable[[Scale], "list[ResultTable]"]] = {
+    "table1": table1.run,
+    "table2_3": table2_3.run,
+    "table4": table4.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": lambda scale: [fig567.run_fig5(scale)],
+    "fig6": lambda scale: [fig567.run_fig6(scale)],
+    "fig7": lambda scale: [fig567.run_fig7(scale)],
+    "fig8": fig8.run,
+    "params": params.run,
+    "comparison": comparison.run,
+    "ablation": ablation.run,
+}
+
+
+def run_experiment(name: str, scale: "Scale | str" = SMALL) -> "list[ResultTable]":
+    """Run one experiment by id; accepts a scale name or object."""
+    if isinstance(scale, str):
+        scale = scale_by_name(scale)
+    try:
+        runner = REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {sorted(REGISTRY)}"
+        ) from None
+    return runner(scale)
+
+
+__all__ = [
+    "REGISTRY",
+    "run_experiment",
+    "ResultTable",
+    "Scale",
+    "scale_by_name",
+    "SCALES",
+    "SMALL",
+    "MEDIUM",
+    "PAPER",
+]

@@ -1,0 +1,89 @@
+"""Experiment: Fig. 8 — query discovery on the baseball database.
+
+For each target query T1-T7, discovery runs with InfoGain (the baseline),
+2-LP, 3-LPLE(q=10) and 3-LPLVE(q=10) — the paper's four reported methods —
+and records (a) the number of membership questions until the target query
+emerges and (b) the discovery wall-clock time.  The paper's shape: the
+lookahead methods need no more (usually fewer) questions than InfoGain,
+while InfoGain is the fastest in wall-clock.
+"""
+
+from __future__ import annotations
+
+from ..core.bounds import AD
+from ..core.lookahead import KLPSelector
+from ..core.selection import EntitySelector, InfoGainSelector
+from ..querydisc.pipeline import build_query_collection, discover_target_query
+from ..querydisc.targets import BaseballWorkload
+from .common import ResultTable, Scale, SMALL
+from .workloads import baseball_workload
+
+#: Paper Fig. 8a values (number of questions), for side-by-side display.
+PAPER_FIG8A = {
+    "T1": (10, 10, 10, 10),
+    "T2": (10, 9, 10, 10),
+    "T3": (10, 10, 9, 9),
+    "T4": (10, 10, 9, 9),
+    "T5": (11, 11, 10, 10),
+    "T6": (10, 9, 9, 9),
+    "T7": (10, 11, 10, 10),
+}
+
+
+def paper_selectors() -> list[EntitySelector]:
+    """The paper's four reported configurations (Sec. 5.3.1 defaults)."""
+    return [
+        InfoGainSelector(),
+        KLPSelector(k=2, metric=AD),
+        KLPSelector(k=3, metric=AD, q=10),
+        KLPSelector(k=3, metric=AD, q=10, variable=True),
+    ]
+
+
+def run_fig8(
+    scale: Scale = SMALL,
+    workload: BaseballWorkload | None = None,
+) -> list[ResultTable]:
+    workload = workload or baseball_workload(scale)
+    selectors = paper_selectors()
+    questions = ResultTable(
+        title=f"Fig. 8a (scale={scale.name}): number of questions",
+        columns=[
+            "target",
+            *(s.name for s in selectors),
+            "paper (IG,2LP,LE,LVE)",
+            "#cand sets",
+        ],
+    )
+    timing = ResultTable(
+        title=f"Fig. 8b (scale={scale.name}): query discovery time (s)",
+        columns=["target", *(s.name for s in selectors)],
+    )
+    for name in sorted(workload.cases):
+        case = workload.case(name)
+        qc = build_query_collection(case)
+        if qc.collection.n_sets < 2:
+            continue
+        q_row: list[object] = [name]
+        t_row: list[object] = [name]
+        for selector in selectors:
+            outcome = discover_target_query(case, selector, qc)
+            q_row.append(outcome.n_questions)
+            t_row.append(round(outcome.discovery_seconds, 4))
+        q_row.append("/".join(str(v) for v in PAPER_FIG8A[name]))
+        q_row.append(qc.n_unique_sets)
+        questions.add(*q_row)
+        timing.add(*t_row)
+    questions.note(
+        "shape check: lookahead methods need <= InfoGain questions for "
+        "nearly every target"
+    )
+    timing.note(
+        "shape check: InfoGain is fastest; lookahead costs more selection "
+        "time per question"
+    )
+    return [questions, timing]
+
+
+def run(scale: Scale = SMALL) -> list[ResultTable]:
+    return run_fig8(scale)

@@ -1,0 +1,91 @@
+"""Experiment: Sec. 5.3.1 — choosing the parameters k and q.
+
+Two sweeps on the web-tables workload:
+
+* **k sweep** for plain k-LP: quality (AD/H) versus construction time as
+  the lookahead deepens — the basis for the paper's default k=2;
+* **q sweep** for 3-LPLE and 3-LPLVE: the paper finds quality flat beyond
+  q ≈ 10 while time keeps rising, hence the default q=10.
+"""
+
+from __future__ import annotations
+
+from ..core.bounds import AD
+from ..core.construction import build_and_summarize
+from ..core.lookahead import KLPSelector
+from .common import ResultTable, Scale, SMALL, mean
+from .workloads import webtable_tasks
+
+
+def run_k_sweep(
+    scale: Scale = SMALL,
+    ks: tuple[int, ...] = (1, 2, 3),
+    max_tasks: int = 5,
+) -> ResultTable:
+    tasks = webtable_tasks(scale, max_tasks=max_tasks)
+    table = ResultTable(
+        title=f"Sec. 5.3.1 (scale={scale.name}): choosing k for k-LP",
+        columns=["k", "mean AD", "mean H", "mean time (s)"],
+    )
+    for k in ks:
+        ads: list[float] = []
+        hs: list[float] = []
+        times: list[float] = []
+        for task in tasks:
+            _, summary = build_and_summarize(
+                task.collection, KLPSelector(k=k, metric=AD), task.mask
+            )
+            ads.append(summary.average_depth)
+            hs.append(float(summary.height))
+            times.append(summary.construction_seconds)
+        table.add(
+            k, round(mean(ads), 3), round(mean(hs), 2), round(mean(times), 4)
+        )
+    table.note("paper default: k=2 balances quality against time")
+    return table
+
+
+def run_q_sweep(
+    scale: Scale = SMALL,
+    qs: tuple[int, ...] = (1, 5, 10, 20, 50),
+    k: int = 3,
+    max_tasks: int = 5,
+) -> ResultTable:
+    tasks = webtable_tasks(scale, max_tasks=max_tasks)
+    table = ResultTable(
+        title=(
+            f"Sec. 5.3.1 (scale={scale.name}): choosing q for "
+            f"{k}-LPLE / {k}-LPLVE"
+        ),
+        columns=[
+            "q",
+            "LE mean AD",
+            "LE mean time (s)",
+            "LVE mean AD",
+            "LVE mean time (s)",
+        ],
+    )
+    for q in qs:
+        row: list[object] = [q]
+        for variable in (False, True):
+            ads: list[float] = []
+            times: list[float] = []
+            for task in tasks:
+                selector = KLPSelector(
+                    k=k, metric=AD, q=q, variable=variable
+                )
+                _, summary = build_and_summarize(
+                    task.collection, selector, task.mask
+                )
+                ads.append(summary.average_depth)
+                times.append(summary.construction_seconds)
+            row.extend([round(mean(ads), 3), round(mean(times), 4)])
+        table.add(*row)
+    table.note(
+        "paper: AD stops improving past q=10 while time keeps growing"
+    )
+    return table
+
+
+def run(scale: Scale = SMALL) -> list[ResultTable]:
+    return [run_k_sweep(scale), run_q_sweep(scale)]

@@ -1,0 +1,111 @@
+"""Experiment: Table 1 — synthetic collection statistics.
+
+Regenerates the three panels of Table 1: the number of distinct entities
+produced by the copy-add generator as (a) the overlap ratio, (b) the
+number of sets and (c) the set size range vary.  The paper's own counts
+are printed alongside for the shape check: distinct entities fall as the
+overlap rises and grow with both sweeps (sub-linearly with n because of
+copying).
+"""
+
+from __future__ import annotations
+
+from ..data.synthetic import (
+    generate_collection,
+    table1a_configs,
+    table1b_configs,
+    table1c_configs,
+)
+from .common import ResultTable, Scale, SMALL
+
+#: Paper-reported distinct-entity counts, for side-by-side display.
+PAPER_TABLE1A = {
+    0.99: 23_000,
+    0.95: 36_000,
+    0.90: 59_000,
+    0.85: 83_000,
+    0.80: 108_000,
+    0.75: 132_000,
+    0.70: 156_000,
+    0.65: 178_000,
+}
+PAPER_TABLE1B = {
+    10_000: 59_000,
+    20_000: 125_000,
+    40_000: 216_000,
+    80_000: 385_000,
+    160_000: 622_000,
+}
+PAPER_TABLE1C = {
+    (50, 100): 119_000,
+    (100, 150): 150_000,
+    (150, 200): 180_000,
+    (200, 250): 214_000,
+    (250, 300): 249_000,
+    (300, 350): 283_000,
+}
+
+
+def run_table1a(scale: Scale = SMALL) -> ResultTable:
+    table = ResultTable(
+        title=f"Table 1a (scale={scale.name}): distinct entities vs overlap",
+        columns=[
+            "overlap",
+            "n_sets",
+            "distinct_entities",
+            "paper (at n=10k)",
+        ],
+    )
+    for config in table1a_configs(scale=scale.divisor):
+        collection = generate_collection(config)
+        table.add(
+            config.overlap,
+            config.n_sets,
+            collection.n_entities,
+            PAPER_TABLE1A[config.overlap],
+        )
+    table.note(
+        "shape check: distinct entities decrease monotonically as the "
+        "overlap ratio increases"
+    )
+    return table
+
+
+def run_table1b(scale: Scale = SMALL) -> ResultTable:
+    table = ResultTable(
+        title=f"Table 1b (scale={scale.name}): distinct entities vs #sets",
+        columns=["n_sets (paper)", "n_sets (ours)", "distinct_entities", "paper"],
+    )
+    for paper_n, config in zip(
+        PAPER_TABLE1B, table1b_configs(scale=scale.divisor)
+    ):
+        collection = generate_collection(config)
+        table.add(
+            paper_n, config.n_sets, collection.n_entities, PAPER_TABLE1B[paper_n]
+        )
+    table.note("shape check: distinct entities grow sub-linearly with n")
+    return table
+
+
+def run_table1c(scale: Scale = SMALL) -> ResultTable:
+    table = ResultTable(
+        title=f"Table 1c (scale={scale.name}): distinct entities vs set size",
+        columns=["size range", "n_sets", "distinct_entities", "paper (at n=10k)"],
+    )
+    for (lo, hi), config in zip(
+        PAPER_TABLE1C, table1c_configs(scale=scale.divisor)
+    ):
+        collection = generate_collection(config)
+        table.add(
+            f"{lo}-{hi}",
+            config.n_sets,
+            collection.n_entities,
+            PAPER_TABLE1C[(lo, hi)],
+        )
+    table.note("shape check: distinct entities grow with the set size range")
+    return table
+
+
+def run(scale: Scale = SMALL) -> list[ResultTable]:
+    """All three panels of Table 1."""
+    return [run_table1a(scale), run_table1b(scale), run_table1c(scale)]

@@ -1,0 +1,96 @@
+"""Experiment: Tables 2 and 3 — baseball targets and candidate queries.
+
+Table 2 lists the seven target queries with their output sizes; Table 3
+lists, per target, the selected example tuples, the number of generated
+candidate CNF queries, and the candidates' average output size.  Both are
+regenerated over the synthetic People table; paper values are shown
+alongside (absolute sizes differ — different underlying population — but
+the regimes match: hundreds-to-thousands for T1-T4, tens for T5-T7).
+"""
+
+from __future__ import annotations
+
+from ..querydisc.pipeline import build_query_collection
+from ..querydisc.targets import BaseballWorkload
+from ..relational.baseball import (
+    PAPER_CANDIDATE_COUNTS,
+    PAPER_TARGET_SIZES,
+)
+from .common import ResultTable, Scale, SMALL
+from .workloads import baseball_workload
+
+#: Paper Table 3 average output sizes, for side-by-side display.
+PAPER_AVG_OUTPUT = {
+    "T1": 9404.24,
+    "T2": 11254.35,
+    "T3": 10612.07,
+    "T4": 10957.30,
+    "T5": 9772.70,
+    "T6": 7187.00,
+    "T7": 7795.78,
+}
+
+
+def run_table2(
+    scale: Scale = SMALL, workload: BaseballWorkload | None = None
+) -> ResultTable:
+    workload = workload or baseball_workload(scale)
+    table = ResultTable(
+        title=(
+            f"Table 2 (scale={scale.name}, {workload.table.n_rows} "
+            "players): target queries"
+        ),
+        columns=["target", "query", "output tuples", "paper (20185 players)"],
+    )
+    for name in sorted(workload.cases):
+        case = workload.case(name)
+        table.add(
+            name,
+            case.query.condition.describe(),
+            case.output_size,
+            PAPER_TARGET_SIZES[name],
+        )
+    return table
+
+
+def run_table3(
+    scale: Scale = SMALL, workload: BaseballWorkload | None = None
+) -> ResultTable:
+    workload = workload or baseball_workload(scale)
+    table = ResultTable(
+        title=f"Table 3 (scale={scale.name}): example tuples and candidates",
+        columns=[
+            "target",
+            "example player ids",
+            "# candidates",
+            "paper #",
+            "avg output tuples",
+            "paper avg",
+        ],
+    )
+    for name in sorted(workload.cases):
+        case = workload.case(name)
+        qc = build_query_collection(case)
+        table.add(
+            name,
+            ", ".join(case.example_player_ids()),
+            qc.n_candidate_queries,
+            PAPER_CANDIDATE_COUNTS[name],
+            round(qc.average_output_size, 2),
+            PAPER_AVG_OUTPUT[name],
+        )
+    table.note(
+        "candidate counts depend on the example tuples' values "
+        "(how many reference intervals contain them); the paper range is "
+        "600-1339"
+    )
+    return table
+
+
+def run(scale: Scale = SMALL) -> list[ResultTable]:
+    """Tables 2 and 3 over one shared workload build."""
+    workload = baseball_workload(scale)
+    return [
+        run_table2(scale, workload),
+        run_table3(scale, workload),
+    ]

@@ -1,0 +1,19 @@
+"""Simulated and interactive user oracles for set discovery."""
+
+from .user import (
+    BaseUser,
+    NoisyUser,
+    ScriptedUser,
+    SimulatedUser,
+    StdinUser,
+    UnsureUser,
+)
+
+__all__ = [
+    "BaseUser",
+    "NoisyUser",
+    "ScriptedUser",
+    "SimulatedUser",
+    "StdinUser",
+    "UnsureUser",
+]

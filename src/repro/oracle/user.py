@@ -1,0 +1,231 @@
+"""Simulated users for set discovery evaluation.
+
+The paper evaluates interactively by *simulating* the user: "The user
+answers about the membership of the presented tuples were simulated by
+verifying them against the output of the target query" (Sec. 5.2.3).  This
+module provides that oracle plus the imperfect variants motivated by the
+discussion in Sec. 6:
+
+* :class:`SimulatedUser` — perfect answers against a known target set;
+* :class:`NoisyUser` — flips each answer independently with probability
+  ``error_rate`` (*Possibility of errors in answers*);
+* :class:`UnsureUser` — answers "don't know" with probability
+  ``unsure_rate`` (*Unanswered questions*), otherwise truthfully;
+* :class:`ScriptedUser` — replays a fixed answer script (tests, demos);
+* :class:`StdinUser` — a real human on a terminal (CLI).
+
+All oracles are callables ``entity_id -> bool | None`` as expected by
+:meth:`repro.core.discovery.DiscoverySession.run`, and count the questions
+they were asked.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable, Iterable, Mapping
+
+from ..core.collection import SetCollection
+
+
+class BaseUser:
+    """Shared bookkeeping: question counting and label translation."""
+
+    def __init__(self, collection: SetCollection | None = None) -> None:
+        self.collection = collection
+        self.questions_asked = 0
+
+    def _label(self, entity: int) -> Hashable:
+        if self.collection is None:
+            return entity
+        return self.collection.universe.label(entity)
+
+    def __call__(self, entity: int) -> bool | None:
+        self.questions_asked += 1
+        return self.answer(entity)
+
+    def answer(self, entity: int) -> bool | None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        self.questions_asked = 0
+
+
+class SimulatedUser(BaseUser):
+    """Perfect oracle for a known target set.
+
+    The target may be given as entity ids (``target_ids``), as labels to be
+    resolved through the collection's universe (``target_labels``), or as a
+    set index in the collection (``target_index``).
+    """
+
+    def __init__(
+        self,
+        collection: SetCollection,
+        target_ids: Iterable[int] | None = None,
+        target_labels: Iterable[Hashable] | None = None,
+        target_index: int | None = None,
+    ) -> None:
+        super().__init__(collection)
+        provided = sum(
+            x is not None for x in (target_ids, target_labels, target_index)
+        )
+        if provided != 1:
+            raise ValueError(
+                "provide exactly one of target_ids, target_labels, "
+                "target_index"
+            )
+        if target_index is not None:
+            self.target: frozenset[int] = collection.sets[target_index]
+        elif target_labels is not None:
+            self.target = frozenset(
+                collection.universe.intern(label) for label in target_labels
+            )
+        else:
+            assert target_ids is not None
+            self.target = frozenset(target_ids)
+
+    def answer(self, entity: int) -> bool:
+        return entity in self.target
+
+
+class NoisyUser(SimulatedUser):
+    """Truthful oracle that errs with probability ``error_rate``.
+
+    Errors are independent across questions and reproducible through
+    ``seed``.  Sec. 6 motivates detecting and recovering from such errors;
+    :mod:`repro.core.robust` implements the recovery strategies this oracle
+    exercises.
+    """
+
+    def __init__(
+        self,
+        collection: SetCollection,
+        error_rate: float,
+        target_ids: Iterable[int] | None = None,
+        target_labels: Iterable[Hashable] | None = None,
+        target_index: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError(f"error_rate must be in [0, 1], got {error_rate}")
+        super().__init__(collection, target_ids, target_labels, target_index)
+        self.error_rate = error_rate
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self.errors_made = 0
+
+    def answer(self, entity: int) -> bool:
+        truth = entity in self.target
+        if self._rng.random() < self.error_rate:
+            self.errors_made += 1
+            return not truth
+        return truth
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self._seed)
+        self.errors_made = 0
+
+
+class UnsureUser(SimulatedUser):
+    """Truthful oracle that answers "don't know" with some probability."""
+
+    def __init__(
+        self,
+        collection: SetCollection,
+        unsure_rate: float,
+        target_ids: Iterable[int] | None = None,
+        target_labels: Iterable[Hashable] | None = None,
+        target_index: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= unsure_rate <= 1.0:
+            raise ValueError(
+                f"unsure_rate must be in [0, 1], got {unsure_rate}"
+            )
+        super().__init__(collection, target_ids, target_labels, target_index)
+        self.unsure_rate = unsure_rate
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self.unsure_count = 0
+
+    def answer(self, entity: int) -> bool | None:
+        if self._rng.random() < self.unsure_rate:
+            self.unsure_count += 1
+            return None
+        return entity in self.target
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self._seed)
+        self.unsure_count = 0
+
+
+class ScriptedUser(BaseUser):
+    """Replays pre-recorded answers.
+
+    Accepts a mapping ``entity label -> answer`` or a sequence of answers
+    consumed in question order; raises when asked something off-script.
+    """
+
+    def __init__(
+        self,
+        script: Mapping[Hashable, bool | None] | Iterable[bool | None],
+        collection: SetCollection | None = None,
+    ) -> None:
+        super().__init__(collection)
+        if isinstance(script, Mapping):
+            self._by_label: Mapping[Hashable, bool | None] | None = dict(script)
+            self._sequence: list[bool | None] | None = None
+        else:
+            self._by_label = None
+            self._sequence = list(script)
+        self._cursor = 0
+
+    def answer(self, entity: int) -> bool | None:
+        if self._by_label is not None:
+            label = self._label(entity)
+            if label not in self._by_label:
+                raise KeyError(f"no scripted answer for entity {label!r}")
+            return self._by_label[label]
+        assert self._sequence is not None
+        if self._cursor >= len(self._sequence):
+            raise IndexError("scripted answers exhausted")
+        value = self._sequence[self._cursor]
+        self._cursor += 1
+        return value
+
+    def reset(self) -> None:
+        super().reset()
+        self._cursor = 0
+
+
+class StdinUser(BaseUser):
+    """A human answering y/n/? on a terminal (used by the CLI).
+
+    ``prompt_writer`` and ``line_reader`` default to stdout/stdin but are
+    injectable for testing.
+    """
+
+    def __init__(
+        self,
+        collection: SetCollection,
+        prompt_writer: Callable[[str], None] | None = None,
+        line_reader: Callable[[], str] | None = None,
+    ) -> None:
+        super().__init__(collection)
+        self._write = prompt_writer or (lambda s: print(s, end=""))
+        self._read = line_reader or input
+
+    def answer(self, entity: int) -> bool | None:
+        label = self._label(entity)
+        while True:
+            self._write(f"Is {label!r} in your target set? [y/n/?] ")
+            reply = self._read().strip().lower()
+            if reply in ("y", "yes", "true", "1"):
+                return True
+            if reply in ("n", "no", "false", "0"):
+                return False
+            if reply in ("?", "dk", "dont-know", "don't-know", "unknown"):
+                return None
+            self._write("  please answer y, n, or ?\n")

@@ -1,0 +1,29 @@
+"""End-to-end query discovery over the baseball substrate (Sec. 5.2.3)."""
+
+from .pipeline import (
+    QueryCollection,
+    QueryDiscoveryOutcome,
+    build_query_collection,
+    discover_target_query,
+    run_workload,
+)
+from .targets import (
+    BASEBALL_CATEGORICAL,
+    BASEBALL_NUMERICAL,
+    BaseballWorkload,
+    TargetCase,
+    baseball_generator_config,
+)
+
+__all__ = [
+    "QueryCollection",
+    "QueryDiscoveryOutcome",
+    "build_query_collection",
+    "discover_target_query",
+    "run_workload",
+    "BASEBALL_CATEGORICAL",
+    "BASEBALL_NUMERICAL",
+    "BaseballWorkload",
+    "TargetCase",
+    "baseball_generator_config",
+]

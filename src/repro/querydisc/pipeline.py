@@ -1,0 +1,182 @@
+"""End-to-end query discovery (Sec. 5.2.3 / Sec. 5.3.6).
+
+The pipeline stitches the substrates together:
+
+1. take a target query and its example tuples (:mod:`.targets`);
+2. generate candidate CNF queries containing the examples
+   (:mod:`repro.relational.generator`);
+3. materialise every candidate's output as a set of row ids and wrap the
+   *unique* outputs as a :class:`~repro.core.collection.SetCollection`
+   (the paper's sets are unique; several syntactically different queries
+   can share one output, and the provenance map keeps them all);
+4. run interactive set discovery with a simulated user answering
+   membership questions against the target's true output;
+5. report the discovered query/queries, the number of questions, and the
+   discovery time — the quantities of Fig. 8 and Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.collection import SetCollection
+from ..core.discovery import DiscoverySession
+from ..core.selection import EntitySelector
+from ..oracle.user import SimulatedUser
+from ..relational.generator import (
+    CandidateQueries,
+    generate_candidate_queries,
+)
+from .targets import BaseballWorkload, TargetCase, baseball_generator_config
+
+
+@dataclass
+class QueryCollection:
+    """Unique candidate outputs as a set collection, with provenance."""
+
+    collection: SetCollection
+    candidates: CandidateQueries
+    #: set index -> indices (into candidates.queries) sharing that output
+    provenance: dict[int, list[int]]
+    #: candidate output sizes (before dedupe), for Table 3's average
+    output_sizes: list[int]
+
+    @property
+    def n_candidate_queries(self) -> int:
+        return self.candidates.n_queries
+
+    @property
+    def n_unique_sets(self) -> int:
+        return self.collection.n_sets
+
+    @property
+    def average_output_size(self) -> float:
+        if not self.output_sizes:
+            return 0.0
+        return sum(self.output_sizes) / len(self.output_sizes)
+
+    def queries_for_set(self, set_index: int) -> list[str]:
+        """SQL of the candidate queries behind one set."""
+        return [
+            self.candidates.queries[qi].sql()
+            for qi in self.provenance[set_index]
+        ]
+
+
+def build_query_collection(case: TargetCase, max_columns: int = 2) -> QueryCollection:
+    """Steps 2-3: candidates for the case's examples, as a collection.
+
+    Entities are labelled with ``playerID`` strings so discovery questions
+    read as "is player X in your query's output?".  Candidate queries with
+    empty outputs cannot contain the examples and are impossible by
+    construction; a defensive check drops them anyway.
+    """
+    candidates = generate_candidate_queries(
+        case.query.table,
+        case.example_rows,
+        baseball_generator_config(max_columns=max_columns),
+    )
+    outputs = candidates.evaluate_all()
+    table = case.query.table
+    unique: dict[frozenset[int], int] = {}
+    provenance: dict[int, list[int]] = {}
+    kept_sets: list[list[str]] = []
+    names: list[str] = []
+    sizes: list[int] = []
+    for qi, rows in enumerate(outputs):
+        if not rows:
+            continue
+        sizes.append(len(rows))
+        idx = unique.get(rows)
+        if idx is None:
+            idx = len(kept_sets)
+            unique[rows] = idx
+            kept_sets.append(
+                [table.value(rid, "playerID") for rid in sorted(rows)]
+            )
+            names.append(f"Q{idx}")
+            provenance[idx] = []
+        provenance[idx].append(qi)
+    collection = SetCollection(kept_sets, names=names)
+    return QueryCollection(
+        collection=collection,
+        candidates=candidates,
+        provenance=provenance,
+        output_sizes=sizes,
+    )
+
+
+@dataclass
+class QueryDiscoveryOutcome:
+    """Result of one discovery run against one target query."""
+
+    target: str
+    selector: str
+    n_candidate_queries: int
+    n_unique_sets: int
+    average_output_size: float
+    n_questions: int
+    discovery_seconds: float
+    resolved: bool
+    target_found: bool
+    discovered_queries: list[str] = field(default_factory=list)
+
+
+def discover_target_query(
+    case: TargetCase,
+    selector: EntitySelector,
+    query_collection: QueryCollection | None = None,
+) -> QueryDiscoveryOutcome:
+    """Steps 4-5: run discovery for one target with a simulated user.
+
+    ``query_collection`` can be passed in when several selectors are
+    compared on the same candidates (Fig. 8), avoiding re-generation.
+    """
+    qc = query_collection or build_query_collection(case)
+    collection = qc.collection
+    table = case.query.table
+    target_labels = [
+        table.value(rid, "playerID") for rid in sorted(case.output_rows)
+    ]
+    oracle = SimulatedUser(collection, target_labels=target_labels)
+    example_labels = [
+        table.value(rid, "playerID") for rid in case.example_rows
+    ]
+    selector.reset()
+    session = DiscoverySession(collection, selector, initial=example_labels)
+    result = session.run(oracle)
+    target_set = frozenset(
+        collection.universe.intern(lbl) for lbl in target_labels
+    )
+    target_found = result.resolved and (
+        collection.sets[result.target] == target_set
+    )
+    discovered = (
+        qc.queries_for_set(result.target) if result.resolved else []
+    )
+    return QueryDiscoveryOutcome(
+        target=case.name,
+        selector=selector.name,
+        n_candidate_queries=qc.n_candidate_queries,
+        n_unique_sets=qc.n_unique_sets,
+        average_output_size=qc.average_output_size,
+        n_questions=result.n_questions,
+        discovery_seconds=result.seconds,
+        resolved=result.resolved,
+        target_found=target_found,
+        discovered_queries=discovered,
+    )
+
+
+def run_workload(
+    workload: BaseballWorkload,
+    selector: EntitySelector,
+    targets: "list[str] | None" = None,
+) -> dict[str, QueryDiscoveryOutcome]:
+    """Run one selector over several targets (a Fig. 8 column)."""
+    names = targets if targets is not None else sorted(workload.cases)
+    outcomes: dict[str, QueryDiscoveryOutcome] = {}
+    for name in names:
+        case = workload.case(name)
+        outcomes[name] = discover_target_query(case, selector)
+    return outcomes

@@ -1,0 +1,116 @@
+"""Target-query workload for the baseball experiment (Sec. 5.2.3).
+
+Bundles a generated People table with the paper's seven target queries and
+the per-target example tuples (two seeded random rows of each target's
+output, exactly the paper's protocol: "for each target query, we randomly
+selected 2 output tuples as the example tuples").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..relational.baseball import generate_people_table, target_queries
+from ..relational.generator import (
+    BASEBALL_REFERENCE_VALUES,
+    GeneratorConfig,
+)
+from ..relational.query import SelectQuery
+from ..relational.table import Table
+
+#: The paper's column grouping (Sec. 5.2.3, step 1).  ``playerID`` is the
+#: row identifier and never a query column.
+BASEBALL_CATEGORICAL = (
+    "birthCountry",
+    "birthState",
+    "birthCity",
+    "birthMonth",
+    "birthDay",
+    "bats",
+    "throws",
+)
+BASEBALL_NUMERICAL = ("birthYear", "height", "weight")
+
+
+def baseball_generator_config(max_columns: int = 2) -> GeneratorConfig:
+    """The Sec. 5.2.3 generator configuration for the People table."""
+    return GeneratorConfig(
+        reference_values=BASEBALL_REFERENCE_VALUES,
+        categorical=BASEBALL_CATEGORICAL,
+        numerical=BASEBALL_NUMERICAL,
+        max_columns=max_columns,
+    )
+
+
+@dataclass(frozen=True)
+class TargetCase:
+    """One target query with its output and chosen example tuples."""
+
+    name: str
+    query: SelectQuery
+    output_rows: frozenset[int]
+    example_rows: tuple[int, ...]
+
+    @property
+    def output_size(self) -> int:
+        return len(self.output_rows)
+
+    def example_player_ids(self) -> tuple[str, ...]:
+        table = self.query.table
+        return tuple(
+            table.value(rid, "playerID") for rid in self.example_rows
+        )
+
+
+@dataclass
+class BaseballWorkload:
+    """People table + the seven targets, ready for query discovery."""
+
+    table: Table
+    cases: dict[str, TargetCase]
+
+    @classmethod
+    def build(
+        cls,
+        n_players: int | None = None,
+        n_examples: int = 2,
+        seed: int = 20185,
+        example_seed: int = 7,
+    ) -> "BaseballWorkload":
+        """Generate the table and select example tuples per target.
+
+        A target whose output has fewer rows than ``n_examples`` (possible
+        at tiny test scales) uses its whole output as the examples.
+        """
+        table = (
+            generate_people_table(seed=seed)
+            if n_players is None
+            else generate_people_table(n_players=n_players, seed=seed)
+        )
+        cases: dict[str, TargetCase] = {}
+        for name, query in target_queries(table).items():
+            output = query.evaluate()
+            # String seeds hash stably (sha512) across processes, unlike
+            # tuple seeds which go through PYTHONHASHSEED-randomised hash().
+            rng = random.Random(f"{example_seed}:{name}")
+            ordered = sorted(output)
+            if not ordered:
+                continue  # degenerate at tiny scales; callers must check
+            take = min(n_examples, len(ordered))
+            examples = tuple(rng.sample(ordered, take))
+            cases[name] = TargetCase(
+                name=name,
+                query=query,
+                output_rows=output,
+                example_rows=examples,
+            )
+        return cls(table=table, cases=cases)
+
+    def case(self, name: str) -> TargetCase:
+        try:
+            return self.cases[name]
+        except KeyError:
+            raise KeyError(
+                f"no target {name!r}; available: {sorted(self.cases)}"
+            ) from None

@@ -1,0 +1,49 @@
+"""Mini relational engine and the baseball substrate (Sec. 5.2.3)."""
+
+from .baseball import (
+    DEFAULT_N_PLAYERS,
+    PAPER_CANDIDATE_COUNTS,
+    PAPER_TARGET_SIZES,
+    PEOPLE_COLUMNS,
+    QUERY_COLUMNS,
+    generate_people_table,
+    target_queries,
+)
+from .generator import (
+    BASEBALL_REFERENCE_VALUES,
+    CandidateQueries,
+    GeneratorConfig,
+    categorical_condition,
+    generate_candidate_queries,
+    numerical_conditions,
+)
+from .predicates import CNF, Clause, Eq, Gt, Lt, Predicate, interval
+from .query import SelectQuery
+from .table import Column, ColumnKind, Table
+
+__all__ = [
+    "DEFAULT_N_PLAYERS",
+    "PAPER_CANDIDATE_COUNTS",
+    "PAPER_TARGET_SIZES",
+    "PEOPLE_COLUMNS",
+    "QUERY_COLUMNS",
+    "generate_people_table",
+    "target_queries",
+    "BASEBALL_REFERENCE_VALUES",
+    "CandidateQueries",
+    "GeneratorConfig",
+    "categorical_condition",
+    "generate_candidate_queries",
+    "numerical_conditions",
+    "CNF",
+    "Clause",
+    "Eq",
+    "Gt",
+    "Lt",
+    "Predicate",
+    "interval",
+    "SelectQuery",
+    "Column",
+    "ColumnKind",
+    "Table",
+]

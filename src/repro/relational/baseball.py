@@ -1,0 +1,257 @@
+"""Synthetic baseball ``People`` table — substitute for the Lahman database.
+
+The paper's query-discovery experiment (Sec. 5.2.3) uses the People table
+of the Lahman baseball database [22]: 20,185 players with name, birth,
+height/weight and handedness attributes.  The real database is not
+shipped here, so this module generates a seeded synthetic table with the
+same ten query columns and realistic marginal distributions:
+
+* USA-dominant ``birthCountry`` with a tail of baseball-relevant countries;
+* ``birthState``/``birthCity`` correlated with the country (including the
+  real big cities the paper's target queries mention, e.g. Los Angeles);
+* ``birthYear`` increasing over 1850-1996 (more recent players),
+  ``birthMonth``/``birthDay`` near-uniform;
+* ``height`` ~ N(72.2, 2.6) inches, ``weight`` correlated with height with
+  a heavy upper tail (so the tall-and-heavy target T6 selects tens of
+  rows, as in the paper);
+* ``bats``/``throws`` correlated handedness (left-handed batters who throw
+  right are common; right-handed batters who throw left are rare).
+
+The paper's seven target queries (Table 2) are defined verbatim in
+:func:`target_queries`.  Absolute result sizes differ from the paper's
+(different underlying population) but stay in the same regime — hundreds
+to thousands for T1-T4, tens for T5-T7 — which is what the discovery
+experiments depend on.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .predicates import CNF, Eq, Gt, Lt
+from .query import SelectQuery
+from .table import Column, ColumnKind, Table
+
+#: Paper row count for the People table.
+DEFAULT_N_PLAYERS = 20_185
+
+_COUNTRIES = (
+    ("USA", 0.868),
+    ("D.R.", 0.040),
+    ("Venezuela", 0.020),
+    ("P.R.", 0.016),
+    ("Canada", 0.015),
+    ("Cuba", 0.012),
+    ("Mexico", 0.008),
+    ("Japan", 0.006),
+    ("Panama", 0.005),
+    ("Australia", 0.004),
+    ("Colombia", 0.003),
+    ("South Korea", 0.003),
+)
+
+_USA_STATES = (
+    ("CA", 0.125),
+    ("TX", 0.070),
+    ("NY", 0.065),
+    ("PA", 0.060),
+    ("OH", 0.052),
+    ("IL", 0.050),
+    ("FL", 0.042),
+    ("MO", 0.033),
+    ("MA", 0.031),
+    ("NC", 0.028),
+    ("GA", 0.027),
+    ("NJ", 0.026),
+    ("MI", 0.025),
+    ("AL", 0.023),
+    ("TN", 0.021),
+    ("VA", 0.020),
+    ("WA", 0.018),
+    ("KY", 0.018),
+    ("IN", 0.018),
+    ("OK", 0.017),
+)
+
+#: A few real anchor cities per state (first entry is the big one), the
+#: rest of the mass goes to synthetic towns.
+_ANCHOR_CITIES = {
+    "CA": ("Los Angeles", 0.16, ("San Francisco", "San Diego", "Oakland")),
+    "IL": ("Chicago", 0.30, ("Springfield", "Peoria")),
+    "NY": ("New York", 0.28, ("Brooklyn", "Buffalo", "Rochester")),
+    "TX": ("Houston", 0.14, ("Dallas", "San Antonio", "Austin")),
+    "PA": ("Philadelphia", 0.22, ("Pittsburgh", "Erie")),
+    "WA": ("Seattle", 0.25, ("Tacoma", "Spokane")),
+    "MO": ("St. Louis", 0.25, ("Kansas City",)),
+    "MA": ("Boston", 0.28, ("Worcester", "Springfield")),
+}
+
+
+def _weighted_choice(rng: random.Random, pairs) -> str:
+    values = [v for v, _ in pairs]
+    weights = [w for _, w in pairs]
+    return rng.choices(values, weights=weights)[0]
+
+
+def _birth_year(rng: random.Random) -> int:
+    """Linear-increasing density over 1850..1996."""
+    lo, hi = 1850, 1996
+    # Inverse-CDF of a linear density on [lo, hi].
+    u = rng.random()
+    span = hi - lo
+    return lo + int(span * (u**0.5))
+
+
+def _height(rng: random.Random) -> int:
+    h = rng.gauss(72.2, 2.6)
+    return int(round(min(max(h, 60.0), 83.0)))
+
+
+def _weight(rng: random.Random, height: int) -> int:
+    if rng.random() < 0.05:
+        w = rng.gauss(4.2 * height - 80.0, 25.0)  # bulky tail
+    else:
+        w = rng.gauss(4.2 * height - 110.0, 16.0)
+    return int(round(min(max(w, 120.0), 320.0)))
+
+
+def _handedness(rng: random.Random) -> tuple[str, str]:
+    bats = _weighted_choice(
+        rng, (("R", 0.67), ("L", 0.27), ("B", 0.06))
+    )
+    if bats == "L":
+        throws = "R" if rng.random() < 0.45 else "L"
+    elif bats == "B":
+        throws = "R" if rng.random() < 0.85 else "L"
+    else:
+        throws = "R" if rng.random() < 0.97 else "L"
+    return bats, throws
+
+
+def _birth_place(rng: random.Random) -> tuple[str, str, str]:
+    country = _weighted_choice(rng, _COUNTRIES)
+    if country == "USA":
+        remaining = 1.0 - sum(w for _, w in _USA_STATES)
+        state = _weighted_choice(
+            rng, (*_USA_STATES, ("OTHER", max(remaining, 0.0)))
+        )
+        if state == "OTHER":
+            state = f"ST{rng.randrange(30)}"
+        anchor = _ANCHOR_CITIES.get(state)
+        if anchor is not None:
+            big, share, others = anchor
+            roll = rng.random()
+            if roll < share:
+                city = big
+            elif roll < share + 0.2 and others:
+                city = rng.choice(others)
+            else:
+                city = f"{state} Town {rng.randrange(40)}"
+        else:
+            city = f"{state} Town {rng.randrange(40)}"
+    else:
+        state = f"{country} Region {rng.randrange(8)}"
+        city = f"{country} City {rng.randrange(25)}"
+    return country, state, city
+
+
+PEOPLE_COLUMNS = (
+    Column("playerID", ColumnKind.CATEGORICAL),
+    Column("birthCountry", ColumnKind.CATEGORICAL),
+    Column("birthState", ColumnKind.CATEGORICAL),
+    Column("birthCity", ColumnKind.CATEGORICAL),
+    Column("birthYear", ColumnKind.NUMERICAL),
+    Column("birthMonth", ColumnKind.CATEGORICAL),
+    Column("birthDay", ColumnKind.CATEGORICAL),
+    Column("height", ColumnKind.NUMERICAL),
+    Column("weight", ColumnKind.NUMERICAL),
+    Column("bats", ColumnKind.CATEGORICAL),
+    Column("throws", ColumnKind.CATEGORICAL),
+)
+
+#: Query columns the paper uses (playerID excluded — it is the row's name).
+QUERY_COLUMNS = tuple(c.name for c in PEOPLE_COLUMNS[1:])
+
+
+def generate_people_table(
+    n_players: int = DEFAULT_N_PLAYERS, seed: int = 20185
+) -> Table:
+    """Generate the synthetic People table (deterministic per seed)."""
+    if n_players < 1:
+        raise ValueError("n_players must be positive")
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n_players):
+        country, state, city = _birth_place(rng)
+        height = _height(rng)
+        bats, throws = _handedness(rng)
+        rows.append(
+            {
+                "playerID": f"player{i:05d}",
+                "birthCountry": country,
+                "birthState": state,
+                "birthCity": city,
+                "birthYear": _birth_year(rng),
+                "birthMonth": rng.randint(1, 12),
+                "birthDay": rng.randint(1, 28),
+                "height": height,
+                "weight": _weight(rng, height),
+                "bats": bats,
+                "throws": throws,
+            }
+        )
+    return Table("People", PEOPLE_COLUMNS, rows)
+
+
+def target_queries(table: Table) -> dict[str, SelectQuery]:
+    """The paper's Table 2 target queries T1-T7, verbatim."""
+    return {
+        "T1": SelectQuery(
+            table, CNF([Eq("birthCountry", "USA"), Gt("birthYear", 1990)])
+        ),
+        "T2": SelectQuery(
+            table,
+            CNF(
+                [
+                    Eq("birthCity", "Los Angeles"),
+                    Gt("height", 70),
+                    Lt("height", 80),
+                ]
+            ),
+        ),
+        "T3": SelectQuery(table, CNF([Eq("bats", "L"), Eq("throws", "R")])),
+        "T4": SelectQuery(
+            table, CNF([Eq("birthCountry", "USA"), Eq("bats", "B")])
+        ),
+        "T5": SelectQuery(
+            table, CNF([Eq("birthMonth", 12), Eq("birthDay", 25)])
+        ),
+        "T6": SelectQuery(
+            table, CNF([Gt("height", 75), Gt("weight", 260)])
+        ),
+        "T7": SelectQuery(
+            table, CNF([Lt("height", 65), Lt("weight", 160)])
+        ),
+    }
+
+#: Paper-reported output sizes (Table 2), for side-by-side reporting.
+PAPER_TARGET_SIZES = {
+    "T1": 892,
+    "T2": 201,
+    "T3": 2179,
+    "T4": 939,
+    "T5": 65,
+    "T6": 49,
+    "T7": 26,
+}
+
+#: Paper-reported candidate-query counts (Table 3).
+PAPER_CANDIDATE_COUNTS = {
+    "T1": 776,
+    "T2": 987,
+    "T3": 940,
+    "T4": 916,
+    "T5": 1339,
+    "T6": 600,
+    "T7": 1189,
+}

@@ -1,0 +1,229 @@
+"""Selection predicates and CNF formulas over table rows.
+
+The paper's candidate queries (Sec. 5.2.3) are CNF selections: conjunctions
+of clauses, where a clause is either a disjunction of equalities on one
+categorical column (step 3) or a comparison interval on one numerical
+column (step 4).  The classes here model exactly that shape, with
+``matches(row) -> bool`` evaluation and SQL-ish rendering for reports.
+
+Predicates are immutable, hashable and comparable so generated candidate
+queries can be deduplicated structurally.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Mapping
+
+
+class Predicate(ABC):
+    """A boolean condition over a row (mapping column name -> value)."""
+
+    @abstractmethod
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        """Evaluate against a row; missing columns raise ``KeyError``."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """SQL-ish rendering, e.g. ``birthCity = 'Chicago'``."""
+
+    @abstractmethod
+    def columns(self) -> frozenset[str]:
+        """Columns referenced by this predicate."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class Eq(Predicate):
+    """``column = value``."""
+
+    __slots__ = ("column", "value")
+
+    def __init__(self, column: str, value: Any) -> None:
+        self.column = column
+        self.value = value
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return row[self.column] == self.value
+
+    def describe(self) -> str:
+        return f"{self.column} = {self.value!r}"
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Eq)
+            and self.column == other.column
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Eq", self.column, self.value))
+
+
+class Gt(Predicate):
+    """``column > value`` (numerical)."""
+
+    __slots__ = ("column", "value")
+
+    def __init__(self, column: str, value: float) -> None:
+        self.column = column
+        self.value = value
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        cell = row[self.column]
+        return cell is not None and cell > self.value
+
+    def describe(self) -> str:
+        return f"{self.column} > {self.value}"
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Gt)
+            and self.column == other.column
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Gt", self.column, self.value))
+
+
+class Lt(Predicate):
+    """``column < value`` (numerical)."""
+
+    __slots__ = ("column", "value")
+
+    def __init__(self, column: str, value: float) -> None:
+        self.column = column
+        self.value = value
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        cell = row[self.column]
+        return cell is not None and cell < self.value
+
+    def describe(self) -> str:
+        return f"{self.column} < {self.value}"
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Lt)
+            and self.column == other.column
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Lt", self.column, self.value))
+
+
+class Clause(Predicate):
+    """A disjunction of predicates over a single column (CNF clause).
+
+    Step 3 of the paper builds ``birthCity = 'Chicago' OR birthCity =
+    'Seattle'`` from the example tuples; an interval like ``height > 60 AND
+    height < 75`` is represented as two single-literal clauses in the
+    conjunction instead, keeping the formula CNF.
+    """
+
+    __slots__ = ("literals",)
+
+    def __init__(self, literals: "tuple[Predicate, ...] | list[Predicate]") -> None:
+        literals = tuple(literals)
+        if not literals:
+            raise ValueError("a clause needs at least one literal")
+        cols = {c for lit in literals for c in lit.columns()}
+        if len(cols) != 1:
+            raise ValueError(
+                f"clause literals must share one column, got {sorted(cols)}"
+            )
+        # Canonical order makes structurally equal clauses compare equal.
+        self.literals = tuple(
+            sorted(literals, key=lambda lit: lit.describe())
+        )
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return any(lit.matches(row) for lit in self.literals)
+
+    def describe(self) -> str:
+        if len(self.literals) == 1:
+            return self.literals[0].describe()
+        inner = " OR ".join(lit.describe() for lit in self.literals)
+        return f"({inner})"
+
+    def columns(self) -> frozenset[str]:
+        return self.literals[0].columns()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Clause) and self.literals == other.literals
+
+    def __hash__(self) -> int:
+        return hash(("Clause", self.literals))
+
+
+class CNF(Predicate):
+    """A conjunction of clauses — the paper's query shape.
+
+    The empty conjunction is valid and selects every row (used for the
+    degenerate "no condition" case).
+    """
+
+    __slots__ = ("clauses",)
+
+    def __init__(
+        self, clauses: "tuple[Predicate, ...] | list[Predicate]" = ()
+    ) -> None:
+        normalised: list[Predicate] = []
+        for clause in clauses:
+            if isinstance(clause, CNF):
+                normalised.extend(clause.clauses)
+            elif isinstance(clause, Clause):
+                normalised.append(clause)
+            else:
+                normalised.append(Clause((clause,)))
+        self.clauses = tuple(
+            sorted(normalised, key=lambda c: c.describe())
+        )
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return all(clause.matches(row) for clause in self.clauses)
+
+    def describe(self) -> str:
+        if not self.clauses:
+            return "TRUE"
+        return " AND ".join(clause.describe() for clause in self.clauses)
+
+    def columns(self) -> frozenset[str]:
+        cols: set[str] = set()
+        for clause in self.clauses:
+            cols |= clause.columns()
+        return frozenset(cols)
+
+    def conjoin(self, other: "Predicate") -> "CNF":
+        """A new CNF with ``other``'s clauses appended."""
+        return CNF((*self.clauses, other))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CNF) and self.clauses == other.clauses
+
+    def __hash__(self) -> int:
+        return hash(("CNF", self.clauses))
+
+
+def interval(column: str, low: float | None, high: float | None) -> CNF:
+    """CNF for ``low < column < high``; either bound may be open."""
+    clauses: list[Predicate] = []
+    if low is not None:
+        clauses.append(Gt(column, low))
+    if high is not None:
+        clauses.append(Lt(column, high))
+    if not clauses:
+        raise ValueError("an interval needs at least one bound")
+    return CNF(clauses)

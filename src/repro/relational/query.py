@@ -1,0 +1,59 @@
+"""Selection queries: CNF predicates applied to a table.
+
+A :class:`SelectQuery` is the paper's candidate-query object: evaluating it
+materialises the set of row ids it selects, which is exactly the *set* the
+discovery algorithms operate on ("our query discovery is done based on the
+query output on a sample database", Sec. 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .predicates import CNF, Predicate
+from .table import Table
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """``SELECT * FROM table WHERE cnf`` over one table."""
+
+    table: Table
+    condition: CNF
+
+    def evaluate(self) -> frozenset[int]:
+        """Row ids selected by the condition."""
+        condition = self.condition
+        return frozenset(
+            row_id
+            for row_id, row in self.table.rows()
+            if condition.matches(row)
+        )
+
+    def cardinality(self) -> int:
+        """Number of selected rows (no materialisation retained)."""
+        condition = self.condition
+        return sum(
+            1 for _, row in self.table.rows() if condition.matches(row)
+        )
+
+    def contains_rows(self, row_ids: "frozenset[int] | set[int]") -> bool:
+        """True when every given row satisfies the condition."""
+        condition = self.condition
+        return all(
+            condition.matches(self.table.row(rid)) for rid in row_ids
+        )
+
+    def sql(self) -> str:
+        """SQL-ish rendering, e.g. for experiment reports."""
+        return (
+            f"SELECT * FROM {self.table.name} "
+            f"WHERE {self.condition.describe()}"
+        )
+
+    def conjoin(self, extra: Predicate) -> "SelectQuery":
+        """A new query with an extra conjunct."""
+        return SelectQuery(self.table, self.condition.conjoin(extra))
+
+    def __repr__(self) -> str:
+        return f"<SelectQuery {self.condition.describe()}>"

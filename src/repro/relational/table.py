@@ -1,0 +1,133 @@
+"""A minimal in-memory relational table.
+
+The query-discovery experiment (Sec. 5.2.3) runs CNF selection queries over
+a single ``People`` table; this module supplies exactly that substrate: a
+typed, immutable, row-id-addressable table.  It is deliberately small — no
+joins, no indices beyond per-column value grouping — because the paper's
+candidate queries are single-table selections.
+
+Rows are addressed by dense integer row ids (0..n-1), which double as the
+*entities* of the set-discovery formulation: each candidate query
+materialises to the set of row ids it selects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+
+class ColumnKind(enum.Enum):
+    """Column typing used by the candidate-query generator (Sec. 5.2.3,
+    step 1): categorical columns get equality disjunctions, numerical
+    columns get reference-value intervals."""
+
+    CATEGORICAL = "categorical"
+    NUMERICAL = "numerical"
+
+
+@dataclass(frozen=True)
+class Column:
+    """Schema entry: a named, typed column."""
+
+    name: str
+    kind: ColumnKind
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("column names must be non-empty")
+
+
+class Table:
+    """An immutable table with named, typed columns and dense row ids."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        rows: Iterable[Mapping[str, Any]],
+    ) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in {names}")
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self._by_name: dict[str, Column] = {c.name: c for c in columns}
+        materialised: list[tuple[Any, ...]] = []
+        for rownum, row in enumerate(rows):
+            missing = [n for n in names if n not in row]
+            if missing:
+                raise ValueError(
+                    f"row {rownum} is missing columns {missing}"
+                )
+            materialised.append(tuple(row[n] for n in names))
+        self._rows: tuple[tuple[Any, ...], ...] = tuple(materialised)
+        self._index: dict[str, int] = {n: i for i, n in enumerate(names)}
+
+    # ------------------------------------------------------------------ #
+    # Schema
+    # ------------------------------------------------------------------ #
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"columns are {list(self._by_name)}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def categorical_columns(self) -> list[str]:
+        return [
+            c.name for c in self.columns if c.kind is ColumnKind.CATEGORICAL
+        ]
+
+    def numerical_columns(self) -> list[str]:
+        return [
+            c.name for c in self.columns if c.kind is ColumnKind.NUMERICAL
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Rows
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def value(self, row_id: int, column: str) -> Any:
+        return self._rows[row_id][self._index[column]]
+
+    def row(self, row_id: int) -> dict[str, Any]:
+        values = self._rows[row_id]
+        return {name: values[i] for name, i in self._index.items()}
+
+    def rows(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        for row_id in range(len(self._rows)):
+            yield row_id, self.row(row_id)
+
+    def column_values(self, column: str) -> list[Any]:
+        idx = self._index[column]
+        return [row[idx] for row in self._rows]
+
+    def distinct_values(self, column: str) -> set[Any]:
+        return set(self.column_values(column))
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, {len(self.columns)} columns, "
+            f"{self.n_rows} rows)"
+        )

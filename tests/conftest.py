@@ -1,0 +1,57 @@
+"""Shared fixtures: the paper's worked examples and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.collection import SetCollection
+from repro.data.synthetic import SyntheticConfig, generate_collection
+
+#: The collection of Fig. 1 (paper Sec. 3).  'a' is uninformative.
+FIG1_SETS = {
+    "S1": {"a", "b", "c", "d"},
+    "S2": {"a", "d", "e"},
+    "S3": {"a", "b", "c", "d", "f"},
+    "S4": {"a", "b", "c", "g", "h"},
+    "S5": {"a", "b", "h", "i"},
+    "S6": {"a", "b", "j", "k"},
+    "S7": {"a", "b", "g"},
+}
+
+#: The C2 variant of the Sec. 4.3 pruning walk-through: S1 and S4 change.
+FIG1_C2_SETS = {
+    **FIG1_SETS,
+    "S1": {"a", "b", "c"},
+    "S4": {"a", "b", "c", "d", "g", "h"},
+}
+
+
+@pytest.fixture
+def fig1() -> SetCollection:
+    return SetCollection.from_named_sets(FIG1_SETS)
+
+
+@pytest.fixture
+def fig1_c2() -> SetCollection:
+    return SetCollection.from_named_sets(FIG1_C2_SETS)
+
+
+@pytest.fixture(scope="session")
+def synthetic_small() -> SetCollection:
+    """A 40-set copy-add collection, deterministic."""
+    return generate_collection(
+        SyntheticConfig(n_sets=40, size_lo=8, size_hi=12, overlap=0.8, seed=1)
+    )
+
+
+@pytest.fixture(scope="session")
+def synthetic_tiny() -> SetCollection:
+    """A 12-set collection small enough for exact optimal search."""
+    return generate_collection(
+        SyntheticConfig(n_sets=12, size_lo=5, size_hi=8, overlap=0.7, seed=2)
+    )
+
+
+def eid(collection: SetCollection, label) -> int:
+    """Shorthand: entity id of a label."""
+    return collection.universe.id_of(label)

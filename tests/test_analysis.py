@@ -1,0 +1,141 @@
+"""Tests for repro.core.analysis (tree diagnostics)."""
+
+import pytest
+
+from repro.core.analysis import (
+    compare_trees,
+    describe_tree,
+    entity_usage,
+    question_distribution,
+    tree_stats,
+)
+from repro.core.construction import build_tree
+from repro.core.lookahead import KLPSelector
+from repro.core.selection import InfoGainSelector, RandomSelector
+from repro.core.tree import DecisionTree
+
+
+class TestTreeStats:
+    def test_fig1_optimal_tree(self, fig1):
+        tree = build_tree(fig1, KLPSelector(k=3))
+        stats = tree_stats(tree)
+        assert stats.n_leaves == 7
+        assert stats.n_internal == 6
+        assert stats.average_depth == pytest.approx(20 / 7)
+        assert stats.height == 3
+        assert stats.min_depth == 2
+        assert stats.depth_histogram == {2: 1, 3: 6}
+        assert stats.ad_slack == pytest.approx(0.0)
+        assert stats.h_slack == 0
+        assert stats.is_perfectly_balanced
+
+    def test_unbalanced_tree_detected(self):
+        chain = DecisionTree.internal(
+            0,
+            DecisionTree.leaf(0),
+            DecisionTree.internal(
+                1,
+                DecisionTree.leaf(1),
+                DecisionTree.internal(
+                    2, DecisionTree.leaf(2), DecisionTree.leaf(3)
+                ),
+            ),
+        )
+        stats = tree_stats(chain)
+        assert not stats.is_perfectly_balanced
+        assert stats.height == 3
+        assert stats.min_depth == 1
+
+    def test_entity_diversity(self, fig1):
+        tree = build_tree(fig1, KLPSelector(k=2))
+        stats = tree_stats(tree)
+        assert 0.0 < stats.entity_diversity <= 1.0
+
+
+class TestQuestionDistribution:
+    def test_counts_sum_to_candidates(self, synthetic_small):
+        tree = build_tree(synthetic_small, KLPSelector(k=2))
+        dist = question_distribution(tree)
+        assert sum(dist.counts.values()) == synthetic_small.n_sets
+        assert dist.mean == pytest.approx(tree.average_depth())
+        assert dist.worst == tree.height()
+
+    def test_intro_claim_log_k_questions(self, synthetic_small):
+        """Intro: 'the number of interactions is ... closer to log k in
+        most cases' — with a good tree, nearly all targets finish within
+        log2(k) + 1 questions."""
+        tree = build_tree(synthetic_small, KLPSelector(k=2))
+        dist = question_distribution(tree)
+        assert dist.within_log_bound(slack=1.0) > 0.9
+
+    def test_worst_case_never_exceeds_k_minus_1(self, synthetic_small):
+        """Intro: 'k - 1 in the worst cases'."""
+        tree = build_tree(synthetic_small, RandomSelector(seed=1))
+        dist = question_distribution(tree)
+        assert dist.worst <= synthetic_small.n_sets - 1
+
+
+class TestCompareTrees:
+    def test_self_comparison_is_all_ties(self, fig1):
+        tree = build_tree(fig1, KLPSelector(k=2))
+        cmp = compare_trees(tree, tree)
+        assert cmp.ties == 7
+        assert cmp.a_wins == cmp.b_wins == 0
+        assert cmp.ad_improvement == 0.0
+        assert not cmp.differing
+
+    def test_better_tree_wins(self, synthetic_small):
+        good = build_tree(synthetic_small, KLPSelector(k=2))
+        bad = build_tree(synthetic_small, RandomSelector(seed=0))
+        cmp = compare_trees(bad, good)
+        assert cmp.ad_improvement >= 0.0
+        assert cmp.ad_a == pytest.approx(bad.average_depth())
+        assert cmp.ad_b == pytest.approx(good.average_depth())
+        for idx, (da, db) in cmp.differing.items():
+            assert da != db
+
+    def test_mismatched_leaf_sets_rejected(self, fig1):
+        whole = build_tree(fig1, KLPSelector(k=2))
+        partial = build_tree(
+            fig1, KLPSelector(k=2), fig1.supersets_of({"b", "c"})
+        )
+        with pytest.raises(ValueError):
+            compare_trees(whole, partial)
+
+    def test_win_counts_partition_targets(self, synthetic_small):
+        a = build_tree(synthetic_small, InfoGainSelector())
+        b = build_tree(synthetic_small, KLPSelector(k=3))
+        cmp = compare_trees(a, b)
+        assert cmp.a_wins + cmp.b_wins + cmp.ties == synthetic_small.n_sets
+
+
+class TestEntityUsage:
+    def test_usage_covers_internal_nodes(self, fig1):
+        tree = build_tree(fig1, KLPSelector(k=2))
+        usage = entity_usage(tree, fig1)
+        assert sum(u.times_asked for u in usage) == 6
+        for u in usage:
+            assert u.support == fig1.positive_count(
+                fig1.full_mask, u.entity
+            )
+
+    def test_sorted_most_used_first(self, synthetic_small):
+        tree = build_tree(synthetic_small, KLPSelector(k=2))
+        usage = entity_usage(tree, synthetic_small)
+        times = [u.times_asked for u in usage]
+        assert times == sorted(times, reverse=True)
+
+
+class TestDescribe:
+    def test_report_contains_key_numbers(self, fig1):
+        tree = build_tree(fig1, KLPSelector(k=3))
+        text = describe_tree(tree, fig1)
+        assert "leaves: 7" in text
+        assert "AD: 2.857" in text
+        assert "most-asked entities" in text
+
+    def test_report_without_collection(self, fig1):
+        tree = build_tree(fig1, KLPSelector(k=2))
+        text = describe_tree(tree)
+        assert "leaves: 7" in text
+        assert "most-asked" not in text

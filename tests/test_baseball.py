@@ -1,0 +1,148 @@
+"""Tests for repro.relational.baseball (the Lahman substitute)."""
+
+import pytest
+
+from repro.relational.baseball import (
+    PAPER_CANDIDATE_COUNTS,
+    PAPER_TARGET_SIZES,
+    QUERY_COLUMNS,
+    generate_people_table,
+    target_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_people_table(n_players=5_000, seed=20185)
+
+
+class TestSchema:
+    def test_query_columns_match_paper(self, table):
+        assert set(QUERY_COLUMNS) == {
+            "birthCountry", "birthState", "birthCity", "birthYear",
+            "birthMonth", "birthDay", "height", "weight", "bats",
+            "throws",
+        }
+        for column in QUERY_COLUMNS:
+            assert table.has_column(column)
+
+    def test_paper_column_grouping(self, table):
+        assert set(table.numerical_columns()) == {
+            "birthYear", "height", "weight",
+        }
+        categorical = set(table.categorical_columns())
+        assert {
+            "birthCountry", "birthState", "birthCity", "birthMonth",
+            "birthDay", "bats", "throws",
+        } <= categorical
+
+    def test_player_ids_unique(self, table):
+        ids = table.column_values("playerID")
+        assert len(set(ids)) == len(ids)
+
+
+class TestDistributions:
+    def test_row_count(self, table):
+        assert table.n_rows == 5_000
+
+    def test_default_row_count_matches_paper(self):
+        small = generate_people_table(n_players=10)
+        assert small.n_rows == 10
+
+    def test_deterministic_per_seed(self):
+        a = generate_people_table(n_players=50, seed=1)
+        b = generate_people_table(n_players=50, seed=1)
+        assert [a.row(i) for i in range(50)] == [
+            b.row(i) for i in range(50)
+        ]
+
+    def test_usa_dominates_birth_country(self, table):
+        values = table.column_values("birthCountry")
+        usa = sum(1 for v in values if v == "USA") / len(values)
+        assert 0.8 < usa < 0.95
+
+    def test_height_weight_ranges(self, table):
+        heights = table.column_values("height")
+        weights = table.column_values("weight")
+        assert all(60 <= h <= 83 for h in heights)
+        assert all(120 <= w <= 320 for w in weights)
+        mean_height = sum(heights) / len(heights)
+        assert 71 < mean_height < 74
+
+    def test_weight_correlates_with_height(self, table):
+        tall = [
+            table.value(i, "weight")
+            for i in range(table.n_rows)
+            if table.value(i, "height") >= 76
+        ]
+        short = [
+            table.value(i, "weight")
+            for i in range(table.n_rows)
+            if table.value(i, "height") <= 68
+        ]
+        assert sum(tall) / len(tall) > sum(short) / len(short) + 20
+
+    def test_birth_year_range_and_skew(self, table):
+        years = table.column_values("birthYear")
+        assert all(1850 <= y <= 1996 for y in years)
+        late = sum(1 for y in years if y > 1923)
+        assert late > len(years) / 2  # increasing density
+
+    def test_handedness_correlation(self, table):
+        rows = [table.row(i) for i in range(table.n_rows)]
+        right_bats = [r for r in rows if r["bats"] == "R"]
+        left_bats = [r for r in rows if r["bats"] == "L"]
+        r_throws_r = sum(
+            1 for r in right_bats if r["throws"] == "R"
+        ) / len(right_bats)
+        l_throws_r = sum(
+            1 for r in left_bats if r["throws"] == "R"
+        ) / len(left_bats)
+        assert r_throws_r > 0.9
+        assert 0.3 < l_throws_r < 0.6
+
+    def test_months_and_days_in_range(self, table):
+        assert all(
+            1 <= m <= 12 for m in table.column_values("birthMonth")
+        )
+        assert all(1 <= d <= 28 for d in table.column_values("birthDay"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_people_table(n_players=0)
+
+
+class TestTargetQueries:
+    def test_all_seven_targets_defined(self, table):
+        targets = target_queries(table)
+        assert sorted(targets) == [f"T{i}" for i in range(1, 8)]
+        assert set(PAPER_TARGET_SIZES) == set(targets)
+        assert set(PAPER_CANDIDATE_COUNTS) == set(targets)
+
+    def test_targets_nonempty_at_5k(self, table):
+        for name, query in target_queries(table).items():
+            assert query.cardinality() > 0, name
+
+    def test_target_size_ordering_matches_paper_regime(self, table):
+        """T3 is the biggest; T5-T7 are the small ones."""
+        sizes = {
+            name: q.cardinality()
+            for name, q in target_queries(table).items()
+        }
+        assert sizes["T3"] == max(sizes.values())
+        for small in ("T5", "T6", "T7"):
+            assert sizes[small] < sizes["T1"]
+            assert sizes[small] < sizes["T3"]
+
+    def test_t2_selects_los_angeles_players(self, table):
+        t2 = target_queries(table)["T2"]
+        for rid in t2.evaluate():
+            row = table.row(rid)
+            assert row["birthCity"] == "Los Angeles"
+            assert 70 < row["height"] < 80
+
+    def test_t5_selects_christmas_birthdays(self, table):
+        t5 = target_queries(table)["T5"]
+        for rid in t5.evaluate():
+            row = table.row(rid)
+            assert (row["birthMonth"], row["birthDay"]) == (12, 25)

@@ -1,0 +1,164 @@
+"""Tests for repro.core.batch (Sec. 6: multiple-choice examples)."""
+
+import pytest
+
+from repro.core.batch import (
+    BatchDiscoverySession,
+    batch_score,
+    partition_cells,
+    select_batch,
+)
+from repro.core.bitmask import popcount
+from repro.core.bounds import AD
+from repro.core.selection import NoInformativeEntityError
+from repro.oracle import SimulatedUser
+
+
+class TestPartitionCells:
+    def test_empty_batch_is_one_cell(self, fig1):
+        cells = partition_cells(fig1, fig1.full_mask, [])
+        assert cells == {(): fig1.full_mask}
+
+    def test_single_entity_two_cells(self, fig1):
+        d = fig1.universe.id_of("d")
+        cells = partition_cells(fig1, fig1.full_mask, [d])
+        assert popcount(cells[(True,)]) == 3
+        assert popcount(cells[(False,)]) == 4
+
+    def test_cells_partition_the_mask(self, fig1):
+        d = fig1.universe.id_of("d")
+        g = fig1.universe.id_of("g")
+        cells = partition_cells(fig1, fig1.full_mask, [d, g])
+        union = 0
+        for cell in cells.values():
+            assert cell != 0
+            assert union & cell == 0
+            union |= cell
+        assert union == fig1.full_mask
+
+    def test_empty_cells_are_omitted(self, fig1):
+        # d and f: no set has f without d, so one pattern is missing.
+        d = fig1.universe.id_of("d")
+        f = fig1.universe.id_of("f")
+        cells = partition_cells(fig1, fig1.full_mask, [d, f])
+        assert (False, True) not in cells
+
+
+class TestBatchScore:
+    def test_single_entity_score_matches_lb1_minus_question(self, fig1):
+        d = fig1.universe.id_of("d")
+        score = batch_score(fig1, fig1.full_mask, [d], AD)
+        # batch_score omits the +1 of LB1 (the question being asked now).
+        assert score == pytest.approx(AD.lb1(3, 4) - 1.0)
+
+    def test_adding_entities_never_hurts(self, fig1):
+        d = fig1.universe.id_of("d")
+        g = fig1.universe.id_of("g")
+        s1 = batch_score(fig1, fig1.full_mask, [d], AD)
+        s2 = batch_score(fig1, fig1.full_mask, [d, g], AD)
+        assert s2 <= s1 + 1e-12
+
+
+class TestSelectBatch:
+    def test_batch_size_one_is_most_even(self, fig1):
+        batch = select_batch(fig1, fig1.full_mask, 1)
+        assert len(batch) == 1
+        n1 = fig1.positive_count(fig1.full_mask, batch[0])
+        assert sorted([n1, 7 - n1]) == [3, 4]
+
+    def test_batch_is_distinct(self, fig1):
+        batch = select_batch(fig1, fig1.full_mask, 3)
+        assert len(batch) == len(set(batch))
+
+    def test_stops_early_when_fully_separated(self, fig1):
+        # Fig. 1 needs only ~3 good entities to shatter all 7 sets.
+        batch = select_batch(fig1, fig1.full_mask, 10)
+        cells = partition_cells(fig1, fig1.full_mask, batch)
+        assert all(popcount(c) == 1 for c in cells.values())
+        assert len(batch) < 10
+
+    def test_validation(self, fig1):
+        with pytest.raises(ValueError):
+            select_batch(fig1, fig1.full_mask, 0)
+
+    def test_no_informative_raises(self, fig1):
+        informative = frozenset(
+            e for e, _ in fig1.informative_entities(fig1.full_mask)
+        )
+        with pytest.raises(NoInformativeEntityError):
+            select_batch(fig1, fig1.full_mask, 2, exclude=informative)
+
+
+class TestBatchSession:
+    @pytest.mark.parametrize("b", [1, 2, 3])
+    def test_every_target_found(self, fig1, b):
+        for target in range(fig1.n_sets):
+            session = BatchDiscoverySession(fig1, batch_size=b)
+            result = session.run(
+                SimulatedUser(fig1, target_index=target)
+            )
+            assert result.resolved
+            assert result.target == target
+
+    def test_batches_shrink_interactions(self, synthetic_small):
+        coll = synthetic_small
+        singles = batches = 0
+        for target in range(0, coll.n_sets, 5):
+            s1 = BatchDiscoverySession(coll, batch_size=1)
+            singles += s1.run(
+                SimulatedUser(coll, target_index=target)
+            ).n_batches
+            s3 = BatchDiscoverySession(coll, batch_size=3)
+            batches += s3.run(
+                SimulatedUser(coll, target_index=target)
+            ).n_batches
+        assert batches < singles
+
+    def test_batch_size_one_equals_question_count_of_singles(self, fig1):
+        session = BatchDiscoverySession(fig1, batch_size=1)
+        result = session.run(SimulatedUser(fig1, target_index=0))
+        assert result.n_batches == result.n_answers
+
+    def test_initial_seeding(self, fig1):
+        session = BatchDiscoverySession(
+            fig1, batch_size=2, initial={"b", "c"}
+        )
+        assert session.n_candidates == 3
+
+    def test_initial_mask_seeding(self, fig1):
+        mask = fig1.supersets_of({"g"})
+        session = BatchDiscoverySession(
+            fig1, batch_size=2, initial_mask=mask
+        )
+        assert session.n_candidates == 2
+
+    def test_max_batches_halt(self, synthetic_small):
+        session = BatchDiscoverySession(
+            synthetic_small, batch_size=1, max_batches=2
+        )
+        result = session.run(
+            SimulatedUser(synthetic_small, target_index=0)
+        )
+        assert result.n_batches <= 2
+
+    def test_interactions_record_shrinkage(self, fig1):
+        session = BatchDiscoverySession(fig1, batch_size=2)
+        result = session.run(SimulatedUser(fig1, target_index=3))
+        for step in result.interactions:
+            assert step.candidates_after <= step.candidates_before
+            assert len(step.entities) == len(step.answers)
+
+    def test_target_accessor_requires_resolution(self, synthetic_small):
+        session = BatchDiscoverySession(
+            synthetic_small, batch_size=1, max_batches=1
+        )
+        result = session.run(
+            SimulatedUser(synthetic_small, target_index=0)
+        )
+        if not result.resolved:
+            with pytest.raises(ValueError):
+                _ = result.target
+
+    def test_validation(self, fig1):
+        with pytest.raises(ValueError):
+            BatchDiscoverySession(fig1, batch_size=0)

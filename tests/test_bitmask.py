@@ -1,0 +1,85 @@
+"""Tests for repro.core.bitmask."""
+
+import pytest
+
+from repro.core.bitmask import (
+    bit,
+    full_mask,
+    iter_bits,
+    lowest_bit,
+    mask_of,
+    popcount,
+    single_bit,
+    subtract,
+)
+
+
+class TestFullMask:
+    def test_zero_sets(self):
+        assert full_mask(0) == 0
+
+    def test_small_sizes(self):
+        assert full_mask(1) == 0b1
+        assert full_mask(3) == 0b111
+
+    def test_large_size_has_right_popcount(self):
+        assert popcount(full_mask(100_000)) == 100_000
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            full_mask(-1)
+
+
+class TestBit:
+    def test_bit_positions(self):
+        assert bit(0) == 1
+        assert bit(5) == 32
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            bit(-2)
+
+
+class TestIterBits:
+    def test_empty(self):
+        assert list(iter_bits(0)) == []
+
+    def test_ascending_order(self):
+        assert list(iter_bits(0b10110)) == [1, 2, 4]
+
+    def test_round_trip_with_mask_of(self):
+        indices = [0, 3, 17, 64, 1000]
+        assert list(iter_bits(mask_of(indices))) == indices
+
+
+class TestLowestBit:
+    def test_lowest(self):
+        assert lowest_bit(0b1000) == 3
+        assert lowest_bit(0b1010) == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            lowest_bit(0)
+
+
+class TestSingleBit:
+    def test_true_for_powers_of_two(self):
+        assert single_bit(1)
+        assert single_bit(1 << 63)
+
+    def test_false_for_zero_and_composites(self):
+        assert not single_bit(0)
+        assert not single_bit(0b11)
+
+
+class TestSubtract:
+    def test_removes_overlap_only(self):
+        assert subtract(0b1110, 0b0110) == 0b1000
+
+    def test_disjoint_is_identity(self):
+        assert subtract(0b1100, 0b0011) == 0b1100
+
+    def test_matches_partition_complement(self):
+        c = 0b101101
+        p = 0b100100
+        assert subtract(c, p) | (c & p) == c

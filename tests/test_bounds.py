@@ -1,0 +1,167 @@
+"""Tests for repro.core.bounds (Eqs. 1-8, 11-14 and Lemma 3.3)."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    AD,
+    H,
+    ceil_log2,
+    ceil_n_log2_n,
+    lb_ad0,
+    lb_ad1,
+    lb_h0,
+    lb_h1,
+    metric_by_name,
+    min_external_path_length,
+)
+
+
+class TestCeilHelpers:
+    def test_ceil_log2_small_values(self):
+        assert [ceil_log2(n) for n in (1, 2, 3, 4, 7, 8, 9)] == [
+            0, 1, 2, 2, 3, 3, 4,
+        ]
+
+    def test_ceil_log2_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+    def test_ceil_n_log2_n_powers_of_two_exact(self):
+        assert ceil_n_log2_n(8) == 24
+        assert ceil_n_log2_n(1024) == 10240
+
+    def test_ceil_n_log2_n_matches_math(self):
+        for n in range(2, 2000):
+            expected = math.ceil(n * math.log2(n) - 1e-12)
+            assert ceil_n_log2_n(n) == expected, n
+
+    def test_ceil_n_log2_n_one(self):
+        assert ceil_n_log2_n(1) == 0
+
+    def test_min_external_path_length_small(self):
+        # n leaves on at most two adjacent levels.
+        assert min_external_path_length(1) == 0
+        assert min_external_path_length(2) == 2
+        assert min_external_path_length(3) == 5
+        assert min_external_path_length(4) == 8
+        assert min_external_path_length(7) == 20
+
+    def test_epl_never_below_paper_bound(self):
+        for n in range(1, 500):
+            assert min_external_path_length(n) >= ceil_n_log2_n(n)
+
+
+class TestZeroStepBounds:
+    def test_lb_ad0_of_7_matches_paper(self):
+        # Lemma 3.3 example: 7 sets -> 2.857...
+        assert lb_ad0(7) == pytest.approx(20 / 7)
+
+    def test_lb_ad0_trivial_sizes(self):
+        assert lb_ad0(1) == 0.0
+        assert lb_ad0(2) == 1.0
+
+    def test_lb_h0_trivial_sizes(self):
+        assert lb_h0(1) == 0
+        assert lb_h0(2) == 1
+        assert lb_h0(7) == 3
+
+    def test_ad_bound_below_h_bound_scaled(self):
+        for n in range(2, 100):
+            assert lb_ad0(n) <= lb_h0(n)
+
+
+class TestOneStepBounds:
+    def test_lb_h1_of_3_4_split_is_3(self):
+        # Sec. 4.3: entities c and d split 7 sets into 3/4 -> bound 3.
+        assert lb_h1(3, 4) == 3
+
+    def test_lb_h1_of_1_6_split_is_4(self):
+        # The other informative entities split 1/6 -> bound 4.
+        assert lb_h1(1, 6) == 4
+
+    def test_lb_ad1_even_split(self):
+        assert lb_ad1(2, 2) == pytest.approx(2.0)
+
+    def test_lb_ad1_uneven_worse_than_even(self):
+        assert lb_ad1(1, 3) > lb_ad1(2, 2)
+
+    def test_lb1_via_metric_equals_module_functions(self):
+        for n1, n2 in [(1, 1), (3, 4), (5, 11), (2, 9)]:
+            assert AD.lb1(n1, n2) == pytest.approx(lb_ad1(n1, n2))
+            assert H.lb1(n1, n2) == pytest.approx(lb_h1(n1, n2))
+
+
+class TestCombine:
+    def test_ad_combine_is_weighted_average_plus_one(self):
+        assert AD.combine(2, 1.0, 2, 3.0) == pytest.approx(3.0)
+
+    def test_h_combine_is_max_plus_one(self):
+        assert H.combine(2, 1.0, 5, 3.0) == 4.0
+
+    def test_combine_with_zero_child_bounds(self):
+        assert AD.combine(1, 0.0, 1, 0.0) == 1.0
+        assert H.combine(1, 0.0, 1, 0.0) == 1.0
+
+
+class TestUpperLimits:
+    def test_ad_limits_infinite_when_unbounded(self):
+        assert AD.upper_limit_first(math.inf, 3, 1.0, 4) == math.inf
+        assert AD.upper_limit_second(math.inf, 4, 1.0, 3) == math.inf
+
+    def test_h_limits_subtract_one(self):
+        assert H.upper_limit_first(4.0, 3, 1.0, 4) == 3.0
+        assert H.upper_limit_second(4.0, 4, 2.0, 3) == 3.0
+
+    def test_ad_limit_first_matches_eq11(self):
+        # UL(C1) = ((AFLV - 1) * |C| - |C2| * LB0(C2)) / |C1|
+        ul, n1, n2 = 3.0, 3, 4
+        lb2 = lb_ad0(n2)
+        expected = ((ul - 1) * (n1 + n2) - n2 * lb2) / n1
+        assert AD.upper_limit_first(ul, n1, lb2, n2) == pytest.approx(
+            expected
+        )
+
+    def test_ad_limit_second_matches_eq13(self):
+        ul, n1, n2, l1 = 3.0, 3, 4, 1.2
+        expected = ((ul - 1) * (n1 + n2) - n1 * l1) / n2
+        assert AD.upper_limit_second(ul, n2, l1, n1) == pytest.approx(
+            expected
+        )
+
+    def test_limit_consistency_with_combine(self):
+        # If l1 == UL_first exactly, combine with optimistic l2 hits AFLV.
+        ul, n1, n2 = 3.4, 3, 5
+        lb2 = lb_ad0(n2)
+        l1 = AD.upper_limit_first(ul, n1, lb2, n2)
+        assert AD.combine(n1, l1, n2, lb2) == pytest.approx(ul)
+
+
+class TestTreeCost:
+    def test_ad_cost_is_mean(self):
+        assert AD.tree_cost([1, 2, 3]) == pytest.approx(2.0)
+
+    def test_h_cost_is_max(self):
+        assert H.tree_cost([1, 2, 3]) == 3.0
+
+    def test_empty_depths_raise(self):
+        with pytest.raises(ValueError):
+            AD.tree_cost([])
+        with pytest.raises(ValueError):
+            H.tree_cost([])
+
+
+class TestMetricLookup:
+    def test_by_name(self):
+        assert metric_by_name("ad") is AD
+        assert metric_by_name("H") is H
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            metric_by_name("WAD")
+
+    def test_names(self):
+        assert AD.name == "AD"
+        assert H.name == "H"
+        assert "AD" in repr(AD)

@@ -1,0 +1,139 @@
+"""Tests for the CLI (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.loaders import load_collection
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(
+            ["generate", "synthetic", "out.json"]
+        )
+        assert args.kind == "synthetic"
+        assert args.n_sets == 1000
+
+    def test_baseball_target_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["baseball", "T9"])
+
+
+class TestGenerate:
+    def test_generate_synthetic_json(self, tmp_path, capsys):
+        out = tmp_path / "c.json"
+        code = main(
+            [
+                "generate", "synthetic", str(out),
+                "--n-sets", "30", "--size-lo", "5", "--size-hi", "8",
+                "--overlap", "0.8",
+            ]
+        )
+        assert code == 0
+        coll = load_collection(out)
+        assert coll.n_sets == 30
+        assert "wrote 30 sets" in capsys.readouterr().out
+
+    def test_generate_webtables_text(self, tmp_path):
+        out = tmp_path / "c.tsv"
+        code = main(
+            ["generate", "webtables", str(out), "--n-sets", "120"]
+        )
+        assert code == 0
+        assert load_collection(out).n_sets > 0
+
+
+class TestDiscover:
+    @pytest.fixture
+    def collection_file(self, tmp_path):
+        out = tmp_path / "c.json"
+        main(
+            [
+                "generate", "synthetic", str(out),
+                "--n-sets", "25", "--size-lo", "5", "--size-hi", "8",
+                "--overlap", "0.8",
+            ]
+        )
+        return out
+
+    def test_simulated_target_discovery(self, collection_file, capsys):
+        code = main(
+            [
+                "discover", str(collection_file),
+                "--target", "S5", "--k", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "found S5" in out
+
+    def test_infogain_selector(self, collection_file, capsys):
+        code = main(
+            [
+                "discover", str(collection_file),
+                "--target", "S3", "--selector", "infogain",
+            ]
+        )
+        assert code == 0
+        assert "found S3" in capsys.readouterr().out
+
+    def test_max_questions_stops_early(self, collection_file, capsys):
+        code = main(
+            [
+                "discover", str(collection_file),
+                "--target", "S1", "--max-questions", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stopped with" in out or "found" in out
+
+    def test_impossible_initial_reports_error(self, collection_file, capsys):
+        code = main(
+            [
+                "discover", str(collection_file),
+                "--initial", "no-such-entity", "--target", "S1",
+            ]
+        )
+        assert code == 1
+        assert "no set contains" in capsys.readouterr().err
+
+    def test_interactive_stdin(self, collection_file, capsys, monkeypatch):
+        """Drive the StdinUser through real prompts: always answer 'n'
+        until the session resolves (the all-no path exists in any tree)."""
+        monkeypatch.setattr("builtins.input", lambda: "n")
+        code = main(["discover", str(collection_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "found" in out or "stopped" in out
+
+
+class TestExperimentCommand:
+    def test_list(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig8" in out
+
+    def test_no_name_lists(self, capsys):
+        assert main(["experiment"]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_run_table1(self, capsys):
+        assert main(["experiment", "table1", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1a" in out
+
+
+class TestBaseballCommand:
+    def test_t6_small(self, capsys):
+        code = main(
+            ["baseball", "T6", "--players", "2500", "--k", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "target T6" in out
+        assert "questions:" in out

@@ -1,0 +1,171 @@
+"""Tests for repro.core.collection (the paper's collection C, Sec. 3)."""
+
+import pytest
+
+from repro.core.bitmask import popcount
+from repro.core.collection import DuplicateSetError, SetCollection
+from repro.core.universe import Universe
+
+from conftest import FIG1_SETS
+
+
+class TestConstruction:
+    def test_counts_of_fig1(self, fig1):
+        assert fig1.n_sets == 7
+        assert fig1.n_entities == 11  # a..k
+
+    def test_default_names_follow_paper(self):
+        coll = SetCollection([{"x"}, {"y"}])
+        assert coll.names == ("S1", "S2")
+
+    def test_explicit_names(self):
+        coll = SetCollection([{"x"}, {"y"}], names=["left", "right"])
+        assert coll.name_of(1) == "right"
+
+    def test_duplicate_sets_raise_by_default(self):
+        with pytest.raises(DuplicateSetError):
+            SetCollection([{"x", "y"}, {"y", "x"}])
+
+    def test_dedupe_merges_and_records_aliases(self):
+        coll = SetCollection(
+            [{"x"}, {"x"}, {"y"}], names=["a", "b", "c"], dedupe=True
+        )
+        assert coll.n_sets == 2
+        assert coll.aliases_of(0) == ("b",)
+        assert coll.aliases_of(1) == ()
+
+    def test_shared_universe(self):
+        u = Universe(["x"])
+        coll = SetCollection([{"x", "y"}], universe=u)
+        assert coll.universe is u
+        assert u.id_of("y") == 1
+
+    def test_from_named_sets(self, fig1):
+        assert fig1.index_of("S4") == 3
+        assert fig1.set_labels(1) == frozenset({"a", "d", "e"})
+
+    def test_index_of_unknown_name_raises(self, fig1):
+        with pytest.raises(KeyError):
+            fig1.index_of("S99")
+
+    def test_empty_set_is_allowed(self):
+        coll = SetCollection([set(), {"x"}])
+        assert coll.sets[0] == frozenset()
+
+    def test_repr(self, fig1):
+        assert "n_sets=7" in repr(fig1)
+
+
+class TestMasksAndPartition:
+    def test_full_mask_covers_all_sets(self, fig1):
+        assert popcount(fig1.full_mask) == 7
+
+    def test_entity_mask_matches_membership(self, fig1):
+        d = fig1.universe.id_of("d")
+        # d is in S1, S2, S3 (indices 0, 1, 2)
+        assert fig1.entity_mask(d) == 0b0000111
+
+    def test_entity_mask_of_absent_entity_is_zero(self, fig1):
+        assert fig1.entity_mask(999) == 0
+
+    def test_partition_by_d_gives_3_4(self, fig1):
+        d = fig1.universe.id_of("d")
+        pos, neg = fig1.partition(fig1.full_mask, d)
+        assert popcount(pos) == 3
+        assert popcount(neg) == 4
+        assert pos & neg == 0
+        assert pos | neg == fig1.full_mask
+
+    def test_partition_respects_sub_collection(self, fig1):
+        d = fig1.universe.id_of("d")
+        sub = 0b0000011  # S1, S2 only
+        pos, neg = fig1.partition(sub, d)
+        assert pos == sub
+        assert neg == 0
+
+    def test_positive_count(self, fig1):
+        c = fig1.universe.id_of("c")
+        assert fig1.positive_count(fig1.full_mask, c) == 3
+
+    def test_sets_in(self, fig1):
+        assert list(fig1.sets_in(0b0010100)) == [2, 4]
+
+    def test_entities_in_union(self, fig1):
+        sub = 0b0000011  # S1, S2
+        labels = {fig1.universe.label(e) for e in fig1.entities_in(sub)}
+        assert labels == {"a", "b", "c", "d", "e"}
+
+
+class TestInformativeEntities:
+    def test_a_is_uninformative_in_fig1(self, fig1):
+        informative = {
+            fig1.universe.label(e)
+            for e, _ in fig1.informative_entities(fig1.full_mask)
+        }
+        assert "a" not in informative
+        assert informative == set("bcdefghijk")
+
+    def test_counts_are_positive_side_sizes(self, fig1):
+        counts = {
+            fig1.universe.label(e): c
+            for e, c in fig1.informative_entities(fig1.full_mask)
+        }
+        assert counts["d"] == 3
+        assert counts["b"] == 6
+        assert counts["e"] == 1
+
+    def test_entity_in_all_sub_collection_sets_is_uninformative(self, fig1):
+        # b is in S1 and S3 but not S2: within {S1, S3} it is uninformative.
+        sub = 0b0000101
+        informative = {
+            fig1.universe.label(e)
+            for e, _ in fig1.informative_entities(sub)
+        }
+        assert "b" not in informative
+        assert "f" in informative  # only in S3
+
+    def test_candidates_restrict_the_scan(self, fig1):
+        d = fig1.universe.id_of("d")
+        result = fig1.informative_entities(fig1.full_mask, candidates=[d])
+        assert result == [(d, 3)]
+
+    def test_cache_consistency(self, fig1):
+        first = fig1.informative_entities(fig1.full_mask)
+        second = fig1.informative_entities(fig1.full_mask)
+        assert first == second
+        fig1.clear_caches()
+        assert fig1.informative_entities(fig1.full_mask) == first
+
+    def test_singleton_sub_collection_has_no_informative(self, fig1):
+        assert fig1.informative_entities(0b1) == []
+
+
+class TestSupersets:
+    def test_supersets_of_a_is_everything(self, fig1):
+        assert fig1.supersets_of({"a"}) == fig1.full_mask
+
+    def test_supersets_of_pair(self, fig1):
+        mask = fig1.supersets_of({"b", "c"})
+        names = {fig1.name_of(i) for i in fig1.sets_in(mask)}
+        assert names == {"S1", "S3", "S4"}
+
+    def test_supersets_of_unknown_label_is_empty(self, fig1):
+        assert fig1.supersets_of({"zzz"}) == 0
+
+    def test_supersets_of_empty_initial_is_full(self, fig1):
+        assert fig1.supersets_of(set()) == fig1.full_mask
+
+    def test_supersets_of_ids(self, fig1):
+        g = fig1.universe.id_of("g")
+        names = {
+            fig1.name_of(i)
+            for i in fig1.sets_in(fig1.supersets_of_ids([g]))
+        }
+        assert names == {"S4", "S7"}
+
+    def test_find_existing_set(self, fig1):
+        assert fig1.find(FIG1_SETS["S5"]) == 4
+
+    def test_find_missing_set(self, fig1):
+        assert fig1.find({"a", "b"}) is None
+        assert fig1.find({"not", "interned"}) is None

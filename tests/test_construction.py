@@ -1,0 +1,108 @@
+"""Tests for repro.core.construction (Algorithm 3 + persistence)."""
+
+import pytest
+
+from repro.core.bounds import AD, H
+from repro.core.construction import (
+    build_and_summarize,
+    build_tree,
+    load_tree,
+    save_tree,
+)
+from repro.core.lookahead import KLPSelector
+from repro.core.selection import InfoGainSelector, MostEvenSelector
+
+
+class TestBuildTree:
+    def test_leaves_biject_with_collection(self, fig1):
+        tree = build_tree(fig1, MostEvenSelector())
+        assert sorted(idx for idx, _ in tree.leaves()) == list(range(7))
+
+    def test_tree_is_full_binary(self, fig1):
+        tree = build_tree(fig1, MostEvenSelector())
+        assert tree.n_internal == tree.n_leaves - 1
+
+    def test_validates_against_collection(self, synthetic_small):
+        tree = build_tree(synthetic_small, KLPSelector(k=2))
+        tree.validate(synthetic_small)
+
+    def test_sub_collection_build(self, fig1):
+        sub = fig1.supersets_of({"b", "c"})
+        tree = build_tree(fig1, MostEvenSelector(), sub)
+        names = {fig1.name_of(i) for i, _ in tree.leaves()}
+        assert names == {"S1", "S3", "S4"}
+        tree.validate(fig1, sub)
+
+    def test_single_set_mask_gives_leaf(self, fig1):
+        tree = build_tree(fig1, MostEvenSelector(), 0b100)
+        assert tree.is_leaf
+        assert tree.set_index == 2
+
+    def test_empty_mask_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            build_tree(fig1, MostEvenSelector(), 0)
+
+    def test_klp_tree_on_fig1_reaches_optimal_ad(self, fig1):
+        tree = build_tree(fig1, KLPSelector(k=3, metric=AD))
+        assert tree.average_depth() == pytest.approx(20 / 7)
+
+    def test_h_metric_tree_on_fig1(self, fig1):
+        tree = build_tree(fig1, KLPSelector(k=3, metric=H))
+        assert tree.height() == 3
+
+    def test_large_degenerate_chain_does_not_overflow(self):
+        """Pairwise-disjoint-except-common sets only admit 1/(rest)
+        splits, forcing a path-shaped tree; the explicit-stack
+        construction must survive ~1100 levels."""
+        from repro.core.collection import SetCollection
+
+        n = 1100
+        sets = [{"common", f"only{i}"} for i in range(n)]
+        coll = SetCollection(sets)
+        tree = build_tree(coll, MostEvenSelector())
+        assert tree.n_leaves == n
+        assert tree.height() == n - 1
+
+
+class TestSummary:
+    def test_summary_fields(self, fig1):
+        tree, summary = build_and_summarize(fig1, InfoGainSelector())
+        assert summary.n_sets == 7
+        assert summary.n_entities == 10  # informative only
+        assert summary.average_depth == pytest.approx(tree.average_depth())
+        assert summary.height == tree.height()
+        assert summary.lb_average_depth == pytest.approx(20 / 7)
+        assert summary.lb_height == 3
+        assert summary.construction_seconds >= 0.0
+        assert summary.selector == "InfoGain"
+
+    def test_gaps(self, fig1):
+        _, summary = build_and_summarize(fig1, KLPSelector(k=3))
+        assert summary.ad_gap == pytest.approx(0.0)
+        assert summary.h_gap in (0, 1)
+
+    def test_cost_accessor(self, fig1):
+        _, summary = build_and_summarize(fig1, InfoGainSelector())
+        assert summary.cost(AD) == summary.average_depth
+        assert summary.cost(H) == float(summary.height)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, fig1, tmp_path):
+        tree = build_tree(fig1, KLPSelector(k=2))
+        path = tmp_path / "tree.json"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        assert loaded.leaf_depths() == tree.leaf_depths()
+        loaded.validate(fig1)
+
+    def test_loaded_tree_supports_discovery(self, fig1, tmp_path):
+        from repro.core.discovery import TreeDiscoverySession
+        from repro.oracle import SimulatedUser
+
+        tree = build_tree(fig1, KLPSelector(k=2))
+        path = tmp_path / "tree.json"
+        save_tree(tree, path)
+        session = TreeDiscoverySession(fig1, load_tree(path))
+        result = session.run(SimulatedUser(fig1, target_index=5))
+        assert result.target == 5

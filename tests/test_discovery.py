@@ -1,0 +1,215 @@
+"""Tests for repro.core.discovery (Algorithm 2, sessions, results)."""
+
+import pytest
+
+from repro.core.construction import build_tree
+from repro.core.discovery import (
+    DiscoverySession,
+    TreeDiscoverySession,
+    discover,
+)
+from repro.core.lookahead import KLPSelector
+from repro.core.selection import MostEvenSelector
+from repro.oracle import ScriptedUser, SimulatedUser, UnsureUser
+
+
+class TestCandidateSeeding:
+    def test_initial_set_filters_candidates(self, fig1):
+        session = DiscoverySession(
+            fig1, MostEvenSelector(), initial={"b", "c"}
+        )
+        names = {fig1.name_of(i) for i in session.candidates}
+        assert names == {"S1", "S3", "S4"}
+
+    def test_empty_initial_keeps_all(self, fig1):
+        session = DiscoverySession(fig1, MostEvenSelector())
+        assert session.n_candidates == 7
+
+    def test_initial_ids(self, fig1):
+        g = fig1.universe.id_of("g")
+        session = DiscoverySession(
+            fig1, MostEvenSelector(), initial_ids=[g]
+        )
+        assert {fig1.name_of(i) for i in session.candidates} == {"S4", "S7"}
+
+    def test_unknown_initial_gives_no_candidates(self, fig1):
+        session = DiscoverySession(
+            fig1, MostEvenSelector(), initial={"nope"}
+        )
+        assert session.n_candidates == 0
+        assert session.finished
+
+
+class TestPullStyle:
+    def test_question_answer_loop(self, fig1):
+        session = DiscoverySession(fig1, MostEvenSelector())
+        target = fig1.sets[3]  # S4
+        while not session.finished:
+            entity = session.next_question()
+            session.answer(entity in target)
+        assert session.candidates == [3]
+
+    def test_next_question_is_idempotent(self, fig1):
+        session = DiscoverySession(fig1, MostEvenSelector())
+        assert session.next_question() == session.next_question()
+
+    def test_answer_without_question_raises(self, fig1):
+        session = DiscoverySession(fig1, MostEvenSelector())
+        with pytest.raises(RuntimeError):
+            session.answer(True)
+
+    def test_question_after_finish_raises(self, fig1):
+        session = DiscoverySession(
+            fig1, MostEvenSelector(), initial={"e"}
+        )  # only S2
+        assert session.finished
+        with pytest.raises(RuntimeError):
+            session.next_question()
+
+    def test_question_label_helper(self, fig1):
+        session = DiscoverySession(fig1, MostEvenSelector())
+        label = session.next_question_label()
+        assert label in set("bcdefghijk")
+
+
+class TestRunWithOracle:
+    @pytest.mark.parametrize("target", range(7))
+    def test_every_target_is_discoverable(self, fig1, target):
+        result = discover(
+            fig1,
+            KLPSelector(k=2),
+            SimulatedUser(fig1, target_index=target),
+        )
+        assert result.resolved
+        assert result.target == target
+
+    def test_questions_match_tree_depth(self, fig1):
+        """Online discovery with selector S asks exactly as many questions
+        as the depth of the target's leaf in the offline tree built with
+        S (same deterministic selections)."""
+        selector = KLPSelector(k=2)
+        tree = build_tree(fig1, KLPSelector(k=2))
+        depths = tree.leaf_depths()
+        for target in range(7):
+            result = discover(
+                fig1,
+                KLPSelector(k=2),
+                SimulatedUser(fig1, target_index=target),
+            )
+            assert result.n_questions == depths[target]
+
+    def test_transcript_records_shrinkage(self, fig1):
+        result = discover(
+            fig1, KLPSelector(k=2), SimulatedUser(fig1, target_index=0)
+        )
+        for step in result.transcript:
+            assert step.candidates_after <= step.candidates_before
+        assert result.transcript[-1].candidates_after == 1
+
+    def test_max_questions_halt(self, synthetic_small):
+        result = discover(
+            synthetic_small,
+            MostEvenSelector(),
+            SimulatedUser(synthetic_small, target_index=0),
+            max_questions=2,
+        )
+        assert result.n_questions == 2
+        assert not result.resolved
+        assert 0 in [c for c in result.candidates]
+
+    def test_seconds_recorded(self, fig1):
+        result = discover(
+            fig1, KLPSelector(k=2), SimulatedUser(fig1, target_index=2)
+        )
+        assert result.seconds >= 0.0
+
+    def test_target_accessor_requires_resolution(self, synthetic_small):
+        result = discover(
+            synthetic_small,
+            MostEvenSelector(),
+            SimulatedUser(synthetic_small, target_index=0),
+            max_questions=1,
+        )
+        with pytest.raises(ValueError):
+            _ = result.target
+
+
+class TestDontKnow:
+    def test_dont_know_keeps_candidates(self, fig1):
+        session = DiscoverySession(fig1, MostEvenSelector())
+        before = session.n_candidates
+        session.next_question()
+        session.answer(None)
+        assert session.n_candidates == before
+        assert session.transcript[0].answer is None
+
+    def test_dont_know_excludes_entity(self, fig1):
+        session = DiscoverySession(fig1, MostEvenSelector())
+        first = session.next_question()
+        session.answer(None)
+        assert session.next_question() != first
+
+    def test_all_unsure_terminates_unresolved(self, fig1):
+        session = DiscoverySession(fig1, MostEvenSelector())
+        result = session.run(lambda entity: None)
+        assert not result.resolved
+        assert result.n_questions == 0
+        assert result.n_unanswered == len(result.transcript)
+
+    def test_unsure_user_still_converges_with_enough_entities(
+        self, synthetic_small
+    ):
+        oracle = UnsureUser(
+            synthetic_small, 0.2, target_index=4, seed=11
+        )
+        result = discover(synthetic_small, MostEvenSelector(), oracle)
+        # With 20% don't-knows there are enough alternative entities to
+        # finish on this collection.
+        assert result.resolved
+        assert result.target == 4
+
+
+class TestTreeDiscovery:
+    def test_follows_tree_path(self, fig1):
+        tree = build_tree(fig1, KLPSelector(k=2))
+        session = TreeDiscoverySession(fig1, tree)
+        result = session.run(SimulatedUser(fig1, target_index=6))
+        assert result.target == 6
+        assert result.n_questions == tree.leaf_depths()[6]
+
+    def test_rejects_dont_know(self, fig1):
+        tree = build_tree(fig1, KLPSelector(k=2))
+        session = TreeDiscoverySession(fig1, tree)
+        with pytest.raises(ValueError):
+            session.run(lambda e: None)
+
+    def test_manual_stepping(self, fig1):
+        tree = build_tree(fig1, KLPSelector(k=2))
+        session = TreeDiscoverySession(fig1, tree)
+        target = fig1.sets[1]
+        while not session.finished:
+            session.answer(session.next_question() in target)
+        assert session.n_questions == tree.leaf_depths()[1]
+
+    def test_next_question_at_leaf_raises(self, fig1):
+        tree = build_tree(fig1, KLPSelector(k=2), 0b1)
+        session = TreeDiscoverySession(fig1, tree)
+        with pytest.raises(RuntimeError):
+            session.next_question()
+
+
+class TestScriptedOracle:
+    def test_scripted_by_label(self, fig1):
+        # Fig. 2a: d? yes, e? no-ish path... script by labels directly.
+        session = DiscoverySession(fig1, MostEvenSelector())
+        user = ScriptedUser(
+            {lbl: lbl in fig1.set_labels(0) for lbl in "abcdefghijk"},
+            collection=fig1,
+        )
+        result = session.run(user)
+        assert result.target == 0
+
+    def test_scripted_sequence_exhaustion(self, fig1):
+        session = DiscoverySession(fig1, MostEvenSelector())
+        with pytest.raises(IndexError):
+            session.run(ScriptedUser([True]))

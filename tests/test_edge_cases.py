@@ -1,0 +1,223 @@
+"""Boundary conditions and failure injection across the stack.
+
+Each test here exercises a corner the happy-path suites never reach:
+degenerate collections, adversarial set structures, oracle misbehaviour,
+and resource guards.
+"""
+
+import pytest
+
+from repro.core.bounds import AD, H
+from repro.core.collection import SetCollection
+from repro.core.construction import build_tree
+from repro.core.discovery import DiscoverySession, discover
+from repro.core.lookahead import KLPSelector
+from repro.core.selection import InfoGainSelector, MostEvenSelector
+from repro.oracle import SimulatedUser
+
+
+class TestDegenerateCollections:
+    def test_two_identical_but_for_one_entity(self):
+        coll = SetCollection([{"x", "y"}, {"x", "y", "z"}])
+        tree = build_tree(coll, KLPSelector(k=2))
+        assert tree.height() == 1
+        result = discover(
+            coll, KLPSelector(k=2), SimulatedUser(coll, target_index=0)
+        )
+        assert result.target == 0
+        assert result.n_questions == 1
+
+    def test_disjoint_sets_need_linear_questions(self):
+        """Fully disjoint sets: every question eliminates one set (the
+        paper's worst-case discussion in Sec. 5.3.4)."""
+        n = 9
+        coll = SetCollection([{f"only{i}"} for i in range(n)])
+        tree = build_tree(coll, MostEvenSelector())
+        assert tree.height() == n - 1
+        # Average is about n/2 as the paper says ("roughly n/2 questions
+        # on average").
+        assert n / 2 - 1.5 <= tree.average_depth() <= n / 2 + 1.5
+
+    def test_power_set_needs_log_questions(self):
+        import itertools
+
+        base = ["p", "q", "r", "s"]
+        sets = []
+        for r in range(len(base) + 1):
+            for combo in itertools.combinations(base, r):
+                sets.append(set(combo) | {"shared"})
+        coll = SetCollection(sets)  # 16 unique sets
+        tree = build_tree(coll, KLPSelector(k=2, metric=H))
+        assert tree.height() == 4  # ask each base entity once
+
+    def test_empty_set_member_is_discoverable(self):
+        coll = SetCollection([set(), {"x"}, {"x", "y"}])
+        result = discover(
+            coll, KLPSelector(k=2), SimulatedUser(coll, target_index=0)
+        )
+        assert result.target == 0
+
+    def test_collection_with_hashable_tuple_entities(self):
+        coll = SetCollection(
+            [{("r", 1), ("r", 2)}, {("r", 1), ("r", 3)}]
+        )
+        result = discover(
+            coll,
+            KLPSelector(k=2),
+            SimulatedUser(coll, target_index=1),
+        )
+        assert result.target == 1
+
+    def test_single_set_collection_discovery_is_trivial(self):
+        coll = SetCollection([{"x", "y"}])
+        session = DiscoverySession(coll, MostEvenSelector())
+        assert session.finished
+        result = session.result()
+        assert result.resolved
+        assert result.target == 0
+        assert result.n_questions == 0
+
+
+class TestAdversarialOracles:
+    def test_lying_oracle_lands_on_wrong_but_consistent_set(self, fig1):
+        """An oracle answering for S2 when the 'true' target is S1 must
+        deterministically deliver S2 — discovery trusts answers."""
+        liar = SimulatedUser(fig1, target_index=1)
+        result = discover(fig1, KLPSelector(k=2), liar)
+        assert result.target == 1
+
+    def test_candidates_never_empty_whatever_the_answers(self, fig1):
+        """Algorithm 2 invariant: questions are about *informative*
+        entities, so both answer branches are non-empty — no answer
+        sequence, however wrong, can empty the candidate set (that is
+        why the robust session re-applies constraints instead)."""
+        for pattern in ("yes", "no", "alternate"):
+            session = DiscoverySession(fig1, MostEvenSelector())
+            toggle = [True]
+
+            def scripted(entity):
+                if pattern == "yes":
+                    return True
+                if pattern == "no":
+                    return False
+                toggle[0] = not toggle[0]
+                return toggle[0]
+
+            result = session.run(scripted)
+            assert len(result.candidates) >= 1
+            assert result.resolved
+
+    def test_oracle_exception_propagates_cleanly(self, fig1):
+        class Boom(Exception):
+            pass
+
+        def exploding(entity):
+            raise Boom("network down")
+
+        session = DiscoverySession(fig1, MostEvenSelector())
+        with pytest.raises(Boom):
+            session.run(exploding)
+        # The session is still usable afterwards.
+        assert session.n_candidates == 7
+        entity = session.next_question()
+        session.answer(True)
+        assert session.n_candidates < 7
+
+
+class TestResourceGuards:
+    def test_klp_handles_many_duplicated_partitions(self):
+        """Hundreds of entities inducing the same split must not blow up
+        the lookahead (the memo collapses them)."""
+        sets = []
+        for i in range(12):
+            members = {f"copy{j}" for j in range(50)} if i < 6 else set()
+            members |= {f"id{i}"}
+            sets.append(members)
+        coll = SetCollection(sets)
+        selector = KLPSelector(k=3)
+        entity = selector.select(coll, coll.full_mask)
+        assert entity is not None
+
+    def test_selector_reuse_across_collections_after_reset(self, fig1):
+        other = SetCollection([{"x", "y"}, {"x", "z"}, {"y", "z"}])
+        selector = KLPSelector(k=2)
+        first = selector.select(fig1, fig1.full_mask)
+        assert first >= 0
+        selector.reset()  # mandatory between collections
+        second = selector.select(other, other.full_mask)
+        assert second in {
+            e for e, _ in other.informative_entities(other.full_mask)
+        }
+
+    def test_informative_cache_isolation_between_masks(self, fig1):
+        a = fig1.informative_entities(fig1.full_mask)
+        b = fig1.informative_entities(0b0000111)
+        assert a != b
+        # Cached results are copies: mutating one must not leak.
+        a.append((999, 1))
+        assert (999, 1) not in fig1.informative_entities(fig1.full_mask)
+
+
+class TestMetricContrast:
+    def test_ad_and_h_trees_can_differ(self):
+        """A collection where minimising AD and minimising H pick
+        different structures: H-optimal trees may sacrifice average
+        depth for worst-case depth."""
+        from repro.core.optimal import optimal_tree
+
+        # One very separable set plus a clique of similar ones.
+        sets = [
+            {"lone"},
+            {"a", "b", "c"},
+            {"a", "b", "d"},
+            {"a", "c", "d"},
+            {"b", "c", "d"},
+            {"a", "b", "c", "d"},
+        ]
+        coll = SetCollection(sets)
+        ad_tree = optimal_tree(coll, AD).tree
+        h_tree = optimal_tree(coll, H).tree
+        assert h_tree.height() <= ad_tree.height()
+        assert ad_tree.average_depth() <= h_tree.average_depth() + 1e-9
+
+    def test_h_metric_session_bounded_by_h_tree(self, synthetic_small):
+        coll = synthetic_small
+        tree = build_tree(coll, KLPSelector(k=2, metric=H))
+        bound = tree.height()
+        for target in range(0, coll.n_sets, 6):
+            result = discover(
+                coll,
+                KLPSelector(k=2, metric=H),
+                SimulatedUser(coll, target_index=target),
+            )
+            assert result.n_questions <= bound
+
+
+class TestUnicodeAndWeirdLabels:
+    def test_unicode_entity_labels(self):
+        coll = SetCollection(
+            [{"café", "naïve", "東京"}, {"café", "zürich"}]
+        )
+        result = discover(
+            coll, InfoGainSelector(), SimulatedUser(coll, target_index=0)
+        )
+        assert result.target == 0
+
+    def test_labels_with_tabs_round_trip_in_json_only(self, tmp_path):
+        from repro.data.loaders import (
+            load_collection_json,
+            save_collection_json,
+        )
+
+        coll = SetCollection([{"a\tb", "c"}, {"c", "d"}])
+        path = tmp_path / "weird.json"
+        save_collection_json(coll, path)
+        loaded = load_collection_json(path)
+        assert loaded.n_sets == 2
+        assert any(
+            "a\tb" in loaded.set_labels(i) for i in range(2)
+        )
+
+    def test_numeric_and_string_labels_coexist(self):
+        coll = SetCollection([{1, "1", "one"}, {1, 2}])
+        assert coll.n_entities == 4

@@ -1,0 +1,82 @@
+"""Smoke tests: every example script must run green end-to-end.
+
+Each example is executed in-process (import-free, via runpy) so failures
+carry real tracebacks and coverage counts them.  The slowest examples get
+reduced workloads through their CLI arguments where they accept one.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    old_argv = sys.argv
+    sys.argv = [name, *(argv or [])]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 7
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "discovered S4" in out
+    assert "2.857" in out
+
+
+def test_medical_triage(capsys):
+    run_example("medical_triage.py")
+    out = capsys.readouterr().out
+    assert "triage questions" in out
+    assert "matched profile" in out
+
+
+def test_batch_questions(capsys):
+    run_example("batch_questions.py")
+    out = capsys.readouterr().out
+    assert "screens" in out
+
+
+def test_weighted_priors(capsys):
+    run_example("weighted_priors.py")
+    out = capsys.readouterr().out
+    assert "entropy lower bound" in out
+
+
+def test_costly_questions(capsys):
+    run_example("costly_questions.py")
+    out = capsys.readouterr().out
+    assert "expected saving per patient" in out
+
+
+@pytest.mark.slow
+def test_robust_discovery(capsys):
+    run_example("robust_discovery.py")
+    out = capsys.readouterr().out
+    assert "backtracking" in out
+
+
+@pytest.mark.slow
+def test_webtable_exploration(capsys):
+    run_example("webtable_exploration.py")
+    out = capsys.readouterr().out
+    assert "candidate column sets" in out
+
+
+@pytest.mark.slow
+def test_query_discovery_baseball(capsys):
+    run_example("query_discovery_baseball.py", ["1500"])
+    out = capsys.readouterr().out
+    assert "target found" in out

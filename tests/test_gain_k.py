@@ -1,0 +1,163 @@
+"""Tests for repro.core.gain_k (reference bounds, gain-k, unpruned k-LP)."""
+
+import pytest
+
+from repro.core.bounds import AD, H
+from repro.core.construction import build_tree
+from repro.core.gain_k import (
+    GainKSelector,
+    UnprunedKLPSelector,
+    lb_k,
+    lb_k_entity,
+)
+from repro.core.selection import (
+    InfoGainSelector,
+    NoInformativeEntityError,
+    unevenness,
+)
+
+
+class TestReferenceBounds:
+    def test_lb_k_entity_k1_matches_metric(self, fig1):
+        d = fig1.universe.id_of("d")
+        assert lb_k_entity(fig1, fig1.full_mask, d, 1, AD) == AD.lb1(3, 4)
+        assert lb_k_entity(fig1, fig1.full_mask, d, 1, H) == H.lb1(3, 4)
+
+    def test_lb_k_entity_rejects_uninformative(self, fig1):
+        a = fig1.universe.id_of("a")
+        with pytest.raises(ValueError):
+            lb_k_entity(fig1, fig1.full_mask, a, 1, AD)
+
+    def test_lb_k_entity_rejects_k0(self, fig1):
+        d = fig1.universe.id_of("d")
+        with pytest.raises(ValueError):
+            lb_k_entity(fig1, fig1.full_mask, d, 0, AD)
+
+    def test_lb_k_entity_monotone_lemma_4_2(self, fig1):
+        full = fig1.full_mask
+        for label in "bcdefghijk":
+            e = fig1.universe.id_of(label)
+            for metric in (AD, H):
+                bounds = [
+                    lb_k_entity(fig1, full, e, k, metric)
+                    for k in range(1, 7)
+                ]
+                assert bounds == sorted(bounds), (label, metric.name)
+
+    def test_lb_k_collection_k0(self, fig1):
+        assert lb_k(fig1, fig1.full_mask, 0, AD) == AD.lb0(7)
+        assert lb_k(fig1, fig1.full_mask, 0, H) == 3.0
+
+    def test_lb_k_of_singleton_is_zero(self, fig1):
+        assert lb_k(fig1, 0b1, 3, AD) == 0.0
+
+    def test_lb_k_is_min_over_entities(self, fig1):
+        full = fig1.full_mask
+        expected = min(
+            lb_k_entity(fig1, full, e, 2, H)
+            for e, _ in fig1.informative_entities(full)
+        )
+        assert lb_k(fig1, full, 2, H) == expected
+
+
+class TestGainK:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            GainKSelector(k=0)
+
+    def test_gain_1_equals_infogain(self, fig1, synthetic_small):
+        for coll in (fig1, synthetic_small):
+            assert GainKSelector(k=1).select(
+                coll, coll.full_mask
+            ) == InfoGainSelector().select(coll, coll.full_mask)
+
+    def test_gain_2_picks_an_even_splitter_on_fig1(self, fig1):
+        chosen = GainKSelector(k=2).select(fig1, fig1.full_mask)
+        n1 = fig1.positive_count(fig1.full_mask, chosen)
+        assert unevenness(7, n1) == 1
+
+    def test_memoized_matches_unmemoized(self, fig1):
+        plain = GainKSelector(k=2)
+        memo = GainKSelector(k=2, memoize=True)
+        assert plain.select(fig1, fig1.full_mask) == memo.select(
+            fig1, fig1.full_mask
+        )
+        # Second call goes through the cache.
+        assert memo.select(fig1, fig1.full_mask) == plain.select(
+            fig1, fig1.full_mask
+        )
+
+    def test_gain_k_tree_is_valid(self, fig1):
+        tree = build_tree(fig1, GainKSelector(k=2))
+        tree.validate(fig1)
+
+    def test_reset_clears_memo(self, fig1):
+        memo = GainKSelector(k=2, memoize=True)
+        memo.select(fig1, fig1.full_mask)
+        memo.reset()
+        assert not memo._cache
+
+    def test_exclusion_supported(self, fig1):
+        best = GainKSelector(k=2).select(fig1, fig1.full_mask)
+        other = GainKSelector(k=2).select(
+            fig1, fig1.full_mask, exclude={best}
+        )
+        assert other != best
+
+    def test_no_informative_raises(self, fig1):
+        informative = {
+            e for e, _ in fig1.informative_entities(fig1.full_mask)
+        }
+        with pytest.raises(NoInformativeEntityError):
+            GainKSelector(k=2).select(
+                fig1, fig1.full_mask, exclude=informative
+            )
+
+
+class TestUnprunedKLP:
+    def test_device_flags_do_not_change_selection(self, fig1, synthetic_small):
+        """Every pruning-device combination is semantics-preserving."""
+        combos = [
+            {},
+            {"sorted_break": True},
+            {"upper_limits": True},
+            {"memoize": True},
+            {"sorted_break": True, "upper_limits": True},
+            {"sorted_break": True, "upper_limits": True, "memoize": True},
+        ]
+        for coll in (fig1, synthetic_small):
+            baseline = UnprunedKLPSelector(k=2).select(coll, coll.full_mask)
+            for flags in combos:
+                got = UnprunedKLPSelector(k=2, **flags).select(
+                    coll, coll.full_mask
+                )
+                assert got == baseline, flags
+
+    def test_name_encodes_devices(self):
+        assert UnprunedKLPSelector(k=2).name == "2-LP-unpruned[AD]"
+        assert (
+            UnprunedKLPSelector(k=2, sorted_break=True, memoize=True).name
+            == "2-LP-unpruned+sm[AD]"
+        )
+
+    def test_singleton_raises(self, fig1):
+        with pytest.raises(ValueError):
+            UnprunedKLPSelector(k=2).select(fig1, 0b1)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            UnprunedKLPSelector(k=0)
+
+    def test_h_metric_supported(self, fig1):
+        chosen = UnprunedKLPSelector(k=2, metric=H).select(
+            fig1, fig1.full_mask
+        )
+        n1 = fig1.positive_count(fig1.full_mask, chosen)
+        assert sorted([n1, 7 - n1]) == [3, 4]
+
+    def test_reset_clears_cache(self, fig1):
+        sel = UnprunedKLPSelector(k=2, memoize=True)
+        sel.select(fig1, fig1.full_mask)
+        assert sel._cache
+        sel.reset()
+        assert not sel._cache

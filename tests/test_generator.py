@@ -1,0 +1,176 @@
+"""Tests for repro.relational.generator (Sec. 5.2.3 steps 1-5)."""
+
+import pytest
+
+from repro.relational.generator import (
+    GeneratorConfig,
+    categorical_condition,
+    generate_candidate_queries,
+    numerical_conditions,
+)
+from repro.relational.table import Column, ColumnKind, Table
+
+
+@pytest.fixture
+def table() -> Table:
+    columns = [
+        Column("city", ColumnKind.CATEGORICAL),
+        Column("hand", ColumnKind.CATEGORICAL),
+        Column("height", ColumnKind.NUMERICAL),
+        Column("weight", ColumnKind.NUMERICAL),
+    ]
+    rows = [
+        {"city": "Chicago", "hand": "L", "height": 62, "weight": 150},
+        {"city": "Seattle", "hand": "L", "height": 73, "weight": 190},
+        {"city": "Boston", "hand": "R", "height": 68, "weight": 170},
+        {"city": "Chicago", "hand": "R", "height": 77, "weight": 230},
+        {"city": "Miami", "hand": "L", "height": 66, "weight": 160},
+    ]
+    return Table("T", columns, rows)
+
+
+@pytest.fixture
+def config() -> GeneratorConfig:
+    return GeneratorConfig(
+        reference_values={
+            "height": (60, 65, 70, 75, 80),
+            "weight": (120, 160, 200, 240),
+        },
+        categorical=("city", "hand"),
+        numerical=("height", "weight"),
+    )
+
+
+class TestCategoricalCondition:
+    def test_two_distinct_values_give_disjunction(self, table):
+        cond = categorical_condition(
+            "city", [table.row(0), table.row(1)]
+        )
+        text = cond.describe()
+        assert "Chicago" in text and "Seattle" in text and "OR" in text
+
+    def test_same_value_gives_single_equality(self, table):
+        cond = categorical_condition(
+            "city", [table.row(0), table.row(3)]
+        )
+        assert cond.describe() == "city = 'Chicago'"
+
+    def test_no_rows_raises(self):
+        with pytest.raises(ValueError):
+            categorical_condition("city", [])
+
+
+class TestNumericalConditions:
+    def test_paper_example(self, table):
+        """Heights 62 and 73 with refs {60,65,70,75,80} must yield exactly
+        the five conditions the paper lists."""
+        from repro.relational.predicates import CNF, Gt, Lt
+
+        conds = numerical_conditions(
+            "height", (60, 65, 70, 75, 80), [table.row(0), table.row(1)]
+        )
+        assert set(conds) == {
+            CNF([Gt("height", 60), Lt("height", 75)]),
+            CNF([Gt("height", 60), Lt("height", 80)]),
+            CNF([Gt("height", 60)]),
+            CNF([Lt("height", 75)]),
+            CNF([Lt("height", 80)]),
+        }
+
+    def test_bounds_are_strict(self, table):
+        # Example value equal to a reference: that reference cannot bound.
+        row = {"height": 65}
+        conds = numerical_conditions("height", (60, 65, 70), [row])
+        texts = {c.describe() for c in conds}
+        assert "height > 65" not in texts
+        assert "height < 65" not in texts
+        assert "height > 60" in texts
+        assert "height < 70" in texts
+
+    def test_none_value_disables_column(self):
+        assert (
+            numerical_conditions("height", (60, 70), [{"height": None}])
+            == []
+        )
+
+    def test_all_conditions_contain_examples(self, table):
+        rows = [table.row(0), table.row(1)]
+        for cond in numerical_conditions(
+            "height", (60, 65, 70, 75, 80), rows
+        ):
+            assert all(cond.matches(r) for r in rows)
+
+
+class TestGenerateCandidates:
+    def test_every_candidate_contains_the_examples(self, table, config):
+        result = generate_candidate_queries(table, [0, 1], config)
+        examples = {0, 1}
+        for query in result.queries:
+            assert examples <= query.evaluate(), query.sql()
+
+    def test_deduplication(self, table, config):
+        result = generate_candidate_queries(table, [0, 1], config)
+        conditions = [q.condition for q in result.queries]
+        assert len(set(conditions)) == len(conditions)
+
+    def test_single_and_two_column_queries_present(self, table, config):
+        result = generate_candidate_queries(table, [0, 1], config)
+        widths = {len(q.condition.columns()) for q in result.queries}
+        assert widths == {1, 2}
+
+    def test_max_columns_one(self, table, config):
+        narrow = GeneratorConfig(
+            reference_values=config.reference_values,
+            categorical=config.categorical,
+            numerical=config.numerical,
+            max_columns=1,
+        )
+        result = generate_candidate_queries(table, [0, 1], narrow)
+        assert all(
+            len(q.condition.columns()) == 1 for q in result.queries
+        )
+
+    def test_count_matches_combinatorics(self, table, config):
+        result = generate_candidate_queries(table, [0, 1], config)
+        per_column = {
+            col: len(conds)
+            for col, conds in result.conditions_by_column.items()
+        }
+        singles = sum(per_column.values())
+        import itertools
+
+        pairs = sum(
+            per_column[a] * per_column[b]
+            for a, b in itertools.combinations(sorted(per_column), 2)
+        )
+        assert result.n_queries == singles + pairs
+
+    def test_query_parts_align_with_queries(self, table, config):
+        result = generate_candidate_queries(table, [0, 1], config)
+        assert len(result.query_parts) == len(result.queries)
+        for parts, query in zip(result.query_parts, result.queries):
+            cols = {col for col, _ in parts}
+            assert cols == set(query.condition.columns())
+
+    def test_evaluate_all_matches_per_query_evaluation(self, table, config):
+        result = generate_candidate_queries(table, [0, 1], config)
+        fast = result.evaluate_all()
+        slow = [q.evaluate() for q in result.queries]
+        assert fast == slow
+
+    def test_empty_examples_rejected(self, table, config):
+        with pytest.raises(ValueError):
+            generate_candidate_queries(table, [], config)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(
+                reference_values={}, numerical=("height",)
+            )
+        with pytest.raises(ValueError):
+            GeneratorConfig(reference_values={}, max_columns=0)
+
+    def test_single_example_row(self, table, config):
+        result = generate_candidate_queries(table, [2], config)
+        for query in result.queries:
+            assert 2 in query.evaluate()

@@ -1,0 +1,146 @@
+"""Cross-module integration scenarios."""
+
+import pytest
+
+from repro.core.bounds import AD, H
+from repro.core.construction import (
+    build_and_summarize,
+    build_tree,
+    load_tree,
+    save_tree,
+)
+from repro.core.discovery import DiscoverySession, TreeDiscoverySession
+from repro.core.lookahead import KLPSelector
+from repro.core.optimal import optimal_cost
+from repro.core.selection import InfoGainSelector
+from repro.data.synthetic import SyntheticConfig, generate_collection
+from repro.data.webtables import WebTableConfig, WebTableWorkload
+from repro.oracle import SimulatedUser
+
+
+class TestOfflineOnlineConsistency:
+    """Offline tree construction and online discovery are two views of
+    the same deterministic selection process (Sec. 4.5)."""
+
+    def test_online_path_equals_offline_path(self, synthetic_small):
+        coll = synthetic_small
+        tree = build_tree(coll, KLPSelector(k=2))
+        for target in range(0, coll.n_sets, 7):
+            offline = TreeDiscoverySession(coll, tree).run(
+                SimulatedUser(coll, target_index=target)
+            )
+            online = DiscoverySession(coll, KLPSelector(k=2)).run(
+                SimulatedUser(coll, target_index=target)
+            )
+            assert offline.target == online.target == target
+            assert offline.n_questions == online.n_questions
+            offline_entities = [i.entity for i in offline.transcript]
+            online_entities = [i.entity for i in online.transcript]
+            assert offline_entities == online_entities
+
+    def test_average_questions_over_all_targets_equals_tree_ad(
+        self, synthetic_small
+    ):
+        """The evaluation identity behind Figs. 5-7: mean #questions over
+        all targets == AD of the constructed tree."""
+        coll = synthetic_small
+        tree, summary = build_and_summarize(coll, KLPSelector(k=2))
+        totals = 0
+        for target in range(coll.n_sets):
+            result = DiscoverySession(coll, KLPSelector(k=2)).run(
+                SimulatedUser(coll, target_index=target)
+            )
+            totals += result.n_questions
+        assert totals / coll.n_sets == pytest.approx(
+            summary.average_depth
+        )
+
+    def test_worst_case_equals_tree_height(self, synthetic_small):
+        coll = synthetic_small
+        tree = build_tree(coll, KLPSelector(k=2, metric=H))
+        worst = 0
+        for target in range(coll.n_sets):
+            result = DiscoverySession(
+                coll, KLPSelector(k=2, metric=H)
+            ).run(SimulatedUser(coll, target_index=target))
+            worst = max(worst, result.n_questions)
+        assert worst == tree.height()
+
+
+class TestPersistedTreePipeline:
+    def test_generate_save_load_discover(self, tmp_path):
+        coll = generate_collection(
+            SyntheticConfig(
+                n_sets=30, size_lo=6, size_hi=9, overlap=0.8, seed=12
+            )
+        )
+        tree = build_tree(coll, KLPSelector(k=2))
+        path = tmp_path / "tree.json"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        for target in (0, 7, 29):
+            result = TreeDiscoverySession(coll, loaded).run(
+                SimulatedUser(coll, target_index=target)
+            )
+            assert result.target == target
+
+
+class TestWebTableEndToEnd:
+    def test_pair_to_discovery(self):
+        workload = WebTableWorkload.build(
+            config=WebTableConfig(n_sets=400, seed=21),
+            min_candidates=8,
+            max_pairs=3,
+        )
+        assert workload.pairs, "generator must produce qualifying pairs"
+        pair = workload.pairs[0]
+        coll = workload.collection
+        targets = list(coll.sets_in(pair.mask))[:4]
+        for target in targets:
+            session = DiscoverySession(
+                coll,
+                KLPSelector(k=2),
+                initial_ids=[pair.entity_a, pair.entity_b],
+            )
+            result = session.run(
+                SimulatedUser(coll, target_index=target)
+            )
+            assert result.resolved
+            assert result.target == target
+
+
+class TestQualityOrdering:
+    """InfoGain <= cost of random-ish choices; optimal <= k-LP <= InfoGain
+    does not hold pointwise, but the aggregate ordering optimal <= 2-LP
+    and optimal <= InfoGain must."""
+
+    def test_cost_sandwich_on_small_collections(self):
+        for seed in range(4):
+            coll = generate_collection(
+                SyntheticConfig(
+                    n_sets=11, size_lo=4, size_hi=7, overlap=0.7,
+                    seed=seed,
+                )
+            )
+            exact = optimal_cost(coll, AD)
+            klp_tree = build_tree(coll, KLPSelector(k=3))
+            ig_tree = build_tree(coll, InfoGainSelector())
+            assert exact <= klp_tree.average_depth() + 1e-9
+            assert exact <= ig_tree.average_depth() + 1e-9
+
+    def test_deeper_lookahead_not_worse_in_aggregate(self):
+        total_k1 = total_k3 = 0.0
+        for seed in range(5):
+            coll = generate_collection(
+                SyntheticConfig(
+                    n_sets=16, size_lo=4, size_hi=7, overlap=0.75,
+                    seed=seed + 50,
+                )
+            )
+            total_k1 += build_tree(
+                coll, KLPSelector(k=1)
+            ).average_depth()
+            total_k3 += build_tree(
+                coll, KLPSelector(k=3)
+            ).average_depth()
+        assert total_k3 <= total_k1 + 1e-9

@@ -1,0 +1,115 @@
+"""Tests for repro.data.loaders (collection file formats)."""
+
+import pytest
+
+from repro.core.collection import SetCollection
+from repro.data.loaders import (
+    load_collection,
+    load_collection_json,
+    load_collection_text,
+    save_collection,
+    save_collection_json,
+    save_collection_text,
+)
+
+
+@pytest.fixture
+def sample() -> SetCollection:
+    return SetCollection.from_named_sets(
+        {
+            "planets": {"mars", "venus", "earth"},
+            "gods": {"mars", "venus", "jupiter"},
+            "metals": {"iron", "copper"},
+        }
+    )
+
+
+def assert_same_contents(a: SetCollection, b: SetCollection) -> None:
+    assert a.n_sets == b.n_sets
+    for name in a.names:
+        ia, ib = a.index_of(name), b.index_of(name)
+        assert {str(x) for x in a.set_labels(ia)} == {
+            str(x) for x in b.set_labels(ib)
+        }
+
+
+class TestTextFormat:
+    def test_round_trip(self, sample, tmp_path):
+        path = tmp_path / "sets.tsv"
+        save_collection_text(sample, path)
+        assert_same_contents(sample, load_collection_text(path))
+
+    def test_file_layout(self, sample, tmp_path):
+        path = tmp_path / "sets.tsv"
+        save_collection_text(sample, path)
+        lines = path.read_text().splitlines()
+        assert lines[0].split("\t")[0] == "planets"
+        assert set(lines[0].split("\t")[1:]) == {"mars", "venus", "earth"}
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "sets.tsv"
+        path.write_text("one\ta\tb\n\n\ntwo\tc\td\n")
+        coll = load_collection_text(path)
+        assert coll.n_sets == 2
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "sets.tsv"
+        path.write_text("justaname\n")
+        with pytest.raises(ValueError, match=":1:"):
+            load_collection_text(path)
+
+    def test_duplicate_sets_honour_dedupe_flag(self, tmp_path):
+        path = tmp_path / "sets.tsv"
+        path.write_text("one\ta\tb\ntwo\tb\ta\n")
+        with pytest.raises(Exception):
+            load_collection_text(path)
+        coll = load_collection_text(path, dedupe=True)
+        assert coll.n_sets == 1
+
+
+class TestJsonFormat:
+    def test_round_trip(self, sample, tmp_path):
+        path = tmp_path / "sets.json"
+        save_collection_json(sample, path)
+        assert_same_contents(sample, load_collection_json(path))
+
+    def test_missing_sets_key_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"collections": {}}')
+        with pytest.raises(ValueError):
+            load_collection_json(path)
+
+    def test_numeric_labels_survive(self, tmp_path):
+        coll = SetCollection([{1, 2}, {2, 3}], names=["a", "b"])
+        path = tmp_path / "nums.json"
+        save_collection_json(coll, path)
+        loaded = load_collection_json(path)
+        assert loaded.set_labels(loaded.index_of("a")) == frozenset({1, 2})
+
+
+class TestDispatch:
+    def test_extension_dispatch(self, sample, tmp_path):
+        json_path = tmp_path / "c.json"
+        text_path = tmp_path / "c.tsv"
+        save_collection(sample, json_path)
+        save_collection(sample, text_path)
+        assert_same_contents(sample, load_collection(json_path))
+        assert_same_contents(sample, load_collection(text_path))
+
+    def test_loaded_collection_is_searchable(self, sample, tmp_path):
+        """End-to-end: save, load, discover."""
+        from repro.core.discovery import discover
+        from repro.core.lookahead import KLPSelector
+        from repro.oracle import SimulatedUser
+
+        path = tmp_path / "c.json"
+        save_collection(sample, path)
+        loaded = load_collection(path)
+        target = loaded.index_of("gods")
+        result = discover(
+            loaded,
+            KLPSelector(k=2),
+            SimulatedUser(loaded, target_index=target),
+            initial={"mars"},
+        )
+        assert result.target == target

@@ -1,0 +1,198 @@
+"""Second round of property-based tests: relational layer, robustness,
+batches, and the discovery/tree duality.
+
+These complement ``test_properties.py`` (which covers the paper's lemmas)
+with invariants of the substrates the evaluation is built on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import BatchDiscoverySession
+from repro.core.collection import SetCollection
+from repro.core.lookahead import KLPSelector
+from repro.core.robust import (
+    AnsweredQuestion,
+    consistent_mask,
+    rank_by_violations,
+    violation_scores,
+)
+from repro.oracle import SimulatedUser
+from repro.relational.generator import (
+    GeneratorConfig,
+    generate_candidate_queries,
+)
+from repro.relational.predicates import CNF, Clause, Eq, Gt, Lt
+from repro.relational.table import Column, ColumnKind, Table
+
+relaxed = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+collections = st.sets(
+    st.frozensets(st.integers(0, 9), min_size=1, max_size=6),
+    min_size=2,
+    max_size=9,
+).map(lambda sets: SetCollection(sorted(sets, key=sorted)))
+
+
+# --------------------------------------------------------------------- #
+# Relational predicates
+# --------------------------------------------------------------------- #
+
+rows = st.fixed_dictionaries(
+    {
+        "cat": st.sampled_from(["a", "b", "c", "d"]),
+        "num": st.integers(0, 100),
+    }
+)
+
+
+@given(row=rows, values=st.lists(st.sampled_from(["a", "b", "c", "d"]),
+                                 min_size=1, max_size=3))
+@relaxed
+def test_clause_is_disjunction_of_literals(row, values):
+    clause = Clause(tuple(Eq("cat", v) for v in values))
+    assert clause.matches(row) == (row["cat"] in values)
+
+
+@given(row=rows, lo=st.integers(-10, 110), hi=st.integers(-10, 110))
+@relaxed
+def test_interval_cnf_semantics(row, lo, hi):
+    cnf = CNF([Gt("num", lo), Lt("num", hi)])
+    assert cnf.matches(row) == (lo < row["num"] < hi)
+
+
+@given(
+    clauses=st.lists(
+        st.sampled_from(
+            [Eq("cat", "a"), Eq("cat", "b"), Gt("num", 10), Lt("num", 90)]
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+@relaxed
+def test_cnf_equality_is_order_insensitive(clauses):
+    forward = CNF(clauses)
+    backward = CNF(list(reversed(clauses)))
+    assert forward == backward
+    assert hash(forward) == hash(backward)
+    assert forward.describe() == backward.describe()
+
+
+@given(data=st.data())
+@relaxed
+def test_generated_candidates_always_contain_examples(data):
+    """The Sec. 5.2.3 generator invariant under random tables."""
+    n_rows = data.draw(st.integers(3, 12))
+    table_rows = [
+        {
+            "cat": data.draw(st.sampled_from(["x", "y", "z"])),
+            "num": data.draw(st.integers(0, 50)),
+        }
+        for _ in range(n_rows)
+    ]
+    table = Table(
+        "t",
+        [
+            Column("cat", ColumnKind.CATEGORICAL),
+            Column("num", ColumnKind.NUMERICAL),
+        ],
+        table_rows,
+    )
+    examples = data.draw(
+        st.lists(
+            st.integers(0, n_rows - 1), min_size=1, max_size=2, unique=True
+        )
+    )
+    config = GeneratorConfig(
+        reference_values={"num": (0, 10, 20, 30, 40, 50)},
+        categorical=("cat",),
+        numerical=("num",),
+    )
+    result = generate_candidate_queries(table, examples, config)
+    outputs = result.evaluate_all()
+    assert len(outputs) == result.n_queries
+    for query, output in zip(result.queries, outputs):
+        assert set(examples) <= output, query.sql()
+        assert output == query.evaluate()
+
+
+# --------------------------------------------------------------------- #
+# Robustness layer
+# --------------------------------------------------------------------- #
+
+
+@given(coll=collections, data=st.data())
+@relaxed
+def test_truthful_answers_always_keep_target_consistent(coll, data):
+    target = data.draw(st.integers(0, coll.n_sets - 1))
+    members = coll.sets[target]
+    entities = [e for e, _ in coll.informative_entities(coll.full_mask)]
+    asked = data.draw(
+        st.lists(st.sampled_from(entities), min_size=1, max_size=6)
+    )
+    answers = [
+        AnsweredQuestion(e, e in members, 1.0) for e in asked
+    ]
+    mask = consistent_mask(coll, coll.full_mask, answers)
+    assert mask & (1 << target)
+    assert violation_scores(coll, coll.full_mask, answers)[target] == 0.0
+
+
+@given(coll=collections, data=st.data())
+@relaxed
+def test_single_lie_costs_exactly_its_confidence(coll, data):
+    target = data.draw(st.integers(0, coll.n_sets - 1))
+    members = coll.sets[target]
+    entities = [e for e, _ in coll.informative_entities(coll.full_mask)]
+    lie_about = data.draw(st.sampled_from(entities))
+    confidence = data.draw(
+        st.floats(0.1, 1.0, allow_nan=False, allow_infinity=False)
+    )
+    answers = [
+        AnsweredQuestion(lie_about, lie_about not in members, confidence)
+    ]
+    scores = violation_scores(coll, coll.full_mask, answers)
+    assert scores[target] == pytest.approx(confidence)
+    ranking = rank_by_violations(coll, coll.full_mask, answers)
+    scores_sorted = [s for _, s in ranking]
+    assert scores_sorted == sorted(scores_sorted)
+
+
+# --------------------------------------------------------------------- #
+# Batch discovery duality
+# --------------------------------------------------------------------- #
+
+
+@given(coll=collections, b=st.integers(1, 4), data=st.data())
+@relaxed
+def test_batch_discovery_always_finds_the_target(coll, b, data):
+    target = data.draw(st.integers(0, coll.n_sets - 1))
+    session = BatchDiscoverySession(coll, batch_size=b)
+    result = session.run(SimulatedUser(coll, target_index=target))
+    assert result.resolved
+    assert result.target == target
+    # Interactions never exceed what single questions would need.
+    assert result.n_batches <= coll.n_sets
+
+
+@given(coll=collections, data=st.data())
+@relaxed
+def test_posterior_session_agrees_with_plain_on_uniform(coll, data):
+    from repro.core.posterior import PosteriorDiscoverySession
+    from repro.core.priors import Prior
+
+    target = data.draw(st.integers(0, coll.n_sets - 1))
+    session = PosteriorDiscoverySession(
+        coll, Prior.uniform(coll), selector=KLPSelector(k=2)
+    )
+    result = session.run(SimulatedUser(coll, target_index=target))
+    assert result.top == target
+    assert result.top_probability == pytest.approx(1.0)

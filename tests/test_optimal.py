@@ -1,0 +1,154 @@
+"""Tests for repro.core.optimal (exact search, small collections)."""
+
+import itertools
+
+import pytest
+
+from repro.core.bounds import AD, H, lb_ad0, lb_h0
+from repro.core.collection import SetCollection
+from repro.core.construction import build_tree
+from repro.core.optimal import (
+    CollectionTooLargeError,
+    optimal_cost,
+    optimal_tree,
+)
+from repro.core.selection import MostEvenSelector
+
+
+def brute_force_ad_sum(coll: SetCollection, mask: int) -> int:
+    """Plain exponential reference without dedup or pruning."""
+    if coll.count(mask) == 1:
+        return 0
+    best = None
+    for eid, _ in coll.informative_entities(mask):
+        pos, neg = coll.partition(mask, eid)
+        value = (
+            coll.count(mask)
+            + brute_force_ad_sum(coll, pos)
+            + brute_force_ad_sum(coll, neg)
+        )
+        if best is None or value < best:
+            best = value
+    assert best is not None
+    return best
+
+
+def brute_force_height(coll: SetCollection, mask: int) -> int:
+    if coll.count(mask) == 1:
+        return 0
+    best = None
+    for eid, _ in coll.informative_entities(mask):
+        pos, neg = coll.partition(mask, eid)
+        value = 1 + max(
+            brute_force_height(coll, pos), brute_force_height(coll, neg)
+        )
+        if best is None or value < best:
+            best = value
+    assert best is not None
+    return best
+
+
+class TestPaperExample:
+    def test_fig1_optimal_ad_is_2_857(self, fig1):
+        result = optimal_tree(fig1, AD)
+        assert result.cost == pytest.approx(20 / 7)
+
+    def test_fig1_optimal_h_is_3(self, fig1):
+        assert optimal_cost(fig1, H) == 3.0
+
+    def test_fig1_tree_is_valid_and_matches_cost(self, fig1):
+        result = optimal_tree(fig1, AD)
+        result.tree.validate(fig1)
+        assert result.tree.average_depth() == pytest.approx(result.cost)
+
+    def test_fig1_h_tree_height_matches(self, fig1):
+        result = optimal_tree(fig1, H)
+        result.tree.validate(fig1)
+        assert result.tree.height() == result.cost
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_collections_ad(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        sets = set()
+        while len(sets) < 7:
+            sets.add(
+                frozenset(
+                    rng.sample(range(10), rng.randint(2, 5))
+                )
+            )
+        coll = SetCollection(list(sets))
+        expected = brute_force_ad_sum(coll, coll.full_mask) / coll.n_sets
+        assert optimal_cost(coll, AD) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_collections_h(self, seed):
+        import random
+
+        rng = random.Random(seed + 100)
+        sets = set()
+        while len(sets) < 7:
+            sets.add(
+                frozenset(rng.sample(range(10), rng.randint(2, 5)))
+            )
+        coll = SetCollection(list(sets))
+        expected = brute_force_height(coll, coll.full_mask)
+        assert optimal_cost(coll, H) == expected
+
+
+class TestBounds:
+    def test_optimal_respects_lower_bounds(self, synthetic_tiny):
+        n = synthetic_tiny.n_sets
+        assert optimal_cost(synthetic_tiny, AD) >= lb_ad0(n)
+        assert optimal_cost(synthetic_tiny, H) >= lb_h0(n)
+
+    def test_optimal_never_beaten_by_greedy(self, synthetic_tiny):
+        greedy = build_tree(synthetic_tiny, MostEvenSelector())
+        assert optimal_cost(synthetic_tiny, AD) <= greedy.average_depth()
+        assert optimal_cost(synthetic_tiny, H) <= greedy.height()
+
+    def test_power_of_two_distinguishable_collection(self):
+        # Sets = all subsets of 3 entities: a perfect tree of height 3
+        # exists (ask each entity once).
+        universe = ["x", "y", "z"]
+        sets = []
+        for r in range(4):
+            for combo in itertools.combinations(universe, r):
+                sets.append(set(combo) | {"common"})
+        coll = SetCollection(sets)
+        assert coll.n_sets == 8
+        assert optimal_cost(coll, H) == 3.0
+        assert optimal_cost(coll, AD) == 3.0
+
+
+class TestEdgesAndGuards:
+    def test_singleton_collection(self):
+        coll = SetCollection([{"x"}])
+        result = optimal_tree(coll, AD)
+        assert result.cost == 0.0
+        assert result.tree.is_leaf
+
+    def test_two_sets(self):
+        coll = SetCollection([{"x", "y"}, {"x", "z"}])
+        assert optimal_cost(coll, AD) == 1.0
+        assert optimal_cost(coll, H) == 1.0
+
+    def test_sub_collection_mask(self, fig1):
+        sub = fig1.supersets_of({"b", "c"})  # S1, S3, S4
+        result = optimal_tree(fig1, AD, mask=sub)
+        assert result.tree.n_leaves == 3
+        assert result.cost == pytest.approx(5 / 3)
+
+    def test_size_guard(self, fig1):
+        with pytest.raises(CollectionTooLargeError):
+            optimal_tree(fig1, AD, max_sets=3)
+
+    def test_empty_mask_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            optimal_tree(fig1, AD, mask=0)
+
+    def test_explored_counter_positive(self, fig1):
+        assert optimal_tree(fig1, AD).explored > 0

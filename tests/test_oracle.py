@@ -1,0 +1,152 @@
+"""Tests for repro.oracle.user (simulated users)."""
+
+import pytest
+
+from repro.oracle import (
+    NoisyUser,
+    ScriptedUser,
+    SimulatedUser,
+    StdinUser,
+    UnsureUser,
+)
+
+
+class TestSimulatedUser:
+    def test_target_by_index(self, fig1):
+        user = SimulatedUser(fig1, target_index=1)  # S2 = {a, d, e}
+        assert user(fig1.universe.id_of("d")) is True
+        assert user(fig1.universe.id_of("b")) is False
+
+    def test_target_by_labels(self, fig1):
+        user = SimulatedUser(fig1, target_labels={"a", "d", "e"})
+        assert user(fig1.universe.id_of("e")) is True
+
+    def test_target_by_ids(self, fig1):
+        d = fig1.universe.id_of("d")
+        user = SimulatedUser(fig1, target_ids=[d])
+        assert user(d) is True
+
+    def test_exactly_one_target_spec_required(self, fig1):
+        with pytest.raises(ValueError):
+            SimulatedUser(fig1)
+        with pytest.raises(ValueError):
+            SimulatedUser(fig1, target_index=0, target_labels={"a"})
+
+    def test_question_counter(self, fig1):
+        user = SimulatedUser(fig1, target_index=0)
+        for label in "abc":
+            user(fig1.universe.id_of(label))
+        assert user.questions_asked == 3
+        user.reset()
+        assert user.questions_asked == 0
+
+
+class TestNoisyUser:
+    def test_zero_error_rate_is_truthful(self, fig1):
+        user = NoisyUser(fig1, 0.0, target_index=1)
+        for label in "abcdefghijk":
+            eid = fig1.universe.id_of(label)
+            assert user(eid) == (eid in fig1.sets[1])
+        assert user.errors_made == 0
+
+    def test_full_error_rate_always_lies(self, fig1):
+        user = NoisyUser(fig1, 1.0, target_index=1)
+        for label in "abcde":
+            eid = fig1.universe.id_of(label)
+            assert user(eid) != (eid in fig1.sets[1])
+
+    def test_seeded_reproducibility(self, fig1):
+        a = NoisyUser(fig1, 0.5, target_index=0, seed=7)
+        b = NoisyUser(fig1, 0.5, target_index=0, seed=7)
+        eids = [fig1.universe.id_of(c) for c in "abcdefg"]
+        assert [a(e) for e in eids] == [b(e) for e in eids]
+
+    def test_reset_restores_error_stream(self, fig1):
+        user = NoisyUser(fig1, 0.5, target_index=0, seed=7)
+        eids = [fig1.universe.id_of(c) for c in "abcdefg"]
+        first = [user(e) for e in eids]
+        user.reset()
+        assert [user(e) for e in eids] == first
+        assert user.questions_asked == len(eids)
+
+    def test_rate_validation(self, fig1):
+        with pytest.raises(ValueError):
+            NoisyUser(fig1, 1.5, target_index=0)
+
+
+class TestUnsureUser:
+    def test_zero_rate_never_unsure(self, fig1):
+        user = UnsureUser(fig1, 0.0, target_index=0)
+        for label in "abcde":
+            assert user(fig1.universe.id_of(label)) is not None
+
+    def test_full_rate_always_unsure(self, fig1):
+        user = UnsureUser(fig1, 1.0, target_index=0)
+        assert user(fig1.universe.id_of("a")) is None
+        assert user.unsure_count == 1
+
+    def test_rate_validation(self, fig1):
+        with pytest.raises(ValueError):
+            UnsureUser(fig1, -0.1, target_index=0)
+
+    def test_reset(self, fig1):
+        user = UnsureUser(fig1, 1.0, target_index=0)
+        user(fig1.universe.id_of("a"))
+        user.reset()
+        assert user.unsure_count == 0
+
+
+class TestScriptedUser:
+    def test_mapping_script(self, fig1):
+        user = ScriptedUser({"d": True, "e": False}, collection=fig1)
+        assert user(fig1.universe.id_of("d")) is True
+        assert user(fig1.universe.id_of("e")) is False
+
+    def test_off_script_raises(self, fig1):
+        user = ScriptedUser({"d": True}, collection=fig1)
+        with pytest.raises(KeyError):
+            user(fig1.universe.id_of("b"))
+
+    def test_sequence_script(self, fig1):
+        user = ScriptedUser([True, None, False])
+        assert user(0) is True
+        assert user(1) is None
+        assert user(2) is False
+        with pytest.raises(IndexError):
+            user(3)
+
+    def test_sequence_reset(self, fig1):
+        user = ScriptedUser([True, False])
+        user(0)
+        user.reset()
+        assert user(0) is True
+
+
+class TestStdinUser:
+    def _make(self, fig1, replies):
+        replies = iter(replies)
+        outputs = []
+        return (
+            StdinUser(
+                fig1,
+                prompt_writer=outputs.append,
+                line_reader=lambda: next(replies),
+            ),
+            outputs,
+        )
+
+    def test_yes_no_unknown(self, fig1):
+        user, _ = self._make(fig1, ["y", "NO", "?"])
+        assert user(0) is True
+        assert user(1) is False
+        assert user(2) is None
+
+    def test_reprompts_on_garbage(self, fig1):
+        user, outputs = self._make(fig1, ["banana", "yes"])
+        assert user(0) is True
+        assert any("please answer" in text for text in outputs)
+
+    def test_prompt_mentions_entity_label(self, fig1):
+        user, outputs = self._make(fig1, ["y"])
+        user(fig1.universe.id_of("d"))
+        assert any("'d'" in text for text in outputs)

@@ -1,0 +1,140 @@
+"""Tests for repro.core.posterior (prior-aware online discovery)."""
+
+import pytest
+
+from repro.core.lookahead import KLPSelector
+from repro.core.posterior import PosteriorDiscoverySession
+from repro.core.priors import Prior, skewed_prior
+from repro.oracle import SimulatedUser, UnsureUser
+
+
+class TestValidation:
+    def test_prior_collection_must_match(self, fig1, synthetic_tiny):
+        prior = Prior.uniform(synthetic_tiny)
+        with pytest.raises(ValueError):
+            PosteriorDiscoverySession(fig1, prior)
+
+    def test_threshold_range(self, fig1):
+        prior = Prior.uniform(fig1)
+        with pytest.raises(ValueError):
+            PosteriorDiscoverySession(
+                fig1, prior, confidence_threshold=0.0
+            )
+        with pytest.raises(ValueError):
+            PosteriorDiscoverySession(
+                fig1, prior, confidence_threshold=1.5
+            )
+
+
+class TestUniformPriorBaseline:
+    def test_matches_plain_discovery(self, fig1):
+        """Uniform prior + threshold 1.0 == Algorithm 2 with the same
+        selector (same questions, same target)."""
+        from repro.core.discovery import DiscoverySession
+
+        for target in range(fig1.n_sets):
+            prior = Prior.uniform(fig1)
+            post = PosteriorDiscoverySession(
+                fig1, prior, selector=KLPSelector(k=2)
+            )
+            plain = DiscoverySession(fig1, KLPSelector(k=2))
+            r_post = post.run(SimulatedUser(fig1, target_index=target))
+            r_plain = plain.run(SimulatedUser(fig1, target_index=target))
+            assert r_post.top == r_plain.target
+            assert r_post.n_questions == r_plain.n_questions
+            assert not r_post.stopped_early
+
+    def test_posterior_is_normalised(self, fig1):
+        session = PosteriorDiscoverySession(fig1, Prior.uniform(fig1))
+        ranked = session.posterior()
+        assert sum(p for _, p in ranked) == pytest.approx(1.0)
+        assert len(ranked) == 7
+
+
+class TestEarlyStopping:
+    def test_confident_prior_stops_before_certainty(self, synthetic_tiny):
+        coll = synthetic_tiny
+        # Nearly all mass on set 0.
+        weights = [100.0] + [0.1] * (coll.n_sets - 1)
+        prior = Prior(coll, weights)
+        session = PosteriorDiscoverySession(
+            coll, prior, confidence_threshold=0.9
+        )
+        result = session.run(SimulatedUser(coll, target_index=0))
+        assert result.top == 0
+        assert result.top_probability >= 0.9
+        # With a point-mass-ish prior no questions are needed at all.
+        assert result.n_questions == 0
+        assert result.stopped_early or result.resolved
+
+    def test_early_stop_saves_questions_for_likely_targets(
+        self, synthetic_small
+    ):
+        coll = synthetic_small
+        prior = skewed_prior(coll, zipf_s=2.0)
+        certain = PosteriorDiscoverySession(coll, prior)
+        fuzzy = PosteriorDiscoverySession(
+            coll, prior, confidence_threshold=0.8
+        )
+        r_certain = certain.run(SimulatedUser(coll, target_index=0))
+        r_fuzzy = fuzzy.run(SimulatedUser(coll, target_index=0))
+        assert r_fuzzy.n_questions <= r_certain.n_questions
+        assert r_fuzzy.top == 0
+
+    def test_early_stop_can_be_wrong_for_unlikely_targets(
+        self, synthetic_tiny
+    ):
+        """Stopping at 90% confidence means the 10% tail target may be
+        mis-ranked — the inherent trade-off, surfaced explicitly."""
+        coll = synthetic_tiny
+        weights = [50.0] + [1.0] * (coll.n_sets - 1)
+        prior = Prior(coll, weights)
+        session = PosteriorDiscoverySession(
+            coll, prior, confidence_threshold=0.8
+        )
+        unlikely = coll.n_sets - 1
+        result = session.run(SimulatedUser(coll, target_index=unlikely))
+        # Either it asked enough to find the truth or it stopped early
+        # on the heavy prior; both are legal outcomes.
+        assert result.ranked
+        if result.stopped_early and result.top != unlikely:
+            assert result.top_probability >= 0.8
+
+
+class TestEdgeBehaviour:
+    def test_max_questions_halts(self, synthetic_small):
+        prior = Prior.uniform(synthetic_small)
+        session = PosteriorDiscoverySession(
+            synthetic_small, prior, max_questions=2
+        )
+        result = session.run(
+            SimulatedUser(synthetic_small, target_index=3)
+        )
+        assert result.n_questions <= 2
+
+    def test_dont_know_answers_excluded_not_counted_as_filtering(
+        self, fig1
+    ):
+        prior = Prior.uniform(fig1)
+        session = PosteriorDiscoverySession(fig1, prior)
+        oracle = UnsureUser(fig1, 1.0, target_index=0)
+        result = session.run(oracle)
+        # Everything unsure: candidates never shrink.
+        assert len(result.ranked) == 7
+
+    def test_zero_mass_survivors_fall_back_to_uniform(self, fig1):
+        # Mass only on S2; user is actually looking for S4.
+        prior = Prior.from_mapping(fig1, {"S2": 1.0})
+        session = PosteriorDiscoverySession(
+            fig1, prior, selector=KLPSelector(k=2)
+        )
+        result = session.run(SimulatedUser(fig1, target_index=3))
+        assert result.top == 3
+        assert result.top_probability == pytest.approx(1.0)
+
+    def test_initial_seeding(self, fig1):
+        prior = Prior.uniform(fig1)
+        session = PosteriorDiscoverySession(
+            fig1, prior, initial={"b", "c"}
+        )
+        assert session.n_candidates == 3

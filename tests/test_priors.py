@@ -1,0 +1,157 @@
+"""Tests for repro.core.priors (non-uniform targets, Sec. 7 extension)."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import lb_ad0
+from repro.core.construction import build_tree
+from repro.core.priors import (
+    Prior,
+    WeightedEvenSelector,
+    expected_questions,
+    huffman_lower_bound,
+    skewed_prior,
+    weighted_optimal_cost,
+)
+from repro.core.selection import MostEvenSelector
+
+
+class TestPrior:
+    def test_normalisation(self, fig1):
+        prior = Prior(fig1, [2.0] * 7)
+        assert sum(prior.p) == pytest.approx(1.0)
+        assert all(p == pytest.approx(1 / 7) for p in prior.p)
+
+    def test_uniform_constructor(self, fig1):
+        prior = Prior.uniform(fig1)
+        assert prior.p == tuple([1 / 7] * 7)
+
+    def test_from_mapping(self, fig1):
+        prior = Prior.from_mapping(fig1, {"S1": 3.0, "S2": 1.0})
+        assert prior.p[0] == pytest.approx(0.75)
+        assert prior.p[1] == pytest.approx(0.25)
+        assert prior.p[2] == 0.0
+
+    def test_weight_validation(self, fig1):
+        with pytest.raises(ValueError):
+            Prior(fig1, [1.0] * 6)  # wrong length
+        with pytest.raises(ValueError):
+            Prior(fig1, [-1.0] + [1.0] * 6)
+        with pytest.raises(ValueError):
+            Prior(fig1, [0.0] * 7)
+
+    def test_mass_of_sub_collection(self, fig1):
+        prior = Prior.uniform(fig1)
+        assert prior.mass(0b0000111) == pytest.approx(3 / 7)
+
+    def test_entropy_uniform_is_log_n(self, fig1):
+        prior = Prior.uniform(fig1)
+        assert prior.entropy() == pytest.approx(math.log2(7))
+
+    def test_entropy_point_mass_is_zero(self, fig1):
+        prior = Prior(fig1, [1.0] + [0.0] * 6)
+        assert prior.entropy() == 0.0
+
+    def test_entropy_restricted_renormalises(self, fig1):
+        prior = Prior(fig1, [1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        assert prior.entropy(0b0000011) == pytest.approx(1.0)
+
+
+class TestWeightedCost:
+    def test_uniform_prior_reduces_to_ad(self, fig1):
+        tree = build_tree(fig1, MostEvenSelector())
+        prior = Prior.uniform(fig1)
+        assert prior.weighted_average_depth(tree) == pytest.approx(
+            tree.average_depth()
+        )
+
+    def test_expected_questions_alias(self, fig1):
+        tree = build_tree(fig1, MostEvenSelector())
+        prior = Prior.uniform(fig1)
+        assert expected_questions(prior, tree) == pytest.approx(
+            prior.weighted_average_depth(tree)
+        )
+
+    def test_entropy_lower_bounds_any_tree(self, fig1, synthetic_tiny):
+        for coll in (fig1, synthetic_tiny):
+            for s in (0.0, 1.0, 2.0):
+                prior = skewed_prior(coll, s)
+                tree = build_tree(coll, MostEvenSelector())
+                assert (
+                    prior.weighted_average_depth(tree)
+                    >= huffman_lower_bound(prior) - 1e-9
+                )
+
+
+class TestWeightedSelector:
+    def test_prior_collection_must_match(self, fig1, synthetic_tiny):
+        prior = Prior.uniform(fig1)
+        with pytest.raises(ValueError):
+            WeightedEvenSelector(prior).select(
+                synthetic_tiny, synthetic_tiny.full_mask
+            )
+
+    def test_uniform_prior_picks_even_split(self, fig1):
+        selector = WeightedEvenSelector(Prior.uniform(fig1))
+        chosen = selector.select(fig1, fig1.full_mask)
+        n1 = fig1.positive_count(fig1.full_mask, chosen)
+        assert sorted([n1, 7 - n1]) == [3, 4]
+
+    def test_skewed_prior_splits_mass_not_counts(self, fig1):
+        # All the mass on S2 and S5: the best first question separates
+        # mass ~evenly, i.e. puts one of the heavy sets on each side.
+        prior = Prior.from_mapping(fig1, {"S2": 1.0, "S5": 1.0})
+        selector = WeightedEvenSelector(prior)
+        chosen = selector.select(fig1, fig1.full_mask)
+        pos = fig1.full_mask & fig1.entity_mask(chosen)
+        pos_mass = prior.mass(pos)
+        assert pos_mass == pytest.approx(0.5)
+
+    def test_weighted_tree_beats_uniform_tree_under_skew(self, synthetic_tiny):
+        coll = synthetic_tiny
+        prior = skewed_prior(coll, zipf_s=2.0)
+        uniform_tree = build_tree(coll, MostEvenSelector())
+        weighted_tree = build_tree(coll, WeightedEvenSelector(prior))
+        assert prior.weighted_average_depth(
+            weighted_tree
+        ) <= prior.weighted_average_depth(uniform_tree) + 1e-9
+
+
+class TestWeightedOptimal:
+    def test_uniform_matches_unweighted_optimal(self, synthetic_tiny):
+        from repro.core.bounds import AD
+        from repro.core.optimal import optimal_cost
+
+        prior = Prior.uniform(synthetic_tiny)
+        weighted = weighted_optimal_cost(synthetic_tiny, prior)
+        assert weighted == pytest.approx(optimal_cost(synthetic_tiny, AD))
+
+    def test_weighted_optimum_at_least_entropy(self, synthetic_tiny):
+        prior = skewed_prior(synthetic_tiny, 1.5)
+        optimum = weighted_optimal_cost(synthetic_tiny, prior)
+        assert optimum >= prior.entropy() - 1e-9
+
+    def test_no_tree_beats_weighted_optimum(self, synthetic_tiny):
+        prior = skewed_prior(synthetic_tiny, 1.5)
+        optimum = weighted_optimal_cost(synthetic_tiny, prior)
+        for selector in (
+            MostEvenSelector(),
+            WeightedEvenSelector(prior),
+        ):
+            tree = build_tree(synthetic_tiny, selector)
+            assert prior.weighted_average_depth(tree) >= optimum - 1e-9
+
+    def test_size_guard(self, synthetic_small):
+        prior = Prior.uniform(synthetic_small)
+        with pytest.raises(ValueError):
+            weighted_optimal_cost(synthetic_small, prior, max_sets=10)
+
+    def test_zipf_validation(self, fig1):
+        with pytest.raises(ValueError):
+            skewed_prior(fig1, -1.0)
+
+    def test_uniform_entropy_vs_lb_ad0(self, fig1):
+        # H(uniform over n) = log2 n <= ceil(n log2 n)/n for all n.
+        prior = Prior.uniform(fig1)
+        assert prior.entropy() <= lb_ad0(7) + 1e-9

@@ -1,0 +1,130 @@
+"""Tests for repro.querydisc (end-to-end query discovery, Sec. 5.2.3)."""
+
+import pytest
+
+from repro.core.lookahead import KLPSelector
+from repro.core.selection import InfoGainSelector
+from repro.querydisc import (
+    BaseballWorkload,
+    build_query_collection,
+    discover_target_query,
+    run_workload,
+)
+from repro.querydisc.targets import baseball_generator_config
+
+
+@pytest.fixture(scope="module")
+def workload() -> BaseballWorkload:
+    return BaseballWorkload.build(n_players=2_500)
+
+
+class TestWorkload:
+    def test_cases_present(self, workload):
+        assert set(workload.cases) <= {f"T{i}" for i in range(1, 8)}
+        assert "T1" in workload.cases
+
+    def test_examples_come_from_target_output(self, workload):
+        for case in workload.cases.values():
+            assert set(case.example_rows) <= case.output_rows
+
+    def test_examples_deterministic(self):
+        a = BaseballWorkload.build(n_players=1_500)
+        b = BaseballWorkload.build(n_players=1_500)
+        for name in a.cases:
+            assert (
+                a.cases[name].example_rows == b.cases[name].example_rows
+            )
+
+    def test_unknown_case_raises(self, workload):
+        with pytest.raises(KeyError):
+            workload.case("T99")
+
+    def test_generator_config_excludes_player_id(self):
+        config = baseball_generator_config()
+        assert "playerID" not in config.categorical
+        assert set(config.numerical) == {"birthYear", "height", "weight"}
+
+
+class TestQueryCollection:
+    def test_collection_is_deduplicated_outputs(self, workload):
+        case = workload.case("T1")
+        qc = build_query_collection(case)
+        assert qc.n_unique_sets <= qc.n_candidate_queries
+        assert qc.collection.n_sets == qc.n_unique_sets
+
+    def test_provenance_covers_all_queries_with_output(self, workload):
+        case = workload.case("T1")
+        qc = build_query_collection(case)
+        covered = sum(len(v) for v in qc.provenance.values())
+        assert covered == len(qc.output_sizes)
+
+    def test_target_output_is_among_candidates(self, workload):
+        """The target query itself is generated (its shape fits steps
+        3-5), so its output set must be in the collection."""
+        for name in ("T1", "T3", "T5"):
+            case = workload.case(name)
+            qc = build_query_collection(case)
+            table = case.query.table
+            target_labels = frozenset(
+                table.value(rid, "playerID") for rid in case.output_rows
+            )
+            found = any(
+                qc.collection.set_labels(i) == target_labels
+                for i in range(qc.collection.n_sets)
+            )
+            assert found, name
+
+    def test_average_output_size_positive(self, workload):
+        qc = build_query_collection(workload.case("T4"))
+        assert qc.average_output_size > 0
+
+    def test_queries_for_set_returns_sql(self, workload):
+        qc = build_query_collection(workload.case("T1"))
+        sqls = qc.queries_for_set(0)
+        assert sqls
+        assert all(s.startswith("SELECT") for s in sqls)
+
+
+class TestDiscovery:
+    @pytest.mark.parametrize("name", ["T1", "T2", "T3", "T4"])
+    def test_target_query_is_discovered(self, workload, name):
+        case = workload.case(name)
+        outcome = discover_target_query(case, KLPSelector(k=2))
+        assert outcome.resolved
+        assert outcome.target_found, name
+        assert outcome.n_questions > 0
+        assert outcome.discovered_queries
+
+    def test_infogain_also_discovers(self, workload):
+        case = workload.case("T3")
+        outcome = discover_target_query(case, InfoGainSelector())
+        assert outcome.target_found
+
+    def test_question_counts_in_paper_regime(self, workload):
+        """The paper needs 9-11 questions per target; at reduced scale
+        the collection is smaller, so a loose upper band applies."""
+        case = workload.case("T1")
+        outcome = discover_target_query(case, KLPSelector(k=2))
+        assert 3 <= outcome.n_questions <= 15
+
+    def test_shared_collection_reuse(self, workload):
+        case = workload.case("T2")
+        qc = build_query_collection(case)
+        a = discover_target_query(case, KLPSelector(k=2), qc)
+        b = discover_target_query(case, KLPSelector(k=2), qc)
+        assert a.n_questions == b.n_questions
+
+    def test_run_workload_shape(self, workload):
+        outcomes = run_workload(
+            workload, InfoGainSelector(), targets=["T1", "T2"]
+        )
+        assert sorted(outcomes) == ["T1", "T2"]
+        assert all(o.resolved for o in outcomes.values())
+
+    def test_outcome_metadata(self, workload):
+        case = workload.case("T5")
+        outcome = discover_target_query(case, KLPSelector(k=2))
+        assert outcome.target == "T5"
+        assert outcome.selector == "2-LP[AD]"
+        assert outcome.n_candidate_queries > 100
+        assert outcome.discovery_seconds >= 0.0

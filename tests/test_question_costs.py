@@ -1,0 +1,147 @@
+"""Tests for repro.core.question_costs (cost-aware questions)."""
+
+import pytest
+
+from repro.core.collection import SetCollection
+from repro.core.construction import build_tree
+from repro.core.lookahead import KLPSelector
+from repro.core.question_costs import (
+    CheapestEvenSelector,
+    QuestionCosts,
+    cost_optimal,
+    expected_path_cost,
+    worst_path_cost,
+)
+from repro.core.selection import InfoGainSelector
+
+
+class TestQuestionCosts:
+    def test_default_is_unit(self, fig1):
+        costs = QuestionCosts.uniform(fig1)
+        assert costs.cost(fig1.universe.id_of("d")) == 1.0
+
+    def test_overrides_by_label(self, fig1):
+        costs = QuestionCosts(fig1, {"d": 5.0, "e": 0.5})
+        assert costs.cost(fig1.universe.id_of("d")) == 5.0
+        assert costs.cost(fig1.universe.id_of("e")) == 0.5
+        assert costs.cost(fig1.universe.id_of("b")) == 1.0
+
+    def test_validation(self, fig1):
+        with pytest.raises(ValueError):
+            QuestionCosts(fig1, {"d": 0.0})
+        with pytest.raises(ValueError):
+            QuestionCosts(fig1, default=-1.0)
+
+
+class TestPathCosts:
+    def test_unit_costs_reduce_to_ad_and_h(self, fig1):
+        tree = build_tree(fig1, KLPSelector(k=2))
+        costs = QuestionCosts.uniform(fig1)
+        assert expected_path_cost(tree, costs) == pytest.approx(
+            tree.average_depth()
+        )
+        assert worst_path_cost(tree, costs) == pytest.approx(
+            float(tree.height())
+        )
+
+    def test_scaling_costs_scales_path_cost(self, fig1):
+        tree = build_tree(fig1, KLPSelector(k=2))
+        doubled = QuestionCosts(fig1, default=2.0)
+        assert expected_path_cost(tree, doubled) == pytest.approx(
+            2.0 * tree.average_depth()
+        )
+
+    def test_expensive_root_hurts_every_leaf(self, fig1):
+        tree = build_tree(fig1, KLPSelector(k=2))
+        root_label = fig1.universe.label(tree.entity)
+        costs = QuestionCosts(fig1, {root_label: 10.0})
+        # Root cost contributes fully to the expected cost.
+        assert expected_path_cost(tree, costs) == pytest.approx(
+            tree.average_depth() - 1.0 + 10.0
+        )
+
+
+class TestCheapestEvenSelector:
+    def test_uniform_costs_match_infogain(self, fig1, synthetic_small):
+        for coll in (fig1, synthetic_small):
+            costs = QuestionCosts.uniform(coll)
+            assert CheapestEvenSelector(costs).select(
+                coll, coll.full_mask
+            ) == InfoGainSelector().select(coll, coll.full_mask)
+
+    def test_avoids_expensive_entities(self, fig1):
+        # Make the 3/4 splitters (c, d) prohibitively expensive; the
+        # selector must fall back to a cheaper informative entity.
+        costs = QuestionCosts(fig1, {"c": 100.0, "d": 100.0})
+        chosen = CheapestEvenSelector(costs).select(fig1, fig1.full_mask)
+        assert fig1.universe.label(chosen) not in {"c", "d"}
+
+    def test_collection_mismatch_rejected(self, fig1, synthetic_tiny):
+        costs = QuestionCosts.uniform(fig1)
+        with pytest.raises(ValueError):
+            CheapestEvenSelector(costs).select(
+                synthetic_tiny, synthetic_tiny.full_mask
+            )
+
+    def test_cost_aware_tree_beats_blind_tree_under_skewed_costs(self):
+        """When the 'good' splitters are expensive, a cost-aware tree has
+        lower expected cost than the cost-blind InfoGain tree."""
+        coll = SetCollection(
+            [
+                {"mri", "blood", f"s{i}"} | ({"x"} if i % 2 else set())
+                for i in range(8)
+            ]
+        )
+        costs = QuestionCosts(
+            coll, {"x": 50.0}, default=1.0
+        )  # 'x' splits 4/4 but is expensive
+        blind = build_tree(coll, InfoGainSelector())
+        aware = build_tree(coll, CheapestEvenSelector(costs))
+        assert expected_path_cost(aware, costs) <= expected_path_cost(
+            blind, costs
+        )
+
+
+class TestCostOptimal:
+    def test_unit_costs_match_optimal_ad(self, synthetic_tiny):
+        from repro.core.bounds import AD
+        from repro.core.optimal import optimal_cost
+
+        costs = QuestionCosts.uniform(synthetic_tiny)
+        assert cost_optimal(synthetic_tiny, costs) == pytest.approx(
+            optimal_cost(synthetic_tiny, AD)
+        )
+
+    def test_no_tree_beats_the_optimum(self, synthetic_tiny):
+        costs = QuestionCosts(
+            synthetic_tiny, default=1.0
+        )
+        # Make a few entities expensive, deterministically.
+        for eid in list(synthetic_tiny.entity_ids())[:5]:
+            label = synthetic_tiny.universe.label(eid)
+            costs = QuestionCosts(
+                synthetic_tiny,
+                {label: 3.0},
+            )
+        optimum = cost_optimal(synthetic_tiny, costs)
+        for selector in (
+            InfoGainSelector(),
+            CheapestEvenSelector(costs),
+            KLPSelector(k=2),
+        ):
+            tree = build_tree(synthetic_tiny, selector)
+            assert expected_path_cost(tree, costs) >= optimum - 1e-9
+
+    def test_size_guard(self, synthetic_small):
+        costs = QuestionCosts.uniform(synthetic_small)
+        with pytest.raises(ValueError):
+            cost_optimal(synthetic_small, costs, max_sets=10)
+
+    def test_cheap_entity_preferred_by_optimum(self):
+        """Two interchangeable splits at different prices: the optimal
+        cost must use the cheap one."""
+        coll = SetCollection(
+            [{"cheap", "exp", "a"}, {"b"}]
+        )
+        costs = QuestionCosts(coll, {"exp": 9.0, "cheap": 1.0})
+        assert cost_optimal(coll, costs) == pytest.approx(1.0)

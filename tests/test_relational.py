@@ -1,0 +1,187 @@
+"""Tests for repro.relational.{table,predicates,query}."""
+
+import pytest
+
+from repro.relational.predicates import (
+    CNF,
+    Clause,
+    Eq,
+    Gt,
+    Lt,
+    interval,
+)
+from repro.relational.query import SelectQuery
+from repro.relational.table import Column, ColumnKind, Table
+
+
+@pytest.fixture
+def people() -> Table:
+    columns = [
+        Column("name", ColumnKind.CATEGORICAL),
+        Column("city", ColumnKind.CATEGORICAL),
+        Column("height", ColumnKind.NUMERICAL),
+    ]
+    rows = [
+        {"name": "ann", "city": "Chicago", "height": 62},
+        {"name": "bob", "city": "Seattle", "height": 73},
+        {"name": "cyd", "city": "Chicago", "height": 71},
+        {"name": "dee", "city": "Boston", "height": 66},
+    ]
+    return Table("people", columns, rows)
+
+
+class TestTable:
+    def test_schema_accessors(self, people):
+        assert people.column_names == ("name", "city", "height")
+        assert people.categorical_columns() == ["name", "city"]
+        assert people.numerical_columns() == ["height"]
+        assert people.column("city").kind is ColumnKind.CATEGORICAL
+        assert people.has_column("height")
+        assert not people.has_column("weight")
+
+    def test_unknown_column_raises_helpfully(self, people):
+        with pytest.raises(KeyError, match="weight"):
+            people.column("weight")
+
+    def test_row_access(self, people):
+        assert people.n_rows == 4
+        assert len(people) == 4
+        assert people.value(1, "city") == "Seattle"
+        assert people.row(0)["name"] == "ann"
+
+    def test_rows_iterator_yields_ids(self, people):
+        ids = [rid for rid, _ in people.rows()]
+        assert ids == [0, 1, 2, 3]
+
+    def test_column_values_and_distinct(self, people):
+        assert people.column_values("city") == [
+            "Chicago", "Seattle", "Chicago", "Boston",
+        ]
+        assert people.distinct_values("city") == {
+            "Chicago", "Seattle", "Boston",
+        }
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            Table("t", [], [])
+        cols = [Column("a", ColumnKind.CATEGORICAL)] * 2
+        with pytest.raises(ValueError):
+            Table("t", cols, [])
+        with pytest.raises(ValueError):
+            Table(
+                "t",
+                [Column("a", ColumnKind.CATEGORICAL)],
+                [{"b": 1}],
+            )
+
+    def test_column_name_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            Column("", ColumnKind.NUMERICAL)
+
+    def test_repr(self, people):
+        assert "people" in repr(people)
+
+
+class TestPredicates:
+    def test_eq(self, people):
+        pred = Eq("city", "Chicago")
+        assert pred.matches(people.row(0))
+        assert not pred.matches(people.row(1))
+        assert pred.describe() == "city = 'Chicago'"
+
+    def test_gt_lt(self, people):
+        assert Gt("height", 70).matches(people.row(1))
+        assert not Gt("height", 70).matches(people.row(0))
+        assert Lt("height", 65).matches(people.row(0))
+
+    def test_comparisons_treat_none_as_unknown(self):
+        assert not Gt("h", 5).matches({"h": None})
+        assert not Lt("h", 5).matches({"h": None})
+
+    def test_clause_is_disjunction(self, people):
+        clause = Clause((Eq("city", "Chicago"), Eq("city", "Seattle")))
+        assert clause.matches(people.row(0))
+        assert clause.matches(people.row(1))
+        assert not clause.matches(people.row(3))
+        assert "OR" in clause.describe()
+
+    def test_clause_single_column_enforced(self):
+        with pytest.raises(ValueError):
+            Clause((Eq("city", "x"), Eq("name", "y")))
+        with pytest.raises(ValueError):
+            Clause(())
+
+    def test_cnf_is_conjunction(self, people):
+        cnf = CNF([Eq("city", "Chicago"), Gt("height", 65)])
+        assert cnf.matches(people.row(2))
+        assert not cnf.matches(people.row(0))  # Chicago but short
+
+    def test_empty_cnf_is_true(self, people):
+        assert CNF().matches(people.row(0))
+        assert CNF().describe() == "TRUE"
+
+    def test_cnf_flattens_nested_cnf(self):
+        inner = CNF([Gt("height", 60)])
+        outer = CNF([inner, Lt("height", 75)])
+        assert len(outer.clauses) == 2
+
+    def test_structural_equality_and_hash(self):
+        a = CNF([Eq("city", "Chicago"), Gt("height", 60)])
+        b = CNF([Gt("height", 60), Eq("city", "Chicago")])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != CNF([Eq("city", "Boston")])
+
+    def test_clause_canonical_order(self):
+        a = Clause((Eq("c", "x"), Eq("c", "y")))
+        b = Clause((Eq("c", "y"), Eq("c", "x")))
+        assert a == b
+
+    def test_interval_helper(self, people):
+        cnf = interval("height", 60, 75)
+        assert cnf.matches(people.row(1))
+        assert len(cnf.clauses) == 2
+        one_sided = interval("height", None, 65)
+        assert one_sided.matches(people.row(0))
+        with pytest.raises(ValueError):
+            interval("height", None, None)
+
+    def test_columns_reported(self):
+        cnf = CNF([Eq("city", "x"), Gt("height", 1)])
+        assert cnf.columns() == frozenset({"city", "height"})
+
+    def test_conjoin(self, people):
+        cnf = CNF([Eq("city", "Chicago")]).conjoin(Gt("height", 65))
+        assert cnf.matches(people.row(2))
+        assert not cnf.matches(people.row(0))
+
+
+class TestSelectQuery:
+    def test_evaluate(self, people):
+        q = SelectQuery(people, CNF([Eq("city", "Chicago")]))
+        assert q.evaluate() == frozenset({0, 2})
+
+    def test_cardinality_matches_evaluate(self, people):
+        q = SelectQuery(people, CNF([Gt("height", 64)]))
+        assert q.cardinality() == len(q.evaluate())
+
+    def test_contains_rows(self, people):
+        q = SelectQuery(people, CNF([Gt("height", 64)]))
+        assert q.contains_rows({1, 2})
+        assert not q.contains_rows({0})
+
+    def test_sql_rendering(self, people):
+        q = SelectQuery(people, CNF([Eq("city", "Chicago")]))
+        assert q.sql() == (
+            "SELECT * FROM people WHERE city = 'Chicago'"
+        )
+
+    def test_conjoin_narrows(self, people):
+        q = SelectQuery(people, CNF([Eq("city", "Chicago")]))
+        narrowed = q.conjoin(Gt("height", 65))
+        assert narrowed.evaluate() < q.evaluate()
+
+    def test_empty_condition_selects_everything(self, people):
+        assert SelectQuery(people, CNF()).evaluate() == frozenset(
+            range(4)
+        )

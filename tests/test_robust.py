@@ -1,0 +1,164 @@
+"""Tests for repro.core.robust (Sec. 6: errors in answers)."""
+
+import pytest
+
+from repro.core.lookahead import KLPSelector
+from repro.core.robust import (
+    AnsweredQuestion,
+    BacktrackingDiscoverySession,
+    consistent_mask,
+    rank_by_violations,
+    violation_scores,
+    with_confidence,
+)
+from repro.core.selection import MostEvenSelector
+from repro.oracle import NoisyUser, SimulatedUser
+
+
+def qa(coll, label, answer, confidence=1.0):
+    return AnsweredQuestion(coll.universe.id_of(label), answer, confidence)
+
+
+class TestConsistency:
+    def test_consistent_mask_filters(self, fig1):
+        answers = [qa(fig1, "d", True), qa(fig1, "e", False)]
+        mask = consistent_mask(fig1, fig1.full_mask, answers)
+        names = {fig1.name_of(i) for i in fig1.sets_in(mask)}
+        assert names == {"S1", "S3"}
+
+    def test_contradictory_answers_empty_the_mask(self, fig1):
+        answers = [qa(fig1, "d", True), qa(fig1, "b", False),
+                   qa(fig1, "e", False)]
+        assert consistent_mask(fig1, fig1.full_mask, answers) == 0
+
+    def test_violation_scores_count_mismatches(self, fig1):
+        answers = [qa(fig1, "d", True, 0.5), qa(fig1, "e", True, 1.0)]
+        scores = violation_scores(fig1, fig1.full_mask, answers)
+        # S2 = {a,d,e} violates nothing; S1 = {a,b,c,d} violates 'e': 1.0;
+        # S4 violates both: 1.5.
+        assert scores[1] == 0.0
+        assert scores[0] == 1.0
+        assert scores[3] == 1.5
+
+    def test_ranking_is_best_first(self, fig1):
+        answers = [qa(fig1, "d", True), qa(fig1, "e", True)]
+        ranking = rank_by_violations(fig1, fig1.full_mask, answers)
+        assert ranking[0][0] == 1  # S2
+        scores = [s for _, s in ranking]
+        assert scores == sorted(scores)
+
+
+class TestBacktrackingSession:
+    def test_perfect_oracle_passes_through(self, fig1):
+        session = BacktrackingDiscoverySession(
+            fig1, KLPSelector(k=2), max_flips=2
+        )
+        oracle = SimulatedUser(fig1, target_index=4)
+        result = session.run(with_confidence(oracle))
+        assert result.resolved
+        assert result.target == 4
+        assert result.backtracks == 0
+        assert result.flipped == []
+
+    def test_single_injected_error_is_flipped(self, fig1):
+        """Answer the first question wrongly with low confidence, then
+        truthfully; the contradiction must be repaired by flipping."""
+        target_members = fig1.sets[2]  # S3
+
+        state = {"first": True}
+
+        def flaky(entity):
+            truth = entity in target_members
+            if state["first"]:
+                state["first"] = False
+                return (not truth, 0.2)
+            return (truth, 1.0)
+
+        session = BacktrackingDiscoverySession(
+            fig1,
+            KLPSelector(k=2),
+            max_flips=2,
+            verify_questions=4,
+        )
+        result = session.run(flaky)
+        assert result.resolved
+        assert result.target == 2
+        assert result.backtracks >= 1
+        assert len(result.flipped) >= 1
+
+    def test_verification_detects_silent_wrong_turn(self, synthetic_small):
+        """Without verification a wrong answer can land on a wrong leaf
+        with no contradiction; verification must catch some of these."""
+        coll = synthetic_small
+        recovered_plain = 0
+        recovered_verified = 0
+        trials = 12
+        for trial in range(trials):
+            target = trial % coll.n_sets
+            noisy = NoisyUser(coll, 0.15, target_index=target, seed=trial)
+            plain = BacktrackingDiscoverySession(
+                coll, KLPSelector(k=2), max_flips=2, verify_questions=0
+            )
+            r = plain.run(lambda e: (bool(noisy(e)), 0.6))
+            recovered_plain += int(r.resolved and r.target == target)
+
+            noisy.reset()
+            verified = BacktrackingDiscoverySession(
+                coll, KLPSelector(k=2), max_flips=2, verify_questions=3
+            )
+            r = verified.run(lambda e: (bool(noisy(e)), 0.6))
+            recovered_verified += int(r.resolved and r.target == target)
+        assert recovered_verified >= recovered_plain
+
+    def test_best_effort_when_flips_exhausted(self, fig1):
+        """With max_flips=0 and contradictory answers, the session falls
+        back to the violation ranking instead of failing."""
+
+        answers = iter([(True, 1.0), (False, 1.0), (False, 1.0),
+                        (True, 1.0), (False, 1.0), (True, 1.0),
+                        (False, 1.0), (True, 1.0)])
+
+        def adversarial(entity):
+            try:
+                return next(answers)
+            except StopIteration:
+                return (False, 1.0)
+
+        session = BacktrackingDiscoverySession(
+            fig1, MostEvenSelector(), max_flips=0, max_questions=8
+        )
+        result = session.run(adversarial)
+        assert result.candidates  # never empty: best-effort ranking
+
+    def test_max_questions_halts(self, synthetic_small):
+        session = BacktrackingDiscoverySession(
+            synthetic_small,
+            KLPSelector(k=2),
+            max_questions=2,
+        )
+        oracle = SimulatedUser(synthetic_small, target_index=1)
+        result = session.run(with_confidence(oracle))
+        assert result.n_questions <= 2
+
+    def test_validation(self, fig1):
+        with pytest.raises(ValueError):
+            BacktrackingDiscoverySession(
+                fig1, MostEvenSelector(), max_flips=-1
+            )
+        with pytest.raises(ValueError):
+            BacktrackingDiscoverySession(
+                fig1, MostEvenSelector(), verify_questions=-1
+            )
+
+
+class TestWithConfidence:
+    def test_wraps_bool_oracle(self, fig1):
+        oracle = with_confidence(
+            SimulatedUser(fig1, target_index=0), 0.9
+        )
+        d = fig1.universe.id_of("d")
+        assert oracle(d) == (True, 0.9)
+
+    def test_confidence_range_checked(self, fig1):
+        with pytest.raises(ValueError):
+            with_confidence(lambda e: True, 1.5)

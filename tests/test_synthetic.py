@@ -1,0 +1,129 @@
+"""Tests for repro.data.synthetic (copy-add generator, Sec. 5.2.2)."""
+
+import pytest
+
+from repro.data.synthetic import (
+    SyntheticConfig,
+    TABLE1A_OVERLAPS,
+    TABLE1B_SET_COUNTS,
+    TABLE1C_SIZE_RANGES,
+    generate_collection,
+    generate_sets,
+    table1a_configs,
+    table1b_configs,
+    table1c_configs,
+)
+
+
+class TestConfigValidation:
+    def test_valid_config(self):
+        cfg = SyntheticConfig(n_sets=10, size_lo=5, size_hi=8, overlap=0.9)
+        assert cfg.label == "n=10,d=5-8,a=0.9"
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_sets=10, size_lo=0, size_hi=5, overlap=0.5)
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_sets=10, size_lo=9, size_hi=5, overlap=0.5)
+
+    def test_bad_overlap(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_sets=10, size_lo=5, size_hi=8, overlap=1.0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_sets=10, size_lo=5, size_hi=8, overlap=-0.1)
+
+    def test_bad_n_sets(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_sets=0, size_lo=5, size_hi=8, overlap=0.5)
+
+    def test_universe_must_fit_sets(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(
+                n_sets=5, size_lo=5, size_hi=10, overlap=0.5,
+                universe_size=4,
+            )
+
+
+class TestGeneration:
+    def test_set_sizes_within_range(self):
+        cfg = SyntheticConfig(n_sets=50, size_lo=10, size_hi=15, overlap=0.8)
+        for s in generate_sets(cfg):
+            assert 10 <= len(s) <= 15
+
+    def test_deterministic_per_seed(self):
+        cfg = SyntheticConfig(
+            n_sets=30, size_lo=5, size_hi=9, overlap=0.7, seed=9
+        )
+        assert generate_sets(cfg) == generate_sets(cfg)
+
+    def test_different_seeds_differ(self):
+        base = dict(n_sets=30, size_lo=5, size_hi=9, overlap=0.7)
+        a = generate_sets(SyntheticConfig(seed=1, **base))
+        b = generate_sets(SyntheticConfig(seed=2, **base))
+        assert a != b
+
+    def test_all_sets_unique(self):
+        cfg = SyntheticConfig(
+            n_sets=200, size_lo=5, size_hi=7, overlap=0.95, seed=4
+        )
+        sets = generate_sets(cfg)
+        assert len(set(sets)) == len(sets)
+
+    def test_high_overlap_reuses_elements(self):
+        """The copy step must create real overlap between sets."""
+        cfg = SyntheticConfig(
+            n_sets=50, size_lo=20, size_hi=25, overlap=0.9, seed=3
+        )
+        sets = generate_sets(cfg)
+        overlaps = [
+            len(sets[i] & sets[i - 1]) for i in range(1, len(sets))
+        ]
+        assert max(overlaps) > 0
+
+    def test_distinct_entities_decrease_with_overlap(self):
+        counts = []
+        for alpha in (0.5, 0.7, 0.9):
+            cfg = SyntheticConfig(
+                n_sets=200, size_lo=20, size_hi=25, overlap=alpha, seed=5
+            )
+            counts.append(len(set().union(*generate_sets(cfg))))
+        assert counts[0] > counts[1] > counts[2]
+
+    def test_collection_wrapper(self):
+        cfg = SyntheticConfig(n_sets=25, size_lo=5, size_hi=8, overlap=0.8)
+        coll = generate_collection(cfg)
+        assert coll.n_sets == 25
+        assert coll.names[0] == "S1"
+        union = set()
+        for i in range(coll.n_sets):
+            union |= set(coll.sets[i])
+        assert coll.n_entities == len(union)
+
+
+class TestTable1Configs:
+    def test_table1a_sweeps_overlap(self):
+        configs = list(table1a_configs(scale=10))
+        assert [c.overlap for c in configs] == list(TABLE1A_OVERLAPS)
+        assert all(c.n_sets == 1000 for c in configs)
+        assert all((c.size_lo, c.size_hi) == (50, 60) for c in configs)
+
+    def test_table1b_sweeps_n(self):
+        configs = list(table1b_configs(scale=10))
+        assert [c.n_sets for c in configs] == [
+            n // 10 for n in TABLE1B_SET_COUNTS
+        ]
+        assert all(c.overlap == 0.9 for c in configs)
+
+    def test_table1c_sweeps_sizes(self):
+        configs = list(table1c_configs(scale=10))
+        assert [(c.size_lo, c.size_hi) for c in configs] == list(
+            TABLE1C_SIZE_RANGES
+        )
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            list(table1a_configs(scale=0))
+
+    def test_paper_scale_preserved_at_divisor_one(self):
+        configs = list(table1b_configs(scale=1))
+        assert configs[-1].n_sets == 160_000

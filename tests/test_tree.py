@@ -1,0 +1,162 @@
+"""Tests for repro.core.tree (decision trees, Sec. 3)."""
+
+import pytest
+
+from repro.core.construction import build_tree
+from repro.core.selection import MostEvenSelector
+from repro.core.tree import DecisionTree
+
+
+def chain_tree() -> DecisionTree:
+    """A degenerate path: e0 -> (S0 | e1 -> (S1 | S2))."""
+    inner = DecisionTree.internal(
+        1, DecisionTree.leaf(1), DecisionTree.leaf(2)
+    )
+    return DecisionTree.internal(0, DecisionTree.leaf(0), inner)
+
+
+def balanced_tree() -> DecisionTree:
+    return DecisionTree.internal(
+        0,
+        DecisionTree.internal(1, DecisionTree.leaf(0), DecisionTree.leaf(1)),
+        DecisionTree.internal(2, DecisionTree.leaf(2), DecisionTree.leaf(3)),
+    )
+
+
+class TestConstruction:
+    def test_leaf_properties(self):
+        leaf = DecisionTree.leaf(5)
+        assert leaf.is_leaf
+        assert leaf.set_index == 5
+        assert leaf.n_leaves == 1
+        assert leaf.height() == 0
+
+    def test_internal_requires_both_children(self):
+        with pytest.raises(ValueError):
+            DecisionTree(0, DecisionTree.leaf(1), None, None)
+
+    def test_leaf_rejects_children(self):
+        with pytest.raises(ValueError):
+            DecisionTree(None, DecisionTree.leaf(0), DecisionTree.leaf(1), 2)
+
+    def test_leaf_requires_set_index(self):
+        with pytest.raises(ValueError):
+            DecisionTree(None, None, None, None)
+
+
+class TestShape:
+    def test_leaves_of_balanced(self):
+        tree = balanced_tree()
+        assert dict(tree.leaves()) == {0: 2, 1: 2, 2: 2, 3: 2}
+        assert tree.n_leaves == 4
+        assert tree.n_internal == 3
+
+    def test_chain_depths(self):
+        tree = chain_tree()
+        assert tree.leaf_depths() == {0: 1, 1: 2, 2: 2}
+
+    def test_average_depth(self):
+        assert balanced_tree().average_depth() == 2.0
+        assert chain_tree().average_depth() == pytest.approx(5 / 3)
+
+    def test_height(self):
+        assert balanced_tree().height() == 2
+        assert chain_tree().height() == 2
+
+    def test_weighted_average_depth(self):
+        tree = chain_tree()
+        # All mass on the shallow leaf.
+        assert tree.weighted_average_depth({0: 1.0}) == 1.0
+        # Even mass on the two deep leaves.
+        assert tree.weighted_average_depth({1: 1.0, 2: 1.0}) == 2.0
+
+    def test_weighted_average_depth_needs_mass(self):
+        with pytest.raises(ValueError):
+            chain_tree().weighted_average_depth({})
+
+    def test_deep_tree_does_not_recurse(self):
+        # 3000-deep chain would blow the default recursion limit if
+        # leaves() were recursive.
+        tree = DecisionTree.leaf(0)
+        for i in range(1, 3000):
+            tree = DecisionTree.internal(i, DecisionTree.leaf(i), tree)
+        assert tree.height() == 2999
+
+    def test_internal_entities(self):
+        assert sorted(balanced_tree().internal_entities()) == [0, 1, 2]
+
+
+class TestPaths:
+    def test_path_to_each_leaf(self):
+        tree = balanced_tree()
+        assert tree.path_to(0) == [(0, True), (1, True)]
+        assert tree.path_to(3) == [(0, False), (2, False)]
+
+    def test_path_to_missing_set_raises(self):
+        with pytest.raises(KeyError):
+            balanced_tree().path_to(9)
+
+
+class TestValidate:
+    def test_valid_tree_passes(self, fig1):
+        tree = build_tree(fig1, MostEvenSelector())
+        tree.validate(fig1)
+
+    def test_wrong_leaf_set_fails(self, fig1):
+        tree = build_tree(fig1, MostEvenSelector())
+        # Swap two leaves: the membership structure breaks.
+        leaves = []
+
+        def collect(node):
+            if node.is_leaf:
+                leaves.append(node)
+            else:
+                collect(node.pos)
+                collect(node.neg)
+
+        collect(tree)
+        leaves[0].set_index, leaves[1].set_index = (
+            leaves[1].set_index,
+            leaves[0].set_index,
+        )
+        with pytest.raises(AssertionError):
+            tree.validate(fig1)
+
+    def test_missing_leaf_fails(self, fig1):
+        partial = DecisionTree.internal(
+            fig1.universe.id_of("d"),
+            DecisionTree.leaf(0),
+            DecisionTree.leaf(1),
+        )
+        with pytest.raises(AssertionError):
+            partial.validate(fig1)
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        tree = balanced_tree()
+        clone = DecisionTree.from_dict(tree.to_dict())
+        assert clone.leaf_depths() == tree.leaf_depths()
+        assert clone.path_to(2) == tree.path_to(2)
+
+    def test_dict_shape(self):
+        data = chain_tree().to_dict()
+        assert data["entity"] == 0
+        assert data["pos"] == {"set": 0}
+        assert data["neg"]["entity"] == 1
+
+
+class TestRender:
+    def test_render_with_collection_labels(self, fig1):
+        tree = build_tree(fig1, MostEvenSelector())
+        text = tree.render(fig1)
+        assert "S1" in text and "?" in text
+
+    def test_render_without_collection(self):
+        text = balanced_tree().render()
+        assert "e0?" in text
+        assert "[set#3]" in text
+
+    def test_repr(self):
+        assert "leaf" in repr(DecisionTree.leaf(1))
+        assert "leaves=4" in repr(balanced_tree())

@@ -1,0 +1,156 @@
+"""Tests for repro.core.treeindex (offline construction, Sec. 4.5)."""
+
+import pytest
+
+from repro.core.lookahead import KLPSelector
+from repro.core.treeindex import TreeIndex
+from repro.oracle import SimulatedUser
+
+
+class TestBuild:
+    def test_add_builds_tree_over_candidates(self, fig1):
+        index = TreeIndex(fig1)
+        tree = index.add({"b", "c"}, KLPSelector(k=2))
+        assert tree is not None
+        assert tree.n_leaves == 3  # S1, S3, S4
+        assert len(index) == 1
+        assert {"b", "c"} in index
+        assert {"c", "b"} in index  # order-independent key
+
+    def test_single_candidate_initial_not_indexed(self, fig1):
+        index = TreeIndex(fig1)
+        assert index.add({"e"}, KLPSelector(k=2)) is None  # only S2
+        assert len(index) == 0
+
+    def test_unknown_entity_initial_not_indexed(self, fig1):
+        index = TreeIndex(fig1)
+        assert index.add({"zzz"}, KLPSelector(k=2)) is None
+
+    def test_add_all_counts(self, fig1):
+        index = TreeIndex(fig1)
+        added = index.add_all(
+            [{"b", "c"}, {"g"}, {"e"}, set()], KLPSelector(k=2)
+        )
+        assert added == 3  # {"e"} is a singleton
+        assert len(index) == 3
+
+    def test_empty_initial_indexes_whole_collection(self, fig1):
+        index = TreeIndex(fig1)
+        tree = index.add(set(), KLPSelector(k=2))
+        assert tree is not None
+        assert tree.n_leaves == 7
+
+    def test_stats(self, fig1):
+        index = TreeIndex(fig1)
+        assert index.stats()["trees"] == 0
+        index.add(set(), KLPSelector(k=2))
+        stats = index.stats()
+        assert stats["trees"] == 1
+        assert stats["mean_ad"] == pytest.approx(20 / 7)
+        assert stats["max_height"] == 3
+
+
+class TestDiscover:
+    def test_indexed_discovery_finds_target(self, fig1):
+        index = TreeIndex(fig1)
+        index.add({"b", "c"}, KLPSelector(k=2))
+        target = fig1.index_of("S3")
+        result = index.discover(
+            {"b", "c"}, SimulatedUser(fig1, target_index=target)
+        )
+        assert result.target == target
+
+    def test_indexed_matches_online_question_count(self, fig1):
+        index = TreeIndex(fig1)
+        index.add(set(), KLPSelector(k=2))
+        from repro.core.discovery import DiscoverySession
+
+        for target in range(7):
+            offline = index.discover(
+                set(), SimulatedUser(fig1, target_index=target)
+            )
+            online = DiscoverySession(fig1, KLPSelector(k=2)).run(
+                SimulatedUser(fig1, target_index=target)
+            )
+            assert offline.target == online.target == target
+            assert offline.n_questions == online.n_questions
+
+    def test_unindexed_without_fallback_raises(self, fig1):
+        index = TreeIndex(fig1)
+        with pytest.raises(KeyError):
+            index.discover({"g"}, SimulatedUser(fig1, target_index=6))
+
+    def test_unindexed_with_fallback_runs_online(self, fig1):
+        index = TreeIndex(fig1)
+        result = index.discover(
+            {"g"},
+            SimulatedUser(fig1, target_index=6),
+            fallback=KLPSelector(k=2),
+        )
+        assert result.target == 6
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, fig1, tmp_path):
+        index = TreeIndex(fig1)
+        index.add({"b", "c"}, KLPSelector(k=2))
+        index.add(set(), KLPSelector(k=2))
+        path = tmp_path / "index.json"
+        index.save(path)
+        loaded = TreeIndex.load(fig1, path)
+        assert len(loaded) == 2
+        result = loaded.discover(
+            {"b", "c"}, SimulatedUser(fig1, target_index=0)
+        )
+        assert result.target == 0
+
+    def test_load_rejects_mismatched_collection(self, fig1, synthetic_tiny, tmp_path):
+        index = TreeIndex(fig1)
+        index.add(set(), KLPSelector(k=2))
+        path = tmp_path / "index.json"
+        index.save(path)
+        with pytest.raises(ValueError):
+            TreeIndex.load(synthetic_tiny, path)
+
+    def test_loaded_trees_validate(self, fig1, tmp_path):
+        index = TreeIndex(fig1)
+        index.add(set(), KLPSelector(k=2))
+        path = tmp_path / "index.json"
+        index.save(path)
+        loaded = TreeIndex.load(fig1, path)
+        tree = loaded.get(set())
+        assert tree is not None
+        tree.validate(fig1)
+
+
+class TestWorkloadIndexing:
+    def test_webtable_pair_index(self):
+        """Index all qualifying pairs of a small web-table corpus and
+        serve discoveries from it — the Sec. 4.5 deployment story."""
+        from repro.data.webtables import WebTableConfig, WebTableWorkload
+
+        workload = WebTableWorkload.build(
+            config=WebTableConfig(n_sets=300, seed=23),
+            min_candidates=8,
+            max_pairs=4,
+        )
+        coll = workload.collection
+        index = TreeIndex(coll)
+        for pair in workload.pairs:
+            labels = {
+                coll.universe.label(pair.entity_a),
+                coll.universe.label(pair.entity_b),
+            }
+            index.add(labels, KLPSelector(k=2))
+        assert len(index) == len(workload.pairs)
+        if workload.pairs:
+            pair = workload.pairs[0]
+            labels = {
+                coll.universe.label(pair.entity_a),
+                coll.universe.label(pair.entity_b),
+            }
+            target = next(coll.sets_in(pair.mask))
+            result = index.discover(
+                labels, SimulatedUser(coll, target_index=target)
+            )
+            assert result.target == target

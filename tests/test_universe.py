@@ -1,0 +1,85 @@
+"""Tests for repro.core.universe."""
+
+import pytest
+
+from repro.core.universe import Universe
+
+
+class TestIntern:
+    def test_first_label_gets_id_zero(self):
+        assert Universe().intern("x") == 0
+
+    def test_ids_are_dense_and_ordered(self):
+        u = Universe()
+        assert [u.intern(c) for c in "abc"] == [0, 1, 2]
+
+    def test_interning_twice_returns_same_id(self):
+        u = Universe()
+        first = u.intern("x")
+        u.intern("y")
+        assert u.intern("x") == first
+
+    def test_constructor_seeds_labels(self):
+        u = Universe(["p", "q"])
+        assert u.id_of("p") == 0
+        assert u.id_of("q") == 1
+
+    def test_intern_many_preserves_order(self):
+        u = Universe()
+        assert u.intern_many(["b", "a", "b"]) == [0, 1, 0]
+
+    def test_mixed_label_types(self):
+        u = Universe()
+        assert u.intern(42) != u.intern("42")
+
+    def test_tuple_labels_are_hashable_entities(self):
+        u = Universe()
+        assert u.intern(("row", 3)) == 0
+        assert u.label(0) == ("row", 3)
+
+
+class TestLookup:
+    def test_label_round_trip(self):
+        u = Universe()
+        for label in ("x", "y", "z"):
+            assert u.label(u.intern(label)) == label
+
+    def test_labels_vectorised(self):
+        u = Universe(["a", "b", "c"])
+        assert u.labels([2, 0]) == ["c", "a"]
+
+    def test_id_of_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            Universe().id_of("missing")
+
+    def test_label_of_unknown_id_raises(self):
+        with pytest.raises(IndexError):
+            Universe(["a"]).label(5)
+
+    def test_label_of_negative_id_raises(self):
+        with pytest.raises(IndexError):
+            Universe(["a"]).label(-1)
+
+    def test_contains(self):
+        u = Universe(["a"])
+        assert "a" in u
+        assert "b" not in u
+
+
+class TestProtocol:
+    def test_len_counts_distinct_labels(self):
+        u = Universe(["a", "b", "a"])
+        assert len(u) == 2
+
+    def test_iteration_order_is_id_order(self):
+        u = Universe(["c", "a", "b"])
+        assert list(u) == ["c", "a", "b"]
+
+    def test_as_sequence_is_immutable_snapshot(self):
+        u = Universe(["a"])
+        seq = u.as_sequence()
+        u.intern("b")
+        assert seq == ("a",)
+
+    def test_repr_mentions_size(self):
+        assert "2" in repr(Universe(["a", "b"]))

@@ -1,0 +1,148 @@
+"""Tests for repro.data.webtables (web-tables substitute, Sec. 5.2.1)."""
+
+import pytest
+
+from repro.core.bitmask import popcount
+from repro.data.webtables import (
+    DEFAULT_STOPWORDS,
+    WebTableConfig,
+    WebTableWorkload,
+    clean_sets,
+    generate_webtable_collection,
+    generate_webtable_sets,
+    initial_pair_subcollections,
+    is_all_numeric,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        WebTableConfig()
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            WebTableConfig(n_sets=0)
+        with pytest.raises(ValueError):
+            WebTableConfig(n_domains=1)
+        with pytest.raises(ValueError):
+            WebTableConfig(size_lo=2)
+
+
+class TestIsAllNumeric:
+    def test_numeric_strings(self):
+        assert is_all_numeric(["1", "2.5", "-3"])
+
+    def test_mixed(self):
+        assert not is_all_numeric(["1", "two"])
+
+    def test_empty_iterable_is_not_numeric(self):
+        assert not is_all_numeric([])
+
+
+class TestCleaning:
+    def test_paper_rules(self):
+        raw = [
+            ["Steve Nash", "Kobe Bryant", "Tracy McGrady", "unknown"],
+            ["1", "2", "3", "4"],                 # all numeric: dropped
+            ["a", "b"],                           # too small: dropped
+            ["x", "x", "y", "z"],                 # dup entries collapse
+            ["x", "y", "z"],                      # duplicate set: dropped
+            ["total", "tba", "p", "q", "r"],      # stopwords removed
+        ]
+        cleaned = clean_sets(raw)
+        assert frozenset({"Steve Nash", "Kobe Bryant", "Tracy McGrady"}) in cleaned
+        assert frozenset({"x", "y", "z"}) in cleaned
+        assert frozenset({"p", "q", "r"}) in cleaned
+        assert len(cleaned) == 3
+
+    def test_min_size_applies_after_stopword_removal(self):
+        raw = [["unknown", "tba", "a", "b", "c"]]
+        assert clean_sets(raw, min_size=4) == []
+        assert clean_sets(raw, min_size=3) == [frozenset({"a", "b", "c"})]
+
+    def test_stopwords_case_insensitive(self):
+        raw = [["Unknown", "TBA", "a", "b", "c"]]
+        assert clean_sets(raw) == [frozenset({"a", "b", "c"})]
+
+    def test_numeric_check_can_be_disabled(self):
+        raw = [["1", "2", "3"]]
+        assert clean_sets(raw, drop_all_numeric=False) == [
+            frozenset({"1", "2", "3"})
+        ]
+
+    def test_default_stopwords_cover_paper_keywords(self):
+        assert {"unknown", "tba", "total"} <= set(DEFAULT_STOPWORDS)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        cfg = WebTableConfig(n_sets=100, seed=5)
+        assert generate_webtable_sets(cfg) == generate_webtable_sets(cfg)
+
+    def test_collection_has_min_three_elements_per_set(self):
+        coll = generate_webtable_collection(WebTableConfig(n_sets=300))
+        for s in coll.sets:
+            assert len(s) >= 3
+
+    def test_noise_tokens_removed(self):
+        coll = generate_webtable_collection(WebTableConfig(n_sets=300))
+        labels = {
+            str(coll.universe.label(e)).lower()
+            for e in coll.entity_ids()
+        }
+        assert not labels & {"unknown", "tba", "total"}
+
+    def test_domain_structure_creates_overlap(self):
+        """Sets from the same latent domain must overlap a lot more than
+        sets from different domains (the structure discovery relies on)."""
+        coll = generate_webtable_collection(
+            WebTableConfig(n_sets=400, n_domains=10, seed=3)
+        )
+        # Popular entities co-occur in many sets.
+        best = max(
+            popcount(coll.entity_mask(e)) for e in coll.entity_ids()
+        )
+        assert best >= 20
+
+
+class TestInitialPairs:
+    def test_pairs_meet_candidate_floor(self):
+        coll = generate_webtable_collection(WebTableConfig(n_sets=400))
+        pairs = initial_pair_subcollections(coll, min_candidates=10)
+        for pair in pairs:
+            assert pair.n_candidates >= 10
+            joint = coll.entity_mask(pair.entity_a) & coll.entity_mask(
+                pair.entity_b
+            )
+            assert pair.mask == joint
+
+    def test_max_pairs_is_deterministic(self):
+        coll = generate_webtable_collection(WebTableConfig(n_sets=400))
+        a = initial_pair_subcollections(
+            coll, min_candidates=5, max_pairs=7, seed=1
+        )
+        b = initial_pair_subcollections(
+            coll, min_candidates=5, max_pairs=7, seed=1
+        )
+        assert [(p.entity_a, p.entity_b) for p in a] == [
+            (p.entity_a, p.entity_b) for p in b
+        ]
+        assert len(a) == 7
+
+    def test_min_candidates_validation(self):
+        coll = generate_webtable_collection(WebTableConfig(n_sets=200))
+        with pytest.raises(ValueError):
+            initial_pair_subcollections(coll, min_candidates=1)
+
+    def test_workload_builder(self):
+        workload = WebTableWorkload.build(
+            config=WebTableConfig(n_sets=300),
+            min_candidates=8,
+            max_pairs=5,
+        )
+        assert workload.collection.n_sets > 0
+        assert len(workload.pairs) <= 5
+        assert list(workload) == workload.pairs
+        assert all(
+            s >= 8 for s in workload.subcollection_sizes()
+        )
