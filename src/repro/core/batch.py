@@ -80,35 +80,67 @@ def select_batch(
     :func:`batch_score`; candidates that no longer split any current cell
     add nothing and are skipped.  Stops early when every candidate set is
     already distinguished (all cells singletons).
+
+    Each round scores every remaining candidate with one batched
+    :meth:`~repro.core.collection.SetCollection.positive_counts` call per
+    answer cell: with the cells of the already-chosen entities fixed, a
+    candidate's score is determined by how it splits each cell, so the
+    per-candidate re-partitioning of the naive greedy collapses into a few
+    kernel passes.  The accumulation order mirrors :func:`batch_score`
+    term for term, keeping scores (and therefore tie-breaks) bit-identical
+    to the unbatched form on every backend.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
-    pairs = collection.informative_entities(mask)
-    candidates = [e for e, _ in pairs if e not in exclude]
+    eids, _counts = collection.informative_stats(mask)
+    candidates = [int(e) for e in eids if e not in exclude]
     if not candidates:
         raise NoInformativeEntityError(
             "no informative entity available for a batch"
         )
+    n = popcount(mask)
     chosen: list[int] = []
+    # Cells of the already-chosen entities, refined incrementally round by
+    # round (in partition_cells insertion order, empty cells dropped); the
+    # previous round's winning score doubles as the no-progress check, both
+    # bit-identical to recomputing batch_score from scratch.
+    cells = [mask]
+    previous_score: float | None = None
     while len(chosen) < batch_size:
-        best = None
-        best_score = None
-        for eid in candidates:
-            if eid in chosen:
-                continue
-            score = batch_score(collection, mask, [*chosen, eid], metric)
-            if best_score is None or score < best_score:
-                best_score = score
-                best = eid
-        if best is None:
+        remaining = [e for e in candidates if e not in chosen]
+        if not remaining:
             break
-        current = batch_score(collection, mask, chosen, metric) if chosen else None
-        if chosen and current is not None and best_score >= current:
+        scores = [0.0] * len(remaining)
+        for cell in cells:
+            size = popcount(cell)
+            positives = collection.positive_counts(cell, remaining)
+            negatives = [size - n1 for n1 in positives]
+            w_pos = metric.lb0_many(positives)
+            w_neg = metric.lb0_many(negatives)
+            for i, n1 in enumerate(positives):
+                # Same term order as batch_score over the refined cells:
+                # w(C+), then w(C-), summed cell by cell.
+                scores[i] += n1 * w_pos[i]
+                scores[i] += negatives[i] * w_neg[i]
+        best_index = min(range(len(remaining)), key=lambda i: scores[i])
+        best = remaining[best_index]
+        best_score = scores[best_index] / n
+        if previous_score is not None and best_score >= previous_score:
             break  # no remaining entity splits any cell further
         chosen.append(best)
-        cells = partition_cells(collection, mask, chosen)
-        if all(popcount(c) == 1 for c in cells.values()):
+        emask = collection.entity_mask(best)
+        refined = []
+        for cell in cells:
+            positive = cell & emask
+            if positive:
+                refined.append(positive)
+            negative = cell & ~positive
+            if negative:
+                refined.append(negative)
+        cells = refined
+        if all(popcount(c) == 1 for c in cells):
             break
+        previous_score = best_score
     return chosen
 
 

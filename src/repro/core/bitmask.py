@@ -13,7 +13,7 @@ reusable by every module (bounds, lookahead, optimal search, experiments).
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 
 def full_mask(n: int) -> int:
@@ -58,8 +58,23 @@ def single_bit(mask: int) -> bool:
     return mask != 0 and mask & (mask - 1) == 0
 
 
-def mask_of(indices: "Iterator[int] | list[int] | tuple[int, ...]") -> int:
-    """Build a mask from an iterable of set indices."""
+def mask_of(indices: Iterable[int]) -> int:
+    """Build a mask from any iterable of set indices.
+
+    Accepts every iterable — lists, tuples, sets, generators — not just the
+    concrete types the old annotation named.
+
+    >>> mask_of([1, 2, 4])
+    22
+    >>> mask_of(())
+    0
+    >>> mask_of({0})
+    1
+    >>> mask_of(i for i in range(3))
+    7
+    >>> mask_of([3, 3]) == mask_of([3])
+    True
+    """
     mask = 0
     for i in indices:
         mask |= 1 << i

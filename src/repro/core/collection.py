@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
+from . import kernels
 from .bitmask import full_mask, iter_bits, popcount
 from .universe import Universe
 
@@ -48,6 +49,12 @@ class SetCollection:
     dedupe:
         When true, duplicate sets are merged instead of raising
         :class:`DuplicateSetError`.
+    backend:
+        Entity-statistics kernel backend: ``"bigint"``, ``"numpy"`` or
+        ``"auto"`` (honour ``$REPRO_BACKEND``, then pick numpy when
+        importable and the collection is large enough for vectorization to
+        win).  See :mod:`repro.core.kernels`; all backends produce
+        identical results, only throughput differs.
     """
 
     __slots__ = (
@@ -58,6 +65,7 @@ class SetCollection:
         "_full_mask",
         "_aliases",
         "_informative_cache",
+        "_kernel",
     )
 
     def __init__(
@@ -66,6 +74,7 @@ class SetCollection:
         names: Sequence[str] | None = None,
         universe: Universe | None = None,
         dedupe: bool = False,
+        backend: str | None = None,
     ) -> None:
         self.universe = universe if universe is not None else Universe()
         interned: list[frozenset[int]] = []
@@ -102,7 +111,10 @@ class SetCollection:
                 masks[eid] = masks.get(eid, 0) | bit
         self._entity_masks: dict[int, int] = masks
         self._full_mask: int = full_mask(len(self._sets))
-        self._informative_cache: dict[int, tuple[tuple[int, int], ...]] = {}
+        self._informative_cache: dict[int, tuple[Sequence[int], Sequence[int]]] = {}
+        self._kernel = kernels.make_kernel(
+            backend, self._sets, self._entity_masks, len(self._sets)
+        )
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -114,6 +126,7 @@ class SetCollection:
         named: Mapping[str, Iterable[Hashable]],
         universe: Universe | None = None,
         dedupe: bool = False,
+        backend: str | None = None,
     ) -> "SetCollection":
         """Build from a ``name -> iterable of labels`` mapping."""
         names = list(named)
@@ -122,6 +135,7 @@ class SetCollection:
             names=names,
             universe=universe,
             dedupe=dedupe,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------ #
@@ -142,6 +156,11 @@ class SetCollection:
     def full_mask(self) -> int:
         """Bitmask selecting every set (the root sub-collection)."""
         return self._full_mask
+
+    @property
+    def backend(self) -> str:
+        """Name of the entity-statistics kernel backend in use."""
+        return self._kernel.name
 
     @property
     def sets(self) -> tuple[frozenset[int], ...]:
@@ -208,16 +227,34 @@ class SetCollection:
         """``|C+|`` without materialising the negative side."""
         return popcount(mask & self._entity_masks.get(eid, 0))
 
+    def positive_counts(self, mask: int, eids: Iterable[int]) -> list[int]:
+        """Batched :meth:`positive_count` over many entities at once.
+
+        One kernel pass instead of a per-entity loop; on the numpy backend
+        the counts for all entities come out of a single batched popcount
+        over the packed bit-matrix.  Unknown entity ids count 0.
+        """
+        counts = self._kernel.positive_counts(mask, eids)
+        return counts if isinstance(counts, list) else counts.tolist()
+
+    def partition_many(
+        self, mask: int, eids: Iterable[int]
+    ) -> list[tuple[int, int]]:
+        """Batched :meth:`partition` over many entities at once.
+
+        Returns ``(C+, C-)`` pairs parallel to ``eids``; the lookahead
+        selectors use this to expand all children of a node in one kernel
+        call.
+        """
+        return self._kernel.partition_many(mask, eids)
+
     def sets_in(self, mask: int) -> Iterator[int]:
         """Indices of the sets selected by ``mask``, ascending."""
         return iter_bits(mask)
 
     def entities_in(self, mask: int) -> set[int]:
         """Union of entities over the sets selected by ``mask``."""
-        union: set[int] = set()
-        for idx in iter_bits(mask):
-            union.update(self._sets[idx])
-        return union
+        return self._kernel.member_union(mask)
 
     def informative_entities(
         self,
@@ -230,29 +267,56 @@ class SetCollection:
         not all sets of the sub-collection; only informative entities can
         reduce the candidate space, so only they may label tree nodes.
 
-        Returns ``(entity id, |C+|)`` pairs.  ``candidates`` restricts the
-        scan (children of a node only need their parent's informative
-        entities); when omitted the union of member sets is scanned.
-        Results for the no-candidates form are cached per mask since the
-        same sub-collection recurs across lookahead invocations.
+        Returns ``(entity id, |C+|)`` pairs, in ascending entity-id order
+        (identical on every backend).  ``candidates`` restricts the scan
+        (children of a node only need their parent's informative entities)
+        and preserves the caller's order.  Results for the no-candidates
+        form are cached per mask since the same sub-collection recurs
+        across lookahead invocations.
+        """
+        eids, counts = self.informative_stats(mask, candidates)
+        if isinstance(eids, (list, tuple)):
+            return list(zip(eids, counts))
+        return list(zip(eids.tolist(), counts.tolist()))
+
+    def informative_stats(
+        self,
+        mask: int,
+        candidates: Iterable[int] | None = None,
+    ) -> tuple[Sequence[int], Sequence[int]]:
+        """Informative entities as parallel ``(eids, counts)`` sequences.
+
+        The batched form of :meth:`informative_entities` — the hot path of
+        every selector.  On the numpy backend both sequences are integer
+        arrays produced by one vectorized popcount pass, ready for batched
+        scoring (:mod:`repro.core.kernels.scoring`); on the big-int backend
+        they are plain lists.  Callers must treat the result as read-only:
+        the no-candidates form is cached per mask.
+
+        Ordering contract: ascending entity id when ``candidates`` is
+        omitted (identical across backends), the caller's order otherwise.
         """
         n = popcount(mask)
         if candidates is None:
             cached = self._informative_cache.get(mask)
             if cached is not None:
-                return list(cached)
-            scan: Iterable[int] = self.entities_in(mask)
-        else:
-            scan = candidates
-        masks = self._entity_masks
-        result = []
-        for eid in scan:
-            cnt = popcount(mask & masks.get(eid, 0))
-            if 0 < cnt < n:
-                result.append((eid, cnt))
-        if candidates is None:
-            self._informative_cache[mask] = tuple(result)
-        return result
+                return cached
+            eids, counts = self._kernel.scan_informative(mask, n, None)
+            # Freeze before caching: the same objects are handed to every
+            # caller, so a mutable cached list would let one caller corrupt
+            # all later selections on this mask.
+            if isinstance(eids, list):
+                stats: tuple[Sequence[int], Sequence[int]] = (
+                    tuple(eids),
+                    tuple(counts),
+                )
+            else:
+                eids.flags.writeable = False
+                counts.flags.writeable = False
+                stats = (eids, counts)
+            self._informative_cache[mask] = stats
+            return stats
+        return self._kernel.scan_informative(mask, n, candidates)
 
     def clear_caches(self) -> None:
         """Drop the informative-entity cache (frees memory after a run)."""

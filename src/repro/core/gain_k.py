@@ -28,6 +28,7 @@ from typing import Iterable
 from .bitmask import popcount
 from .bounds import AD, CostMetric
 from .collection import SetCollection
+from .kernels import filter_excluded, sort_most_even
 from .selection import EntitySelector, NoInformativeEntityError
 
 
@@ -67,16 +68,29 @@ def lb_k(
     k: int,
     metric: CostMetric = AD,
 ) -> float:
-    """``LB_k(C)`` per Eq. 8: min over informative entities (k >= 0)."""
+    """``LB_k(C)`` per Eq. 8: min over informative entities (k >= 0).
+
+    The one-step base case is a single batched ``lb1`` evaluation over all
+    informative entities; deeper steps expand every entity's split via one
+    :meth:`~repro.core.collection.SetCollection.partition_many` call.
+    """
     n = popcount(mask)
     if n <= 1:
         return 0.0
     if k == 0:
         return metric.lb0(n)
     k = min(k, n - 1)
+    eids, counts = collection.informative_stats(mask)
+    if len(eids) == 0:
+        return metric.lb0(n)
+    if k == 1:
+        return min(metric.lb1_many(n, counts))
     best = math.inf
-    for eid, _ in collection.informative_entities(mask):
-        value = lb_k_entity(collection, mask, eid, k, metric)
+    for (pos, neg), n1 in zip(collection.partition_many(mask, eids), counts):
+        n1 = int(n1)
+        l1 = lb_k(collection, pos, k - 1, metric)
+        l2 = lb_k(collection, neg, k - 1, metric)
+        value = metric.combine(n1, l1, n - n1, l2)
         if value < best:
             best = value
     return best
@@ -124,11 +138,12 @@ class GainKSelector(EntitySelector):
         n = popcount(mask)
         k = min(self.k, n - 1)
         child_candidates = [e for e, _ in pairs]
+        splits = collection.partition_many(mask, child_candidates)
         best = None
         best_key = None
-        for eid, cnt in pairs:
+        for (eid, cnt), (pos, neg) in zip(pairs, splits):
             expected = self._expected_entropy(
-                collection, mask, eid, cnt, k, child_candidates, exclude
+                collection, pos, neg, cnt, n, k, child_candidates, exclude
             )
             key = (expected, abs(2 * cnt - n), eid)
             if best_key is None or key < best_key:
@@ -140,15 +155,14 @@ class GainKSelector(EntitySelector):
     def _expected_entropy(
         self,
         coll: SetCollection,
-        mask: int,
-        eid: int,
+        pos: int,
+        neg: int,
         cnt: int,
+        n: int,
         k: int,
         candidates: list[int],
         exclude: AbcCollection[int],
     ) -> float:
-        n = popcount(mask)
-        pos, neg = coll.partition(mask, eid)
         e1 = self._entropy(coll, pos, k - 1, candidates, exclude)
         e2 = self._entropy(coll, neg, k - 1, candidates, exclude)
         return (cnt * e1 + (n - cnt) * e2) / n
@@ -176,10 +190,11 @@ class GainKSelector(EntitySelector):
         if not pairs:
             return math.log2(n)
         child_candidates = [e for e, _ in pairs]
+        splits = coll.partition_many(mask, child_candidates)
         best = math.inf
-        for eid, cnt in pairs:
+        for (eid, cnt), (pos, neg) in zip(pairs, splits):
             value = self._expected_entropy(
-                coll, mask, eid, cnt, k, child_candidates, exclude
+                coll, pos, neg, cnt, n, k, child_candidates, exclude
             )
             if value < best:
                 best = value
@@ -285,12 +300,12 @@ class UnprunedKLPSelector(EntitySelector):
                     return None, bound
                 if entity is not None:
                     return entity, bound
-        pairs = coll.informative_entities(mask, candidates)
+        eids, counts = coll.informative_stats(mask, candidates)
         if exclude:
-            pairs = [(e, c) for e, c in pairs if e not in exclude]
-        if not pairs:
+            eids, counts = filter_excluded(eids, counts, exclude)
+        if len(eids) == 0:
             return None, metric.lb0(n)
-        pairs.sort(key=lambda ec: (abs(2 * ec[1] - n), ec[0]))
+        pairs = sort_most_even(eids, counts, n)
         if k == 1:
             eid, cnt = pairs[0]
             bound = metric.lb1(cnt, n - cnt)

@@ -1,0 +1,127 @@
+"""Pluggable entity-statistics kernels for :class:`~repro.core.collection.SetCollection`.
+
+Every algorithm in the paper spends its question-time budget on one hot
+pattern: *for many candidate entities at once, how many sets of a
+sub-collection contain each entity?*  (``n1`` of the ``n1/n2`` split, the
+input to every bound and gain formula of Secs. 3-4.)  This subpackage
+isolates that pattern behind :class:`~repro.core.kernels.base.EntityStatsKernel`
+with two interchangeable backends:
+
+* ``bigint`` (:mod:`~repro.core.kernels.bigint`) — the reference
+  implementation: one arbitrary-precision Python integer bitmask per entity,
+  scanned entity-by-entity.  Always available, bit-for-bit the semantics the
+  rest of the package was developed against.
+* ``numpy`` (:mod:`~repro.core.kernels.numpy_backend`) — the vectorized
+  implementation: the inverted index packed into a ``uint64`` bit-matrix of
+  shape ``(n_entities, ceil(n_sets / 64))`` so the split counts of *all*
+  candidate entities come out of one batched popcount pass.
+
+Backend choice: ``SetCollection(..., backend=...)`` accepts ``"bigint"``,
+``"numpy"`` or ``"auto"`` (the default).  ``auto`` honours the
+``REPRO_BACKEND`` environment variable and otherwise picks ``numpy`` when
+importable, falling back to ``bigint``.  Both backends are required to
+produce identical results — including tie-breaks — which the parity tests in
+``tests/test_kernels.py`` enforce on randomized collections.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .base import EntityStatsKernel
+from .bigint import BigIntKernel
+from .numpy_backend import HAS_NUMPY, NumpyKernel
+from .scoring import (
+    filter_excluded,
+    select_best,
+    sort_most_even,
+)
+
+#: Environment variable consulted by ``backend="auto"``.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Bit-matrix size (``n_sets * n_entities``) below which ``auto`` keeps the
+#: big-int backend even when NumPy is available: on tiny collections the
+#: fixed per-call cost of array round-trips exceeds the whole scan.  An
+#: explicit ``backend="numpy"`` (or ``REPRO_BACKEND=numpy``) always wins.
+AUTO_MIN_CELLS = 1 << 15
+
+_BACKENDS = ("bigint", "numpy")
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when an explicitly requested backend cannot be used."""
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends usable in this environment."""
+    return _BACKENDS if HAS_NUMPY else ("bigint",)
+
+
+def resolve_backend_name(requested: str | None = None) -> str:
+    """Resolve a ``backend=`` argument to a concrete backend name.
+
+    ``None`` and ``"auto"`` defer to the ``REPRO_BACKEND`` environment
+    variable, then to ``numpy`` when importable, then to ``bigint``.  An
+    explicit name is validated: asking for ``numpy`` without NumPy installed
+    raises :class:`BackendUnavailableError` instead of silently degrading.
+    """
+    if requested is None or requested == "auto":
+        requested = os.environ.get(BACKEND_ENV_VAR, "auto") or "auto"
+    requested = requested.lower()
+    if requested == "auto":
+        return "numpy" if HAS_NUMPY else "bigint"
+    if requested not in _BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {requested!r}; "
+            f"choose from {_BACKENDS + ('auto',)}"
+        )
+    if requested == "numpy" and not HAS_NUMPY:
+        raise BackendUnavailableError(
+            "the numpy kernel backend was requested "
+            f"(backend or ${BACKEND_ENV_VAR}) but numpy is not importable"
+        )
+    return requested
+
+
+def make_kernel(
+    requested: str | None,
+    sets: "tuple[frozenset[int], ...]",
+    entity_masks: "dict[int, int]",
+    n_sets: int,
+) -> EntityStatsKernel:
+    """Build the kernel for ``requested`` over an already-built index.
+
+    ``auto`` is shape-aware: when neither the caller nor ``REPRO_BACKEND``
+    names a backend, numpy is used only for collections whose bit-matrix
+    reaches :data:`AUTO_MIN_CELLS` — below that the reference backend is
+    faster.  Explicit requests are honoured unconditionally.
+    """
+    env_value = (os.environ.get(BACKEND_ENV_VAR, "auto") or "auto").lower()
+    explicit = requested not in (None, "auto") or env_value != "auto"
+    name = resolve_backend_name(requested)
+    if (
+        name == "numpy"
+        and not explicit
+        and n_sets * len(entity_masks) < AUTO_MIN_CELLS
+    ):
+        name = "bigint"
+    if name == "numpy":
+        return NumpyKernel(sets, entity_masks, n_sets)
+    return BigIntKernel(sets, entity_masks, n_sets)
+
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BackendUnavailableError",
+    "BigIntKernel",
+    "EntityStatsKernel",
+    "HAS_NUMPY",
+    "NumpyKernel",
+    "available_backends",
+    "filter_excluded",
+    "make_kernel",
+    "resolve_backend_name",
+    "select_best",
+    "sort_most_even",
+]

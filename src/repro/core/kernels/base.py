@@ -1,0 +1,97 @@
+"""Abstract interface shared by the entity-statistics backends.
+
+A kernel is built once per :class:`~repro.core.collection.SetCollection`
+from the collection's immutable inverted index and answers *batched*
+questions about sub-collections (plain int bitmasks, see
+:mod:`repro.core.bitmask`):
+
+* :meth:`positive_counts` — ``|C & mask[e]|`` for many entities at once;
+* :meth:`partition_many` — the ``(C+, C-)`` splits for many entities;
+* :meth:`scan_informative` — the informative-entity scan of Sec. 3, the
+  single hottest loop in the system.
+
+The contract is *exact* equivalence between backends: identical counts,
+identical masks and — because every selector breaks ties deterministically
+on ``(score, unevenness, entity id)`` — identical selections.  To make the
+no-candidates scan comparable across backends its result is defined to be
+ordered by ascending entity id; with explicit ``candidates`` the caller's
+order is preserved (tree construction passes a parent's informative
+entities to its children).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+from ..bitmask import iter_bits
+
+
+class EntityStatsKernel(ABC):
+    """Batched entity-statistics over one immutable inverted index."""
+
+    #: backend name as accepted by ``SetCollection(backend=...)``
+    name: str = "?"
+
+    def __init__(
+        self,
+        sets: Sequence[frozenset[int]],
+        entity_masks: dict[int, int],
+        n_sets: int,
+    ) -> None:
+        self._sets = sets
+        self._entity_masks = entity_masks
+        self._n_sets = n_sets
+
+    def member_union(self, mask: int) -> set[int]:
+        """Union of entities over the sets selected by ``mask``.
+
+        The one inverted-index walk shared by every backend's
+        small-sub-collection scan path (and by
+        :meth:`~repro.core.collection.SetCollection.entities_in`).
+        """
+        union: set[int] = set()
+        for idx in iter_bits(mask):
+            union.update(self._sets[idx])
+        return union
+
+    @abstractmethod
+    def positive_counts(self, mask: int, eids: Iterable[int]) -> "Sequence[int]":
+        """``|mask & entity_mask(e)|`` for every ``e`` in ``eids``, in order.
+
+        Unknown entity ids count 0.  Backends may return a list or a NumPy
+        integer array; callers must treat the result as a read-only
+        sequence of ints parallel to ``eids``.
+        """
+
+    @abstractmethod
+    def partition_many(
+        self, mask: int, eids: Iterable[int]
+    ) -> list[tuple[int, int]]:
+        """``(C+, C-)`` big-int mask pairs for every ``e`` in ``eids``.
+
+        Semantics per entity match
+        :meth:`~repro.core.collection.SetCollection.partition`: the positive
+        side is ``mask & entity_mask(e)``, the negative side keeps every
+        remaining bit of ``mask``.
+        """
+
+    @abstractmethod
+    def scan_informative(
+        self,
+        mask: int,
+        n_selected: int,
+        candidates: Iterable[int] | None,
+    ) -> tuple[Sequence[int], Sequence[int]]:
+        """Informative entities of ``mask`` and their positive counts.
+
+        Returns parallel sequences ``(eids, counts)`` with
+        ``0 < count < n_selected`` (``n_selected`` is ``popcount(mask)``,
+        passed in because every caller already has it).  With
+        ``candidates=None`` the scan covers every entity of the collection
+        and the result is ordered by ascending entity id; otherwise only
+        ``candidates`` are examined, in their given order.
+        """
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} backend={self.name}>"

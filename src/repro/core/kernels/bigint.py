@@ -1,0 +1,54 @@
+"""Reference backend: per-entity big-int bitmask scans.
+
+This is the original implementation the rest of the package was developed
+against, factored out of ``SetCollection`` unchanged: one arbitrary-precision
+integer per entity, popcounted entity-by-entity in a Python loop.  It is the
+semantic reference the NumPy backend is tested against, and the fallback
+when NumPy is unavailable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .base import EntityStatsKernel
+
+
+class BigIntKernel(EntityStatsKernel):
+    """Entity statistics via per-entity Python big-int popcounts."""
+
+    name = "bigint"
+
+    def positive_counts(self, mask: int, eids: Iterable[int]) -> list[int]:
+        masks = self._entity_masks
+        return [(mask & masks.get(e, 0)).bit_count() for e in eids]
+
+    def partition_many(
+        self, mask: int, eids: Iterable[int]
+    ) -> list[tuple[int, int]]:
+        masks = self._entity_masks
+        out = []
+        for e in eids:
+            positive = mask & masks.get(e, 0)
+            out.append((positive, mask & ~positive))
+        return out
+
+    def scan_informative(
+        self,
+        mask: int,
+        n_selected: int,
+        candidates: Iterable[int] | None,
+    ) -> tuple[list[int], list[int]]:
+        if candidates is None:
+            scan: Iterable[int] = sorted(self.member_union(mask))
+        else:
+            scan = candidates
+        masks = self._entity_masks
+        eids: list[int] = []
+        counts: list[int] = []
+        for eid in scan:
+            cnt = (mask & masks.get(eid, 0)).bit_count()
+            if 0 < cnt < n_selected:
+                eids.append(eid)
+                counts.append(cnt)
+        return eids, counts

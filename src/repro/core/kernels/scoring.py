@@ -1,0 +1,114 @@
+"""Batched scoring of entity split statistics, backend-agnostic.
+
+Selectors rank informative entities by a key of the shape
+``(primary score, unevenness, entity id)`` where the primary score depends
+only on ``(n, n1)`` — information gain (Eq. 9), indistinguishable pairs
+(Eq. 10), the 1-step bounds ``LB1`` (Eqs. 3-5) — and ``n`` is fixed within
+one selection.  That structure makes the batched evaluation exact rather
+than merely close: ``n1`` takes at most ``n - 1`` distinct values, so the
+primary score is computed once per *distinct count* with the very same
+scalar Python function the reference path uses, then gathered.  Both
+backends therefore rank by bit-identical floats, and cross-backend parity
+of selections (including ties) holds by construction.
+
+When the statistics arrive as NumPy arrays (the numpy backend), ranking is
+a table gather plus one ``lexsort``; for plain lists (the big-int backend)
+the equivalent Python loop runs.  Either way the entity returned is the
+minimum under the exact lexicographic key.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
+
+def _is_array(values: object) -> bool:
+    return np is not None and isinstance(values, np.ndarray)
+
+
+def _score_table(
+    counts: "np.ndarray", n: int, primary: Callable[[int, int], float]
+) -> "np.ndarray":
+    """Primary scores gathered from one exact evaluation per distinct count."""
+    unique, inverse = np.unique(counts, return_inverse=True)
+    table = np.fromiter(
+        (primary(n, int(c)) for c in unique),
+        dtype=np.float64,
+        count=len(unique),
+    )
+    return table[inverse]
+
+
+def filter_excluded(
+    eids: Sequence[int],
+    counts: Sequence[int],
+    exclude: "frozenset[int] | set[int] | Sequence[int]",
+) -> tuple[Sequence[int], Sequence[int]]:
+    """Drop excluded entities ("don't know" answers, Sec. 6) from stats."""
+    if not exclude:
+        return eids, counts
+    if _is_array(eids):
+        drop = np.fromiter(exclude, dtype=np.int64, count=len(exclude))
+        keep = ~np.isin(eids, drop)
+        return eids[keep], counts[keep]
+    kept = [(e, c) for e, c in zip(eids, counts) if e not in exclude]
+    return [e for e, _ in kept], [c for _, c in kept]
+
+
+def select_best(
+    eids: Sequence[int],
+    counts: Sequence[int],
+    n: int,
+    primary: Callable[[int, int], float] | None = None,
+) -> int:
+    """Entity minimising ``(primary(n, n1), |2*n1 - n|, eid)``.
+
+    ``primary=None`` means rank purely by the most-even-split tie-break
+    (the MostEven selector).  ``eids`` must be non-empty.
+    """
+    if _is_array(eids):
+        counts = counts.astype(np.int64, copy=False)
+        unevenness = np.abs(2 * counts - n)
+        if primary is None:
+            order = np.lexsort((eids, unevenness))
+        else:
+            order = np.lexsort(
+                (eids, unevenness, _score_table(counts, n, primary))
+            )
+        return int(eids[order[0]])
+    best = None
+    best_key = None
+    for eid, cnt in zip(eids, counts):
+        eid, cnt = int(eid), int(cnt)
+        score = 0.0 if primary is None else primary(n, cnt)
+        key = (score, abs(2 * cnt - n), eid)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = eid
+    assert best is not None, "select_best requires at least one entity"
+    return best
+
+
+def sort_most_even(
+    eids: Sequence[int],
+    counts: Sequence[int],
+    n: int,
+) -> list[tuple[int, int]]:
+    """``(eid, n1)`` pairs sorted by ``(|2*n1 - n|, eid)``.
+
+    The most-even-first expansion order of Algorithm 1, which by Lemma 4.3
+    is also non-decreasing 1-step-bound order — the sorted-early-break
+    pruning of k-LP depends on it.
+    """
+    if _is_array(eids):
+        counts = counts.astype(np.int64, copy=False)
+        order = np.lexsort((eids, np.abs(2 * counts - n)))
+        return list(zip(eids[order].tolist(), counts[order].tolist()))
+    pairs = [(int(e), int(c)) for e, c in zip(eids, counts)]
+    pairs.sort(key=lambda ec: (abs(2 * ec[1] - n), ec[0]))
+    return pairs

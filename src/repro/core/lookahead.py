@@ -40,6 +40,7 @@ from typing import Iterable
 from .bitmask import popcount
 from .bounds import AD, INFINITY, CostMetric
 from .collection import SetCollection
+from .kernels import filter_excluded, sort_most_even
 from .selection import EntitySelector, NoInformativeEntityError
 
 
@@ -255,14 +256,14 @@ class KLPSelector(EntitySelector):
                 # the larger ``ul``: fall through and recompute.
         metric = self.metric
         n = popcount(mask)
-        pairs = coll.informative_entities(mask, candidates)
+        eids, counts = coll.informative_stats(mask, candidates)
         if exclude:
-            pairs = [(e, c) for e, c in pairs if e not in exclude]
-        if not pairs:
+            eids, counts = filter_excluded(eids, counts, exclude)
+        if len(eids) == 0:
             return None, metric.lb0(n)
         # Most-even-first order; by Lemma 4.3 this is also non-decreasing
         # 1-step-bound order, which lines 14-15 of Algorithm 1 rely on.
-        pairs.sort(key=lambda ec: (abs(2 * ec[1] - n), ec[0]))
+        pairs = sort_most_even(eids, counts, n)
         if k == 1:
             eid, cnt = pairs[0]
             bound = metric.lb1(cnt, n - cnt)

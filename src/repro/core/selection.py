@@ -32,6 +32,7 @@ from typing import Iterable
 
 from .bounds import AD, CostMetric
 from .collection import SetCollection
+from .kernels import filter_excluded, select_best
 
 
 class NoInformativeEntityError(RuntimeError):
@@ -110,6 +111,28 @@ class EntitySelector(ABC):
             )
         return pairs
 
+    def _informative_stats(
+        self,
+        collection: SetCollection,
+        mask: int,
+        candidates: Iterable[int] | None,
+        exclude: AbcCollection[int],
+    ) -> tuple:
+        """Batched form of :meth:`_informative`: ``(eids, counts)``.
+
+        Kept parallel (arrays on the numpy backend) so subclasses can rank
+        all entities in one vectorized pass instead of a per-entity loop.
+        """
+        eids, counts = collection.informative_stats(mask, candidates)
+        if exclude:
+            eids, counts = filter_excluded(eids, counts, exclude)
+        if len(eids) == 0:
+            raise NoInformativeEntityError(
+                f"no informative entity for a sub-collection of "
+                f"{collection.count(mask)} sets"
+            )
+        return eids, counts
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"
 
@@ -126,9 +149,10 @@ class MostEvenSelector(EntitySelector):
         candidates: Iterable[int] | None = None,
         exclude: AbcCollection[int] = frozenset(),
     ) -> int:
-        pairs = self._informative(collection, mask, candidates, exclude)
-        n = collection.count(mask)
-        return min(pairs, key=lambda ec: (unevenness(n, ec[1]), ec[0]))[0]
+        eids, counts = self._informative_stats(
+            collection, mask, candidates, exclude
+        )
+        return select_best(eids, counts, collection.count(mask))
 
 
 class InfoGainSelector(EntitySelector):
@@ -147,17 +171,13 @@ class InfoGainSelector(EntitySelector):
         candidates: Iterable[int] | None = None,
         exclude: AbcCollection[int] = frozenset(),
     ) -> int:
-        pairs = self._informative(collection, mask, candidates, exclude)
+        eids, counts = self._informative_stats(
+            collection, mask, candidates, exclude
+        )
         n = collection.count(mask)
-        best = None
-        best_key = None
-        for eid, cnt in pairs:
-            key = (-information_gain(n, cnt), unevenness(n, cnt), eid)
-            if best_key is None or key < best_key:
-                best_key = key
-                best = eid
-        assert best is not None
-        return best
+        return select_best(
+            eids, counts, n, lambda n, n1: -information_gain(n, n1)
+        )
 
 
 class IndistinguishablePairsSelector(EntitySelector):
@@ -172,21 +192,13 @@ class IndistinguishablePairsSelector(EntitySelector):
         candidates: Iterable[int] | None = None,
         exclude: AbcCollection[int] = frozenset(),
     ) -> int:
-        pairs = self._informative(collection, mask, candidates, exclude)
+        eids, counts = self._informative_stats(
+            collection, mask, candidates, exclude
+        )
         n = collection.count(mask)
-        best = None
-        best_key = None
-        for eid, cnt in pairs:
-            key = (
-                indistinguishable_pairs(cnt, n - cnt),
-                unevenness(n, cnt),
-                eid,
-            )
-            if best_key is None or key < best_key:
-                best_key = key
-                best = eid
-        assert best is not None
-        return best
+        return select_best(
+            eids, counts, n, lambda n, n1: float(indistinguishable_pairs(n1, n - n1))
+        )
 
 
 class LB1Selector(EntitySelector):
@@ -209,18 +221,14 @@ class LB1Selector(EntitySelector):
         candidates: Iterable[int] | None = None,
         exclude: AbcCollection[int] = frozenset(),
     ) -> int:
-        pairs = self._informative(collection, mask, candidates, exclude)
+        eids, counts = self._informative_stats(
+            collection, mask, candidates, exclude
+        )
         n = collection.count(mask)
         metric = self.metric
-        best = None
-        best_key = None
-        for eid, cnt in pairs:
-            key = (metric.lb1(cnt, n - cnt), unevenness(n, cnt), eid)
-            if best_key is None or key < best_key:
-                best_key = key
-                best = eid
-        assert best is not None
-        return best
+        return select_best(
+            eids, counts, n, lambda n, n1: metric.lb1(n1, n - n1)
+        )
 
 
 class RandomSelector(EntitySelector):

@@ -52,6 +52,28 @@ class TestIterBits:
         assert list(iter_bits(mask_of(indices))) == indices
 
 
+class TestMaskOf:
+    def test_accepts_any_iterable(self):
+        # The old annotation named concrete types; the contract is any
+        # Iterable[int] — sets and generators included.
+        assert mask_of([1, 2, 4]) == 0b10110
+        assert mask_of((1, 2, 4)) == 0b10110
+        assert mask_of({1, 2, 4}) == 0b10110
+        assert mask_of(i for i in (1, 2, 4)) == 0b10110
+
+    def test_empty_iterable_is_empty_mask(self):
+        assert mask_of([]) == 0
+
+    def test_doctests(self):
+        import doctest
+
+        from repro.core import bitmask
+
+        failures, tested = doctest.testmod(bitmask)
+        assert failures == 0
+        assert tested > 0
+
+
 class TestLowestBit:
     def test_lowest(self):
         assert lowest_bit(0b1000) == 3

@@ -1,0 +1,336 @@
+"""Cross-backend parity tests for the entity-statistics kernels.
+
+The numpy backend must reproduce the big-int reference *exactly*: same
+counts, same partition masks, same informative-entity lists and — because
+every selector tie-breaks deterministically — the same selected entity on
+every sub-collection, including engineered ties and "don't know"
+exclusions.  Randomized collections keep both backends honest beyond the
+worked examples.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bounds import AD, H
+from repro.core.collection import SetCollection
+from repro.core.batch import select_batch
+from repro.core.gain_k import GainKSelector, UnprunedKLPSelector, lb_k
+from repro.core.kernels import (
+    AUTO_MIN_CELLS,
+    BackendUnavailableError,
+    HAS_NUMPY,
+    available_backends,
+    resolve_backend_name,
+)
+from repro.core.lookahead import KLPSelector
+from repro.core.selection import (
+    IndistinguishablePairsSelector,
+    InfoGainSelector,
+    LB1Selector,
+    MostEvenSelector,
+    NoInformativeEntityError,
+)
+
+from conftest import FIG1_SETS
+
+needs_numpy = pytest.mark.skipif(
+    not HAS_NUMPY, reason="numpy backend unavailable"
+)
+
+BOTH_BACKENDS = ["bigint"] + (["numpy"] if HAS_NUMPY else [])
+
+
+def random_sets(rng: random.Random, n_sets: int, universe: int) -> list[list[int]]:
+    """Unique random sets over a small universe (dense, tie-prone)."""
+    seen: set[frozenset[int]] = set()
+    out: list[list[int]] = []
+    while len(out) < n_sets:
+        size = rng.randint(2, max(3, universe // 2))
+        fs = frozenset(rng.sample(range(universe), size))
+        if fs in seen:
+            continue
+        seen.add(fs)
+        out.append(sorted(fs))
+    return out
+
+
+def backend_pair(raw: list[list[int]]) -> tuple[SetCollection, SetCollection]:
+    """The same sets under the reference and the vectorized backend."""
+    return (
+        SetCollection(raw, backend="bigint"),
+        SetCollection(raw, backend="numpy"),
+    )
+
+
+def random_masks(rng: random.Random, full: int, count: int) -> list[int]:
+    masks = [full]
+    while len(masks) < count:
+        m = rng.getrandbits(full.bit_length()) & full
+        if m.bit_count() >= 2:
+            masks.append(m)
+    return masks
+
+
+# --------------------------------------------------------------------- #
+# Backend selection plumbing
+# --------------------------------------------------------------------- #
+
+
+class TestBackendSelection:
+    def test_bigint_always_available(self):
+        assert "bigint" in available_backends()
+
+    def test_explicit_bigint(self):
+        coll = SetCollection.from_named_sets(FIG1_SETS, backend="bigint")
+        assert coll.backend == "bigint"
+
+    @needs_numpy
+    def test_explicit_numpy(self):
+        coll = SetCollection.from_named_sets(FIG1_SETS, backend="numpy")
+        assert coll.backend == "numpy"
+
+    @needs_numpy
+    def test_auto_small_collection_prefers_bigint(self, monkeypatch):
+        # fig1's bit-matrix is far below AUTO_MIN_CELLS; with no explicit
+        # request from anywhere, auto keeps the cheaper reference backend.
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        coll = SetCollection.from_named_sets(FIG1_SETS)
+        assert coll.n_sets * coll.n_entities < AUTO_MIN_CELLS
+        assert coll.backend == "bigint"
+
+    @needs_numpy
+    def test_env_var_forces_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert SetCollection.from_named_sets(FIG1_SETS).backend == "numpy"
+        monkeypatch.setenv("REPRO_BACKEND", "bigint")
+        assert SetCollection.from_named_sets(FIG1_SETS).backend == "bigint"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend_name("fortran")
+
+    @pytest.mark.skipif(HAS_NUMPY, reason="only meaningful without numpy")
+    def test_numpy_request_without_numpy_raises(self):  # pragma: no cover
+        with pytest.raises(BackendUnavailableError):
+            resolve_backend_name("numpy")
+
+
+# --------------------------------------------------------------------- #
+# Batched API parity
+# --------------------------------------------------------------------- #
+
+
+@needs_numpy
+class TestBatchedStatsParity:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        rng = random.Random(101)
+        return backend_pair(random_sets(rng, 60, 24))
+
+    def test_positive_counts_match(self, pair):
+        ref, vec = pair
+        rng = random.Random(7)
+        eids = list(range(-1, 30))  # includes unknown ids on both ends
+        for mask in random_masks(rng, ref.full_mask, 25):
+            assert ref.positive_counts(mask, eids) == vec.positive_counts(
+                mask, eids
+            )
+
+    def test_positive_counts_match_reference_loop(self, pair):
+        ref, vec = pair
+        mask = ref.full_mask
+        eids = list(range(ref.n_entities))
+        expected = [ref.positive_count(mask, e) for e in eids]
+        assert vec.positive_counts(mask, eids) == expected
+
+    def test_partition_many_match(self, pair):
+        ref, vec = pair
+        rng = random.Random(8)
+        eids = list(range(26))
+        for mask in random_masks(rng, ref.full_mask, 25):
+            ref_parts = ref.partition_many(mask, eids)
+            vec_parts = vec.partition_many(mask, eids)
+            assert ref_parts == vec_parts
+            for pos, neg in vec_parts:
+                assert pos & neg == 0
+                assert pos | neg == mask
+
+    def test_partition_many_matches_partition(self, pair):
+        _, vec = pair
+        eids = list(range(24))
+        for eid, pair_masks in zip(
+            eids, vec.partition_many(vec.full_mask, eids)
+        ):
+            assert pair_masks == vec.partition(vec.full_mask, eid)
+
+    def test_informative_entities_match(self, pair):
+        ref, vec = pair
+        rng = random.Random(9)
+        for mask in random_masks(rng, ref.full_mask, 25):
+            assert ref.informative_entities(mask) == vec.informative_entities(
+                mask
+            )
+
+    def test_informative_entities_sorted_by_entity_id(self, pair):
+        _, vec = pair
+        eids = [e for e, _ in vec.informative_entities(vec.full_mask)]
+        assert eids == sorted(eids)
+
+    def test_candidate_scan_preserves_order(self, pair):
+        ref, vec = pair
+        candidates = [5, 3, 9, 1, 400]  # 400 unknown
+        assert ref.informative_entities(
+            ref.full_mask, candidates
+        ) == vec.informative_entities(vec.full_mask, candidates)
+
+    def test_stray_high_mask_bits_are_tolerated(self, pair):
+        ref, vec = pair
+        mask = ref.full_mask | (1 << (ref.n_sets + 5))
+        eids = list(range(10))
+        assert ref.positive_counts(mask, eids) == vec.positive_counts(
+            mask, eids
+        )
+
+
+# --------------------------------------------------------------------- #
+# Selection parity
+# --------------------------------------------------------------------- #
+
+
+def all_selectors():
+    return [
+        MostEvenSelector(),
+        InfoGainSelector(),
+        IndistinguishablePairsSelector(),
+        LB1Selector(AD),
+        LB1Selector(H),
+        GainKSelector(k=2),
+        KLPSelector(k=2, metric=AD),
+        KLPSelector(k=2, metric=H),
+        KLPSelector(k=3, metric=AD, q=3),
+        KLPSelector(k=3, metric=AD, q=2, variable=True),
+        UnprunedKLPSelector(k=2, metric=AD),
+    ]
+
+
+@needs_numpy
+class TestSelectionParity:
+    @pytest.mark.parametrize(
+        "seed,n_sets,universe", [(1, 40, 20), (2, 25, 12), (3, 80, 30)]
+    )
+    def test_selectors_agree_on_random_collections(
+        self, seed, n_sets, universe
+    ):
+        rng = random.Random(seed)
+        ref, vec = backend_pair(random_sets(rng, n_sets, universe))
+        masks = random_masks(rng, ref.full_mask, 8)
+        for selector in all_selectors():
+            for mask in masks:
+                selector.reset()
+                chosen_ref = selector.select(ref, mask)
+                selector.reset()
+                chosen_vec = selector.select(vec, mask)
+                assert chosen_ref == chosen_vec, (
+                    f"{selector.name} diverged on mask {mask:#x}"
+                )
+
+    def test_selectors_agree_on_fig1(self):
+        ref = SetCollection.from_named_sets(FIG1_SETS, backend="bigint")
+        vec = SetCollection.from_named_sets(FIG1_SETS, backend="numpy")
+        for selector in all_selectors():
+            selector.reset()
+            chosen = selector.select(ref, ref.full_mask)
+            selector.reset()
+            assert selector.select(vec, vec.full_mask) == chosen
+
+    def test_fig1_most_even_worked_example(self):
+        # Sec. 3 worked example: 'c' and 'd' both split Fig. 1 into 3/4,
+        # the most even split.  Which of the two wins the entity-id
+        # tie-break depends on interning order (FIG1_SETS holds literal
+        # sets, so label order is hash-randomized per process), but within
+        # one process every backend must pick the same one: the lower id.
+        for backend in BOTH_BACKENDS:
+            coll = SetCollection.from_named_sets(FIG1_SETS, backend=backend)
+            chosen = MostEvenSelector().select(coll, coll.full_mask)
+            assert coll.universe.label(chosen) in {"c", "d"}
+            assert chosen == min(
+                coll.universe.id_of("c"), coll.universe.id_of("d")
+            )
+            assert coll.positive_count(coll.full_mask, chosen) == 3
+
+    def test_tie_break_parity_on_engineered_ties(self):
+        # Singleton sets: every entity splits 1/(n-1) — all tied; the
+        # deterministic entity-id tie-break must agree across backends.
+        raw = [[i] for i in range(12)]
+        ref, vec = backend_pair(raw)
+        for selector in all_selectors():
+            selector.reset()
+            chosen_ref = selector.select(ref, ref.full_mask)
+            selector.reset()
+            assert selector.select(vec, vec.full_mask) == chosen_ref
+
+    def test_exclusion_parity(self):
+        # "Don't know" answers (Sec. 6) remove entities; backends must
+        # agree on the runner-up too.
+        rng = random.Random(11)
+        ref, vec = backend_pair(random_sets(rng, 30, 15))
+        for selector in all_selectors():
+            selector.reset()
+            first = selector.select(ref, ref.full_mask)
+            exclude = frozenset({first})
+            selector.reset()
+            chosen_ref = selector.select(ref, ref.full_mask, exclude=exclude)
+            selector.reset()
+            chosen_vec = selector.select(vec, vec.full_mask, exclude=exclude)
+            assert chosen_ref == chosen_vec
+            assert chosen_ref != first
+
+    def test_everything_excluded_raises_on_both(self):
+        ref, vec = backend_pair([[0, 1], [1, 2], [2, 3]])
+        exclude = frozenset(range(4))
+        for coll in (ref, vec):
+            with pytest.raises(NoInformativeEntityError):
+                MostEvenSelector().select(coll, coll.full_mask, exclude=exclude)
+
+    def test_lb_k_parity(self):
+        rng = random.Random(21)
+        ref, vec = backend_pair(random_sets(rng, 16, 10))
+        for metric in (AD, H):
+            for k in (0, 1, 2, 3):
+                assert lb_k(ref, ref.full_mask, k, metric) == lb_k(
+                    vec, vec.full_mask, k, metric
+                )
+
+    def test_klp_lower_bound_parity(self):
+        rng = random.Random(22)
+        ref, vec = backend_pair(random_sets(rng, 20, 12))
+        for metric in (AD, H):
+            sel_ref = KLPSelector(k=2, metric=metric)
+            sel_vec = KLPSelector(k=2, metric=metric)
+            assert sel_ref.lower_bound(ref) == sel_vec.lower_bound(vec)
+
+
+# --------------------------------------------------------------------- #
+# Batch (multiple-choice) parity
+# --------------------------------------------------------------------- #
+
+
+@needs_numpy
+class TestBatchParity:
+    def test_select_batch_agrees(self):
+        rng = random.Random(31)
+        ref, vec = backend_pair(random_sets(rng, 30, 16))
+        for size in (1, 2, 3):
+            assert select_batch(ref, ref.full_mask, size) == select_batch(
+                vec, vec.full_mask, size
+            )
+
+    def test_select_batch_agrees_on_fig1(self):
+        ref = SetCollection.from_named_sets(FIG1_SETS, backend="bigint")
+        vec = SetCollection.from_named_sets(FIG1_SETS, backend="numpy")
+        assert select_batch(ref, ref.full_mask, 3) == select_batch(
+            vec, vec.full_mask, 3
+        )
