@@ -1,0 +1,169 @@
+"""Multi-session serving benchmark: batched engine vs sequential sessions.
+
+Simulates N concurrent users discovering random targets over one shared
+collection and times two ways of serving them to completion:
+
+* **sequential** — N independent ``DiscoverySession.run`` calls, one after
+  another (the paper's one-session-at-a-time evaluation protocol);
+* **engine** — one :class:`repro.serve.SessionEngine` advancing all N
+  sessions in lock-step with stacked-mask kernel passes.
+
+Both paths produce bit-identical transcripts (proven in
+``tests/test_engine.py``); this bench is purely about aggregate throughput
+(answered questions per second).  It writes
+``benchmarks/out/BENCH_sessions.json`` — CI uploads it as an artifact for
+the perf trajectory — and the pytest wrapper asserts the engine's minimum
+aggregate speedup.  Run standalone via
+``python benchmarks/bench_sessions.py`` or as part of
+``pytest benchmarks/``.  Scale knobs (environment):
+
+* ``REPRO_SESSIONS_BENCH_SESSIONS`` — concurrent sessions (default 256)
+* ``REPRO_SESSIONS_BENCH_SETS`` — sets in the collection (default 10000)
+* ``REPRO_SESSIONS_BENCH_UNIVERSE`` — entity universe size (default 2000)
+* ``REPRO_SESSIONS_BENCH_REPEAT`` — timing repetitions, best-of (default 3)
+* ``REPRO_SESSIONS_BENCH_MIN_SPEEDUP`` — asserted engine speedup (default 5)
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.collection import SetCollection
+from repro.core.discovery import DiscoverySession
+from repro.core.kernels import HAS_NUMPY
+from repro.core.selection import InfoGainSelector
+from repro.core.universe import Universe
+from repro.data.synthetic import SyntheticConfig, generate_sets
+from repro.oracle import SimulatedUser
+from repro.serve import SessionEngine
+
+_OUT_PATH = Path(__file__).parent / "out" / "BENCH_sessions.json"
+
+
+def _bench_config() -> dict:
+    return {
+        "n_sessions": int(os.environ.get("REPRO_SESSIONS_BENCH_SESSIONS", "256")),
+        "n_sets": int(os.environ.get("REPRO_SESSIONS_BENCH_SETS", "10000")),
+        "universe_size": int(
+            os.environ.get("REPRO_SESSIONS_BENCH_UNIVERSE", "2000")
+        ),
+        "repeat": int(os.environ.get("REPRO_SESSIONS_BENCH_REPEAT", "3")),
+        "size_lo": 50,
+        "size_hi": 60,
+        "overlap": 0.9,
+        "seed": 7,
+    }
+
+
+def _build_collection(cfg: dict) -> SetCollection:
+    raw = generate_sets(
+        SyntheticConfig(
+            n_sets=cfg["n_sets"],
+            size_lo=cfg["size_lo"],
+            size_hi=cfg["size_hi"],
+            overlap=cfg["overlap"],
+            universe_size=cfg["universe_size"],
+            seed=cfg["seed"],
+        )
+    )
+    return SetCollection(
+        (sorted(s) for s in raw), universe=Universe(), backend="numpy"
+    )
+
+
+def _targets(cfg: dict) -> list[int]:
+    rng = random.Random(11)
+    return [rng.randrange(cfg["n_sets"]) for _ in range(cfg["n_sessions"])]
+
+
+def _run_sequential(collection: SetCollection, targets: list[int]) -> int:
+    collection.clear_caches()
+    questions = 0
+    for target in targets:
+        session = DiscoverySession(collection, InfoGainSelector())
+        result = session.run(SimulatedUser(collection, target_index=target))
+        questions += result.n_questions
+    return questions
+
+
+def _run_engine(collection: SetCollection, targets: list[int]) -> int:
+    collection.clear_caches()
+    engine = SessionEngine(collection)
+    for i, target in enumerate(targets):
+        engine.add(
+            DiscoverySession(collection, InfoGainSelector()),
+            oracle=SimulatedUser(collection, target_index=target),
+            key=i,
+        )
+    results = engine.run()
+    return sum(r.n_questions for r in results.values())
+
+
+def run_sessions_comparison(out_path: Path = _OUT_PATH) -> dict:
+    """Time both serving strategies; write BENCH_sessions.json."""
+    cfg = _bench_config()
+    collection = _build_collection(cfg)
+    targets = _targets(cfg)
+    best = {"sequential": float("inf"), "engine": float("inf")}
+    questions = {}
+    # Interleaved best-of-N: the first round also warms lazily built kernel
+    # structures (the set-major CSR mirror) for both strategies alike.
+    for _ in range(cfg["repeat"]):
+        start = time.perf_counter()
+        questions["sequential"] = _run_sequential(collection, targets)
+        best["sequential"] = min(
+            best["sequential"], time.perf_counter() - start
+        )
+        start = time.perf_counter()
+        questions["engine"] = _run_engine(collection, targets)
+        best["engine"] = min(best["engine"], time.perf_counter() - start)
+    assert questions["sequential"] == questions["engine"], (
+        "engine answered a different number of questions than sequential "
+        "sessions — parity violation"
+    )
+    report = {
+        "bench": "sessions-engine-vs-sequential",
+        "config": cfg,
+        "backend": collection.backend,
+        "results": {
+            name: {
+                "seconds": best[name],
+                "questions": questions[name],
+                "questions_per_s": questions[name] / best[name],
+            }
+            for name in ("sequential", "engine")
+        },
+        "speedup": best["sequential"] / max(best["engine"], 1e-12),
+    }
+    out_path.parent.mkdir(exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy backend unavailable")
+def test_engine_aggregate_speedup():
+    report = run_sessions_comparison()
+    min_speedup = float(
+        os.environ.get("REPRO_SESSIONS_BENCH_MIN_SPEEDUP", "5")
+    )
+    # Transcript parity is proven in tests/test_engine.py; this gate is
+    # purely about aggregate serving throughput.
+    assert report["speedup"] >= min_speedup, (
+        f"engine only {report['speedup']:.1f}x faster than sequential "
+        f"sessions (required {min_speedup:.1f}x): "
+        f"{json.dumps(report, indent=2)}"
+    )
+
+
+def main() -> None:
+    report = run_sessions_comparison()
+    print(json.dumps(report, indent=2))
+    print(f"written to {_OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

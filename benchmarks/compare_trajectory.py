@@ -1,0 +1,122 @@
+"""Diff BENCH_*.json artifacts between two runs (the CI perf trajectory).
+
+Usage::
+
+    python benchmarks/compare_trajectory.py PREVIOUS_DIR CURRENT_DIR
+
+Reads every ``BENCH_*.json`` present in *both* directories, extracts each
+bench's headline speedup figures, and prints a markdown summary table with
+the deltas (suitable for ``$GITHUB_STEP_SUMMARY``).  Exit code is always 0:
+this is a *fail-soft* trajectory report — shared-runner noise makes hard
+gates on run-to-run deltas flaky, so regressions are surfaced loudly (a
+``:warning:`` row plus a trailing ``REGRESSION`` line on stderr) but never
+fail the build.  The hard floors live in the benches' own pytest wrappers.
+
+Known headline metrics per bench file:
+
+* ``BENCH_kernels.json`` — ``speedup.{scan_s,positive_counts_s,select_s}``
+  (numpy kernel vs big-int reference);
+* ``BENCH_sessions.json`` — ``speedup`` (batched engine vs sequential
+  sessions).
+
+Unknown ``BENCH_*.json`` files are compared on any top-level numeric
+``speedup`` field so new benches join the trajectory without touching this
+script.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: relative drop in a speedup figure that is flagged as a regression
+REGRESSION_THRESHOLD = 0.15
+
+
+def _headline_metrics(report: dict) -> dict[str, float]:
+    """``metric name -> speedup`` figures of one BENCH_*.json report."""
+    speedup = report.get("speedup")
+    if isinstance(speedup, dict):
+        return {
+            key: float(value)
+            for key, value in speedup.items()
+            if isinstance(value, (int, float))
+        }
+    if isinstance(speedup, (int, float)):
+        return {"speedup": float(speedup)}
+    return {}
+
+
+def compare_dirs(previous: Path, current: Path) -> tuple[list[str], bool]:
+    """Markdown summary lines plus whether any regression was flagged."""
+    lines = [
+        "## Benchmark trajectory",
+        "",
+        "| bench | metric | previous | current | delta |",
+        "|---|---|---:|---:|---:|",
+    ]
+    regressed = False
+    compared = 0
+    for cur_path in sorted(current.glob("BENCH_*.json")):
+        prev_path = previous / cur_path.name
+        if not prev_path.exists():
+            lines.append(
+                f"| {cur_path.name} | *(new bench — no previous run)* "
+                f"| — | — | — |"
+            )
+            continue
+        try:
+            prev = _headline_metrics(json.loads(prev_path.read_text()))
+            cur = _headline_metrics(json.loads(cur_path.read_text()))
+        except (json.JSONDecodeError, OSError) as exc:
+            lines.append(f"| {cur_path.name} | *(unreadable: {exc})* | | | |")
+            continue
+        for metric in sorted(cur):
+            if metric not in prev or prev[metric] <= 0:
+                continue
+            compared += 1
+            delta = cur[metric] / prev[metric] - 1.0
+            flag = ""
+            if delta < -REGRESSION_THRESHOLD:
+                flag = " :warning:"
+                regressed = True
+            lines.append(
+                f"| {cur_path.name} | {metric} | {prev[metric]:.2f}x "
+                f"| {cur[metric]:.2f}x | {delta:+.1%}{flag} |"
+            )
+    if compared == 0:
+        lines.append("| *(no comparable benches found)* | | | | |")
+    lines.append("")
+    if regressed:
+        lines.append(
+            f"> :warning: at least one speedup dropped by more than "
+            f"{REGRESSION_THRESHOLD:.0%} vs the previous run (fail-soft: "
+            f"noise on shared runners is common — check the trend over "
+            f"several runs before reverting)."
+        )
+    else:
+        lines.append("> No speedup regressions beyond the noise threshold.")
+    return lines, regressed
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 0
+    previous, current = Path(argv[1]), Path(argv[2])
+    if not previous.is_dir() or not current.is_dir():
+        print(
+            f"nothing to compare: previous={previous} current={current}",
+            file=sys.stderr,
+        )
+        return 0
+    lines, regressed = compare_dirs(previous, current)
+    print("\n".join(lines))
+    if regressed:
+        print("REGRESSION (fail-soft, exit 0)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

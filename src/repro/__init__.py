@@ -28,6 +28,7 @@ Package map (see DESIGN.md for the full inventory):
 
 * :mod:`repro.core` — collections, bounds, selectors, k-LP, trees,
   discovery sessions, exact optimal search;
+* :mod:`repro.serve` — multi-session batched discovery engine (serving);
 * :mod:`repro.oracle` — simulated / noisy / unsure / human users;
 * :mod:`repro.data` — synthetic copy-add generator, web-tables substitute,
   collection file I/O;
@@ -73,6 +74,7 @@ from .core import (
     optimal_tree,
     save_tree,
 )
+from .serve import EngineStats, SessionEngine
 
 __version__ = "1.0.0"
 
@@ -84,6 +86,7 @@ __all__ = [
     "DiscoveryResult",
     "DiscoverySession",
     "DuplicateSetError",
+    "EngineStats",
     "EntitySelector",
     "GainKSelector",
     "IndistinguishablePairsSelector",
@@ -95,6 +98,7 @@ __all__ = [
     "NoInformativeEntityError",
     "PruningStats",
     "RandomSelector",
+    "SessionEngine",
     "SetCollection",
     "TreeDiscoverySession",
     "TreeSummary",

@@ -33,6 +33,13 @@ class DuplicateSetError(ValueError):
     """Raised when two input sets are equal and ``dedupe`` is off."""
 
 
+#: Default bound on the per-mask informative-stats cache.  Sustained
+#: multi-session serving visits an ever-growing stream of sub-collection
+#: masks; an unbounded cache is a memory leak, so entries are evicted in
+#: least-recently-used order beyond this many masks.
+DEFAULT_INFORMATIVE_CACHE_SIZE = 8192
+
+
 class SetCollection:
     """An immutable collection of unique finite sets over a shared universe.
 
@@ -55,6 +62,11 @@ class SetCollection:
         importable and the collection is large enough for vectorization to
         win).  See :mod:`repro.core.kernels`; all backends produce
         identical results, only throughput differs.
+    informative_cache_size:
+        Bound on the per-mask informative-stats cache
+        (:data:`DEFAULT_INFORMATIVE_CACHE_SIZE` masks by default, LRU
+        eviction).  ``None`` disables the bound — only sensible for
+        short-lived collections.
     """
 
     __slots__ = (
@@ -64,7 +76,10 @@ class SetCollection:
         "_entity_masks",
         "_full_mask",
         "_aliases",
+        "_index_by_name",
+        "_index_by_set",
         "_informative_cache",
+        "_informative_cache_size",
         "_kernel",
     )
 
@@ -75,6 +90,7 @@ class SetCollection:
         universe: Universe | None = None,
         dedupe: bool = False,
         backend: str | None = None,
+        informative_cache_size: int | None = DEFAULT_INFORMATIVE_CACHE_SIZE,
     ) -> None:
         self.universe = universe if universe is not None else Universe()
         interned: list[frozenset[int]] = []
@@ -104,6 +120,13 @@ class SetCollection:
         self._aliases: dict[int, tuple[str, ...]] = {
             idx: tuple(extra) for idx, extra in aliases.items()
         }
+        # O(1) lookup maps (construction already had both at hand: ``seen``
+        # is exactly set -> index, and names map to their first index).
+        self._index_by_set: dict[frozenset[int], int] = seen
+        name_index: dict[str, int] = {}
+        for idx, name in enumerate(kept_names):
+            name_index.setdefault(name, idx)
+        self._index_by_name: dict[str, int] = name_index
         masks: dict[int, int] = {}
         for idx, fs in enumerate(self._sets):
             bit = 1 << idx
@@ -112,6 +135,7 @@ class SetCollection:
         self._entity_masks: dict[int, int] = masks
         self._full_mask: int = full_mask(len(self._sets))
         self._informative_cache: dict[int, tuple[Sequence[int], Sequence[int]]] = {}
+        self._informative_cache_size = informative_cache_size
         self._kernel = kernels.make_kernel(
             backend, self._sets, self._entity_masks, len(self._sets)
         )
@@ -175,10 +199,10 @@ class SetCollection:
         return self._names[index]
 
     def index_of(self, name: str) -> int:
-        """Index of the set with the given name (O(n))."""
+        """Index of the set with the given name (O(1))."""
         try:
-            return self._names.index(name)
-        except ValueError:
+            return self._index_by_name[name]
+        except KeyError:
             raise KeyError(name) from None
 
     def aliases_of(self, index: int) -> tuple[str, ...]:
@@ -236,6 +260,20 @@ class SetCollection:
         """
         counts = self._kernel.positive_counts(mask, eids)
         return counts if isinstance(counts, list) else counts.tolist()
+
+    def positive_counts_many(
+        self, masks: Sequence[int], eids: Iterable[int]
+    ) -> list[list[int]]:
+        """Stacked :meth:`positive_counts`: one count list per mask.
+
+        A single kernel pass answers the same entity questions for many
+        sub-collections (sessions) at once; row ``i`` equals
+        ``positive_counts(masks[i], eids)`` on every backend.
+        """
+        rows = self._kernel.positive_counts_many(masks, eids)
+        return [
+            row if isinstance(row, list) else row.tolist() for row in rows
+        ]
 
     def partition_many(
         self, mask: int, eids: Iterable[int]
@@ -298,25 +336,115 @@ class SetCollection:
         """
         n = popcount(mask)
         if candidates is None:
-            cached = self._informative_cache.get(mask)
+            cached = self._cache_get(mask)
             if cached is not None:
                 return cached
-            eids, counts = self._kernel.scan_informative(mask, n, None)
-            # Freeze before caching: the same objects are handed to every
-            # caller, so a mutable cached list would let one caller corrupt
-            # all later selections on this mask.
-            if isinstance(eids, list):
-                stats: tuple[Sequence[int], Sequence[int]] = (
-                    tuple(eids),
-                    tuple(counts),
-                )
-            else:
-                eids.flags.writeable = False
-                counts.flags.writeable = False
-                stats = (eids, counts)
-            self._informative_cache[mask] = stats
+            stats = self._freeze_stats(
+                self._kernel.scan_informative(mask, n, None)
+            )
+            self._cache_put(mask, stats)
             return stats
         return self._kernel.scan_informative(mask, n, candidates)
+
+    def informative_stats_many(
+        self,
+        masks: Sequence[int],
+        candidates_list: Sequence[Iterable[int] | None] | None = None,
+    ) -> list[tuple[Sequence[int], Sequence[int]]]:
+        """Batched :meth:`informative_stats` over many sub-collections.
+
+        Cache hits are returned directly; all misses are answered by *one*
+        stacked kernel pass (the multi-session engine's hot path) and then
+        cached, so a later per-mask :meth:`informative_stats` call on any
+        of these masks is a hit.
+
+        ``candidates_list`` optionally restricts each miss's scan.  Because
+        the result is cached as if it came from a full scan, each
+        restriction MUST be a superset of the mask's informative entities
+        presented in ascending entity-id order — e.g. the informative
+        entities of any ancestor sub-collection, which always qualify
+        (narrowing can only shrink the informative set).  Results are then
+        identical to the unrestricted scan, just cheaper.
+        """
+        out: list = [None] * len(masks)
+        miss_at: list[int] = []
+        miss_masks: list[int] = []
+        miss_ns: list[int] = []
+        miss_cands: list[Iterable[int] | None] = []
+        pending: dict[int, list[int]] = {}
+        for i, mask in enumerate(masks):
+            cached = self._cache_get(mask)
+            if cached is not None:
+                out[i] = cached
+                continue
+            if mask in pending:  # duplicate miss: scan once, share result
+                pending[mask].append(i)
+                continue
+            pending[mask] = [i]
+            miss_at.append(i)
+            miss_masks.append(mask)
+            miss_ns.append(popcount(mask))
+            miss_cands.append(
+                candidates_list[i] if candidates_list is not None else None
+            )
+        if miss_masks:
+            scanned = self._kernel.scan_informative_many(
+                miss_masks, miss_ns, miss_cands
+            )
+            for mask, raw in zip(miss_masks, scanned):
+                stats = self._freeze_stats(raw)
+                self._cache_put(mask, stats)
+                for i in pending[mask]:
+                    out[i] = stats
+        return out
+
+    def _freeze_stats(
+        self, raw: tuple[Sequence[int], Sequence[int]]
+    ) -> tuple[Sequence[int], Sequence[int]]:
+        """Make scan results immutable before caching.
+
+        The same objects are handed to every caller, so a mutable cached
+        list would let one caller corrupt all later selections on its mask.
+        """
+        eids, counts = raw
+        if isinstance(eids, list):
+            return tuple(eids), tuple(counts)
+        eids.flags.writeable = False
+        counts.flags.writeable = False
+        return eids, counts
+
+    def _cache_get(
+        self, mask: int
+    ) -> tuple[Sequence[int], Sequence[int]] | None:
+        """Cache lookup; a hit is re-marked as most recently used."""
+        cache = self._informative_cache
+        stats = cache.get(mask)
+        if stats is not None and self._informative_cache_size is not None:
+            del cache[mask]  # move to the end: dicts iterate oldest-first
+            cache[mask] = stats
+        return stats
+
+    def _cache_put(
+        self, mask: int, stats: tuple[Sequence[int], Sequence[int]]
+    ) -> None:
+        cache = self._informative_cache
+        cap = self._informative_cache_size
+        if cap is not None:
+            while len(cache) >= max(cap, 1):
+                del cache[next(iter(cache))]
+        cache[mask] = stats
+
+    def is_cached(self, mask: int) -> bool:
+        """Whether ``mask``'s informative stats are cached (no LRU touch)."""
+        return mask in self._informative_cache
+
+    def release_cached(self, mask: int) -> None:
+        """Drop one mask's cached stats (a finished session's footprint)."""
+        self._informative_cache.pop(mask, None)
+
+    def cached_mask_count(self) -> int:
+        """Number of sub-collection masks currently held in the cache."""
+        return len(self._informative_cache)
 
     def clear_caches(self) -> None:
         """Drop the informative-entity cache (frees memory after a run)."""
@@ -352,12 +480,9 @@ class SetCollection:
         return mask
 
     def find(self, labels: Iterable[Hashable]) -> int | None:
-        """Index of the set exactly equal to ``labels``, or ``None``."""
+        """Index of the set exactly equal to ``labels``, or ``None`` (O(1))."""
         try:
             fs = frozenset(self.universe.id_of(label) for label in labels)
         except KeyError:
             return None
-        for idx, stored in enumerate(self._sets):
-            if stored == fs:
-                return idx
-        return None
+        return self._index_by_set.get(fs)

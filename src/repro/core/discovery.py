@@ -123,6 +123,7 @@ class DiscoverySession:
         self._transcript: list[Interaction] = []
         self._pending: int | None = None
         self._seconds = 0.0
+        self._n_candidates = popcount(self._mask)
 
     # ------------------------------------------------------------------ #
     # State inspection
@@ -139,7 +140,7 @@ class DiscoverySession:
 
     @property
     def n_candidates(self) -> int:
-        return popcount(self._mask)
+        return self._n_candidates
 
     @property
     def transcript(self) -> list[Interaction]:
@@ -150,9 +151,19 @@ class DiscoverySession:
         return sum(1 for i in self._transcript if i.answer is not None)
 
     @property
+    def pending_entity(self) -> int | None:
+        """The selected-but-unanswered question, if any."""
+        return self._pending
+
+    @property
+    def excluded(self) -> frozenset[int]:
+        """Entities removed from selection by "don't know" answers."""
+        return frozenset(self._excluded)
+
+    @property
     def finished(self) -> bool:
         """True when the loop of Algorithm 2 would exit."""
-        if popcount(self._mask) <= 1:
+        if self._n_candidates <= 1:
             return True
         if (
             self.max_questions is not None
@@ -162,13 +173,28 @@ class DiscoverySession:
         return not self._has_askable_entity()
 
     def _has_askable_entity(self) -> bool:
+        # A pending question is by construction informative and not
+        # excluded for the current mask (the mask cannot have changed since
+        # it was selected), so don't re-scan while one awaits its answer.
+        if self._pending is not None:
+            return True
+        # The informative scan is real discovery-time work — the first scan
+        # of every fresh sub-collection happens right here (the selector
+        # afterwards hits the per-mask cache), so it must be timed or
+        # DiscoveryResult.seconds undercounts the paper's metric.
+        start = time.perf_counter()
         try:
-            pairs = self.collection.informative_entities(self._mask)
+            eids, _ = self.collection.informative_stats(self._mask)
         except ValueError:
             return False
+        finally:
+            self._seconds += time.perf_counter() - start
         if not self._excluded:
-            return bool(pairs)
-        return any(e not in self._excluded for e, _ in pairs)
+            return len(eids) > 0
+        excluded = self._excluded
+        if hasattr(eids, "tolist"):
+            eids = eids.tolist()
+        return any(e not in excluded for e in eids)
 
     # ------------------------------------------------------------------ #
     # Pull-style API
@@ -196,6 +222,27 @@ class DiscoverySession:
         """As :meth:`next_question`, translated to the entity's label."""
         return self.collection.universe.label(self.next_question())
 
+    def push_question(self, entity: int) -> None:
+        """Install an externally selected pending question.
+
+        The multi-session engine (:mod:`repro.serve.engine`) selects
+        questions for many sessions in one batched pass and pushes each
+        session its result; from here on the session behaves exactly as if
+        :meth:`next_question` had returned ``entity``.
+        """
+        if self._pending is not None:
+            raise RuntimeError("a question is already pending")
+        self._pending = entity
+
+    def add_seconds(self, seconds: float) -> None:
+        """Attribute externally spent selection time to this session.
+
+        Batched engines do one kernel pass for many sessions; each
+        session's share is added here so :attr:`DiscoveryResult.seconds`
+        stays comparable with sequential runs.
+        """
+        self._seconds += seconds
+
     def answer(self, value: bool | None) -> None:
         """Record the user's answer to the pending question (lines 7-12).
 
@@ -206,16 +253,17 @@ class DiscoverySession:
             raise RuntimeError("no pending question; call next_question()")
         entity = self._pending
         self._pending = None
-        before = popcount(self._mask)
+        before = self._n_candidates
         start = time.perf_counter()
         if value is None:
             self._excluded.add(entity)
         else:
             positive, negative = self.collection.partition(self._mask, entity)
             self._mask = positive if value else negative
+            self._n_candidates = popcount(self._mask)
         self._seconds += time.perf_counter() - start
         self._transcript.append(
-            Interaction(entity, value, before, popcount(self._mask))
+            Interaction(entity, value, before, self._n_candidates)
         )
 
     # ------------------------------------------------------------------ #

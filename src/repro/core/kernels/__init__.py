@@ -34,6 +34,7 @@ from .numpy_backend import HAS_NUMPY, NumpyKernel
 from .scoring import (
     filter_excluded,
     select_best,
+    select_best_many,
     sort_most_even,
 )
 
@@ -123,5 +124,6 @@ __all__ = [
     "make_kernel",
     "resolve_backend_name",
     "select_best",
+    "select_best_many",
     "sort_most_even",
 ]

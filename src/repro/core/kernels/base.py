@@ -8,7 +8,11 @@ questions about sub-collections (plain int bitmasks, see
 * :meth:`positive_counts` — ``|C & mask[e]|`` for many entities at once;
 * :meth:`partition_many` — the ``(C+, C-)`` splits for many entities;
 * :meth:`scan_informative` — the informative-entity scan of Sec. 3, the
-  single hottest loop in the system.
+  single hottest loop in the system;
+* :meth:`scan_informative_many` / :meth:`positive_counts_many` — the
+  *stacked-mask* forms: the same statistics for many sub-collections in one
+  kernel pass, the building block of multi-session serving
+  (:mod:`repro.serve.engine`).
 
 The contract is *exact* equivalence between backends: identical counts,
 identical masks and — because every selector breaks ties deterministically
@@ -92,6 +96,46 @@ class EntityStatsKernel(ABC):
         and the result is ordered by ascending entity id; otherwise only
         ``candidates`` are examined, in their given order.
         """
+
+    def scan_informative_many(
+        self,
+        masks: Sequence[int],
+        ns: Sequence[int],
+        candidates_list: "Sequence[Iterable[int] | None] | None" = None,
+    ) -> list[tuple[Sequence[int], Sequence[int]]]:
+        """Stacked :meth:`scan_informative` over many sub-collections.
+
+        ``masks``/``ns`` are parallel (``ns[i] == popcount(masks[i])``).
+        Per-mask results are defined to be *identical* to the full scan
+        ``scan_informative(masks[i], ns[i], None)`` — backends may only
+        change how the work is batched, never what comes out.
+
+        ``candidates_list`` entries are optimisation *hints*, not filters:
+        each one, when given, MUST be a superset of its mask's informative
+        entities in ascending entity-id order (e.g. the informative
+        entities of any ancestor sub-collection — narrowing only shrinks
+        the informative set).  Under that precondition a hint-restricted
+        scan returns exactly the full-scan result while touching far fewer
+        rows; backends are also free to ignore the hint when another
+        strategy (e.g. a set-major gather) is cheaper.
+        """
+        cands = candidates_list or [None] * len(masks)
+        return [
+            self.scan_informative(mask, n, cand)
+            for mask, n, cand in zip(masks, ns, cands)
+        ]
+
+    def positive_counts_many(
+        self, masks: Sequence[int], eids: Iterable[int]
+    ) -> list[Sequence[int]]:
+        """Stacked :meth:`positive_counts`: the same entities against many
+        sub-collections.
+
+        Returns one count sequence per mask, each identical to
+        ``positive_counts(masks[i], eids)``.
+        """
+        eids = list(eids)
+        return [self.positive_counts(mask, eids) for mask in masks]
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} backend={self.name}>"

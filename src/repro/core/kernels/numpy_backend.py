@@ -35,14 +35,20 @@ HAS_NUMPY = np is not None
 if HAS_NUMPY and hasattr(np, "bitwise_count"):
 
     def _popcount_rows(words: "np.ndarray") -> "np.ndarray":
-        """Per-row popcount of a 2-D uint64 word array."""
-        return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
+        """Popcount of a uint64 word array, summed over the last axis."""
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
 
 elif HAS_NUMPY:  # pragma: no cover - NumPy < 2.0 fallback
 
     def _popcount_rows(words: "np.ndarray") -> "np.ndarray":
-        bits = np.unpackbits(words.view(np.uint8), axis=1)
-        return bits.sum(axis=1, dtype=np.int64)
+        flat = words.reshape(-1, words.shape[-1])
+        bits = np.unpackbits(flat.view(np.uint8), axis=1)
+        return bits.sum(axis=1, dtype=np.int64).reshape(words.shape[:-1])
+
+
+#: Byte budget for the ``(n_entities, chunk, n_words)`` temporary of the
+#: stacked full-matrix scan; masks beyond it are processed in chunks.
+_STACKED_SCAN_BUDGET = 32 << 20
 
 
 class NumpyKernel(EntityStatsKernel):
@@ -74,6 +80,18 @@ class NumpyKernel(EntityStatsKernel):
         self._row_eids = row_eids
         self._matrix = matrix
         self._row_of = {eid: row for row, eid in enumerate(row_eids.tolist())}
+        # Set-major (CSR) mirror of the index, built lazily by the stacked
+        # scans: row indices of each set's members, concatenated.
+        self._set_indptr: "np.ndarray | None" = None
+        self._set_flat_rows: "np.ndarray | None" = None
+        # When entity ids are dense (0..E-1, the common Universe interning
+        # outcome), row index == entity id and array-valued candidate
+        # lookups skip the per-element dict walk entirely.
+        self._rows_dense = bool(
+            len(row_eids)
+            and int(row_eids[0]) == 0
+            and int(row_eids[-1]) == len(row_eids) - 1
+        )
         total_membership = sum(len(s) for s in sets)
         self._avg_set_size = total_membership / n_sets if n_sets else 0.0
 
@@ -97,6 +115,10 @@ class NumpyKernel(EntityStatsKernel):
         self, eids: Iterable[int]
     ) -> "tuple[np.ndarray, np.ndarray]":
         """``(row indices, known?)`` arrays for an entity id sequence."""
+        if self._rows_dense and isinstance(eids, np.ndarray):
+            idx = eids.astype(np.int64, copy=False)
+            known = (idx >= 0) & (idx < len(self._row_eids))
+            return np.where(known, idx, -1), known
         row_of = self._row_of
         idx = np.fromiter(
             (row_of.get(int(e), -1) for e in eids), dtype=np.int64
@@ -153,3 +175,197 @@ class NumpyKernel(EntityStatsKernel):
         counts = self.positive_counts(mask, eids)
         keep = (counts > 0) & (counts < n_selected)
         return eids[keep], counts[keep]
+
+    # ------------------------------------------------------------------ #
+    # Stacked-mask API (multi-session serving)
+    # ------------------------------------------------------------------ #
+
+    def _stack_words(self, masks: Sequence[int]) -> "np.ndarray":
+        """Pack many sub-collection masks into a (n_masks, n_words) matrix."""
+        words = np.empty((len(masks), self._n_words), dtype=np.uint64)
+        for row, mask in enumerate(masks):
+            words[row] = self._words_of(mask)
+        return words
+
+    def _ensure_set_rows(self) -> None:
+        """Build the set-major CSR mirror (member row indices per set).
+
+        Derived from the bit matrix itself: unpacking it to booleans and
+        taking the transposed nonzero yields (set, member row) pairs
+        grouped by set — the CSR flat array — without a Python-level walk
+        over every membership.
+        """
+        if self._set_indptr is not None:
+            return
+        bits = np.unpackbits(
+            self._matrix.view(np.uint8), axis=1, bitorder="little"
+        )[:, : self._n_sets]
+        set_idx, member_rows = np.nonzero(bits.T)
+        lengths = np.bincount(set_idx, minlength=self._n_sets)
+        indptr = np.zeros(self._n_sets + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        self._set_indptr = indptr
+        self._set_flat_rows = member_rows.astype(np.int64, copy=False)
+
+    def _counts_by_members(self, mask: int, words_row: "np.ndarray") -> "np.ndarray":
+        """Per-entity positive counts of ``mask`` via a set-major gather.
+
+        Cost is O(n_sets / 8) to unpack the mask plus O(total membership of
+        the selected sets) for the gather+bincount — for sub-collections of
+        few sets this is far below any bit-matrix pass, whose cost stays
+        O(width) per entity regardless of how small the mask is.
+        """
+        self._ensure_set_rows()
+        bits = np.unpackbits(
+            words_row.view(np.uint8), bitorder="little"
+        )[: self._n_sets]
+        sets = np.flatnonzero(bits)
+        indptr = self._set_indptr
+        starts = indptr[sets]
+        lens = indptr[sets + 1] - starts
+        total = int(lens.sum())
+        if total == 0:
+            return np.zeros(len(self._row_eids), dtype=np.int64)
+        offsets = np.zeros(len(lens), dtype=np.int64)
+        np.cumsum(lens[:-1], out=offsets[1:])
+        gather = np.arange(total, dtype=np.int64) + np.repeat(
+            starts - offsets, lens
+        )
+        rows = self._set_flat_rows[gather]
+        return np.bincount(rows, minlength=len(self._row_eids))
+
+    def scan_informative_many(
+        self,
+        masks: Sequence[int],
+        ns: Sequence[int],
+        candidates_list: "Sequence[Iterable[int] | None] | None" = None,
+    ) -> "list[tuple[np.ndarray, np.ndarray]]":
+        if not masks:
+            return []
+        cands = candidates_list or [None] * len(masks)
+        results: list = [None] * len(masks)
+        full_rows: list[int] = []
+        restricted: list[int] = []
+        set_major: list[int] = []
+        n_entities = len(self._row_eids)
+        for i in range(len(masks)):
+            cand = cands[i]
+            width = (
+                len(cand)
+                if cand is not None and hasattr(cand, "__len__")
+                else n_entities
+            )
+            # Cost model, in array elements touched: the set-major gather
+            # pays the mask unpack plus ~2 passes over the selected sets'
+            # total membership; a row pass pays one AND+popcount word per
+            # (candidate, nonzero mask word) pair.  Small masks are
+            # membership-bound, big masks width-bound — route per mask.
+            member_cost = self._n_sets / 8 + ns[i] * self._avg_set_size * 2
+            row_cost = width * min(self._n_words, ns[i] + 1)
+            if member_cost < row_cost:
+                set_major.append(i)
+            elif cand is not None:
+                restricted.append(i)
+            else:
+                full_rows.append(i)
+        for i in set_major:
+            counts = self._counts_by_members(
+                masks[i], self._words_of(masks[i])
+            )
+            keep = (counts > 0) & (counts < ns[i])
+            results[i] = (self._row_eids[keep], counts[keep])
+        if full_rows:
+            self._scan_full_stacked(masks, ns, full_rows, results)
+        if restricted:
+            self._scan_restricted_stacked(masks, ns, cands, restricted, results)
+        return results
+
+    def _scan_full_stacked(
+        self,
+        masks: Sequence[int],
+        ns: Sequence[int],
+        rows: list[int],
+        results: list,
+    ) -> None:
+        """Full-entity scans of many masks via chunked broadcast popcount.
+
+        One ``(n_entities, chunk, n_words)`` AND+popcount per chunk answers
+        ``chunk`` sessions at once; the chunk size keeps the temporary
+        under :data:`_STACKED_SCAN_BUDGET`.
+        """
+        words = self._stack_words([masks[i] for i in rows])
+        per_mask = len(self._row_eids) * self._n_words * 8
+        chunk = max(1, _STACKED_SCAN_BUDGET // max(per_mask, 1))
+        for start in range(0, len(rows), chunk):
+            block = words[start : start + chunk]  # (c, W)
+            # (E, c): counts of every entity against every mask of the block
+            counts = _popcount_rows(
+                self._matrix[:, None, :] & block[None, :, :]
+            )
+            for j in range(block.shape[0]):
+                i = rows[start + j]
+                col = counts[:, j]
+                keep = (col > 0) & (col < ns[i])
+                results[i] = (self._row_eids[keep], col[keep])
+
+    def _scan_restricted_stacked(
+        self,
+        masks: Sequence[int],
+        ns: Sequence[int],
+        cands: Sequence,
+        rows: list[int],
+        results: list,
+    ) -> None:
+        """Candidate-restricted scans of many masks, word-sharded per mask.
+
+        Deep session masks select few sets, so their packed word vector is
+        mostly zero: gathering only the *nonzero words* of each mask bounds
+        the AND+popcount at ``n_candidates x min(n_words, popcount words)``
+        instead of a full-width pass — the work shrinks with the session
+        instead of staying O(collection width).
+        """
+        empty = np.empty(0, dtype=np.int64)
+        for i in rows:
+            cand = cands[i]
+            if isinstance(cand, np.ndarray):
+                eids = cand.astype(np.int64, copy=False)
+            else:
+                eids = np.fromiter((int(e) for e in cand), dtype=np.int64)
+            if len(eids) == 0:
+                results[i] = (empty, empty)
+                continue
+            idx, known = self._rows_for(eids)
+            words_row = self._words_of(masks[i])
+            counts = np.zeros(len(eids), dtype=np.int64)
+            if known.any():
+                rows_idx = idx if known.all() else idx[known]
+                nz = np.flatnonzero(words_row)
+                if len(nz) * 2 < self._n_words:
+                    sub = self._matrix[np.ix_(rows_idx, nz)] & words_row[nz]
+                else:
+                    sub = self._matrix[rows_idx] & words_row
+                if known.all():
+                    counts = _popcount_rows(sub)
+                else:
+                    counts[known] = _popcount_rows(sub)
+            keep = (counts > 0) & (counts < ns[i])
+            results[i] = (eids[keep], counts[keep])
+
+    def positive_counts_many(
+        self, masks: Sequence[int], eids: Iterable[int]
+    ) -> "list[np.ndarray]":
+        if not masks:
+            return []
+        idx, known = self._rows_for(eids)
+        words = self._stack_words(masks)  # (S, W)
+        counts = np.zeros((len(masks), len(idx)), dtype=np.int64)
+        if known.any():
+            rows = self._matrix[idx[known]]  # (E', W)
+            per_mask = rows.shape[0] * self._n_words * 8
+            chunk = max(1, _STACKED_SCAN_BUDGET // max(per_mask, 1))
+            for start in range(0, len(masks), chunk):
+                block = words[start : start + chunk]
+                counts[start : start + chunk][:, known] = _popcount_rows(
+                    block[:, None, :] & rows[None, :, :]
+                )
+        return list(counts)

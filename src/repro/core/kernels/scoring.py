@@ -94,6 +94,65 @@ def select_best(
     return best
 
 
+def select_best_many(
+    eids_list: "Sequence[Sequence[int]]",
+    counts_list: "Sequence[Sequence[int]]",
+    ns: Sequence[int],
+    primary: Callable[[int, int], float] | None = None,
+) -> list[int]:
+    """Batched :func:`select_best` over many stats groups at once.
+
+    Each group ``i`` is ``(eids_list[i], counts_list[i], ns[i])`` and every
+    group must be non-empty.  The result is *exactly* ``[select_best(e, c,
+    n, primary) for ...]``: the primary score is still computed by the same
+    scalar function, once per distinct ``(n, n1)`` pair across all groups,
+    so the lexicographic minima are bit-identical to the per-group path.
+    The multi-session engine uses this to rank the selections of many
+    concurrent sessions with one ``lexsort`` instead of one per session.
+    """
+    if not eids_list:
+        return []
+    if np is None or not all(_is_array(e) for e in eids_list):
+        return [
+            select_best(e, c, int(n), primary)
+            for e, c, n in zip(eids_list, counts_list, ns)
+        ]
+    lengths = np.fromiter(
+        (len(e) for e in eids_list), dtype=np.int64, count=len(eids_list)
+    )
+    starts = np.zeros(len(eids_list), dtype=np.int64)
+    np.cumsum(lengths[:-1], out=starts[1:])
+    seg = np.repeat(np.arange(len(eids_list), dtype=np.int64), lengths)
+    eids = np.concatenate(eids_list)
+    counts = np.concatenate(counts_list).astype(np.int64, copy=False)
+    n_arr = np.repeat(np.asarray(ns, dtype=np.int64), lengths)
+    unevenness = np.abs(2 * counts - n_arr)
+    # Lexicographic minimum per group without sorting: narrow the rows in
+    # the running for each group key after key with segmented minima.
+    in_running = None
+    if primary is not None:
+        # One exact scalar evaluation per distinct (n, n1) pair, shared by
+        # every group — the same floats select_best's per-group table holds.
+        base = int(n_arr.max()) + 1
+        packed = n_arr * base + counts
+        unique, inverse = np.unique(packed, return_inverse=True)
+        table = np.fromiter(
+            (primary(int(k) // base, int(k) % base) for k in unique),
+            dtype=np.float64,
+            count=len(unique),
+        )
+        scores = table[inverse]
+        in_running = scores == np.minimum.reduceat(scores, starts)[seg]
+    if in_running is None:
+        best_u = np.minimum.reduceat(unevenness, starts)[seg]
+        in_running = unevenness == best_u
+    else:
+        masked_u = np.where(in_running, unevenness, np.iinfo(np.int64).max)
+        in_running &= masked_u == np.minimum.reduceat(masked_u, starts)[seg]
+    masked_e = np.where(in_running, eids, np.iinfo(np.int64).max)
+    return [int(e) for e in np.minimum.reduceat(masked_e, starts)]
+
+
 def sort_most_even(
     eids: Sequence[int],
     counts: Sequence[int],

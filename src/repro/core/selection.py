@@ -94,6 +94,29 @@ class EntitySelector(ABC):
     def reset(self) -> None:
         """Drop any per-run caches; default selectors are stateless."""
 
+    def batch_primary(self) -> "Callable[[int, int], float] | None":
+        """Primary score for the batched multi-session scoring path.
+
+        One-step selectors whose choice is exactly
+        ``select_best(eids, counts, n, primary)`` return their primary
+        callable here (``None`` meaning "rank purely by the most-even
+        tie-break").  The multi-session engine then scores many sessions'
+        selections in one pass, with bit-identical results.  Selectors
+        whose choice cannot be expressed this way (lookahead, random)
+        raise ``NotImplementedError`` — the engine falls back to their
+        ordinary :meth:`select`.
+        """
+        raise NotImplementedError
+
+    def batch_key(self) -> tuple:
+        """Hashable identity of :meth:`batch_primary`'s scoring function.
+
+        Two selector *instances* with equal keys produce identical batched
+        selections, so the engine deduplicates scoring work across
+        sessions by ``(mask, batch_key, excluded)``.
+        """
+        raise NotImplementedError
+
     def _informative(
         self,
         collection: SetCollection,
@@ -142,6 +165,12 @@ class MostEvenSelector(EntitySelector):
 
     name = "MostEven"
 
+    def batch_primary(self) -> None:
+        return None
+
+    def batch_key(self) -> tuple:
+        return ("most-even",)
+
     def select(
         self,
         collection: SetCollection,
@@ -164,6 +193,12 @@ class InfoGainSelector(EntitySelector):
 
     name = "InfoGain"
 
+    def batch_primary(self):
+        return lambda n, n1: -information_gain(n, n1)
+
+    def batch_key(self) -> tuple:
+        return ("infogain",)
+
     def select(
         self,
         collection: SetCollection,
@@ -184,6 +219,12 @@ class IndistinguishablePairsSelector(EntitySelector):
     """Minimise indistinguishable pairs (Eq. 10; Roy et al. [7])."""
 
     name = "Indg"
+
+    def batch_primary(self):
+        return lambda n, n1: float(indistinguishable_pairs(n1, n - n1))
+
+    def batch_key(self) -> tuple:
+        return ("indg",)
 
     def select(
         self,
@@ -213,6 +254,16 @@ class LB1Selector(EntitySelector):
     def __init__(self, metric: CostMetric = AD) -> None:
         self.metric = metric
         self.name = f"LB1[{metric.name}]"
+
+    def batch_primary(self):
+        metric = self.metric
+        return lambda n, n1: metric.lb1(n1, n - n1)
+
+    def batch_key(self) -> tuple:
+        # Key on the metric object, not its display name: distinct metrics
+        # sharing a name must not be conflated by the engine's scoring
+        # dedup (AD/H are module singletons, so dedup still applies).
+        return ("lb1", self.metric)
 
     def select(
         self,

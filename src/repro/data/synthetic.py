@@ -100,11 +100,14 @@ def generate_sets(config: SyntheticConfig) -> list[frozenset[int]]:
     return sets
 
 
-def generate_collection(config: SyntheticConfig) -> SetCollection:
+def generate_collection(
+    config: SyntheticConfig, backend: str | None = None
+) -> SetCollection:
     """Generate a :class:`SetCollection` for ``config``.
 
     Entity labels are the universe draws themselves (ints), interned into a
     fresh :class:`~repro.core.universe.Universe` so ids are dense.
+    ``backend`` is passed through to :class:`SetCollection`.
     """
     raw = generate_sets(config)
     universe = Universe()
@@ -112,6 +115,7 @@ def generate_collection(config: SyntheticConfig) -> SetCollection:
         (sorted(s) for s in raw),
         names=[f"S{i + 1}" for i in range(len(raw))],
         universe=universe,
+        backend=backend,
     )
 
 

@@ -214,7 +214,10 @@ class StdinUser(BaseUser):
         line_reader: Callable[[], str] | None = None,
     ) -> None:
         super().__init__(collection)
-        self._write = prompt_writer or (lambda s: print(s, end=""))
+        # flush=True: the prompt ends without a newline, so without an
+        # explicit flush it sits invisible in the stdout buffer whenever
+        # stdout is piped or block-buffered.
+        self._write = prompt_writer or (lambda s: print(s, end="", flush=True))
         self._read = line_reader or input
 
     def answer(self, entity: int) -> bool | None:

@@ -1,0 +1,15 @@
+"""Serving layer: run *many* concurrent discovery sessions efficiently.
+
+The paper evaluates Algorithm 2 one session at a time; serving heavy
+interactive traffic means advancing thousands of independent sessions whose
+per-step latency budgets are tight.  :class:`~repro.serve.engine.SessionEngine`
+is the building block for that: it steps N sessions in lock-step, answering
+all of their informative scans and selector scorings through the stacked-mask
+kernel APIs (one batched pass instead of N Python-level scans) while keeping
+every session's transcript bit-identical to a sequential
+:meth:`~repro.core.discovery.DiscoverySession.run`.
+"""
+
+from .engine import EngineStats, SessionEngine
+
+__all__ = ["EngineStats", "SessionEngine"]

@@ -169,3 +169,89 @@ class TestSupersets:
     def test_find_missing_set(self, fig1):
         assert fig1.find({"a", "b"}) is None
         assert fig1.find({"not", "interned"}) is None
+
+
+class TestLookupMaps:
+    def test_index_of_known_names(self, fig1):
+        for idx, name in enumerate(fig1.names):
+            assert fig1.index_of(name) == idx
+
+    def test_index_of_unknown_name_raises_keyerror(self, fig1):
+        with pytest.raises(KeyError):
+            fig1.index_of("S99")
+
+    def test_duplicate_names_resolve_to_first(self):
+        coll = SetCollection([[1, 2], [2, 3]], names=["dup", "dup"])
+        assert coll.index_of("dup") == 0
+
+    def test_find_after_dedupe(self):
+        coll = SetCollection(
+            [[1, 2], [2, 1], [3]], names=["a", "b", "c"], dedupe=True
+        )
+        assert coll.find([1, 2]) == 0
+        assert coll.find([3]) == 1
+        assert coll.find([1, 3]) is None
+
+
+class TestInformativeCacheBound:
+    def make(self, cap):
+        return SetCollection(
+            [[i, i + 1, i + 2] for i in range(12)],
+            informative_cache_size=cap,
+        )
+
+    def test_cache_is_bounded(self):
+        coll = self.make(cap=4)
+        masks = [coll.full_mask & ~(1 << i) for i in range(10)]
+        for mask in masks:
+            coll.informative_stats(mask)
+        assert coll.cached_mask_count() <= 4
+
+    def test_lru_eviction_order(self):
+        coll = self.make(cap=2)
+        m1, m2, m3 = 0b111, 0b1110, 0b11100
+        coll.informative_stats(m1)
+        coll.informative_stats(m2)
+        coll.informative_stats(m1)  # touch m1: m2 becomes oldest
+        coll.informative_stats(m3)  # evicts m2
+        assert coll.is_cached(m1)
+        assert not coll.is_cached(m2)
+        assert coll.is_cached(m3)
+
+    def test_unbounded_when_none(self):
+        coll = self.make(cap=None)
+        masks = [coll.full_mask & ~(1 << i) for i in range(10)]
+        for mask in masks:
+            coll.informative_stats(mask)
+        assert coll.cached_mask_count() == len(set(masks)) + 0
+
+    def test_release_cached(self):
+        coll = self.make(cap=8)
+        coll.informative_stats(coll.full_mask)
+        assert coll.is_cached(coll.full_mask)
+        coll.release_cached(coll.full_mask)
+        assert not coll.is_cached(coll.full_mask)
+        coll.release_cached(coll.full_mask)  # idempotent
+
+    def test_eviction_does_not_change_results(self):
+        bounded = self.make(cap=1)
+        unbounded = self.make(cap=None)
+        masks = [0b111111, 0b101010, 0b111000, 0b101010, 0b111111]
+        for mask in masks:
+            assert list(bounded.informative_stats(mask)[0]) == list(
+                unbounded.informative_stats(mask)[0]
+            )
+
+
+class TestPositiveCountsMany:
+    def test_rows_equal_positive_counts_on_every_backend(self, fig1):
+        from repro.core.kernels import available_backends
+
+        for backend in available_backends():
+            coll = SetCollection.from_named_sets(FIG1_SETS, backend=backend)
+            masks = [coll.full_mask, 0b1011, 0b0100]
+            eids = list(range(-1, coll.n_entities + 2))
+            rows = coll.positive_counts_many(masks, eids)
+            for mask, row in zip(masks, rows):
+                assert isinstance(row, list)
+                assert row == coll.positive_counts(mask, eids)

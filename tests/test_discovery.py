@@ -213,3 +213,61 @@ class TestScriptedOracle:
         session = DiscoverySession(fig1, MostEvenSelector())
         with pytest.raises(IndexError):
             session.run(ScriptedUser([True]))
+
+
+class TestDiscoveryTimeAccounting:
+    def test_seconds_include_informative_scan_on_fresh_mask(self, fig1):
+        # Regression: the first informative scan of each sub-collection
+        # happens inside `finished` (via _has_askable_entity), and the
+        # selector afterwards hits the per-mask cache — so that scan must
+        # be timed or DiscoveryResult.seconds undercounts discovery time.
+        fig1.clear_caches()
+        session = DiscoverySession(fig1, MostEvenSelector())
+        assert not session.finished  # triggers the scan on the fresh mask
+        assert session.result().seconds > 0.0
+
+    def test_finished_does_not_rescan_while_question_pending(self, fig1):
+        session = DiscoverySession(fig1, MostEvenSelector())
+        session.next_question()
+        fig1.clear_caches()
+        # With a pending question, `finished` must not trigger a re-scan.
+        assert not session.finished
+        assert fig1.cached_mask_count() == 0
+
+    def test_full_run_accumulates_scan_time(self, fig1):
+        fig1.clear_caches()
+        result = discover(
+            fig1, MostEvenSelector(), SimulatedUser(fig1, target_index=2)
+        )
+        assert result.seconds > 0.0
+
+
+class TestEngineHooks:
+    def test_push_question_behaves_like_next_question(self, fig1):
+        reference = DiscoverySession(fig1, MostEvenSelector())
+        entity = reference.next_question()
+        session = DiscoverySession(fig1, MostEvenSelector())
+        session.push_question(entity)
+        assert session.pending_entity == entity
+        assert session.next_question() == entity  # idempotent passthrough
+        session.answer(True)
+        assert session.transcript[0].entity == entity
+
+    def test_push_question_rejects_second_pending(self, fig1):
+        session = DiscoverySession(fig1, MostEvenSelector())
+        session.push_question(3)
+        with pytest.raises(RuntimeError):
+            session.push_question(4)
+
+    def test_excluded_property_reflects_dont_know(self, fig1):
+        session = DiscoverySession(fig1, MostEvenSelector())
+        assert session.excluded == frozenset()
+        entity = session.next_question()
+        session.answer(None)
+        assert session.excluded == frozenset({entity})
+
+    def test_add_seconds_accumulates(self, fig1):
+        session = DiscoverySession(fig1, MostEvenSelector())
+        before = session.result().seconds
+        session.add_seconds(0.5)
+        assert session.result().seconds >= before + 0.5

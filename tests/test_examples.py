@@ -49,6 +49,14 @@ def test_batch_questions(capsys):
     assert "screens" in out
 
 
+def test_concurrent_sessions(capsys):
+    run_example("concurrent_sessions.py", ["16", "200"])
+    out = capsys.readouterr().out
+    assert "16 concurrent users attached" in out
+    assert "lock-step rounds" in out
+    assert "engine stats" in out
+
+
 def test_weighted_priors(capsys):
     run_example("weighted_priors.py")
     out = capsys.readouterr().out

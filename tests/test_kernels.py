@@ -196,6 +196,165 @@ class TestBatchedStatsParity:
 
 
 # --------------------------------------------------------------------- #
+# Stacked-mask API parity (multi-session serving kernels)
+# --------------------------------------------------------------------- #
+
+
+@needs_numpy
+class TestStackedMaskParity:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        rng = random.Random(211)
+        return backend_pair(random_sets(rng, 70, 26))
+
+    def test_scan_informative_many_matches_per_mask(self, pair):
+        ref, vec = pair
+        rng = random.Random(3)
+        masks = random_masks(rng, ref.full_mask, 20)
+        for coll in (ref, vec):
+            coll.clear_caches()
+            singles = [
+                [list(seq) for seq in coll.informative_stats(mask)]
+                for mask in masks
+            ]
+            coll.clear_caches()
+            batched = coll.informative_stats_many(masks)
+            for (eids, counts), (s_eids, s_counts) in zip(batched, singles):
+                assert list(eids) == s_eids
+                assert list(counts) == s_counts
+
+    def test_scan_informative_many_cross_backend(self, pair):
+        ref, vec = pair
+        rng = random.Random(4)
+        masks = random_masks(rng, ref.full_mask, 20)
+        ref.clear_caches()
+        vec.clear_caches()
+        ref_stats = ref.informative_stats_many(masks)
+        vec_stats = vec.informative_stats_many(masks)
+        for (re, rc), (ve, vcnt) in zip(ref_stats, vec_stats):
+            assert list(re) == list(ve)
+            assert list(rc) == list(vcnt)
+
+    def test_candidate_hints_do_not_change_results(self, pair):
+        # The hint contract: a superset of the informative entities in
+        # ascending order yields exactly the full-scan result.
+        ref, vec = pair
+        rng = random.Random(5)
+        parent_masks = random_masks(rng, ref.full_mask, 10)
+        for coll in (ref, vec):
+            for parent in parent_masks:
+                coll.clear_caches()
+                parent_eids, _ = coll.informative_stats(parent)
+                # narrow by the first informative entity -> child mask
+                child, _ = coll.partition(parent, int(parent_eids[0]))
+                if coll.count(child) < 2:
+                    continue
+                coll.clear_caches()
+                expected = coll.informative_stats(child)
+                coll.clear_caches()
+                hinted = coll.informative_stats_many(
+                    [child], [parent_eids]
+                )[0]
+                assert list(hinted[0]) == list(expected[0])
+                assert list(hinted[1]) == list(expected[1])
+
+    def test_scan_many_primes_the_cache(self, pair):
+        _, vec = pair
+        vec.clear_caches()
+        masks = [vec.full_mask]
+        vec.informative_stats_many(masks)
+        assert vec.is_cached(vec.full_mask)
+
+    def test_scan_many_deduplicates_repeated_masks(self, pair):
+        ref, _ = pair
+        ref.clear_caches()
+        stats = ref.informative_stats_many([ref.full_mask, ref.full_mask])
+        assert stats[0] is stats[1]
+
+    def test_positive_counts_many_matches_per_mask(self, pair):
+        ref, vec = pair
+        rng = random.Random(6)
+        masks = random_masks(rng, ref.full_mask, 12)
+        eids = list(range(-1, 30))  # includes unknown ids
+        for coll in (ref, vec):
+            batched = coll.positive_counts_many(masks, eids)
+            for mask, counts in zip(masks, batched):
+                assert list(counts) == list(coll.positive_counts(mask, eids))
+
+    def test_positive_counts_many_cross_backend(self, pair):
+        ref, vec = pair
+        rng = random.Random(7)
+        masks = random_masks(rng, ref.full_mask, 12)
+        eids = list(range(30))
+        ref_counts = ref.positive_counts_many(masks, eids)
+        vec_counts = vec.positive_counts_many(masks, eids)
+        for rc, vcnt in zip(ref_counts, vec_counts):
+            assert list(rc) == list(vcnt)
+
+    def test_empty_inputs(self, pair):
+        ref, vec = pair
+        for coll in (ref, vec):
+            assert coll.informative_stats_many([]) == []
+            assert coll.positive_counts_many([], [1, 2]) == []
+
+
+# --------------------------------------------------------------------- #
+# Batched scoring parity (select_best_many)
+# --------------------------------------------------------------------- #
+
+
+@needs_numpy
+class TestSelectBestManyParity:
+    def test_matches_select_best_per_group(self):
+        import numpy as np
+
+        from repro.core.kernels import select_best, select_best_many
+        from repro.core.selection import information_gain
+
+        rng = random.Random(41)
+        for primary in (
+            None,
+            lambda n, n1: -information_gain(n, n1),
+        ):
+            eids_list, counts_list, ns = [], [], []
+            for _ in range(30):
+                n = rng.randint(2, 50)
+                size = rng.randint(1, 12)
+                eids = np.array(
+                    sorted(rng.sample(range(200), size)), dtype=np.int64
+                )
+                counts = np.array(
+                    [rng.randint(1, n - 1) for _ in range(size)],
+                    dtype=np.int64,
+                )
+                eids_list.append(eids)
+                counts_list.append(counts)
+                ns.append(n)
+            batched = select_best_many(eids_list, counts_list, ns, primary)
+            expected = [
+                select_best(e, c, n, primary)
+                for e, c, n in zip(eids_list, counts_list, ns)
+            ]
+            assert batched == expected
+
+    def test_list_inputs_fall_back_to_loop(self):
+        from repro.core.kernels import select_best, select_best_many
+
+        eids_list = [[3, 5, 9], [1, 2]]
+        counts_list = [[1, 2, 3], [2, 2]]
+        ns = [4, 4]
+        assert select_best_many(eids_list, counts_list, ns) == [
+            select_best(e, c, n)
+            for e, c, n in zip(eids_list, counts_list, ns)
+        ]
+
+    def test_empty_group_list(self):
+        from repro.core.kernels import select_best_many
+
+        assert select_best_many([], [], []) == []
+
+
+# --------------------------------------------------------------------- #
 # Selection parity
 # --------------------------------------------------------------------- #
 

@@ -150,3 +150,28 @@ class TestStdinUser:
         user, outputs = self._make(fig1, ["y"])
         user(fig1.universe.id_of("d"))
         assert any("'d'" in text for text in outputs)
+
+
+class TestStdinPromptFlushing:
+    def test_default_writer_flushes_stdout(self, fig1, monkeypatch):
+        # Regression: the prompt has no trailing newline, so without an
+        # explicit flush it stays invisible whenever stdout is piped or
+        # block-buffered (print only flushes line-buffered streams).
+        import io
+        import sys
+
+        class FlushTrackingStream(io.StringIO):
+            def __init__(self):
+                super().__init__()
+                self.flushes = 0
+
+            def flush(self):
+                self.flushes += 1
+                super().flush()
+
+        stream = FlushTrackingStream()
+        monkeypatch.setattr(sys, "stdout", stream)
+        user = StdinUser(fig1, line_reader=lambda: "y")
+        assert user(0) is True
+        assert "[y/n/?]" in stream.getvalue()
+        assert stream.flushes > 0
