@@ -62,6 +62,15 @@ class SetCollection:
         importable and the collection is large enough for vectorization to
         win).  See :mod:`repro.core.kernels`; all backends produce
         identical results, only throughput differs.
+    shards:
+        When > 1, partition the set axis into this many contiguous ranges
+        and run every batched statistic per shard on a worker pool
+        (:mod:`repro.core.kernels.sharded`).  Results stay bit-identical
+        to the unsharded kernels; only throughput changes.  ``None`` (the
+        default) keeps the single-kernel path; see also :meth:`reshard`.
+    shard_executor:
+        Worker pool for the shards: ``"thread"`` (default), ``"process"``
+        or ``"serial"``; ``None`` defers to ``$REPRO_SHARD_EXECUTOR``.
     informative_cache_size:
         Bound on the per-mask informative-stats cache
         (:data:`DEFAULT_INFORMATIVE_CACHE_SIZE` masks by default, LRU
@@ -90,6 +99,8 @@ class SetCollection:
         universe: Universe | None = None,
         dedupe: bool = False,
         backend: str | None = None,
+        shards: int | None = None,
+        shard_executor: str | None = None,
         informative_cache_size: int | None = DEFAULT_INFORMATIVE_CACHE_SIZE,
     ) -> None:
         self.universe = universe if universe is not None else Universe()
@@ -137,7 +148,12 @@ class SetCollection:
         self._informative_cache: dict[int, tuple[Sequence[int], Sequence[int]]] = {}
         self._informative_cache_size = informative_cache_size
         self._kernel = kernels.make_kernel(
-            backend, self._sets, self._entity_masks, len(self._sets)
+            backend,
+            self._sets,
+            self._entity_masks,
+            len(self._sets),
+            shards=shards,
+            shard_executor=shard_executor,
         )
 
     # ------------------------------------------------------------------ #
@@ -183,8 +199,44 @@ class SetCollection:
 
     @property
     def backend(self) -> str:
-        """Name of the entity-statistics kernel backend in use."""
+        """Name of the entity-statistics kernel backend in use.
+
+        Sharded collections report ``"<base>[xN]"`` (e.g. ``"numpy[x4]"``).
+        """
         return self._kernel.name
+
+    @property
+    def shards(self) -> int:
+        """Number of set-range shards the kernel executes over (1 = none)."""
+        return getattr(self._kernel, "n_shards", 1)
+
+    @property
+    def kernel(self) -> kernels.EntityStatsKernel:
+        """The entity-statistics kernel in use (read-only; see
+        :meth:`reshard` to swap execution strategies)."""
+        return self._kernel
+
+    def reshard(self, shards: int | None, executor: str | None = None) -> None:
+        """Swap the kernel for a variant with ``shards`` set-range shards.
+
+        A pure execution-strategy change: the backend stays the same, every
+        statistic stays bit-identical, and the informative-stats cache is
+        kept (its entries are exact under any sharding).  ``shards`` of
+        ``None``/``0``/``1`` restores the unsharded kernel.  The
+        multi-session engine calls this for ``SessionEngine(shards=...)``.
+        """
+        base = getattr(self._kernel, "base_name", self._kernel.name)
+        old = self._kernel
+        self._kernel = kernels.make_kernel(
+            base,
+            self._sets,
+            self._entity_masks,
+            len(self._sets),
+            shards=shards,
+            shard_executor=executor,
+        )
+        if hasattr(old, "close"):
+            old.close()
 
     @property
     def sets(self) -> tuple[frozenset[int], ...]:

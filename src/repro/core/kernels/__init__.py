@@ -16,12 +16,25 @@ with two interchangeable backends:
   shape ``(n_entities, ceil(n_sets / 64))`` so the split counts of *all*
   candidate entities come out of one batched popcount pass.
 
+Either backend can additionally be **sharded**
+(:mod:`~repro.core.kernels.sharded`): the set axis is partitioned into
+contiguous ranges, every batched statistic runs per shard on a worker
+pool, and the per-shard results merge exactly (counts are additive across
+set ranges) — ``SetCollection(..., shards=N)`` or
+``SessionEngine(..., shards=N)``.
+
 Backend choice: ``SetCollection(..., backend=...)`` accepts ``"bigint"``,
 ``"numpy"`` or ``"auto"`` (the default).  ``auto`` honours the
 ``REPRO_BACKEND`` environment variable and otherwise picks ``numpy`` when
-importable, falling back to ``bigint``.  Both backends are required to
-produce identical results — including tie-breaks — which the parity tests in
-``tests/test_kernels.py`` enforce on randomized collections.
+importable, falling back to ``bigint``.  All backends — sharded or not —
+are required to produce identical results, including tie-breaks, which the
+parity tests in ``tests/test_kernels.py`` and the randomized harness in
+``tests/test_parity_fuzz.py`` enforce on randomized collections.
+
+Routing thresholds (the auto crossover and the stacked-scan cost model)
+come from a first-use micro-calibration
+(:mod:`~repro.core.kernels.tuning`), persisted per process; ``REPRO_TUNING=off``
+restores the legacy fixed constants.
 """
 
 from __future__ import annotations
@@ -37,15 +50,28 @@ from .scoring import (
     select_best_many,
     sort_most_even,
 )
+from .sharded import SHARD_EXECUTOR_ENV_VAR, ShardedKernel
+from .tuning import (
+    DEFAULT_AUTO_MIN_CELLS,
+    TUNING_ENV_VAR,
+    KernelTuning,
+    get_tuning,
+    set_tuning,
+)
 
 #: Environment variable consulted by ``backend="auto"``.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
 
-#: Bit-matrix size (``n_sets * n_entities``) below which ``auto`` keeps the
-#: big-int backend even when NumPy is available: on tiny collections the
-#: fixed per-call cost of array round-trips exceeds the whole scan.  An
+#: Uncalibrated default for the bit-matrix size (``n_sets * n_entities``)
+#: below which ``auto`` keeps the big-int backend: on tiny collections the
+#: fixed per-call cost of array round-trips exceeds the whole scan.
+#: **Informational only** (kept for backward compatibility): the crossover
+#: actually applied is ``get_tuning().auto_min_cells`` — this default with
+#: ``REPRO_TUNING=off``, a measured value otherwise — and reassigning this
+#: constant changes nothing; use
+#: :func:`repro.core.kernels.tuning.set_tuning` to override routing.  An
 #: explicit ``backend="numpy"`` (or ``REPRO_BACKEND=numpy``) always wins.
-AUTO_MIN_CELLS = 1 << 15
+AUTO_MIN_CELLS = DEFAULT_AUTO_MIN_CELLS
 
 _BACKENDS = ("bigint", "numpy")
 
@@ -90,13 +116,21 @@ def make_kernel(
     sets: "tuple[frozenset[int], ...]",
     entity_masks: "dict[int, int]",
     n_sets: int,
+    shards: int | None = None,
+    shard_executor: str | None = None,
 ) -> EntityStatsKernel:
     """Build the kernel for ``requested`` over an already-built index.
 
     ``auto`` is shape-aware: when neither the caller nor ``REPRO_BACKEND``
     names a backend, numpy is used only for collections whose bit-matrix
-    reaches :data:`AUTO_MIN_CELLS` — below that the reference backend is
-    faster.  Explicit requests are honoured unconditionally.
+    reaches the calibrated crossover (``auto_min_cells`` of
+    :func:`~repro.core.kernels.tuning.get_tuning`) — below that the
+    reference backend is faster.  Explicit requests are honoured
+    unconditionally.
+
+    ``shards`` > 1 wraps the chosen backend in a :class:`ShardedKernel`
+    (set-range shards on a worker pool, ``shard_executor`` selecting the
+    pool kind); collections too small to split stay unsharded.
     """
     env_value = (os.environ.get(BACKEND_ENV_VAR, "auto") or "auto").lower()
     explicit = requested not in (None, "auto") or env_value != "auto"
@@ -104,26 +138,43 @@ def make_kernel(
     if (
         name == "numpy"
         and not explicit
-        and n_sets * len(entity_masks) < AUTO_MIN_CELLS
+        and n_sets * len(entity_masks) < get_tuning().auto_min_cells
     ):
         name = "bigint"
+    if shards is not None and shards > 1 and n_sets > 1:
+        return ShardedKernel(
+            sets,
+            entity_masks,
+            n_sets,
+            shards=shards,
+            base=name,
+            executor=shard_executor,
+        )
     if name == "numpy":
         return NumpyKernel(sets, entity_masks, n_sets)
     return BigIntKernel(sets, entity_masks, n_sets)
 
 
 __all__ = [
+    "AUTO_MIN_CELLS",
     "BACKEND_ENV_VAR",
     "BackendUnavailableError",
     "BigIntKernel",
+    "DEFAULT_AUTO_MIN_CELLS",
     "EntityStatsKernel",
     "HAS_NUMPY",
+    "KernelTuning",
     "NumpyKernel",
+    "SHARD_EXECUTOR_ENV_VAR",
+    "ShardedKernel",
+    "TUNING_ENV_VAR",
     "available_backends",
     "filter_excluded",
+    "get_tuning",
     "make_kernel",
     "resolve_backend_name",
     "select_best",
     "select_best_many",
+    "set_tuning",
     "sort_most_even",
 ]

@@ -14,9 +14,15 @@ questions about sub-collections (plain int bitmasks, see
   kernel pass, the building block of multi-session serving
   (:mod:`repro.serve.engine`).
 
-The contract is *exact* equivalence between backends: identical counts,
-identical masks and — because every selector breaks ties deterministically
-on ``(score, unevenness, entity id)`` — identical selections.  To make the
+Backends may additionally execute *sharded*
+(:mod:`repro.core.kernels.sharded`): the set axis partitioned into
+contiguous ranges whose exact per-shard statistics merge by summation /
+shifted OR on a worker pool.
+
+The contract is *exact* equivalence between backends — sharded or not:
+identical counts, identical masks and — because every selector breaks ties
+deterministically on ``(score, unevenness, entity id)`` — identical
+selections.  To make the
 no-candidates scan comparable across backends its result is defined to be
 ordered by ascending entity id; with explicit ``candidates`` the caller's
 order is preserved (tree construction passes a parent's informative
@@ -37,6 +43,10 @@ class EntityStatsKernel(ABC):
     #: backend name as accepted by ``SetCollection(backend=...)``
     name: str = "?"
 
+    #: number of set-range shards this kernel executes over; single-kernel
+    #: backends are their own one shard (``ShardedKernel`` overrides)
+    n_shards: int = 1
+
     def __init__(
         self,
         sets: Sequence[frozenset[int]],
@@ -46,6 +56,8 @@ class EntityStatsKernel(ABC):
         self._sets = sets
         self._entity_masks = entity_masks
         self._n_sets = n_sets
+        #: all-sets mask; bits above it select nothing and are dropped
+        self._valid = (1 << n_sets) - 1
 
     def member_union(self, mask: int) -> set[int]:
         """Union of entities over the sets selected by ``mask``.
@@ -53,7 +65,13 @@ class EntityStatsKernel(ABC):
         The one inverted-index walk shared by every backend's
         small-sub-collection scan path (and by
         :meth:`~repro.core.collection.SetCollection.entities_in`).
+
+        Bits above ``n_sets`` are ignored: they select no set, exactly as
+        the numpy backend's word packing drops them, so every scan path
+        tolerates stray high mask bits identically.
         """
+        if mask.bit_length() > self._n_sets:  # O(1) test, rare case pays
+            mask &= self._valid
         union: set[int] = set()
         for idx in iter_bits(mask):
             union.update(self._sets[idx])

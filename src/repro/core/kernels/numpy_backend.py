@@ -14,9 +14,11 @@ of the whole package; packing/unpacking happens only at the kernel boundary
 (``int.to_bytes`` / ``int.from_bytes`` are C-speed).
 
 For small sub-collections deep in lookahead recursions a full-matrix pass
-would touch far more rows than the union of member sets; below a crossover
-the scan falls back to gathering just the union's rows.  Both paths return
-identical, ascending-entity-id results.
+would touch far more rows than the union of member sets; below a calibrated
+crossover (:mod:`repro.core.kernels.tuning`) the scan switches to the
+set-major CSR gather (or, on tiny collections, to gathering just the
+member union's rows).  All paths return identical, ascending-entity-id
+results — routing is a throughput decision, never a semantic one.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from .base import EntityStatsKernel
+from .tuning import CSR_MIN_MEMBERSHIP, KernelTuning, get_tuning
 
 try:
     import numpy as np
@@ -61,13 +64,14 @@ class NumpyKernel(EntityStatsKernel):
         sets: Sequence[frozenset[int]],
         entity_masks: dict[int, int],
         n_sets: int,
+        tuning: "KernelTuning | None" = None,
     ) -> None:
         if not HAS_NUMPY:  # pragma: no cover - guarded by resolve_backend_name
             raise RuntimeError("NumpyKernel requires numpy")
         super().__init__(sets, entity_masks, n_sets)
+        self._tuning = tuning if tuning is not None else get_tuning()
         self._n_words = max(1, (n_sets + 63) // 64)
         self._n_bytes = self._n_words * 8
-        self._valid = (1 << n_sets) - 1
         row_eids = np.fromiter(
             sorted(entity_masks), dtype=np.int64, count=len(entity_masks)
         )
@@ -92,8 +96,8 @@ class NumpyKernel(EntityStatsKernel):
             and int(row_eids[0]) == 0
             and int(row_eids[-1]) == len(row_eids) - 1
         )
-        total_membership = sum(len(s) for s in sets)
-        self._avg_set_size = total_membership / n_sets if n_sets else 0.0
+        self._total_membership = sum(len(s) for s in sets)
+        self._avg_set_size = self._total_membership / n_sets if n_sets else 0.0
 
     # ------------------------------------------------------------------ #
     # Packing helpers
@@ -151,6 +155,37 @@ class NumpyKernel(EntityStatsKernel):
             out.append((positive, mask & ~positive))
         return out
 
+    def _set_major_wins(self, n_selected: int, width: int) -> bool:
+        """Tuned cost model: set-major gather vs bit-matrix row pass.
+
+        In calibrated "row-pass element" units: the gather pays the mask
+        unpack plus ``member_cost`` per membership of the selected sets; a
+        row pass pays ``row_cost`` per (candidate, nonzero mask word)
+        element.  Small masks are membership-bound, big masks width-bound —
+        route per mask.
+        """
+        t = self._tuning
+        member = (
+            self._n_sets / 8
+            + n_selected * self._avg_set_size * t.member_cost
+        )
+        row = width * min(self._n_words, n_selected + 1) * t.row_cost
+        return member < row
+
+    def _route_set_major(self, n_selected: int, width: int) -> bool:
+        """:meth:`_set_major_wins` plus the mirror-build amortization guard.
+
+        On tiny collections the one-off CSR build is pure overhead, so the
+        set-major route is only taken once the mirror exists or the total
+        membership is large enough to amortize it.  Shared by the
+        single-mask scan and the sharded per-shard routing so the guard
+        lives in exactly one place.
+        """
+        return self._set_major_wins(n_selected, width) and (
+            self._set_indptr is not None
+            or self._total_membership >= CSR_MIN_MEMBERSHIP
+        )
+
     def scan_informative(
         self,
         mask: int,
@@ -159,12 +194,17 @@ class NumpyKernel(EntityStatsKernel):
     ) -> "tuple[np.ndarray, np.ndarray]":
         words = self._words_of(mask)
         if candidates is None:
-            # Crossover: a full-matrix pass costs one row per entity of the
-            # collection; walking the union costs roughly the summed sizes
-            # of the selected sets.  Deep recursion masks are tiny, root
-            # masks are huge — pick per call.
+            # Three strategies, picked per call by the calibrated cost
+            # model: deep recursion masks are tiny (membership-bound), root
+            # masks are huge (width-bound), and on tiny collections the
+            # plain member-union gather avoids building the CSR mirror.
+            n_rows = len(self._row_eids)
+            if self._route_set_major(n_selected, n_rows):
+                counts = self._counts_by_members(mask, words)
+                keep = (counts > 0) & (counts < n_selected)
+                return self._row_eids[keep], counts[keep]
             union_estimate = n_selected * self._avg_set_size
-            if union_estimate >= len(self._row_eids) / 4:
+            if union_estimate >= n_rows / 4:
                 counts = _popcount_rows(self._matrix & words)
                 keep = (counts > 0) & (counts < n_selected)
                 return self._row_eids[keep], counts[keep]
@@ -255,14 +295,7 @@ class NumpyKernel(EntityStatsKernel):
                 if cand is not None and hasattr(cand, "__len__")
                 else n_entities
             )
-            # Cost model, in array elements touched: the set-major gather
-            # pays the mask unpack plus ~2 passes over the selected sets'
-            # total membership; a row pass pays one AND+popcount word per
-            # (candidate, nonzero mask word) pair.  Small masks are
-            # membership-bound, big masks width-bound — route per mask.
-            member_cost = self._n_sets / 8 + ns[i] * self._avg_set_size * 2
-            row_cost = width * min(self._n_words, ns[i] + 1)
-            if member_cost < row_cost:
+            if self._set_major_wins(ns[i], width):
                 set_major.append(i)
             elif cand is not None:
                 restricted.append(i)

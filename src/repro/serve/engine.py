@@ -47,6 +47,7 @@ from typing import Hashable, Iterable, Mapping, Sequence
 from ..core.collection import SetCollection
 from ..core.discovery import DiscoveryResult, DiscoverySession, Oracle
 from ..core.kernels import filter_excluded, select_best_many
+from ..core.kernels.sharded import resolve_executor_name
 from ..core.selection import NoInformativeEntityError
 
 
@@ -90,11 +91,44 @@ class SessionEngine:
         stats are released as soon as no other *active* session has
         visited the same sub-collection — the *bounded-memory* behaviour a
         long-lived server needs on top of the collection's LRU cap.
+    shards:
+        When given, re-kernel the collection with this many set-range
+        shards (:meth:`~repro.core.collection.SetCollection.reshard`)
+        before serving, so every stacked tick scan is dispatched through
+        the sharded worker pool.  Transcripts stay bit-identical — the
+        sharded kernels merge exact counts — only tick throughput changes.
+    shard_executor:
+        Worker-pool kind for ``shards`` (``"thread"``/``"process"``/
+        ``"serial"``; ``None`` defers to ``$REPRO_SHARD_EXECUTOR``).
+        Given without ``shards``, it applies to the collection's current
+        shard count (a no-op on unsharded collections).
     """
 
     def __init__(
-        self, collection: SetCollection, release_caches: bool = True
+        self,
+        collection: SetCollection,
+        release_caches: bool = True,
+        shards: int | None = None,
+        shard_executor: str | None = None,
     ) -> None:
+        if (
+            shards is None
+            and shard_executor is not None
+            and collection.shards > 1
+        ):
+            shards = collection.shards
+        if shards is not None:
+            # Unsharded kernels have no executor (current None): only a
+            # shard-count change forces a rebuild then — an executor
+            # request alone must not repack a large unsharded matrix for
+            # zero behavioural change.
+            current_exec = getattr(collection.kernel, "executor_kind", None)
+            if shards != collection.shards or (
+                shard_executor is not None
+                and current_exec is not None
+                and resolve_executor_name(shard_executor) != current_exec
+            ):
+                collection.reshard(shards, executor=shard_executor)
         self.collection = collection
         self.stats = EngineStats()
         self._release = release_caches

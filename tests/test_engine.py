@@ -11,6 +11,7 @@ covered.
 
 from __future__ import annotations
 
+import json
 import random
 
 import pytest
@@ -216,6 +217,121 @@ class TestEngineParity:
         res = engine.run()
         for i in range(3):
             assert res[i].transcript == seq[i].transcript
+
+
+# --------------------------------------------------------------------- #
+# Golden transcripts: serialized engine output vs sequential, sharded too
+# --------------------------------------------------------------------- #
+
+
+def serialize_results(results) -> bytes:
+    """Canonical byte serialization of a list of DiscoveryResults.
+
+    Everything observable about the sessions goes in — full transcripts,
+    final candidates, question counts — so byte equality is transcript
+    equality with no wiggle room.
+    """
+    payload = [
+        {
+            "candidates": r.candidates,
+            "n_questions": r.n_questions,
+            "transcript": [
+                [i.entity, i.answer, i.candidates_before, i.candidates_after]
+                for i in r.transcript
+            ],
+        }
+        for r in results
+    ]
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+class TestGoldenTranscripts:
+    """The sharded tick must not change a single serialized byte.
+
+    Every selector x both backends x shards in {1, 4}: the engine's
+    results, serialized, are byte-identical to a sequential
+    ``DiscoverySession.run`` golden — extending the parity contract of
+    :class:`TestEngineParity` to the sharded scan dispatch.
+    """
+
+    @pytest.mark.parametrize("backend", BOTH_BACKENDS)
+    @pytest.mark.parametrize("shards", [1, 4])
+    @pytest.mark.parametrize("factory", SELECTOR_FACTORIES)
+    def test_serialized_transcripts_byte_identical(
+        self, backend, shards, factory
+    ):
+        collection = make_collection(backend, n_sets=130, seed=13)
+        rng = random.Random(29)
+        targets = [rng.randrange(collection.n_sets) for _ in range(12)]
+        collection.clear_caches()
+        golden = serialize_results(
+            sequential_results(collection, factory, targets, perfect_oracle)
+        )
+        collection.clear_caches()
+        engine = SessionEngine(collection, shards=shards)
+        assert collection.shards == shards
+        for i, target in enumerate(targets):
+            engine.add(
+                DiscoverySession(collection, factory()),
+                oracle=perfect_oracle(collection, target, i),
+                key=i,
+            )
+        results = engine.run()
+        got = serialize_results([results[i] for i in range(len(targets))])
+        assert got == golden
+
+    @pytest.mark.parametrize("backend", BOTH_BACKENDS)
+    def test_sharded_golden_with_dont_know_answers(self, backend):
+        collection = make_collection(backend, n_sets=70, seed=21)
+        rng = random.Random(37)
+        targets = [rng.randrange(collection.n_sets) for _ in range(10)]
+        collection.clear_caches()
+        golden = serialize_results(
+            sequential_results(
+                collection, MostEvenSelector, targets, unsure_oracle
+            )
+        )
+        collection.clear_caches()
+        engine = SessionEngine(collection, shards=4)
+        for i, target in enumerate(targets):
+            engine.add(
+                DiscoverySession(collection, MostEvenSelector()),
+                oracle=unsure_oracle(collection, target, i),
+                key=i,
+            )
+        results = engine.run()
+        got = serialize_results([results[i] for i in range(len(targets))])
+        assert got == golden
+
+    def test_engine_shards_argument_reshards_collection(self):
+        collection = make_collection("bigint", n_sets=40, seed=2)
+        assert collection.shards == 1
+        SessionEngine(collection, shards=3)
+        assert collection.shards == 3
+        # an engine without a shards request leaves the kernel alone
+        SessionEngine(collection)
+        assert collection.shards == 3
+        collection.reshard(None)
+        assert collection.shards == 1
+
+    def test_engine_shard_executor_switch_is_honoured(self, monkeypatch):
+        # Regression: a matching shard count used to short-circuit the
+        # reshard, silently ignoring an explicitly requested executor.
+        monkeypatch.delenv("REPRO_SHARD_EXECUTOR", raising=False)
+        collection = make_collection("bigint", n_sets=40, seed=2)
+        SessionEngine(collection, shards=3)
+        assert collection.kernel.executor_kind == "thread"
+        SessionEngine(collection, shards=3, shard_executor="serial")
+        assert collection.kernel.executor_kind == "serial"
+        # executor alone applies to the current shard count
+        SessionEngine(collection, shard_executor="thread")
+        assert collection.shards == 3
+        assert collection.kernel.executor_kind == "thread"
+        collection.reshard(None)
+        # ...and is a no-op on an unsharded collection (no kernel rebuild)
+        kernel = collection.kernel
+        SessionEngine(collection, shard_executor="serial")
+        assert collection.kernel is kernel
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,241 @@
+"""Randomized cross-backend parity harness.
+
+With four scan paths (big-int reference, numpy row pass, numpy set-major
+CSR gather, sharded merge) hand-written parity cases no longer cover the
+input space.  This harness generates seeded random collections engineered
+to hit the nasty corners — skewed set sizes, an empty set, singleton and
+duplicate entities, masks crossing the 63/64/65-set word boundaries — and
+asserts that every backend produces *bit-identical* results for every
+batched statistic and for batched selection.
+
+Every assertion message carries the generator seed; replay a failure with::
+
+    pytest "tests/test_parity_fuzz.py::test_cross_backend_parity[SEED]"
+
+The CSR and row-pass variants are forced by overriding the numpy kernel's
+tuning (routing never changes results — that is exactly the property under
+test), the sharded variants run both bases with a thread pool.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.collection import SetCollection
+from repro.core.kernels import HAS_NUMPY, KernelTuning, select_best_many
+from repro.core.selection import information_gain
+
+N_SEEDS = 200
+
+#: fuzz variants: (label, collection factory kwargs, tuning override)
+#: tuning of 0.0 forces the set-major CSR gather everywhere, 1e18 forces
+#: the row pass everywhere; None keeps the calibrated routing.
+def _variants():
+    variants = [("bigint-sharded", dict(backend="bigint", shards=3), None)]
+    if HAS_NUMPY:
+        variants += [
+            ("numpy", dict(backend="numpy"), None),
+            ("numpy-csr", dict(backend="numpy"), KernelTuning(member_cost=0.0)),
+            (
+                "numpy-rows",
+                dict(backend="numpy"),
+                KernelTuning(member_cost=1e18),
+            ),
+            ("numpy-sharded", dict(backend="numpy", shards=4), None),
+        ]
+    return variants
+
+
+def random_raw_sets(seed: int) -> list[list[int]]:
+    """Seeded generator of adversarial collections.
+
+    Mixes skewed set sizes (many small, few near-universe), occasionally an
+    empty set, a singleton entity (present in exactly one set) and a
+    duplicate entity (bit-for-bit the same membership as an existing one),
+    and draws ``n_sets`` from word-boundary values 63/64/65 half the time.
+    """
+    rng = random.Random(seed)
+    n_sets = rng.choice([rng.randint(2, 80), 63, 64, 65, rng.randint(2, 80)])
+    universe = rng.randint(6, 48)
+    sets: list[set[int]] = []
+    seen: set[frozenset[int]] = set()
+    if rng.random() < 0.25:
+        sets.append(set())
+        seen.add(frozenset())
+    attempts = 0
+    while len(sets) < n_sets and attempts < 40 * n_sets:
+        attempts += 1
+        if rng.random() < 0.2:  # a few near-universe sets
+            size = rng.randint(max(1, universe // 2), universe)
+        else:  # skew: mostly small sets
+            size = rng.randint(1, max(1, universe // 6))
+        fs = frozenset(rng.sample(range(universe), min(size, universe)))
+        if fs in seen:
+            continue
+        seen.add(fs)
+        sets.append(set(fs))
+    # singleton entity: a fresh label appearing in exactly one set
+    non_empty = [s for s in sets if s]
+    if non_empty:
+        rng.choice(non_empty).add(universe)
+        # duplicate entity: a twin label co-occurring with an existing one
+        twin_of = rng.randrange(universe)
+        for s in sets:
+            if twin_of in s:
+                s.add(universe + 1 + twin_of)
+    return [sorted(s) for s in sets]
+
+
+def word_boundary_masks(rng: random.Random, n_sets: int, full: int) -> list[int]:
+    """Sub-collection masks engineered around the 64-bit word boundaries."""
+    masks = [full]
+    for bit in (62, 63, 64, 65, n_sets - 1):
+        if 0 < bit < n_sets:
+            masks.append((1 << bit) | 1)  # two sets straddling a word
+    masks.append(((1 << min(n_sets, 64)) - 1) & full)  # exactly word 0
+    masks.append(full & ~((1 << min(n_sets, 64)) - 1))  # tail words only
+    masks.append(full | (1 << (n_sets + 3)))  # stray bit above the matrix
+    for _ in range(6):
+        m = rng.getrandbits(n_sets) & full
+        if m.bit_count() >= 2:
+            masks.append(m)
+    masks.append(1)  # single set: nothing can be informative
+    return [m for m in masks if m]
+
+
+def _as_list(seq) -> list:
+    return [int(x) for x in seq]
+
+
+def _build(raw, kwargs, tuning):
+    coll = SetCollection(raw, **kwargs)
+    if tuning is not None:
+        kernel = coll._kernel
+        kernel._tuning = tuning
+        # pre-build the CSR mirror so the single-mask crossover guard
+        # (CSR_MIN_MEMBERSHIP) cannot veto the forced set-major route
+        kernel._ensure_set_rows()
+    return coll
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_cross_backend_parity(seed):
+    raw = random_raw_sets(seed)
+    ref = SetCollection(raw, backend="bigint")
+    rng = random.Random(seed ^ 0x5EED)
+    masks = word_boundary_masks(rng, ref.n_sets, ref.full_mask)
+    probe_eids = list(range(-2, ref.n_entities + 3))  # includes unknown ids
+
+    ref_stats = [ref.informative_stats(m) for m in masks]
+    ref_counts = [ref.positive_counts(m, probe_eids) for m in masks]
+    ref_parts = [ref.partition_many(m, probe_eids) for m in masks]
+    ref.clear_caches()
+    ref_stacked = ref.informative_stats_many(masks)
+
+    for label, kwargs, tuning in _variants():
+        coll = _build(raw, kwargs, tuning)
+        ctx = f"[parity-fuzz seed={seed} backend={label}]"
+        assert (coll.n_sets, coll.n_entities) == (ref.n_sets, ref.n_entities)
+        for m, stats, counts, parts in zip(
+            masks, ref_stats, ref_counts, ref_parts
+        ):
+            got = coll.informative_stats(m)
+            assert _as_list(got[0]) == _as_list(stats[0]), (
+                f"{ctx} scan_informative eids diverged on mask {m:#x}"
+            )
+            assert _as_list(got[1]) == _as_list(stats[1]), (
+                f"{ctx} scan_informative counts diverged on mask {m:#x}"
+            )
+            assert coll.positive_counts(m, probe_eids) == counts, (
+                f"{ctx} positive_counts diverged on mask {m:#x}"
+            )
+            assert coll.partition_many(m, probe_eids) == parts, (
+                f"{ctx} partition_many diverged on mask {m:#x}"
+            )
+        coll.clear_caches()
+        for got, want in zip(coll.informative_stats_many(masks), ref_stacked):
+            assert _as_list(got[0]) == _as_list(want[0]), (
+                f"{ctx} scan_informative_many eids diverged"
+            )
+            assert _as_list(got[1]) == _as_list(want[1]), (
+                f"{ctx} scan_informative_many counts diverged"
+            )
+        assert coll.positive_counts_many(
+            masks, probe_eids
+        ) == ref.positive_counts_many(masks, probe_eids), (
+            f"{ctx} positive_counts_many diverged"
+        )
+
+
+@pytest.mark.parametrize("seed", range(0, N_SEEDS, 10))
+def test_candidate_hints_and_selection_parity(seed):
+    """Hinted stacked scans and batched selection agree across backends."""
+    raw = random_raw_sets(seed)
+    ref = SetCollection(raw, backend="bigint")
+    parent_eids, _ = ref.informative_stats(ref.full_mask)
+    if not parent_eids:
+        pytest.skip("degenerate collection: nothing informative at the root")
+    children = [
+        m
+        for e in list(parent_eids)[:4]
+        for m in ref.partition(ref.full_mask, int(e))
+        if ref.count(m) >= 2
+    ]
+    ref.clear_caches()
+    hints = [list(parent_eids)] * len(children)
+    ref_hinted = ref.informative_stats_many(children, hints)
+    groups = [
+        (stats, ref.count(m))
+        for stats, m in zip(ref_hinted, children)
+        if len(stats[0])
+    ]
+    for primary in (None, lambda n, n1: -information_gain(n, n1)):
+        ref_chosen = select_best_many(
+            [g[0][0] for g in groups],
+            [g[0][1] for g in groups],
+            [g[1] for g in groups],
+            primary,
+        )
+        for label, kwargs, tuning in _variants():
+            coll = _build(raw, kwargs, tuning)
+            ctx = f"[parity-fuzz seed={seed} backend={label}]"
+            got = coll.informative_stats_many(children, hints)
+            for g, want in zip(got, ref_hinted):
+                assert _as_list(g[0]) == _as_list(want[0]), (
+                    f"{ctx} hinted scan eids diverged"
+                )
+                assert _as_list(g[1]) == _as_list(want[1]), (
+                    f"{ctx} hinted scan counts diverged"
+                )
+            vec_groups = [
+                (stats, coll.count(m))
+                for stats, m in zip(got, children)
+                if len(stats[0])
+            ]
+            chosen = select_best_many(
+                [g[0][0] for g in vec_groups],
+                [g[0][1] for g in vec_groups],
+                [g[1] for g in vec_groups],
+                primary,
+            )
+            assert chosen == ref_chosen, (
+                f"{ctx} select_best_many diverged (primary={primary})"
+            )
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy backend unavailable")
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+def test_shard_executors_agree(executor):
+    """All three worker-pool kinds produce the reference results."""
+    raw = random_raw_sets(7)
+    ref = SetCollection(raw, backend="bigint")
+    coll = SetCollection(
+        raw, backend="numpy", shards=3, shard_executor=executor
+    )
+    rng = random.Random(7)
+    masks = word_boundary_masks(rng, ref.n_sets, ref.full_mask)
+    for m in masks:
+        assert coll.informative_entities(m) == ref.informative_entities(m)
+    coll._kernel.close()
