@@ -1,0 +1,189 @@
+"""Native-kernel benchmark: fused C popcount sweeps vs the numpy pipeline.
+
+Times the full-scale informative scan — the single full-entity root scan
+and one engine tick's worth of stacked session masks — through the numpy
+backend and through the native C extension over the same packed
+bit-matrix.  Parity is asserted on every result before anything is timed
+(the warm-up doubles as the proof), mirroring ``bench_shards.py``.
+
+Writes ``benchmarks/out/BENCH_native.json`` — CI uploads it with the other
+``BENCH_*.json`` artifacts and the perf trajectory picks up its
+``speedup`` figures — and the pytest wrapper gates the minimum native
+speedup on the full scan, skipping when the extension did not build.
+Scale knobs (environment):
+
+* ``REPRO_NATIVE_BENCH_SESSIONS`` — stacked session masks (default 256)
+* ``REPRO_NATIVE_BENCH_SETS`` — sets in the collection (default 10000)
+* ``REPRO_NATIVE_BENCH_UNIVERSE`` — entity universe size (default 2000)
+* ``REPRO_NATIVE_BENCH_REPEAT`` — timing repetitions, best-of (default 5)
+* ``REPRO_NATIVE_BENCH_MIN_SPEEDUP`` — asserted native speedup on the
+  full scan (default 2)
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.bitmask import popcount
+from repro.core.collection import SetCollection
+from repro.core.kernels import HAS_NATIVE, get_tuning
+from repro.core.universe import Universe
+from repro.data.synthetic import SyntheticConfig, generate_sets
+
+_OUT_PATH = Path(__file__).parent / "out" / "BENCH_native.json"
+
+
+def _bench_config() -> dict:
+    return {
+        "n_sessions": int(os.environ.get("REPRO_NATIVE_BENCH_SESSIONS", "256")),
+        "n_sets": int(os.environ.get("REPRO_NATIVE_BENCH_SETS", "10000")),
+        "universe_size": int(
+            os.environ.get("REPRO_NATIVE_BENCH_UNIVERSE", "2000")
+        ),
+        "repeat": int(os.environ.get("REPRO_NATIVE_BENCH_REPEAT", "5")),
+        "size_lo": 50,
+        "size_hi": 60,
+        "overlap": 0.9,
+        "seed": 7,
+    }
+
+
+def _build_collections(cfg: dict) -> tuple[SetCollection, SetCollection]:
+    raw = generate_sets(
+        SyntheticConfig(
+            n_sets=cfg["n_sets"],
+            size_lo=cfg["size_lo"],
+            size_hi=cfg["size_hi"],
+            overlap=cfg["overlap"],
+            universe_size=cfg["universe_size"],
+            seed=cfg["seed"],
+        )
+    )
+    sets = [sorted(s) for s in raw]
+    return (
+        SetCollection(sets, universe=Universe(), backend="numpy"),
+        SetCollection(sets, universe=Universe(), backend="native"),
+    )
+
+
+def _session_masks(collection: SetCollection, cfg: dict) -> list[int]:
+    """Wide session masks: the root narrowed by at most one answer.
+
+    Deep (membership-bound) masks route to the set-major CSR gather on
+    *both* backends — identical code, no native speedup to measure — so
+    this bench keeps every mask width-bound, where the fused C sweep is
+    the path under test.
+    """
+    rng = random.Random(13)
+    eids = list(collection.entity_ids())
+    masks = []
+    for _ in range(cfg["n_sessions"]):
+        mask = collection.full_mask
+        if rng.random() < 0.5:
+            em = collection.entity_mask(rng.choice(eids))
+            narrowed = mask & em if rng.random() < 0.5 else mask & ~em
+            if popcount(narrowed) >= 2:
+                mask = narrowed
+        masks.append(mask)
+    return masks
+
+
+def _assert_parity(a, b) -> None:
+    for (ea, ca), (eb, cb) in zip(a, b):
+        assert list(map(int, ea)) == list(map(int, eb)), (
+            "native scan returned different entities — parity violation"
+        )
+        assert list(map(int, ca)) == list(map(int, cb)), (
+            "native scan returned different counts — parity violation"
+        )
+
+
+def run_native_comparison(out_path: Path = _OUT_PATH) -> dict:
+    """Time both backends on the same scans; write BENCH_native.json."""
+    cfg = _bench_config()
+    numpy_coll, native_coll = _build_collections(cfg)
+    masks = _session_masks(numpy_coll, cfg)
+    ns = [popcount(m) for m in masks]
+    full = numpy_coll.full_mask
+    n_full = popcount(full)
+    kernels = {
+        "numpy": numpy_coll.kernel,
+        "native": native_coll.kernel,
+    }
+
+    # Warm-up before any timing (first-use tuning calibration, page-in of
+    # both matrices) — and prove parity on exactly the scans timed below.
+    _assert_parity(
+        [kernels["numpy"].scan_informative(full, n_full, None)],
+        [kernels["native"].scan_informative(full, n_full, None)],
+    )
+    _assert_parity(
+        kernels["numpy"].scan_informative_many(masks, ns),
+        kernels["native"].scan_informative_many(masks, ns),
+    )
+
+    best = {
+        name: {"scan_s": float("inf"), "stacked_s": float("inf")}
+        for name in kernels
+    }
+    for _ in range(cfg["repeat"]):
+        for name, kernel in kernels.items():
+            start = time.perf_counter()
+            kernel.scan_informative(full, n_full, None)
+            best[name]["scan_s"] = min(
+                best[name]["scan_s"], time.perf_counter() - start
+            )
+            start = time.perf_counter()
+            kernel.scan_informative_many(masks, ns)
+            best[name]["stacked_s"] = min(
+                best[name]["stacked_s"], time.perf_counter() - start
+            )
+
+    report = {
+        "bench": "native-kernel-scan",
+        "config": cfg,
+        "cpu_count": os.cpu_count(),
+        "tuning_source": get_tuning().source,
+        "results": best,
+        "speedup": {
+            metric: best["numpy"][metric] / max(best["native"][metric], 1e-12)
+            for metric in ("scan_s", "stacked_s")
+        },
+    }
+    out_path.parent.mkdir(exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+@pytest.mark.skipif(
+    not HAS_NATIVE, reason="native extension did not build — gate skipped"
+)
+def test_native_scan_speedup():
+    report = run_native_comparison()
+    min_speedup = float(
+        os.environ.get("REPRO_NATIVE_BENCH_MIN_SPEEDUP", "2")
+    )
+    assert report["speedup"]["scan_s"] >= min_speedup, (
+        f"native full scan only {report['speedup']['scan_s']:.2f}x faster "
+        f"than numpy (required {min_speedup:.1f}x): "
+        f"{json.dumps(report, indent=2)}"
+    )
+
+
+def main() -> None:
+    if not HAS_NATIVE:
+        raise SystemExit(
+            "native extension not importable — build it first: "
+            "python setup.py build_ext --inplace"
+        )
+    report = run_native_comparison()
+    print(json.dumps(report, indent=2))
+    print(f"written to {_OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

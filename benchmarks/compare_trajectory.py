@@ -1,37 +1,57 @@
-"""Diff BENCH_*.json artifacts between two runs (the CI perf trajectory).
+"""Diff BENCH_*.json headline speedups (the CI perf trajectory).
 
-Usage::
+Three modes::
 
     python benchmarks/compare_trajectory.py PREVIOUS_DIR CURRENT_DIR
+    python benchmarks/compare_trajectory.py append-history CURRENT_DIR HISTORY_FILE [--sha SHA] [--run RUN_ID]
+    python benchmarks/compare_trajectory.py from-history HISTORY_FILE CURRENT_DIR
 
-Reads every ``BENCH_*.json`` present in *both* directories, extracts each
-bench's headline speedup figures, and prints a markdown summary table with
-the deltas (suitable for ``$GITHUB_STEP_SUMMARY``).  Exit code is always 0:
-this is a *fail-soft* trajectory report — shared-runner noise makes hard
-gates on run-to-run deltas flaky, so regressions are surfaced loudly (a
-``:warning:`` row plus a trailing ``REGRESSION`` line on stderr) but never
-fail the build.  The hard floors live in the benches' own pytest wrappers.
+The two-directory mode reads every ``BENCH_*.json`` present in *both*
+directories, extracts each bench's headline speedup figures, and prints a
+markdown summary table with the deltas (suitable for
+``$GITHUB_STEP_SUMMARY``).
+
+GitHub build artifacts expire (90 days by default), which used to cap how
+far back the trajectory could see.  ``append-history`` distills the
+current ``BENCH_*.json`` files into one JSON line — commit sha, run id,
+``bench file -> {metric -> speedup}`` — appended to a committed series
+(``benchmarks/history/trajectory.jsonl``); ``from-history`` then compares
+the current run against the newest entry and adds a trend column over the
+last few entries, so the baseline survives artifact expiry and the trend
+is visible across months of main-branch runs.
+
+Exit code is always 0 in every mode: this is a *fail-soft* trajectory
+report — shared-runner noise makes hard gates on run-to-run deltas flaky,
+so regressions are surfaced loudly (a ``:warning:`` row plus a trailing
+``REGRESSION`` line on stderr) but never fail the build.  The hard floors
+live in the benches' own pytest wrappers.
 
 Known headline metrics per bench file:
 
 * ``BENCH_kernels.json`` — ``speedup.{scan_s,positive_counts_s,select_s}``
   (numpy kernel vs big-int reference);
 * ``BENCH_sessions.json`` — ``speedup`` (batched engine vs sequential
-  sessions).
+  sessions);
+* ``BENCH_shards.json`` / ``BENCH_native.json`` — ``speedup`` figures of
+  the sharded and native kernels.
 
 Unknown ``BENCH_*.json`` files are compared on any top-level numeric
-``speedup`` field so new benches join the trajectory without touching this
-script.
+``speedup`` field (or numeric members of a ``speedup`` dict) so new
+benches join the trajectory without touching this script.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 from pathlib import Path
 
 #: relative drop in a speedup figure that is flagged as a regression
 REGRESSION_THRESHOLD = 0.15
+
+#: how many historical values the from-history trend column shows
+TREND_WINDOW = 5
 
 
 def _headline_metrics(report: dict) -> dict[str, float]:
@@ -48,30 +68,51 @@ def _headline_metrics(report: dict) -> dict[str, float]:
     return {}
 
 
-def compare_dirs(previous: Path, current: Path) -> tuple[list[str], bool]:
+def collect_metrics(directory: Path) -> "dict[str, dict[str, float] | None]":
+    """``bench file name -> headline metrics`` for one artifacts directory.
+
+    Unreadable files map to ``None`` (not an empty dict) so the table can
+    say "unreadable" instead of silently dropping the bench — a truncated
+    artifact must never read as "no regression".
+    """
+    out: dict[str, dict[str, float] | None] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            out[path.name] = _headline_metrics(json.loads(path.read_text()))
+        except (json.JSONDecodeError, OSError):
+            out[path.name] = None
+    return out
+
+
+def compare_metrics(
+    previous: dict[str, dict[str, float]],
+    current: dict[str, dict[str, float]],
+    trend: "dict[str, dict[str, list[float]]] | None" = None,
+    baseline_label: str = "previous",
+) -> tuple[list[str], bool]:
     """Markdown summary lines plus whether any regression was flagged."""
-    lines = [
-        "## Benchmark trajectory",
-        "",
-        "| bench | metric | previous | current | delta |",
-        "|---|---|---:|---:|---:|",
-    ]
+    with_trend = trend is not None
+    header = f"| bench | metric | {baseline_label} | current | delta |"
+    rule = "|---|---|---:|---:|---:|"
+    if with_trend:
+        header += " trend |"
+        rule += "---|"
+    lines = ["## Benchmark trajectory", "", header, rule]
+    pad = " |" if with_trend else ""
     regressed = False
     compared = 0
-    for cur_path in sorted(current.glob("BENCH_*.json")):
-        prev_path = previous / cur_path.name
-        if not prev_path.exists():
+    for name in sorted(current):
+        cur = current[name]
+        if cur is None:
+            lines.append(f"| {name} | *(unreadable)* | — | — | — |{pad}")
+            continue
+        if name not in previous:
             lines.append(
-                f"| {cur_path.name} | *(new bench — no previous run)* "
-                f"| — | — | — |"
+                f"| {name} | *(new bench — no previous run)* "
+                f"| — | — | — |{pad}"
             )
             continue
-        try:
-            prev = _headline_metrics(json.loads(prev_path.read_text()))
-            cur = _headline_metrics(json.loads(cur_path.read_text()))
-        except (json.JSONDecodeError, OSError) as exc:
-            lines.append(f"| {cur_path.name} | *(unreadable: {exc})* | | | |")
-            continue
+        prev = previous[name] or {}
         for metric in sorted(cur):
             if metric not in prev or prev[metric] <= 0:
                 continue
@@ -81,26 +122,166 @@ def compare_dirs(previous: Path, current: Path) -> tuple[list[str], bool]:
             if delta < -REGRESSION_THRESHOLD:
                 flag = " :warning:"
                 regressed = True
-            lines.append(
-                f"| {cur_path.name} | {metric} | {prev[metric]:.2f}x "
+            row = (
+                f"| {name} | {metric} | {prev[metric]:.2f}x "
                 f"| {cur[metric]:.2f}x | {delta:+.1%}{flag} |"
             )
+            if with_trend:
+                # history plus the current figure, so the series ends at
+                # "now" and visibly bends where the delta column flags
+                series = (trend or {}).get(name, {}).get(metric, []) + [
+                    cur[metric]
+                ]
+                spark = " → ".join(
+                    f"{v:.2f}" for v in series[-TREND_WINDOW:]
+                )
+                row += f" {spark} |"
+            lines.append(row)
     if compared == 0:
-        lines.append("| *(no comparable benches found)* | | | | |")
+        lines.append(f"| *(no comparable benches found)* | | | | |{pad}")
     lines.append("")
     if regressed:
         lines.append(
             f"> :warning: at least one speedup dropped by more than "
-            f"{REGRESSION_THRESHOLD:.0%} vs the previous run (fail-soft: "
-            f"noise on shared runners is common — check the trend over "
-            f"several runs before reverting)."
+            f"{REGRESSION_THRESHOLD:.0%} vs the {baseline_label} run "
+            f"(fail-soft: noise on shared runners is common — check the "
+            f"trend over several runs before reverting)."
         )
     else:
         lines.append("> No speedup regressions beyond the noise threshold.")
     return lines, regressed
 
 
+def compare_dirs(previous: Path, current: Path) -> tuple[list[str], bool]:
+    """Two-artifact-directory comparison (the original CI mode)."""
+    return compare_metrics(collect_metrics(previous), collect_metrics(current))
+
+
+# --------------------------------------------------------------------- #
+# Persistent history (benchmarks/history/trajectory.jsonl)
+# --------------------------------------------------------------------- #
+
+
+def load_history(path: Path) -> list[dict]:
+    """All parseable entries of a history series, oldest first."""
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # a corrupt line must not sink the whole series
+        if isinstance(entry, dict) and isinstance(entry.get("benches"), dict):
+            entries.append(entry)
+    return entries
+
+
+def append_history(
+    current: Path,
+    history_path: Path,
+    sha: str | None = None,
+    run_id: str | None = None,
+) -> dict:
+    """Distill ``current``'s headline metrics into one appended JSON line."""
+    entry = {
+        "sha": sha or os.environ.get("GITHUB_SHA", ""),
+        "run": run_id or os.environ.get("GITHUB_RUN_ID", ""),
+        # unreadable/metric-less benches stay out of the series: a null
+        # baseline would only suppress future comparisons
+        "benches": {
+            name: metrics
+            for name, metrics in collect_metrics(current).items()
+            if metrics
+        },
+    }
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with history_path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def compare_with_history(
+    history_path: Path, current: Path
+) -> tuple[list[str], bool]:
+    """Current artifacts vs the newest history entry, with a trend column."""
+    entries = load_history(history_path)
+    cur = collect_metrics(current)
+    if not entries:
+        return (
+            [
+                "## Benchmark trajectory",
+                "",
+                f"*(no usable history in {history_path} — the first "
+                f"main-branch run seeds it)*",
+            ],
+            False,
+        )
+    trend: dict[str, dict[str, list[float]]] = {}
+    for entry in entries:
+        for name, metrics in entry["benches"].items():
+            if not metrics:  # hand-edited or legacy null entries
+                continue
+            for metric, value in metrics.items():
+                if isinstance(value, (int, float)):
+                    trend.setdefault(name, {}).setdefault(metric, []).append(
+                        float(value)
+                    )
+    sha = str(entries[-1].get("sha", ""))[:9]
+    label = f"history ({sha})" if sha else "history"
+    return compare_metrics(
+        entries[-1]["benches"], cur, trend=trend, baseline_label=label
+    )
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+
+def _flag(argv: list[str], name: str) -> str | None:
+    if name in argv:
+        at = argv.index(name)
+        value = argv[at + 1] if at + 1 < len(argv) else None
+        del argv[at : at + 2]
+        return value
+    return None
+
+
 def main(argv: list[str]) -> int:
+    argv = list(argv)
+    if len(argv) >= 2 and argv[1] == "append-history":
+        sha = _flag(argv, "--sha")
+        run_id = _flag(argv, "--run")
+        if len(argv) != 4:
+            print(__doc__)
+            return 0
+        current, history = Path(argv[2]), Path(argv[3])
+        if not current.is_dir():
+            print(f"no artifacts directory: {current}", file=sys.stderr)
+            return 0
+        entry = append_history(current, history, sha=sha, run_id=run_id)
+        print(
+            f"appended {len(entry['benches'])} bench(es) to {history} "
+            f"(sha={entry['sha'] or '?'})"
+        )
+        return 0
+    if len(argv) >= 2 and argv[1] == "from-history":
+        if len(argv) != 4:
+            print(__doc__)
+            return 0
+        history, current = Path(argv[2]), Path(argv[3])
+        if not current.is_dir():
+            print(f"no artifacts directory: {current}", file=sys.stderr)
+            return 0
+        lines, regressed = compare_with_history(history, current)
+        print("\n".join(lines))
+        if regressed:
+            print("REGRESSION (fail-soft, exit 0)", file=sys.stderr)
+        return 0
     if len(argv) != 3:
         print(__doc__)
         return 0

@@ -57,11 +57,14 @@ class SetCollection:
         When true, duplicate sets are merged instead of raising
         :class:`DuplicateSetError`.
     backend:
-        Entity-statistics kernel backend: ``"bigint"``, ``"numpy"`` or
-        ``"auto"`` (honour ``$REPRO_BACKEND``, then pick numpy when
-        importable and the collection is large enough for vectorization to
-        win).  See :mod:`repro.core.kernels`; all backends produce
-        identical results, only throughput differs.
+        Entity-statistics kernel backend: ``"bigint"``, ``"numpy"``,
+        ``"native"`` or ``"auto"`` (honour ``$REPRO_BACKEND``, then pick
+        the fastest importable backend — native's compiled popcount
+        extension, else numpy — when the collection is large enough for
+        vectorization to win).  See :mod:`repro.core.kernels`; all
+        backends produce identical results, only throughput differs.
+        Requesting ``"native"`` without the compiled extension degrades
+        to numpy with a one-time warning.
     shards:
         When > 1, partition the set axis into this many contiguous ranges
         and run every batched statistic per shard on a worker pool

@@ -15,6 +15,12 @@ with two interchangeable backends:
   implementation: the inverted index packed into a ``uint64`` bit-matrix of
   shape ``(n_entities, ceil(n_sets / 64))`` so the split counts of *all*
   candidate entities come out of one batched popcount pass.
+* ``native`` (:mod:`~repro.core.kernels.native_backend`) — the same
+  bit-matrix driven by a compiled C extension
+  (:mod:`~repro.core.kernels._native`): fused AND+popcount+filter sweeps
+  that allocate nothing and release the GIL.  Optional: built by
+  ``setup.py`` when a compiler is present, degrading to numpy with a
+  one-time :class:`NativeFallbackWarning` otherwise.
 
 Either backend can additionally be **sharded**
 (:mod:`~repro.core.kernels.sharded`): the set axis is partitioned into
@@ -24,9 +30,10 @@ set ranges) — ``SetCollection(..., shards=N)`` or
 ``SessionEngine(..., shards=N)``.
 
 Backend choice: ``SetCollection(..., backend=...)`` accepts ``"bigint"``,
-``"numpy"`` or ``"auto"`` (the default).  ``auto`` honours the
-``REPRO_BACKEND`` environment variable and otherwise picks ``numpy`` when
-importable, falling back to ``bigint``.  All backends — sharded or not —
+``"numpy"``, ``"native"`` or ``"auto"`` (the default).  ``auto`` honours
+the ``REPRO_BACKEND`` environment variable and otherwise picks the fastest
+importable backend (``native``, then ``numpy``, then ``bigint``).  All
+backends — sharded or not —
 are required to produce identical results, including tie-breaks, which the
 parity tests in ``tests/test_kernels.py`` and the randomized harness in
 ``tests/test_parity_fuzz.py`` enforce on randomized collections.
@@ -40,9 +47,12 @@ restores the legacy fixed constants.
 from __future__ import annotations
 
 import os
+import warnings
 
+from . import native_backend
 from .base import EntityStatsKernel
 from .bigint import BigIntKernel
+from .native_backend import HAS_NATIVE, NativeKernel
 from .numpy_backend import HAS_NUMPY, NumpyKernel
 from .scoring import (
     filter_excluded,
@@ -73,36 +83,83 @@ BACKEND_ENV_VAR = "REPRO_BACKEND"
 #: explicit ``backend="numpy"`` (or ``REPRO_BACKEND=numpy``) always wins.
 AUTO_MIN_CELLS = DEFAULT_AUTO_MIN_CELLS
 
-_BACKENDS = ("bigint", "numpy")
+_BACKENDS = ("bigint", "numpy", "native")
 
 
 class BackendUnavailableError(RuntimeError):
     """Raised when an explicitly requested backend cannot be used."""
 
 
+class NativeFallbackWarning(RuntimeWarning):
+    """Emitted once when ``native`` is requested but the extension is absent.
+
+    Unlike a missing numpy (a hard error on explicit request — the caller
+    installed nothing), a missing compiled extension is an expected
+    deployment state: no compiler on the box, ``REPRO_BUILD_NATIVE=0``, or
+    a source checkout that never ran ``build_ext --inplace``.  The request
+    degrades to the numpy backend (bit-identical results, slower scans)
+    and this warning fires exactly once per process so logs stay readable
+    under multi-collection serving.
+    """
+
+
+_native_fallback_warned = False
+
+
+def _warn_native_fallback(substitute: str) -> None:
+    global _native_fallback_warned
+    if _native_fallback_warned:
+        return
+    _native_fallback_warned = True
+    warnings.warn(
+        "the native kernel backend was requested (backend or "
+        f"${BACKEND_ENV_VAR}) but the compiled extension is not importable; "
+        f"falling back to the {substitute!r} backend.  Build it with "
+        "`python setup.py build_ext --inplace` (results are identical, "
+        "scans are slower meanwhile).",
+        NativeFallbackWarning,
+        stacklevel=3,
+    )
+
+
 def available_backends() -> tuple[str, ...]:
     """Names of the backends usable in this environment."""
-    return _BACKENDS if HAS_NUMPY else ("bigint",)
+    names = ["bigint"]
+    if HAS_NUMPY:
+        names.append("numpy")
+    if native_backend.HAS_NATIVE:
+        names.append("native")
+    return tuple(names)
 
 
 def resolve_backend_name(requested: str | None = None) -> str:
     """Resolve a ``backend=`` argument to a concrete backend name.
 
     ``None`` and ``"auto"`` defer to the ``REPRO_BACKEND`` environment
-    variable, then to ``numpy`` when importable, then to ``bigint``.  An
-    explicit name is validated: asking for ``numpy`` without NumPy installed
-    raises :class:`BackendUnavailableError` instead of silently degrading.
+    variable, then prefer ``native`` when the compiled extension imports,
+    then ``numpy`` when importable, then ``bigint``.  Asking for ``numpy``
+    without NumPy installed raises :class:`BackendUnavailableError`;
+    asking for ``native`` without the compiled extension degrades to the
+    best remaining backend with a one-time
+    :class:`NativeFallbackWarning` (see its docstring for why the two
+    differ).
     """
     if requested is None or requested == "auto":
         requested = os.environ.get(BACKEND_ENV_VAR, "auto") or "auto"
     requested = requested.lower()
     if requested == "auto":
+        if native_backend.HAS_NATIVE:
+            return "native"
         return "numpy" if HAS_NUMPY else "bigint"
     if requested not in _BACKENDS:
         raise ValueError(
             f"unknown kernel backend {requested!r}; "
             f"choose from {_BACKENDS + ('auto',)}"
         )
+    if requested == "native" and not native_backend.HAS_NATIVE:
+        substitute = "numpy" if HAS_NUMPY else "bigint"
+        _warn_native_fallback(substitute)
+        return substitute
     if requested == "numpy" and not HAS_NUMPY:
         raise BackendUnavailableError(
             "the numpy kernel backend was requested "
@@ -136,10 +193,12 @@ def make_kernel(
     explicit = requested not in (None, "auto") or env_value != "auto"
     name = resolve_backend_name(requested)
     if (
-        name == "numpy"
+        name in ("numpy", "native")
         and not explicit
         and n_sets * len(entity_masks) < get_tuning().auto_min_cells
     ):
+        # Both vectorized backends pay the same packing/array round-trip
+        # overhead, so the calibrated crossover applies to either.
         name = "bigint"
     if shards is not None and shards > 1 and n_sets > 1:
         return ShardedKernel(
@@ -150,6 +209,8 @@ def make_kernel(
             base=name,
             executor=shard_executor,
         )
+    if name == "native":
+        return NativeKernel(sets, entity_masks, n_sets)
     if name == "numpy":
         return NumpyKernel(sets, entity_masks, n_sets)
     return BigIntKernel(sets, entity_masks, n_sets)
@@ -162,8 +223,11 @@ __all__ = [
     "BigIntKernel",
     "DEFAULT_AUTO_MIN_CELLS",
     "EntityStatsKernel",
+    "HAS_NATIVE",
     "HAS_NUMPY",
     "KernelTuning",
+    "NativeFallbackWarning",
+    "NativeKernel",
     "NumpyKernel",
     "SHARD_EXECUTOR_ENV_VAR",
     "ShardedKernel",

@@ -1,0 +1,26 @@
+"""Loader for the compiled popcount extension (``_nativeext``).
+
+The extension is optional by design: ``setup.py`` swallows compiler
+failures so the package installs everywhere, and this loader degrades to
+``ext = None`` when the module is absent (no compiler, ``REPRO_BUILD_NATIVE=0``,
+or a source checkout that never ran ``build_ext --inplace``).  The backend
+gating in :mod:`repro.core.kernels` turns that absence into a one-time
+fallback warning; nothing else in the package may import ``_nativeext``
+directly.
+
+Build it in a source checkout with::
+
+    python setup.py build_ext --inplace
+"""
+
+from __future__ import annotations
+
+try:
+    from . import _nativeext as ext
+except ImportError:  # pragma: no cover - depends on the build environment
+    ext = None  # type: ignore[assignment]
+
+#: Whether the compiled extension imported in this environment.
+HAS_NATIVE_EXT = ext is not None
+
+__all__ = ["HAS_NATIVE_EXT", "ext"]

@@ -155,21 +155,32 @@ class NumpyKernel(EntityStatsKernel):
             out.append((positive, mask & ~positive))
         return out
 
+    def _row_unit_cost(self) -> float:
+        """Cost of one row-pass element in the tuned units.
+
+        The routing hook subclasses override: the native backend's fused C
+        sweep is cheaper per element, so it scales this unit down
+        (``tuning.native_row_cost``) instead of duplicating the formula.
+        """
+        return self._tuning.row_cost
+
     def _set_major_wins(self, n_selected: int, width: int) -> bool:
         """Tuned cost model: set-major gather vs bit-matrix row pass.
 
         In calibrated "row-pass element" units: the gather pays the mask
         unpack plus ``member_cost`` per membership of the selected sets; a
-        row pass pays ``row_cost`` per (candidate, nonzero mask word)
-        element.  Small masks are membership-bound, big masks width-bound —
-        route per mask.
+        row pass pays :meth:`_row_unit_cost` per (candidate, nonzero mask
+        word) element.  Small masks are membership-bound, big masks
+        width-bound — route per mask.
         """
         t = self._tuning
         member = (
             self._n_sets / 8
             + n_selected * self._avg_set_size * t.member_cost
         )
-        row = width * min(self._n_words, n_selected + 1) * t.row_cost
+        row = (
+            width * min(self._n_words, n_selected + 1) * self._row_unit_cost()
+        )
         return member < row
 
     def _route_set_major(self, n_selected: int, width: int) -> bool:

@@ -18,10 +18,11 @@ shard on a worker pool, merging the per-shard results:
   bit-identical to the unsharded kernels by construction, which the
   randomized parity harness (``tests/test_parity_fuzz.py``) enforces.
 
-Each shard is a complete sub-kernel (big-int or numpy) over the sliced
-sets, so the per-shard work reuses all single-kernel routing (chunked row
-passes, the set-major CSR gather).  Workers default to a thread pool —
-NumPy's AND/popcount ufuncs release the GIL, so column shards genuinely
+Each shard is a complete sub-kernel (big-int, numpy or native) over the
+sliced sets, so the per-shard work reuses all single-kernel routing
+(chunked row passes, the set-major CSR gather, fused C sweeps).  Workers
+default to a thread pool — NumPy's AND/popcount ufuncs and the native
+extension's C passes release the GIL, so column shards genuinely
 overlap — with a ``concurrent.futures`` **process pool** available behind
 ``executor="process"`` / ``$REPRO_SHARD_EXECUTOR=process`` (fork start
 method; falls back to threads where fork is unavailable), and ``"serial"``
@@ -38,6 +39,7 @@ from typing import Iterable, Sequence
 
 from .base import EntityStatsKernel
 from .bigint import BigIntKernel
+from .native_backend import HAS_NATIVE, NativeKernel
 from .numpy_backend import HAS_NUMPY, NumpyKernel
 from .tuning import KernelTuning
 
@@ -98,7 +100,7 @@ class ShardedKernel(EntityStatsKernel):
         Requested shard count; capped at one set per shard.  The effective
         count is exposed as :attr:`n_shards`.
     base:
-        Inner backend per shard: ``"bigint"`` or ``"numpy"``.
+        Inner backend per shard: ``"bigint"``, ``"numpy"`` or ``"native"``.
     executor:
         ``"thread"`` (default), ``"process"`` (fork-based pool, the
         experimental flag) or ``"serial"``; ``None`` defers to
@@ -118,6 +120,10 @@ class ShardedKernel(EntityStatsKernel):
         super().__init__(sets, entity_masks, n_sets)
         if base == "numpy" and not HAS_NUMPY:  # pragma: no cover
             raise RuntimeError("numpy shard base requires numpy")
+        if base == "native" and not HAS_NATIVE:  # pragma: no cover
+            raise RuntimeError(
+                "native shard base requires the compiled extension"
+            )
         self.base_name = base
         self.executor_kind = resolve_executor_name(executor)
         n = max(1, min(int(shards), max(n_sets, 1)))
@@ -126,20 +132,27 @@ class ShardedKernel(EntityStatsKernel):
         self._bounds = [
             (n_sets * s // n, n_sets * (s + 1) // n) for s in range(n)
         ]
-        kernel_cls = NumpyKernel if base == "numpy" else BigIntKernel
+        # NativeKernel is-a NumpyKernel, so all the per-shard routing below
+        # (isinstance checks, CSR gathers) applies to both vectorized bases;
+        # only the class constructed here differs.
+        kernel_cls: type[EntityStatsKernel] = {
+            "bigint": BigIntKernel,
+            "numpy": NumpyKernel,
+            "native": NativeKernel,
+        }[base]
         self._shards: list[EntityStatsKernel] = []
         for lo, hi in self._bounds:
             width = hi - lo
             valid = (1 << width) - 1
             sliced = {e: (m >> lo) & valid for e, m in entity_masks.items()}
-            if kernel_cls is NumpyKernel:
-                shard = NumpyKernel(sets[lo:hi], sliced, width, tuning=tuning)
+            if issubclass(kernel_cls, NumpyKernel):
+                shard = kernel_cls(sets[lo:hi], sliced, width, tuning=tuning)
             else:
                 shard = BigIntKernel(sets[lo:hi], sliced, width)
             self._shards.append(shard)
         self.n_shards = len(self._shards)
         self.name = f"{base}[x{self.n_shards}]"
-        if HAS_NUMPY and base == "numpy":
+        if HAS_NUMPY and base in ("numpy", "native"):
             self._all_eids: Sequence[int] = np.fromiter(
                 sorted(entity_masks), dtype=np.int64, count=len(entity_masks)
             )
@@ -221,7 +234,7 @@ class ShardedKernel(EntityStatsKernel):
         """Sum per-shard count vectors; ``None`` entries are all-zero."""
         live = [p for p in parts if p is not None]
         if not live:
-            if np is not None and self.base_name == "numpy":
+            if np is not None and self.base_name in ("numpy", "native"):
                 return np.zeros(length, dtype=np.int64)
             return [0] * length
         if np is not None and isinstance(live[0], np.ndarray):

@@ -48,6 +48,13 @@ DEFAULT_AUTO_MIN_CELLS = 1 << 15
 DEFAULT_MEMBER_COST = 2.0
 DEFAULT_ROW_COST = 1.0
 
+#: Uncalibrated cost of one *native* row-pass element relative to a numpy
+#: row-pass element (the fused C sweep skips numpy's temporaries, so its
+#: per-element cost is a fraction of the ufunc pipeline's).  Scales the
+#: ``row_cost`` term in :meth:`NativeKernel._set_major_wins`, moving the
+#: CSR-gather crossover toward smaller masks.
+DEFAULT_NATIVE_ROW_COST = 0.4
+
 #: Total collection membership below which the single-mask scan never
 #: builds the set-major CSR mirror: on tiny collections the member-union
 #: walk is already free and the mirror build is pure overhead.
@@ -62,6 +69,15 @@ AUTO_MIN_CELLS_CLAMP = (1 << 12, 1 << 20)
 #: Clamp for the calibrated member/row unit-cost ratio.
 MEMBER_COST_CLAMP = (0.25, 16.0)
 
+#: Clamp for the calibrated native/numpy row unit-cost ratio.  The bottom
+#: guards against a degenerate timing claiming a free scan; the top
+#: allows ratios above 1.0 because a compiler without a hardware-popcount
+#: path (e.g. MSVC on non-x64 targets falls back to the software
+#: popcount) can genuinely produce a native pass slower than numpy's
+#: SIMD pipeline — calibration must be able to say so and push the
+#: CSR-gather crossover the other way.
+NATIVE_ROW_COST_CLAMP = (1.0 / 64.0, 8.0)
+
 
 @dataclass(frozen=True)
 class KernelTuning:
@@ -75,6 +91,7 @@ class KernelTuning:
     auto_min_cells: int = DEFAULT_AUTO_MIN_CELLS
     member_cost: float = DEFAULT_MEMBER_COST
     row_cost: float = DEFAULT_ROW_COST
+    native_row_cost: float = DEFAULT_NATIVE_ROW_COST
     source: str = "default"
 
 
@@ -204,9 +221,29 @@ def calibrate() -> KernelTuning:
     lo_m, hi_m = MEMBER_COST_CLAMP
     member_cost = min(max(member_unit / max(row_unit, 1e-12), lo_m), hi_m)
 
+    # -- native crossover: fused C sweep vs the numpy row pass ----------- #
+    # Measured on the same mid-size full scan so the ratio captures the
+    # marginal per-element cost; routing-only, like everything here.
+    native_row_cost = DEFAULT_NATIVE_ROW_COST
+    from .native_backend import HAS_NATIVE, NativeKernel
+
+    if HAS_NATIVE:
+        nat = NativeKernel(sets, masks, n_sets, tuning=DEFAULT_TUNING)
+        t_nat = _avg_seconds(
+            lambda: nat.scan_informative(full, n_sets, None)
+        )
+        native_unit = max(t_nat - t_overhead, 1e-9) / (
+            n_entities * nat._n_words
+        )
+        lo_n, hi_n = NATIVE_ROW_COST_CLAMP
+        native_row_cost = min(
+            max(native_unit / max(row_unit, 1e-12), lo_n), hi_n
+        )
+
     return KernelTuning(
         auto_min_cells=auto_min_cells,
         member_cost=member_cost,
         row_cost=DEFAULT_ROW_COST,
+        native_row_cost=native_row_cost,
         source="calibrated",
     )

@@ -19,7 +19,7 @@ import pytest
 from repro.core.bounds import AD
 from repro.core.collection import SetCollection
 from repro.core.discovery import DiscoverySession
-from repro.core.kernels import HAS_NUMPY
+from repro.core.kernels import HAS_NATIVE, HAS_NUMPY
 from repro.core.lookahead import KLPSelector
 from repro.core.selection import (
     IndistinguishablePairsSelector,
@@ -34,7 +34,11 @@ from repro.serve import SessionEngine
 
 from conftest import FIG1_SETS
 
-BOTH_BACKENDS = ["bigint"] + (["numpy"] if HAS_NUMPY else [])
+BOTH_BACKENDS = (
+    ["bigint"]
+    + (["numpy"] if HAS_NUMPY else [])
+    + (["native"] if HAS_NATIVE else [])
+)
 
 SELECTOR_FACTORIES = [
     MostEvenSelector,

@@ -21,6 +21,7 @@ from repro.core.gain_k import GainKSelector, UnprunedKLPSelector, lb_k
 from repro.core.kernels import (
     AUTO_MIN_CELLS,
     BackendUnavailableError,
+    HAS_NATIVE,
     HAS_NUMPY,
     available_backends,
     resolve_backend_name,
@@ -40,7 +41,11 @@ needs_numpy = pytest.mark.skipif(
     not HAS_NUMPY, reason="numpy backend unavailable"
 )
 
-BOTH_BACKENDS = ["bigint"] + (["numpy"] if HAS_NUMPY else [])
+BOTH_BACKENDS = (
+    ["bigint"]
+    + (["numpy"] if HAS_NUMPY else [])
+    + (["native"] if HAS_NATIVE else [])
+)
 
 
 def random_sets(rng: random.Random, n_sets: int, universe: int) -> list[list[int]]:

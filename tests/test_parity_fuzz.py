@@ -1,8 +1,8 @@
 """Randomized cross-backend parity harness.
 
-With four scan paths (big-int reference, numpy row pass, numpy set-major
-CSR gather, sharded merge) hand-written parity cases no longer cover the
-input space.  This harness generates seeded random collections engineered
+With five scan paths (big-int reference, numpy row pass, numpy set-major
+CSR gather, the native fused C sweep, sharded merge) hand-written parity
+cases no longer cover the input space.  This harness generates seeded random collections engineered
 to hit the nasty corners — skewed set sizes, an empty set, singleton and
 duplicate entities, masks crossing the 63/64/65-set word boundaries — and
 asserts that every backend produces *bit-identical* results for every
@@ -24,7 +24,12 @@ import random
 import pytest
 
 from repro.core.collection import SetCollection
-from repro.core.kernels import HAS_NUMPY, KernelTuning, select_best_many
+from repro.core.kernels import (
+    HAS_NATIVE,
+    HAS_NUMPY,
+    KernelTuning,
+    select_best_many,
+)
 from repro.core.selection import information_gain
 
 N_SEEDS = 200
@@ -44,6 +49,20 @@ def _variants():
                 KernelTuning(member_cost=1e18),
             ),
             ("numpy-sharded", dict(backend="numpy", shards=4), None),
+        ]
+    if HAS_NATIVE:
+        # The full equality chain bigint == numpy == native == sharded-native:
+        # calibrated routing, the forced C row sweep (the fused kernel must
+        # agree even where routing would have picked the CSR gather), and
+        # native sub-kernels under the sharded merge.
+        variants += [
+            ("native", dict(backend="native"), None),
+            (
+                "native-rows",
+                dict(backend="native"),
+                KernelTuning(member_cost=1e18),
+            ),
+            ("native-sharded", dict(backend="native", shards=4), None),
         ]
     return variants
 
