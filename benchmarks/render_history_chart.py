@@ -1,0 +1,268 @@
+"""Render benchmarks/history/trajectory.jsonl as a static SVG line chart.
+
+CI's history-append step runs this after extending the committed series,
+so ``benchmarks/history/trajectory.svg`` always shows the speedup
+trajectory of every bench across main-branch runs — viewable directly on
+GitHub (READMEs, gh-pages) with no build step.
+
+Design notes (deliberate, please keep):
+
+* **One axis, indexed series.**  The headline speedups span wildly
+  different scales (a ~60x kernel scan next to a ~3x serving gate), so
+  every series is indexed to its *first recorded value*: the chart shows
+  drift — 1.0 means "same as when first measured", below 1.0 is a
+  regression — and one honest linear axis serves all series.  Absolute
+  numbers live in the trajectory table (``compare_trajectory.py``).
+* **Fixed categorical colors.**  Series take hues from a validated
+  categorical palette in a fixed assignment order (never re-assigned when
+  series come and go, so a bench keeps its color across renders as long
+  as the series set grows append-only).
+* **Direct labels + legend.**  Line ends carry the series name in text
+  color (the line itself carries the hue), so identity never rides on
+  color alone.
+* **Deterministic output.**  No timestamps, no randomness: re-rendering
+  the same history produces byte-identical SVG, keeping the CI commit
+  diff meaningful.
+
+Stdlib only; the JSONL format is the one ``compare_trajectory.py
+append-history`` writes.  Usage::
+
+    python benchmarks/render_history_chart.py \
+        [benchmarks/history/trajectory.jsonl] [benchmarks/history/trajectory.svg]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from compare_trajectory import load_history  # noqa: E402
+
+# Categorical palette (validated: CVD-safe adjacent order, light surface).
+PALETTE = [
+    "#2a78d6",  # blue
+    "#eb6834",  # orange
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#e87ba4",  # magenta
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+]
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e4e3df"
+FONT = "-apple-system, 'Segoe UI', Helvetica, Arial, sans-serif"
+
+WIDTH, HEIGHT = 960, 430
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 64, 190, 78, 46
+
+
+def series_name(bench_file: str, metric: str) -> str:
+    """``BENCH_sessions.json`` + ``speedup`` -> ``sessions``."""
+    base = bench_file
+    if base.startswith("BENCH_"):
+        base = base[len("BENCH_") :]
+    if base.endswith(".json"):
+        base = base[: -len(".json")]
+    return base if metric == "speedup" else f"{base} · {metric}"
+
+
+def collect_series(entries: list[dict]) -> dict[str, list[float | None]]:
+    """``series name -> value per history entry`` (None where absent).
+
+    Assignment order is first-appearance order over the chronological
+    series, so colors are stable as history grows append-only.
+    """
+    series: dict[str, list[float | None]] = {}
+    for at, entry in enumerate(entries):
+        for bench_file in sorted(entry["benches"]):
+            metrics = entry["benches"][bench_file] or {}
+            for metric in sorted(metrics):
+                value = metrics[metric]
+                if not isinstance(value, (int, float)) or value <= 0:
+                    continue
+                name = series_name(bench_file, metric)
+                if name not in series:
+                    series[name] = [None] * len(entries)
+                series[name][at] = float(value)
+    return series
+
+
+def indexed(values: list[float | None]) -> list[float | None]:
+    """Each value divided by the series' first recorded value."""
+    base = next((v for v in values if v is not None), None)
+    if base is None:
+        return values
+    return [None if v is None else v / base for v in values]
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """A few round tick values covering [lo, hi]."""
+    span = max(hi - lo, 1e-9)
+    raw = span / max(n - 1, 1)
+    step = next(
+        (
+            s
+            for s in (0.05, 0.1, 0.2, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0)
+            if s >= raw * 0.999
+        ),
+        50.0,
+    )
+    ticks = []
+    t = int(lo / step) * step
+    while t <= hi + 1e-9:
+        if t >= lo - 1e-9:
+            ticks.append(round(t, 4))
+        t += step
+    return ticks or [round(lo, 2), round(hi, 2)]
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def render_svg(entries: list[dict]) -> str:
+    """The chart as an SVG document string."""
+    parts: list[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" role="img" '
+        f'aria-label="Benchmark speedup trajectory across main-branch runs">'
+    )
+    parts.append(f'<rect width="{WIDTH}" height="{HEIGHT}" fill="{SURFACE}"/>')
+    parts.append(
+        f'<text x="{MARGIN_L}" y="26" font-family="{FONT}" font-size="16" '
+        f'font-weight="600" fill="{TEXT_PRIMARY}">Benchmark speedup '
+        f"trajectory</text>"
+    )
+    parts.append(
+        f'<text x="{MARGIN_L}" y="44" font-family="{FONT}" font-size="12" '
+        f'fill="{TEXT_SECONDARY}">Each series indexed to its first recorded '
+        f"main-branch run (1.0 = no change; below 1.0 = regression)</text>"
+    )
+
+    if not entries:
+        parts.append(
+            f'<text x="{WIDTH / 2}" y="{HEIGHT / 2}" text-anchor="middle" '
+            f'font-family="{FONT}" font-size="13" fill="{TEXT_SECONDARY}">'
+            f"No history yet — the first main-branch CI run seeds "
+            f"trajectory.jsonl</text>"
+        )
+        parts.append("</svg>")
+        return "\n".join(parts) + "\n"
+
+    series = {
+        name: indexed(values)
+        for name, values in collect_series(entries).items()
+    }
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+    n = len(entries)
+
+    flat = [v for vs in series.values() for v in vs if v is not None]
+    lo = min(flat + [1.0])
+    hi = max(flat + [1.0])
+    pad = (hi - lo) * 0.12 or 0.1
+    lo, hi = lo - pad, hi + pad
+
+    def x_at(i: int) -> float:
+        if n == 1:
+            return MARGIN_L + plot_w / 2
+        return MARGIN_L + plot_w * i / (n - 1)
+
+    def y_at(v: float) -> float:
+        return MARGIN_T + plot_h * (1 - (v - lo) / (hi - lo))
+
+    # Recessive horizontal grid + y tick labels.
+    for tick in _ticks(lo, hi):
+        y = y_at(tick)
+        parts.append(
+            f'<line x1="{MARGIN_L}" y1="{y:.1f}" '
+            f'x2="{MARGIN_L + plot_w}" y2="{y:.1f}" '
+            f'stroke="{GRID}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{MARGIN_L - 8}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-family="{FONT}" font-size="11" '
+            f'fill="{TEXT_SECONDARY}">{tick:g}x</text>'
+        )
+    # Reference line at 1.0 (the "no drift" baseline).
+    y1 = y_at(1.0)
+    parts.append(
+        f'<line x1="{MARGIN_L}" y1="{y1:.1f}" x2="{MARGIN_L + plot_w}" '
+        f'y2="{y1:.1f}" stroke="{TEXT_SECONDARY}" stroke-width="1" '
+        f'stroke-dasharray="4 3" opacity="0.6"/>'
+    )
+
+    # X tick labels: short shas, thinned to at most ~8.
+    stride = max(1, (n + 7) // 8)
+    for i, entry in enumerate(entries):
+        if i % stride and i != n - 1:
+            continue
+        sha = str(entry.get("sha", ""))[:9] or f"run {i + 1}"
+        parts.append(
+            f'<text x="{x_at(i):.1f}" y="{MARGIN_T + plot_h + 18}" '
+            f'text-anchor="middle" font-family="{FONT}" font-size="10" '
+            f'fill="{TEXT_SECONDARY}">{_esc(sha)}</text>'
+        )
+
+    # Series lines + point markers (2px line, ringed dots) + end labels.
+    label_slots: list[tuple[float, str, str]] = []
+    for at, (name, values) in enumerate(series.items()):
+        color = PALETTE[at % len(PALETTE)]
+        points = [
+            (x_at(i), y_at(v)) for i, v in enumerate(values) if v is not None
+        ]
+        if not points:
+            continue
+        if len(points) > 1:
+            path = "M" + " L".join(f"{x:.1f} {y:.1f}" for x, y in points)
+            parts.append(
+                f'<path d="{path}" fill="none" stroke="{color}" '
+                f'stroke-width="2" stroke-linejoin="round"/>'
+            )
+        for x, y in points:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" fill="{color}" '
+                f'stroke="{SURFACE}" stroke-width="2"/>'
+            )
+        label_slots.append((points[-1][1], name, color))
+
+    # Direct labels at line ends, nudged apart so they never collide.
+    label_slots.sort()
+    placed: list[float] = []
+    for y, name, color in label_slots:
+        while any(abs(y - p) < 14 for p in placed):
+            y += 14
+        placed.append(y)
+        x = MARGIN_L + plot_w + 10
+        parts.append(
+            f'<circle cx="{x + 4}" cy="{y - 4:.1f}" r="4" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 13}" y="{y:.1f}" font-family="{FONT}" '
+            f'font-size="11" fill="{TEXT_PRIMARY}">{_esc(name)}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def main(argv: list[str]) -> int:
+    here = Path(__file__).parent
+    history = Path(argv[1]) if len(argv) > 1 else here / "history" / "trajectory.jsonl"
+    out = Path(argv[2]) if len(argv) > 2 else here / "history" / "trajectory.svg"
+    entries = load_history(history)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_svg(entries), encoding="utf-8")
+    print(f"rendered {len(entries)} history entr(y/ies) to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

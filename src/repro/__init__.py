@@ -74,13 +74,21 @@ from .core import (
     optimal_tree,
     save_tree,
 )
-from .serve import EngineStats, SessionEngine
+from .serve import (
+    AsyncDiscoveryService,
+    EngineStats,
+    Phase,
+    ScanScheduler,
+    SessionEngine,
+    SessionRegistry,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AD",
     "H",
+    "AsyncDiscoveryService",
     "CostMetric",
     "DecisionTree",
     "DiscoveryResult",
@@ -96,9 +104,12 @@ __all__ = [
     "LB1Selector",
     "MostEvenSelector",
     "NoInformativeEntityError",
+    "Phase",
     "PruningStats",
     "RandomSelector",
+    "ScanScheduler",
     "SessionEngine",
+    "SessionRegistry",
     "SetCollection",
     "TreeDiscoverySession",
     "TreeSummary",

@@ -7,7 +7,11 @@ Subcommands:
   y/n/? on the terminal) or a simulated run against a named target set;
 * ``experiment`` — run one of the paper's experiments and print its
   tables (``--list`` shows the ids);
-* ``baseball`` — end-to-end query discovery for one target query T1-T7.
+* ``baseball`` — end-to-end query discovery for one target query T1-T7;
+* ``serve-demo`` — drive the asyncio serving stack
+  (:class:`repro.serve.AsyncDiscoveryService`) with hundreds of simulated
+  jittery-latency users and print throughput + question-latency
+  percentiles.
 
 Installed as ``repro-setdisc`` (see pyproject) and runnable as
 ``python -m repro``.
@@ -143,6 +147,94 @@ def _cmd_baseball(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_demo(args: argparse.Namespace) -> int:
+    import asyncio
+    import random
+    import time
+
+    from .data.synthetic import SyntheticConfig, generate_collection
+    from .serve import AsyncDiscoveryService, percentile
+
+    collection = generate_collection(
+        SyntheticConfig(
+            n_sets=args.n_sets,
+            size_lo=args.size_lo,
+            size_hi=args.size_hi,
+            overlap=args.overlap,
+            seed=args.seed,
+        )
+    )
+    print(f"collection: {collection} (backend={collection.backend})")
+    rng = random.Random(args.seed)
+    latencies: list[float] = []
+
+    async def user(service, key, oracle, jitter) -> int:
+        questions = 0
+        while True:
+            start = time.perf_counter()
+            entity = await service.ask(key)
+            latencies.append(time.perf_counter() - start)
+            if entity is None:
+                break
+            questions += 1
+            if args.jitter_ms > 0:
+                # A think-time a real user would need before replying.
+                await asyncio.sleep(jitter.random() * args.jitter_ms / 1000)
+            service.answer(key, oracle(entity))
+        await service.result(key)
+        return questions
+
+    async def demo() -> None:
+        async with AsyncDiscoveryService(
+            collection,
+            flush_after_ms=args.flush_after_ms,
+            max_batch=args.max_batch,
+        ) as service:
+            tasks = []
+            start = time.perf_counter()
+            for key in range(args.users):
+                target = rng.randrange(collection.n_sets)
+                service.add(
+                    DiscoverySession(collection, _build_selector(args)),
+                    key=key,
+                )
+                oracle = SimulatedUser(collection, target_index=target)
+                tasks.append(
+                    asyncio.create_task(
+                        user(service, key, oracle, random.Random(1000 + key))
+                    )
+                )
+            questions = sum(await asyncio.gather(*tasks))
+            elapsed = time.perf_counter() - start
+            stats = service.stats
+            resolved = sum(
+                1 for r in service.results.values() if r.resolved
+            )
+            print(
+                f"served {args.users} concurrent users: {resolved} resolved, "
+                f"{questions} questions in {elapsed * 1000:.0f} ms "
+                f"({questions / elapsed:.0f} questions/s aggregate)"
+            )
+            asks = sorted(latencies)
+            print(
+                f"ask() latency: p50 {percentile(asks, 0.50) * 1000:.2f} ms, "
+                f"p95 {percentile(asks, 0.95) * 1000:.2f} ms "
+                f"(budget {args.flush_after_ms:.1f} ms, "
+                f"watermark {args.max_batch})"
+            )
+            print(
+                f"scheduler: {stats.ticks} flushes, "
+                f"{stats.scanned_masks} masks scanned in "
+                f"{stats.batched_scans} stacked passes, "
+                f"{stats.scan_cache_hits} cache hits, "
+                f"{stats.scoring_groups} scoring groups for "
+                f"{stats.batched_selections} batched selections"
+            )
+
+    asyncio.run(demo())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-setdisc",
@@ -201,6 +293,43 @@ def build_parser() -> argparse.ArgumentParser:
     bb.add_argument("--variable", action="store_true")
     bb.add_argument("--metric", choices=["AD", "H"], default="AD")
     bb.set_defaults(func=_cmd_baseball)
+
+    serve = sub.add_parser(
+        "serve-demo",
+        help="asyncio serving demo: many concurrent simulated users",
+    )
+    serve.add_argument("--users", type=int, default=200)
+    serve.add_argument("--n-sets", type=int, default=2000)
+    serve.add_argument("--size-lo", type=int, default=30)
+    serve.add_argument("--size-hi", type=int, default=40)
+    serve.add_argument("--overlap", type=float, default=0.85)
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument(
+        "--flush-after-ms",
+        type=float,
+        default=2.0,
+        help="scan-batching latency budget of the scheduler",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="queued requests that trigger an immediate flush",
+    )
+    serve.add_argument(
+        "--jitter-ms",
+        type=float,
+        default=5.0,
+        help="max simulated user think-time per answer (0 disables)",
+    )
+    serve.add_argument(
+        "--selector", choices=["klp", "infogain"], default="infogain"
+    )
+    serve.add_argument("--k", type=int, default=2)
+    serve.add_argument("--q", type=int, default=None)
+    serve.add_argument("--variable", action="store_true")
+    serve.add_argument("--metric", choices=["AD", "H"], default="AD")
+    serve.set_defaults(func=_cmd_serve_demo)
 
     return parser
 

@@ -161,14 +161,28 @@ class DiscoverySession:
         return frozenset(self._excluded)
 
     @property
-    def finished(self) -> bool:
-        """True when the loop of Algorithm 2 would exit."""
-        if self._n_candidates <= 1:
-            return True
-        if (
+    def budget_exhausted(self) -> bool:
+        """True once ``max_questions`` answered questions have been spent."""
+        return (
             self.max_questions is not None
             and self.n_questions >= self.max_questions
-        ):
+        )
+
+    @property
+    def halted_without_scan(self) -> bool:
+        """Halt conditions decidable *without* an informative scan.
+
+        A single remaining candidate and an exhausted question budget end a
+        session for free; the third halt condition (no informative entity
+        left) needs a kernel scan.  Schedulers use this to retire sessions
+        before paying for a batched scan (:mod:`repro.serve.state`).
+        """
+        return self._n_candidates <= 1 or self.budget_exhausted
+
+    @property
+    def finished(self) -> bool:
+        """True when the loop of Algorithm 2 would exit."""
+        if self.halted_without_scan:
             return True
         return not self._has_askable_entity()
 

@@ -2,14 +2,39 @@
 
 The paper evaluates Algorithm 2 one session at a time; serving heavy
 interactive traffic means advancing thousands of independent sessions whose
-per-step latency budgets are tight.  :class:`~repro.serve.engine.SessionEngine`
-is the building block for that: it steps N sessions in lock-step, answering
-all of their informative scans and selector scorings through the stacked-mask
-kernel APIs (one batched pass instead of N Python-level scans) while keeping
-every session's transcript bit-identical to a sequential
-:meth:`~repro.core.discovery.DiscoverySession.run`.
+per-step latency budgets are tight.  The stack has three layers
+(``docs/serving.md``):
+
+1. :mod:`repro.serve.state` — the session **state machine**
+   (``NEEDS_SCAN -> QUESTION_PENDING -> DONE``) and the shared
+   :class:`SessionRegistry` bookkeeping;
+2. :mod:`repro.serve.scheduler` — the :class:`ScanScheduler`, which
+   accumulates scan requests and answers them in stacked kernel passes,
+   flushing on a batch watermark or latency budget;
+3. front-ends — the lock-step :class:`SessionEngine`
+   (:mod:`repro.serve.engine`) and the asyncio
+   :class:`AsyncDiscoveryService` (:mod:`repro.serve.async_service`),
+   which let sessions join, answer and finish independently while the
+   kernel still sees large stacked scans.
+
+Whatever the front-end, every session's transcript is bit-identical to a
+sequential :meth:`~repro.core.discovery.DiscoverySession.run` — the stack
+changes how work is batched, never what a session observes.
 """
 
+from .async_service import AsyncDiscoveryService, percentile
 from .engine import EngineStats, SessionEngine
+from .scheduler import FlushReport, ScanScheduler
+from .state import Phase, SessionRegistry, SessionState
 
-__all__ = ["EngineStats", "SessionEngine"]
+__all__ = [
+    "AsyncDiscoveryService",
+    "EngineStats",
+    "FlushReport",
+    "Phase",
+    "ScanScheduler",
+    "SessionEngine",
+    "SessionRegistry",
+    "SessionState",
+    "percentile",
+]

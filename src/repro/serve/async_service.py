@@ -1,0 +1,438 @@
+"""Asyncio serving front-end (layer 3 of 3): questions as awaitables.
+
+An :class:`AsyncDiscoveryService` serves many concurrent discovery sessions
+over one shared collection with three coroutine-shaped verbs:
+
+* ``entity = await service.ask(key)`` — the next question for session
+  ``key`` (``None`` once the session finished);
+* ``service.answer(key, value)`` — record the user's reply
+  (``True``/``False``/``None`` for "don't know"), plain and synchronous;
+* ``result = await service.result(key)`` — the session's
+  :class:`~repro.core.discovery.DiscoveryResult` once it finishes.
+
+Sessions join (:meth:`add`/:meth:`spawn`), answer and finish completely
+independently — no lock-step rounds.  Under the hood every ``ask`` queues
+a scan request on the shared
+:class:`~repro.serve.scheduler.ScanScheduler`; the service flushes the
+scheduler when either ``max_batch`` requests have accumulated or the
+oldest request has waited ``flush_after_ms`` — so the kernel still sees
+large stacked scans while no user waits longer than the latency budget
+plus one batched pass.
+
+Flushes run in a single-worker thread executor: all session/kernel
+mutation is serialized on that thread while the event loop stays free to
+accept joins, answers and asks — and because the numpy/native/sharded
+backends release the GIL inside their scans, kernel work genuinely
+overlaps network-style I/O.  Transcripts remain bit-identical to
+sequential ``DiscoverySession.run`` calls, whatever the arrival order —
+selection is deterministic per session state, which the parity tests
+(``tests/test_async_service.py``) enforce.
+
+The service binds to the first event loop that uses it; drive it from one
+loop only (the normal ``asyncio.run(main())`` shape) and close it with
+``await service.aclose()`` or ``async with AsyncDiscoveryService(...)``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Hashable, Iterable, Mapping
+
+from ..core.collection import SetCollection
+from ..core.discovery import DiscoveryResult, DiscoverySession
+from .scheduler import FlushReport, ScanScheduler
+from .state import SessionRegistry
+
+__all__ = ["AsyncDiscoveryService", "percentile"]
+
+
+def percentile(sorted_values: "list[float]", q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted list (0.0 if empty).
+
+    The serving demos and benchmarks all report ``ask()`` latency
+    p50/p95 through this one helper so the figures stay comparable.
+    """
+    if not sorted_values:
+        return 0.0
+    at = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[at]
+
+
+class AsyncDiscoveryService:
+    """Latency-budgeted asyncio service over a shared :class:`ScanScheduler`.
+
+    Parameters
+    ----------
+    collection:
+        The shared closed collection all sessions discover over.
+    flush_after_ms:
+        Latency budget: a queued question request waits at most this long
+        before a batched kernel pass answers it (plus the pass itself).
+        Smaller = snappier single-user latency; larger = bigger stacked
+        scans under load.
+    max_batch:
+        Batch watermark: this many queued requests trigger an immediate
+        flush without waiting for the budget.  ``None`` disables the
+        watermark (budget-only flushing).
+    release_caches:
+        As for :class:`~repro.serve.engine.SessionEngine`: release a
+        finished session's cached scan stats once no active session
+        shares them.
+    """
+
+    def __init__(
+        self,
+        collection: SetCollection,
+        *,
+        flush_after_ms: float = 2.0,
+        max_batch: int | None = 64,
+        release_caches: bool = True,
+    ) -> None:
+        self.collection = collection
+        self.registry = SessionRegistry(
+            collection, release_caches=release_caches
+        )
+        self.scheduler = ScanScheduler(
+            self.registry,
+            flush_after_ms=flush_after_ms,
+            max_batch=max_batch,
+        )
+        self.stats = self.scheduler.stats
+        #: keys awaiting advancement (ordered set; the loop thread owns it)
+        self._needy: dict[Hashable, None] = {}
+        #: recorded replies not yet applied (applied at the next flush, on
+        #: the flush thread, so ALL session mutation is single-threaded)
+        self._replies: dict[Hashable, bool | None] = {}
+        #: keys whose reply is being applied by the running flush — the
+        #: ask() fast path must not trust their stale pending question
+        self._inflight_replies: frozenset[Hashable] = frozenset()
+        self._ask_waiters: dict[Hashable, list[asyncio.Future]] = {}
+        self._result_waiters: dict[Hashable, list[asyncio.Future]] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._flush_timer: asyncio.TimerHandle | None = None
+        self._flush_task: asyncio.Task | None = None
+        self._flushing = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Session attachment (delegated to the registry)
+    # ------------------------------------------------------------------ #
+
+    def add(
+        self, session: DiscoverySession, key: Hashable | None = None
+    ) -> Hashable:
+        """Attach a session; returns its key.  Sessions may join at any
+        time — including while a flush for other sessions is running."""
+        self._check_open()
+        return self.registry.add(session, key=key)
+
+    def spawn(
+        self,
+        selector,
+        initial: Iterable[Hashable] = (),
+        initial_ids: Iterable[int] | None = None,
+        max_questions: int | None = None,
+        key: Hashable | None = None,
+    ) -> Hashable:
+        """Construct a :class:`DiscoverySession` over the service's
+        collection and :meth:`add` it in one call."""
+        self._check_open()
+        return self.registry.spawn(
+            selector,
+            initial=initial,
+            initial_ids=initial_ids,
+            max_questions=max_questions,
+            key=key,
+        )
+
+    @property
+    def n_active(self) -> int:
+        return self.registry.n_active
+
+    @property
+    def results(self) -> Mapping[Hashable, DiscoveryResult]:
+        return self.registry.results
+
+    # ------------------------------------------------------------------ #
+    # The three serving verbs
+    # ------------------------------------------------------------------ #
+
+    async def ask(self, key: Hashable) -> int | None:
+        """Await the next question for session ``key`` (an entity id).
+
+        Returns ``None`` once the session is finished (fetch the outcome
+        with :meth:`result`).  Idempotent while an answer is outstanding:
+        asking again returns the same pending entity.  Cancelling a
+        pending ``ask`` is safe — the session itself still advances with
+        the next flush; only the waiter is abandoned.
+        """
+        self._check_open()
+        self._bind_loop()
+        if self.registry.result_of(key) is not None:
+            return None
+        state = self.registry.state(key)
+        if (
+            state.session.pending_entity is not None
+            and key not in self._replies
+            and key not in self._inflight_replies
+        ):
+            return state.session.pending_entity
+        future = self._wait_on(self._ask_waiters, key)
+        self._request(key)
+        return await future
+
+    def answer(self, key: Hashable, value: bool | None) -> None:
+        """Record the user's reply to session ``key``'s pending question.
+
+        Replies are applied on the flush thread (keeping every session
+        mutation single-threaded), which then immediately pre-selects the
+        session's *next* question in the same batched pass — a later
+        :meth:`ask` usually returns without waiting.  Raises ``KeyError``
+        for unknown/finished keys and ``ValueError`` when no question is
+        pending or a reply was already recorded.
+        """
+        self._check_open()
+        self._bind_loop()
+        state = self.registry.state(key)
+        if key in self._replies or key in self._inflight_replies:
+            raise ValueError(
+                f"session {key!r} already has a recorded reply; await "
+                f"ask() for the next question before answering again"
+            )
+        if state.session.pending_entity is None:
+            raise ValueError(
+                f"session {key!r} has no pending question to answer"
+            )
+        self._replies[key] = value
+        self._request(key)
+
+    async def result(self, key: Hashable) -> DiscoveryResult:
+        """Await session ``key``'s outcome (resolves when it finishes)."""
+        self._check_open()
+        self._bind_loop()
+        done = self.registry.result_of(key)
+        if done is not None:
+            return done
+        self.registry.state(key)  # clear KeyError for unknown keys
+        future = self._wait_on(self._result_waiters, key)
+        self._request(key)
+        return await future
+
+    # ------------------------------------------------------------------ #
+    # Flush scheduling (event-loop side)
+    # ------------------------------------------------------------------ #
+
+    def _request(self, key: Hashable) -> None:
+        self._needy[key] = None
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if self._closed or self._flushing or not self._needy:
+            # Closed: aclose() owns shutdown — a post-close flush would
+            # recreate the executor it just shut down.  Flushing: the
+            # running flush re-arms scheduling when it ends.
+            return
+        assert self._loop is not None
+        watermark = self.scheduler.max_batch
+        if watermark is not None and len(self._needy) >= watermark:
+            self._start_flush()
+            return
+        if len(self._needy) >= self.registry.n_active:
+            # Every active session is already waiting on us — no request
+            # can join the batch, so waiting out the budget is pure idle
+            # time (the lock-step engine's "everyone answered" moment).
+            self._start_flush()
+            return
+        if self._flush_timer is None:
+            delay = (self.scheduler.flush_after_ms or 0.0) / 1000.0
+            self._flush_timer = self._loop.call_later(delay, self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._flush_timer = None
+        if self._needy and not self._closed:
+            self._start_flush()
+
+    def _start_flush(self) -> None:
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+        assert self._loop is not None
+        self._flushing = True
+        self._flush_task = self._loop.create_task(self._flush())
+
+    async def _flush(self) -> None:
+        needy = list(self._needy)
+        self._needy.clear()
+        replies, self._replies = self._replies, {}
+        self._inflight_replies = frozenset(replies)
+        start = time.perf_counter()
+        failure: BaseException | None = None
+        try:
+            assert self._loop is not None
+            report, prefinished = await self._loop.run_in_executor(
+                self._ensure_executor(), self._advance_sync, needy, replies
+            )
+        except BaseException as exc:
+            failure = exc
+        finally:
+            self._inflight_replies = frozenset()
+            self._flushing = False
+        if failure is not None:
+            # A kernel/selector bug must fail this batch's waiters loudly,
+            # not leave them hanging forever — and requests that queued
+            # while the doomed flush ran still deserve their own flush.
+            for key in needy:
+                for fut in self._ask_waiters.pop(key, []):
+                    if not fut.done():
+                        fut.set_exception(failure)
+                for fut in self._result_waiters.pop(key, []):
+                    if not fut.done():
+                        fut.set_exception(failure)
+            self._flush_task = None
+            self._maybe_flush()
+            raise failure
+        self.stats.ticks += 1
+        self.stats.seconds += time.perf_counter() - start
+        self._resolve(report, prefinished)
+        # Requests that arrived while this flush ran start the next cycle.
+        self._flush_task = None
+        self._maybe_flush()
+
+    # ------------------------------------------------------------------ #
+    # Flush work (executor-thread side: the only session mutator)
+    # ------------------------------------------------------------------ #
+
+    def _advance_sync(
+        self,
+        needy: list[Hashable],
+        replies: dict[Hashable, bool | None],
+    ) -> tuple[FlushReport, dict[Hashable, DiscoveryResult]]:
+        registry = self.registry
+        for key, value in replies.items():
+            registry.state(key).session.answer(value)
+        prefinished: dict[Hashable, DiscoveryResult] = {}
+        for key in needy:
+            done = registry.result_of(key)
+            if done is not None:  # retired by an earlier flush
+                prefinished[key] = done
+                continue
+            # flush() re-checks each request's phase itself, so a request
+            # whose state changed since submission is always dispatched
+            # correctly (DONE -> retired, QUESTION_PENDING -> re-reported).
+            self.scheduler.submit(registry.state(key))
+        return self.scheduler.flush(), prefinished
+
+    # ------------------------------------------------------------------ #
+    # Waiter resolution (event-loop side)
+    # ------------------------------------------------------------------ #
+
+    def _resolve(
+        self,
+        report: FlushReport,
+        prefinished: dict[Hashable, DiscoveryResult],
+    ) -> None:
+        for key, entity in report.questions.items():
+            self._resolve_ask(key, entity)
+        for key, entity in report.already_pending.items():
+            if key in self._replies:
+                # The user answered this very question while the flush ran
+                # (the same staleness the ask() fast path guards against):
+                # the waiters want the NEXT question, and the recorded
+                # reply already re-queued the key, so the follow-up flush
+                # resolves them with the fresh selection.
+                continue
+            self._resolve_ask(key, entity)
+        finished = dict(prefinished)
+        finished.update(report.finished)
+        for key, result in finished.items():
+            self._resolve_ask(key, None)
+            for fut in self._result_waiters.pop(key, []):
+                if not fut.done():
+                    fut.set_result(result)
+
+    def _resolve_ask(self, key: Hashable, entity: int | None) -> None:
+        for fut in self._ask_waiters.pop(key, []):
+            if not fut.done():
+                fut.set_result(entity)
+
+    def _wait_on(
+        self, waiters: dict[Hashable, list[asyncio.Future]], key: Hashable
+    ) -> asyncio.Future:
+        # Cancelled waiters are not unlinked eagerly (a done-callback per
+        # future would double the call_soon traffic on the hot path);
+        # resolution skips done futures and pops the whole bucket, so a
+        # cancelled ask lingers only until its key's next flush.
+        assert self._loop is not None
+        future = self._loop.create_future()
+        waiters.setdefault(key, []).append(future)
+        return future
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _bind_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+        elif self._loop is not loop:
+            raise RuntimeError(
+                "AsyncDiscoveryService is bound to a different event loop; "
+                "create one service per loop"
+            )
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            # One worker by design: it serializes every session/kernel
+            # mutation while the GIL-releasing kernel scans inside it
+            # overlap the event loop's I/O.
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve-flush"
+            )
+        return self._executor
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("AsyncDiscoveryService is closed")
+
+    async def aclose(self) -> None:
+        """Stop flushing, cancel outstanding waiters, free the executor."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+        task = self._flush_task
+        if task is not None and not task.done():
+            try:
+                await task
+            except Exception:
+                pass  # the flush already failed its waiters
+        for waiters in (self._ask_waiters, self._result_waiters):
+            for bucket in list(waiters.values()):
+                for fut in list(bucket):
+                    fut.cancel()
+            waiters.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "AsyncDiscoveryService":
+        self._check_open()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    def __repr__(self) -> str:
+        return (
+            f"<AsyncDiscoveryService active={self.n_active} "
+            f"finished={len(self.registry.results)} "
+            f"queued={len(self._needy)} "
+            f"flush_after_ms={self.scheduler.flush_after_ms} "
+            f"max_batch={self.scheduler.max_batch}>"
+        )

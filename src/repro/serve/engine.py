@@ -1,23 +1,16 @@
-"""Multi-session batched discovery engine.
+"""Lock-step serving front-end (layer 3 of 3): the multi-session engine.
 
 A :class:`SessionEngine` advances N concurrent
 :class:`~repro.core.discovery.DiscoverySession` states in lock-step over one
-shared collection.  Each :meth:`SessionEngine.tick`:
-
-1. stacks the candidate masks of every session that needs a question and
-   answers all of their informative scans in **one** batched kernel pass
-   (:meth:`~repro.core.collection.SetCollection.informative_stats_many`,
-   which also primes the per-mask cache the sequential code path reads);
-2. restricts each scan to the informative entities of the session's previous
-   sub-collection (narrowing can only shrink the informative set, so the
-   restricted scan is exact) — deep sessions therefore cost far less than a
-   full-entity scan;
-3. scores the selections of all sessions sharing a scoring rule with one
-   batched ``lexsort`` (:func:`~repro.core.kernels.scoring.select_best_many`),
-   deduplicated by ``(mask, scoring rule, exclusions)`` so sessions at the
-   same state pay for one selection, not many;
-4. pushes each session its selected question
-   (:meth:`~repro.core.discovery.DiscoverySession.push_question`).
+shared collection.  Since the serving stack was split into layers, the
+engine is a *thin client*: session bookkeeping lives in the
+:class:`~repro.serve.state.SessionRegistry` and all batching in the
+:class:`~repro.serve.scheduler.ScanScheduler` — each
+:meth:`SessionEngine.tick` submits every session in the ``NEEDS_SCAN``
+phase and flushes immediately (no latency budget: lock-step *is* the
+cadence).  The asyncio front-end
+(:class:`~repro.serve.async_service.AsyncDiscoveryService`) drives the
+very same scheduler with a latency budget instead.
 
 Answers flow back through the session step logic itself
 (:meth:`~repro.core.discovery.DiscoverySession.answer`), so transcripts,
@@ -41,40 +34,15 @@ cache primed by the batched scan instead of re-scanning.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import Hashable, Iterable, Mapping
 
 from ..core.collection import SetCollection
 from ..core.discovery import DiscoveryResult, DiscoverySession, Oracle
-from ..core.kernels import filter_excluded, select_best_many
 from ..core.kernels.sharded import resolve_executor_name
-from ..core.selection import NoInformativeEntityError
+from .scheduler import EngineStats, ScanScheduler
+from .state import SessionRegistry
 
-
-@dataclass
-class EngineStats:
-    """Aggregate engine-side work counters (serving metrics)."""
-
-    #: lock-step rounds executed
-    ticks: int = 0
-    #: stacked kernel passes issued (at most one per tick)
-    batched_scans: int = 0
-    #: distinct sub-collection masks scanned by those passes
-    scanned_masks: int = 0
-    #: informative scans avoided because another session (or an earlier
-    #: tick) already paid for the mask
-    scan_cache_hits: int = 0
-    #: questions selected in total
-    selections: int = 0
-    #: selections answered by the batched scoring path
-    batched_selections: int = 0
-    #: distinct (mask, scoring rule, exclusions) groups actually scored —
-    #: the gap to ``batched_selections`` is deduplicated scoring work
-    scoring_groups: int = 0
-    #: selections that fell back to the selector's own ``select``
-    fallback_selections: int = 0
-    #: wall-clock seconds spent inside :meth:`SessionEngine.tick`
-    seconds: float = 0.0
+__all__ = ["EngineStats", "SessionEngine"]
 
 
 class SessionEngine:
@@ -130,21 +98,14 @@ class SessionEngine:
             ):
                 collection.reshard(shards, executor=shard_executor)
         self.collection = collection
-        self.stats = EngineStats()
-        self._release = release_caches
-        self._sessions: dict[Hashable, DiscoverySession] = {}
-        self._oracles: dict[Hashable, Oracle | None] = {}
-        self._results: dict[Hashable, DiscoveryResult] = {}
-        #: per-session informative eids of the mask it last asked at —
-        #: the exact restriction for its next sub-collection's scan
-        self._lineage: dict[Hashable, Sequence[int]] = {}
-        #: masks each active session has been scanned at (for release)
-        self._visited: dict[Hashable, set[int]] = {}
-        self._mask_refs: dict[int, int] = {}
-        self._auto_key = 0
+        self.registry = SessionRegistry(
+            collection, release_caches=release_caches
+        )
+        self.scheduler = ScanScheduler(self.registry)
+        self.stats = self.scheduler.stats
 
     # ------------------------------------------------------------------ #
-    # Session registry
+    # Session registry (delegated)
     # ------------------------------------------------------------------ #
 
     def add(
@@ -157,20 +118,7 @@ class SessionEngine:
 
         Returns the session's key — auto-assigned integers unless given.
         """
-        if session.collection is not self.collection:
-            raise ValueError(
-                "session discovers over a different collection; "
-                "an engine batches masks of one shared collection"
-            )
-        if key is None:
-            key = self._auto_key
-            self._auto_key += 1
-        if key in self._sessions or key in self._results:
-            raise KeyError(f"duplicate session key {key!r}")
-        self._sessions[key] = session
-        self._oracles[key] = oracle
-        self._visited[key] = set()
-        return key
+        return self.registry.add(session, oracle=oracle, key=key)
 
     def spawn(
         self,
@@ -183,41 +131,35 @@ class SessionEngine:
     ) -> Hashable:
         """Construct a :class:`DiscoverySession` over the engine's
         collection and :meth:`add` it in one call."""
-        session = DiscoverySession(
-            self.collection,
+        return self.registry.spawn(
             selector,
             initial=initial,
             initial_ids=initial_ids,
             max_questions=max_questions,
+            oracle=oracle,
+            key=key,
         )
-        return self.add(session, oracle=oracle, key=key)
 
     def session(self, key: Hashable) -> DiscoverySession:
         """The live session for ``key`` (raises once it finished)."""
-        return self._sessions[key]
+        return self.registry.session(key)
 
     @property
     def n_active(self) -> int:
-        return len(self._sessions)
+        return self.registry.n_active
 
     @property
     def results(self) -> Mapping[Hashable, DiscoveryResult]:
         """Outcomes of every finished session, by key (grows over time)."""
-        return dict(self._results)
+        return self.registry.results
 
     def completed(self) -> dict[Hashable, DiscoveryResult]:
         """Drain and return the finished-session outcomes."""
-        done = dict(self._results)
-        self._results.clear()
-        return done
+        return self.registry.completed()
 
     def pending(self) -> dict[Hashable, int]:
         """All questions currently awaiting an answer, by session key."""
-        return {
-            key: s.pending_entity
-            for key, s in self._sessions.items()
-            if s.pending_entity is not None
-        }
+        return self.registry.pending()
 
     # ------------------------------------------------------------------ #
     # Lock-step advancement
@@ -233,181 +175,51 @@ class SessionEngine:
         """
         start = time.perf_counter()
         self.stats.ticks += 1
-        need: list[tuple[Hashable, DiscoverySession]] = []
-        for key, s in list(self._sessions.items()):
-            if s.pending_entity is not None:
-                continue
-            # Cheap halt conditions first (single candidate / question
-            # budget): no scan needed to retire these.
-            if s.n_candidates <= 1 or (
-                s.max_questions is not None
-                and s.n_questions >= s.max_questions
-            ):
-                self._finish(key)
-                continue
-            need.append((key, s))
-        newly = self._advance(need) if need else {}
+        for state in self.registry.needs_question():
+            self.scheduler.submit(state)
+        report = self.scheduler.flush()
         self.stats.seconds += time.perf_counter() - start
-        return newly
-
-    def _advance(
-        self, need: list[tuple[Hashable, DiscoverySession]]
-    ) -> dict[Hashable, int]:
-        collection = self.collection
-        # -- 1. one stacked scan for every distinct mask ----------------- #
-        mask_order: list[int] = []
-        mask_cands: list[Sequence[int] | None] = []
-        seen_masks: dict[int, int] = {}
-        for key, s in need:
-            mask = s.candidates_mask
-            if mask not in seen_masks:
-                seen_masks[mask] = len(mask_order)
-                mask_order.append(mask)
-                # Any session's lineage restricts the scan exactly: the
-                # informative entities of a mask are a subset of those of
-                # every ancestor mask.
-                mask_cands.append(self._lineage.get(key))
-            self._note_visit(key, mask)
-        hits = sum(1 for m in mask_order if collection.is_cached(m))
-        t_batch = time.perf_counter()
-        stats_list = collection.informative_stats_many(mask_order, mask_cands)
-        stats_by_mask = dict(zip(mask_order, stats_list))
-        if len(mask_order) > hits:
-            self.stats.batched_scans += 1
-            self.stats.scanned_masks += len(mask_order) - hits
-        self.stats.scan_cache_hits += hits
-
-        # -- 2. retire finished sessions, group the rest for scoring ---- #
-        groups: dict[tuple, list[tuple[Hashable, DiscoverySession]]] = {}
-        primaries: dict[tuple, object] = {}
-        singles: list[tuple[Hashable, DiscoverySession]] = []
-        for key, s in need:
-            mask = s.candidates_mask
-            self._lineage[key] = stats_by_mask[mask][0]
-            if s.finished:  # cache-hit cheap now; retires e.g. all-excluded
-                self._finish(key)
-                continue
-            try:
-                primary = s.selector.batch_primary()
-                gkey = (mask, s.selector.batch_key(), s.excluded)
-            except NotImplementedError:
-                singles.append((key, s))
-                continue
-            primaries.setdefault(gkey, primary)
-            groups.setdefault(gkey, []).append((key, s))
-
-        newly: dict[Hashable, int] = {}
-        batch_served: list[Hashable] = []
-        # -- 3. batched scoring, one lexsort per scoring rule ------------ #
-        by_rule: dict[tuple, list[tuple]] = {}
-        for gkey in groups:
-            by_rule.setdefault(gkey[1], []).append(gkey)
-        for rule_keys in by_rule.values():
-            ready: list[tuple] = []
-            eids_list, counts_list, ns = [], [], []
-            for gkey in rule_keys:
-                mask, _, excl = gkey
-                eids, counts = stats_by_mask[mask]
-                if excl:
-                    eids, counts = filter_excluded(eids, counts, excl)
-                if len(eids) == 0:  # pragma: no cover - finished() caught it
-                    for key, _ in groups[gkey]:
-                        self._finish(key)
-                    continue
-                ready.append(gkey)
-                eids_list.append(eids)
-                counts_list.append(counts)
-                ns.append(self.collection.count(mask))
-            if not ready:
-                continue
-            chosen = select_best_many(
-                eids_list, counts_list, ns, primaries[ready[0]]
-            )
-            self.stats.scoring_groups += len(ready)
-            for gkey, entity in zip(ready, chosen):
-                for key, s in groups[gkey]:
-                    s.push_question(entity)
-                    newly[key] = entity
-                    batch_served.append(key)
-                    self.stats.selections += 1
-                    self.stats.batched_selections += 1
-        # Attribute the batched scan+scoring cost evenly to the sessions it
-        # served, so DiscoveryResult.seconds stays comparable to sequential
-        # runs (fallback sessions below self-time their select instead).
-        if batch_served:
-            share = (time.perf_counter() - t_batch) / len(batch_served)
-            for key in batch_served:
-                self._sessions[key].add_seconds(share)
-
-        # -- 4. fallback selectors: per-session select over primed cache - #
-        for key, s in singles:
-            try:
-                entity = s.next_question()
-            except (RuntimeError, NoInformativeEntityError):
-                self._finish(key)
-                continue
-            newly[key] = entity
-            self.stats.selections += 1
-            self.stats.fallback_selections += 1
-        return newly
+        return report.questions
 
     def answer(self, key: Hashable, value: bool | None) -> None:
         """Record a user's answer for session ``key`` (pull-style API).
 
         The narrowing itself runs through the session's own
-        :meth:`~repro.core.discovery.DiscoverySession.answer`.  Retirement
-        of sessions that just resolved happens on the next :meth:`tick`.
+        :meth:`~repro.core.discovery.DiscoverySession.answer`.  Unknown or
+        already-finished keys raise a clear ``KeyError``; answering a
+        session with no pending question (never asked, or a second answer
+        before the next tick) raises ``ValueError``.  Retirement of
+        sessions that just resolved happens on the next :meth:`tick`.
         """
-        self._sessions[key].answer(value)
+        self.registry.answer(key, value)
 
     def run(self) -> dict[Hashable, DiscoveryResult]:
         """Drive every session against its oracle until all finish."""
-        missing = [k for k, o in self._oracles.items() if o is None]
+        missing = [
+            state.key
+            for state in self.registry.active_states()
+            if state.oracle is None
+        ]
         if missing:
             raise ValueError(
                 f"run() needs an oracle per session; missing for {missing!r}"
             )
-        while self._sessions:
+        while self.registry.n_active:
             self.tick()
             pending = self.pending()
-            if not pending and self._sessions:
+            if not pending and self.registry.n_active:
                 raise RuntimeError(  # pragma: no cover - safety net
                     "engine made no progress; sessions stuck"
                 )
             for key, entity in pending.items():
-                oracle = self._oracles[key]
+                oracle = self.registry.state(key).oracle
                 assert oracle is not None
                 self.answer(key, oracle(entity))
-        return dict(self._results)
-
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
-
-    def _note_visit(self, key: Hashable, mask: int) -> None:
-        visited = self._visited[key]
-        if mask not in visited:
-            visited.add(mask)
-            self._mask_refs[mask] = self._mask_refs.get(mask, 0) + 1
-
-    def _finish(self, key: Hashable) -> None:
-        session = self._sessions.pop(key)
-        self._oracles.pop(key, None)
-        self._lineage.pop(key, None)
-        self._results[key] = session.result()
-        for mask in self._visited.pop(key, ()):
-            refs = self._mask_refs.get(mask, 0) - 1
-            if refs > 0:
-                self._mask_refs[mask] = refs
-            else:
-                self._mask_refs.pop(mask, None)
-                if self._release:
-                    # Nobody active still holds this sub-collection: give
-                    # its cached stats back before the LRU has to.
-                    self.collection.release_cached(mask)
+        return dict(self.registry.results)
 
     def __repr__(self) -> str:
         return (
             f"<SessionEngine active={self.n_active} "
-            f"finished={len(self._results)} backend={self.collection.backend}>"
+            f"finished={len(self.registry.results)} "
+            f"backend={self.collection.backend}>"
         )

@@ -1,0 +1,291 @@
+"""Latency-budgeted scan batching for the serving stack (layer 2 of 3).
+
+A :class:`ScanScheduler` accumulates scan requests — sessions in the
+``NEEDS_SCAN`` phase, from *any* front-end — and answers all of them with
+one stacked kernel pass per :meth:`ScanScheduler.flush`:
+
+1. distinct candidate masks are scanned once, lineage-restricted, through
+   :meth:`~repro.core.collection.SetCollection.informative_stats_many`;
+2. sessions the scan revealed to be finished are retired;
+3. the rest are deduplicated by ``(mask, scoring rule, exclusions)`` and
+   scored with one vectorized :func:`~repro.core.kernels.scoring.select_best_many`
+   pass per scoring rule; selectors without a batched form fall back to
+   their own ``select`` over the just-primed cache.
+
+*When* to flush is policy the front-end chooses:
+
+* the lock-step :class:`~repro.serve.engine.SessionEngine` flushes every
+  ``tick()`` — submit-then-flush, no budget;
+* the :class:`~repro.serve.async_service.AsyncDiscoveryService` flushes
+  when either the batch-size watermark (``max_batch``) is hit or the
+  oldest queued request has waited ``flush_after_ms`` — large stacked
+  scans *and* a bounded per-question latency.  (It enforces those knobs
+  over its *own* event-loop-side request queue — requests must keep
+  accumulating while a flush runs on the worker thread — plus an
+  all-sessions-waiting shortcut; the queue here is only filled at flush
+  time.  Keep the two in agreement when touching either.)
+
+For synchronous drivers that poll instead, :meth:`due`,
+:attr:`watermark_hit`, :meth:`deadline` and :meth:`should_flush` expose
+the same policy over an injectable ``clock`` — which is also how the
+tests drive the budget with a fake clock.  Whatever the cadence, one
+flush is bit-identical to the lock-step engine advancing the same
+sessions — selection is deterministic given each session's own state, so
+transcripts never depend on how requests were batched (the
+golden-transcript tests enforce this).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from ..core.discovery import DiscoveryResult
+from ..core.kernels import filter_excluded, select_best_many
+from ..core.selection import NoInformativeEntityError
+from .state import (
+    Phase,
+    SessionRegistry,
+    SessionState,
+    group_for_scoring,
+    plan_stacked_scan,
+)
+
+
+@dataclass
+class EngineStats:
+    """Aggregate scheduler/engine work counters (serving metrics)."""
+
+    #: scheduling rounds executed (lock-step ticks or async flushes)
+    ticks: int = 0
+    #: stacked kernel passes issued (at most one per flush)
+    batched_scans: int = 0
+    #: distinct sub-collection masks scanned by those passes
+    scanned_masks: int = 0
+    #: informative scans avoided because another session (or an earlier
+    #: flush) already paid for the mask
+    scan_cache_hits: int = 0
+    #: questions selected in total
+    selections: int = 0
+    #: selections answered by the batched scoring path
+    batched_selections: int = 0
+    #: distinct (mask, scoring rule, exclusions) groups actually scored —
+    #: the gap to ``batched_selections`` is deduplicated scoring work
+    scoring_groups: int = 0
+    #: selections that fell back to the selector's own ``select``
+    fallback_selections: int = 0
+    #: wall-clock seconds spent inside tick()/flush rounds
+    seconds: float = 0.0
+
+
+@dataclass
+class FlushReport:
+    """Everything one :meth:`ScanScheduler.flush` decided.
+
+    ``questions`` are the newly selected ``{key: entity id}`` pairs;
+    ``finished`` the sessions retired this flush (with their results);
+    ``already_pending`` requests that turned out to already hold an
+    unanswered question (an async resubmission race, never the lock-step
+    path) — reported so the front-end can still deliver that entity.
+    """
+
+    questions: dict[Hashable, int] = field(default_factory=dict)
+    finished: dict[Hashable, DiscoveryResult] = field(default_factory=dict)
+    already_pending: dict[Hashable, int] = field(default_factory=dict)
+
+
+class ScanScheduler:
+    """Accumulate scan requests; answer them in batched kernel passes.
+
+    Parameters
+    ----------
+    registry:
+        The shared :class:`~repro.serve.state.SessionRegistry` whose
+        sessions this scheduler advances (finished sessions are retired
+        into it).
+    flush_after_ms:
+        Latency budget: :meth:`due` turns true once the oldest queued
+        request has waited this long.  ``None`` (the lock-step default)
+        means the front-end flushes explicitly.
+    max_batch:
+        Batch-size watermark: :attr:`watermark_hit` turns true once this
+        many requests are queued.  ``None`` means no watermark.
+    clock:
+        Monotonic time source for the latency budget (injectable for
+        tests; defaults to :func:`time.perf_counter`).
+    """
+
+    def __init__(
+        self,
+        registry: SessionRegistry,
+        flush_after_ms: float | None = None,
+        max_batch: int | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.registry = registry
+        self.collection = registry.collection
+        self.flush_after_ms = flush_after_ms
+        self.max_batch = max_batch
+        self.stats = EngineStats()
+        self._clock = clock
+        self._queue: list[SessionState] = []
+        self._queued: set[Hashable] = set()
+        self._first_at: float | None = None
+
+    # ------------------------------------------------------------------ #
+    # Request queue + flush policy
+    # ------------------------------------------------------------------ #
+
+    def submit(self, state: SessionState) -> None:
+        """Queue one session's scan request (idempotent per key)."""
+        if state.key in self._queued:
+            return
+        self._queued.add(state.key)
+        self._queue.append(state)
+        if self._first_at is None:
+            self._first_at = self._clock()
+
+    @property
+    def pending_requests(self) -> int:
+        """Queued scan requests awaiting the next flush."""
+        return len(self._queue)
+
+    @property
+    def watermark_hit(self) -> bool:
+        """True once ``max_batch`` requests are queued."""
+        return (
+            self.max_batch is not None
+            and len(self._queue) >= self.max_batch
+        )
+
+    def deadline(self) -> float | None:
+        """Clock value at which the oldest queued request's budget ends."""
+        if self._first_at is None or self.flush_after_ms is None:
+            return None
+        return self._first_at + self.flush_after_ms / 1000.0
+
+    def due(self, now: float | None = None) -> bool:
+        """True once the latency budget of the oldest request expired."""
+        deadline = self.deadline()
+        if deadline is None:
+            return False
+        return (self._clock() if now is None else now) >= deadline
+
+    def should_flush(self, now: float | None = None) -> bool:
+        """Flush trigger: batch watermark hit or latency budget due."""
+        return self.watermark_hit or self.due(now)
+
+    # ------------------------------------------------------------------ #
+    # The batched pass
+    # ------------------------------------------------------------------ #
+
+    def flush(self) -> FlushReport:
+        """Advance every queued session with one batched kernel pass.
+
+        Sessions whose phase changed since submission (an answer arrived
+        out of band) are re-dispatched by their *current* phase, so a
+        flush is always safe to run — it never scans a session that does
+        not need one.
+        """
+        queue, self._queue = self._queue, []
+        self._queued.clear()
+        self._first_at = None
+        report = FlushReport()
+        need: list[SessionState] = []
+        for state in queue:
+            phase = state.phase
+            if phase is Phase.DONE:
+                report.finished[state.key] = self.registry.finish(state)
+            elif phase is Phase.QUESTION_PENDING:
+                entity = state.session.pending_entity
+                assert entity is not None
+                report.already_pending[state.key] = entity
+            else:
+                need.append(state)
+        if need:
+            self._advance(need, report)
+        return report
+
+    def _advance(
+        self, need: list[SessionState], report: FlushReport
+    ) -> None:
+        collection = self.collection
+        registry = self.registry
+        # -- 1. one stacked scan for every distinct mask ----------------- #
+        for state in need:
+            registry.note_visit(state, state.session.candidates_mask)
+        mask_order, mask_cands = plan_stacked_scan(need)
+        hits = sum(1 for m in mask_order if collection.is_cached(m))
+        t_batch = time.perf_counter()
+        stats_list = collection.informative_stats_many(mask_order, mask_cands)
+        stats_by_mask = dict(zip(mask_order, stats_list))
+        if len(mask_order) > hits:
+            self.stats.batched_scans += 1
+            self.stats.scanned_masks += len(mask_order) - hits
+        self.stats.scan_cache_hits += hits
+
+        # -- 2. retire finished sessions, group the rest for scoring ---- #
+        plan = group_for_scoring(need, stats_by_mask)
+        for state in plan.finished:
+            report.finished[state.key] = registry.finish(state)
+
+        # -- 3. batched scoring, one lexsort per scoring rule ------------ #
+        batch_served: list[SessionState] = []
+        by_rule: dict[tuple, list[tuple]] = {}
+        for gkey in plan.groups:
+            by_rule.setdefault(gkey[1], []).append(gkey)
+        for rule_keys in by_rule.values():
+            ready: list[tuple] = []
+            eids_list, counts_list, ns = [], [], []
+            for gkey in rule_keys:
+                mask, _, excl = gkey
+                eids, counts = stats_by_mask[mask]
+                if excl:
+                    eids, counts = filter_excluded(eids, counts, excl)
+                if len(eids) == 0:  # pragma: no cover - finished() caught it
+                    for state in plan.groups[gkey]:
+                        report.finished[state.key] = registry.finish(state)
+                    continue
+                ready.append(gkey)
+                eids_list.append(eids)
+                counts_list.append(counts)
+                ns.append(collection.count(mask))
+            if not ready:
+                continue
+            chosen = select_best_many(
+                eids_list, counts_list, ns, plan.primaries[ready[0]]
+            )
+            self.stats.scoring_groups += len(ready)
+            for gkey, entity in zip(ready, chosen):
+                for state in plan.groups[gkey]:
+                    state.session.push_question(entity)
+                    report.questions[state.key] = entity
+                    batch_served.append(state)
+                    self.stats.selections += 1
+                    self.stats.batched_selections += 1
+        # Attribute the batched scan+scoring cost evenly to the sessions it
+        # served, so DiscoveryResult.seconds stays comparable to sequential
+        # runs (fallback sessions below self-time their select instead).
+        if batch_served:
+            share = (time.perf_counter() - t_batch) / len(batch_served)
+            for state in batch_served:
+                state.session.add_seconds(share)
+
+        # -- 4. fallback selectors: per-session select over primed cache - #
+        for state in plan.singles:
+            try:
+                entity = state.session.next_question()
+            except (RuntimeError, NoInformativeEntityError):
+                report.finished[state.key] = registry.finish(state)
+                continue
+            report.questions[state.key] = entity
+            self.stats.selections += 1
+            self.stats.fallback_selections += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScanScheduler queued={self.pending_requests} "
+            f"flush_after_ms={self.flush_after_ms} "
+            f"max_batch={self.max_batch}>"
+        )

@@ -1,0 +1,670 @@
+"""Tests for repro.serve.async_service (asyncio serving front-end).
+
+The service's contract mirrors the engine's: whatever the arrival order,
+think-time jitter or batching cadence, every session's transcript is
+bit-identical to a sequential ``DiscoverySession.run``.  On top of parity
+this covers the asyncio-specific surface: out-of-order answers, sessions
+joining mid-flush, latency-budget and watermark flushing, cancellation of
+a pending ``ask()``, answer validation, and lifecycle/closing.
+
+The tests drive the event loop via ``asyncio.run`` inside synchronous
+test functions, so they run identically with or without pytest-asyncio
+installed (CI's asyncio leg runs them under ``PYTHONASYNCIODEBUG=1``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.collection import SetCollection
+from repro.core.discovery import DiscoverySession
+from repro.core.lookahead import KLPSelector
+from repro.core.selection import InfoGainSelector, MostEvenSelector
+from repro.data.synthetic import SyntheticConfig, generate_collection
+from repro.oracle import SimulatedUser, UnsureUser
+from repro.serve import AsyncDiscoveryService
+
+from conftest import FIG1_SETS
+
+
+def make_collection(n_sets: int = 80, seed: int = 3, backend: str = "bigint"):
+    return generate_collection(
+        SyntheticConfig(
+            n_sets=n_sets, size_lo=10, size_hi=16, overlap=0.8, seed=seed
+        ),
+        backend=backend,
+    )
+
+
+def sequential(collection, targets, factory=MostEvenSelector, oracles=None):
+    out = []
+    for i, target in enumerate(targets):
+        session = DiscoverySession(collection, factory())
+        oracle = (
+            oracles[i]
+            if oracles is not None
+            else SimulatedUser(collection, target_index=target)
+        )
+        out.append(session.run(oracle))
+    return out
+
+
+async def drive_user(service, key, oracle, jitter_rng=None):
+    """One user's full session: ask/think/answer until finished."""
+    while True:
+        entity = await service.ask(key)
+        if entity is None:
+            break
+        if jitter_rng is not None:
+            await asyncio.sleep(jitter_rng.random() * 0.002)
+        service.answer(key, oracle(entity))
+    return await service.result(key)
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60))
+
+
+# --------------------------------------------------------------------- #
+# Transcript parity, out-of-order answering, mid-flush joins
+# --------------------------------------------------------------------- #
+
+
+class TestAsyncParity:
+    @pytest.mark.parametrize(
+        "factory",
+        [MostEvenSelector, InfoGainSelector, lambda: KLPSelector(k=2)],
+    )
+    def test_jittered_users_match_sequential_transcripts(self, factory):
+        collection = make_collection()
+        rng = random.Random(17)
+        targets = [rng.randrange(collection.n_sets) for _ in range(16)]
+        collection.clear_caches()
+        seq = sequential(collection, targets, factory)
+        collection.clear_caches()
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0, max_batch=8
+            ) as service:
+                tasks = []
+                for i, target in enumerate(targets):
+                    service.add(
+                        DiscoverySession(collection, factory()), key=i
+                    )
+                    tasks.append(
+                        asyncio.create_task(
+                            drive_user(
+                                service,
+                                i,
+                                SimulatedUser(collection, target_index=target),
+                                random.Random(100 + i),
+                            )
+                        )
+                    )
+                return await asyncio.gather(*tasks)
+
+        results = run(scenario())
+        for i in range(len(targets)):
+            assert results[i].transcript == seq[i].transcript
+            assert results[i].candidates == seq[i].candidates
+
+    def test_dont_know_answers_parity(self):
+        collection = make_collection(n_sets=50, seed=5)
+        rng = random.Random(23)
+        targets = [rng.randrange(collection.n_sets) for _ in range(8)]
+        collection.clear_caches()
+        seq = sequential(
+            collection,
+            targets,
+            oracles=[
+                UnsureUser(collection, 0.3, target_index=t, seed=40 + i)
+                for i, t in enumerate(targets)
+            ],
+        )
+        collection.clear_caches()
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0, max_batch=4
+            ) as service:
+                tasks = []
+                for i, target in enumerate(targets):
+                    service.add(
+                        DiscoverySession(collection, MostEvenSelector()),
+                        key=i,
+                    )
+                    oracle = UnsureUser(
+                        collection, 0.3, target_index=target, seed=40 + i
+                    )
+                    tasks.append(
+                        asyncio.create_task(drive_user(service, i, oracle))
+                    )
+                return await asyncio.gather(*tasks)
+
+        results = run(scenario())
+        for i in range(len(targets)):
+            assert results[i].transcript == seq[i].transcript
+
+    def test_out_of_order_answers_across_sessions(self):
+        # Ask every session first, then answer them in reverse order —
+        # repeatedly.  No session's transcript may depend on the order the
+        # *other* sessions answered.
+        collection = make_collection(n_sets=60, seed=7)
+        targets = [5, 21, 38, 44]
+        collection.clear_caches()
+        seq = sequential(collection, targets)
+        collection.clear_caches()
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0, max_batch=None
+            ) as service:
+                oracles = {}
+                for i, target in enumerate(targets):
+                    service.add(
+                        DiscoverySession(collection, MostEvenSelector()),
+                        key=i,
+                    )
+                    oracles[i] = SimulatedUser(collection, target_index=target)
+                live = set(range(len(targets)))
+                rounds = 0
+                while live:
+                    asked = {}
+                    for key in sorted(live):
+                        entity = await service.ask(key)
+                        if entity is None:
+                            live.discard(key)
+                        else:
+                            asked[key] = entity
+                    for key in sorted(asked, reverse=True):
+                        service.answer(key, oracles[key](asked[key]))
+                    rounds += 1
+                    assert rounds < 200
+                return [
+                    await service.result(i) for i in range(len(targets))
+                ]
+
+        results = run(scenario())
+        for i in range(len(targets)):
+            assert results[i].transcript == seq[i].transcript
+
+    def test_sessions_joining_mid_flush(self):
+        # New users join while earlier users' flushes are in flight; every
+        # transcript still matches its sequential golden.
+        collection = make_collection(n_sets=70, seed=9)
+        rng = random.Random(31)
+        targets = [rng.randrange(collection.n_sets) for _ in range(20)]
+        collection.clear_caches()
+        seq = sequential(collection, targets, InfoGainSelector)
+        collection.clear_caches()
+
+        async def late_user(service, key, target, delay):
+            await asyncio.sleep(delay)  # joins while others are mid-session
+            service.add(
+                DiscoverySession(collection, InfoGainSelector()), key=key
+            )
+            oracle = SimulatedUser(collection, target_index=target)
+            return await drive_user(
+                service, key, oracle, random.Random(500 + key)
+            )
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0, max_batch=6
+            ) as service:
+                tasks = [
+                    asyncio.create_task(
+                        late_user(service, i, t, (i % 7) * 0.003)
+                    )
+                    for i, t in enumerate(targets)
+                ]
+                return await asyncio.gather(*tasks)
+
+        results = run(scenario())
+        for i in range(len(targets)):
+            assert results[i].transcript == seq[i].transcript
+
+
+# --------------------------------------------------------------------- #
+# Flush policy: budget-only, watermark, prefetch
+# --------------------------------------------------------------------- #
+
+
+class TestAsyncFlushPolicy:
+    def test_single_user_served_by_latency_budget_alone(self):
+        # No watermark: only the flush_after_ms timer can trigger the
+        # batched pass — a lone user must still be served.
+        collection = make_collection(n_sets=40)
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0, max_batch=None
+            ) as service:
+                key = service.spawn(MostEvenSelector())
+                oracle = SimulatedUser(collection, target_index=3)
+                result = await drive_user(service, key, oracle)
+                assert service.stats.ticks > 0
+                return result
+
+        assert run(scenario()).resolved
+
+    def test_watermark_of_one_flushes_immediately(self):
+        collection = make_collection(n_sets=40)
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=10_000.0, max_batch=1
+            ) as service:
+                key = service.spawn(MostEvenSelector())
+                oracle = SimulatedUser(collection, target_index=5)
+                # a huge budget would stall forever; the watermark of one
+                # must serve each ask instantly
+                return await asyncio.wait_for(
+                    drive_user(service, key, oracle), timeout=10
+                )
+
+        assert run(scenario()).resolved
+
+    def test_answer_prefetches_next_question(self):
+        # After answer(), the flush pre-selects the next question without
+        # an ask() waiting — the following ask() returns synchronously.
+        collection = make_collection(n_sets=60)
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0, max_batch=None
+            ) as service:
+                key = service.spawn(MostEvenSelector())
+                oracle = SimulatedUser(collection, target_index=7)
+                entity = await service.ask(key)
+                service.answer(key, oracle(entity))
+                # wait for the reply-flush to complete
+                for _ in range(200):
+                    await asyncio.sleep(0.005)
+                    session = service.registry.session(key)
+                    if session.pending_entity is not None:
+                        break
+                assert service.registry.session(key).pending_entity is not None
+                # the pending question is delivered with no new flush
+                ticks_before = service.stats.ticks
+                again = await service.ask(key)
+                assert again == service.registry.session(key).pending_entity
+                assert service.stats.ticks == ticks_before
+
+        run(scenario())
+
+    def test_concurrent_asks_share_one_question(self):
+        collection = make_collection(n_sets=40)
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0
+            ) as service:
+                key = service.spawn(MostEvenSelector())
+                a, b = await asyncio.gather(
+                    service.ask(key), service.ask(key)
+                )
+                assert a == b
+                # idempotent while unanswered, like next_question()
+                assert await service.ask(key) == a
+
+        run(scenario())
+
+
+# --------------------------------------------------------------------- #
+# Cancellation
+# --------------------------------------------------------------------- #
+
+
+class TestCancellation:
+    def test_cancelling_pending_ask_leaves_session_healthy(self):
+        collection = make_collection(n_sets=60)
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=50.0, max_batch=None
+            ) as service:
+                key = service.spawn(MostEvenSelector())
+                task = asyncio.create_task(service.ask(key))
+                await asyncio.sleep(0)  # let the ask register its waiter
+                task.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+                # the session still advances and can be served to the end
+                oracle = SimulatedUser(collection, target_index=11)
+                result = await asyncio.wait_for(
+                    drive_user(service, key, oracle), timeout=30
+                )
+                assert result.resolved
+
+        run(scenario())
+
+    def test_cancelled_ask_does_not_break_other_waiters(self):
+        collection = make_collection(n_sets=60)
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=5.0, max_batch=None
+            ) as service:
+                key = service.spawn(MostEvenSelector())
+                doomed = asyncio.create_task(service.ask(key))
+                survivor = asyncio.create_task(service.ask(key))
+                await asyncio.sleep(0)
+                doomed.cancel()
+                entity = await asyncio.wait_for(survivor, timeout=30)
+                assert entity is not None
+                with pytest.raises(asyncio.CancelledError):
+                    await doomed
+
+        run(scenario())
+
+    def test_aclose_cancels_outstanding_waiters(self):
+        collection = make_collection(n_sets=40)
+
+        async def scenario():
+            service = AsyncDiscoveryService(
+                collection, flush_after_ms=10_000.0, max_batch=None
+            )
+            key = service.spawn(MostEvenSelector())
+            task = asyncio.create_task(service.result(key))
+            await asyncio.sleep(0.01)
+            await service.aclose()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            with pytest.raises(RuntimeError, match="closed"):
+                await service.ask(key)
+            with pytest.raises(RuntimeError, match="closed"):
+                service.answer(key, True)
+
+        run(scenario())
+
+
+# --------------------------------------------------------------------- #
+# Answer validation + lifecycle
+# --------------------------------------------------------------------- #
+
+
+class TestAsyncAnswerValidation:
+    def test_unknown_key(self):
+        collection = make_collection(n_sets=40)
+
+        async def scenario():
+            async with AsyncDiscoveryService(collection) as service:
+                with pytest.raises(KeyError, match="unknown session key"):
+                    service.answer("ghost", True)
+                with pytest.raises(KeyError, match="unknown session key"):
+                    await service.ask("ghost")
+                with pytest.raises(KeyError, match="unknown session key"):
+                    await service.result("ghost")
+
+        run(scenario())
+
+    def test_answer_before_any_question(self):
+        collection = make_collection(n_sets=40)
+
+        async def scenario():
+            async with AsyncDiscoveryService(collection) as service:
+                key = service.spawn(MostEvenSelector())
+                with pytest.raises(ValueError, match="no pending question"):
+                    service.answer(key, True)
+
+        run(scenario())
+
+    def test_double_answer_raises_not_overwrites(self):
+        collection = make_collection(n_sets=60)
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0
+            ) as service:
+                key = service.spawn(MostEvenSelector())
+                entity = await service.ask(key)
+                service.answer(key, True)
+                with pytest.raises(ValueError, match="recorded reply"):
+                    service.answer(key, False)
+                # the first reply is the one on the transcript
+                oracle = SimulatedUser(collection, target_index=2)
+                await drive_user(service, key, oracle)
+                result = await service.result(key)
+                assert result.transcript[0].entity == entity
+                assert result.transcript[0].answer is True
+
+        run(scenario())
+
+    def test_answer_after_finish_raises_keyerror(self):
+        collection = SetCollection.from_named_sets(FIG1_SETS)
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0
+            ) as service:
+                key = service.spawn(MostEvenSelector(), initial={"e"})
+                assert await service.ask(key) is None  # pinned: S2
+                result = await service.result(key)
+                assert result.resolved
+                with pytest.raises(KeyError, match="already finished"):
+                    service.answer(key, True)
+
+        run(scenario())
+
+
+class TestFlushFailureAndRaces:
+    def test_kernel_failure_fails_the_waiters_loudly(self, monkeypatch):
+        # A bug inside the batched pass must reject pending ask()/result()
+        # futures instead of hanging them forever.
+        from repro.serve.scheduler import ScanScheduler
+
+        collection = make_collection(n_sets=40)
+
+        def exploding_flush(self):
+            raise RuntimeError("kernel exploded")
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0
+            ) as service:
+                monkeypatch.setattr(ScanScheduler, "flush", exploding_flush)
+                key = service.spawn(MostEvenSelector())
+                with pytest.raises(RuntimeError, match="kernel exploded"):
+                    await service.ask(key)
+
+        run(scenario())
+
+    def test_requests_queued_during_failed_flush_still_get_served(
+        self, monkeypatch
+    ):
+        # Regression: a flush failure must not strand requests that queued
+        # while it ran — they get their own (healthy) flush afterwards.
+        import time as time_mod
+
+        from repro.serve.scheduler import ScanScheduler
+
+        collection = make_collection(n_sets=40)
+        original = ScanScheduler.flush
+        calls = {"n": 0}
+
+        def flaky_flush(self):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                time_mod.sleep(0.05)  # keep the flush running while B asks
+                raise RuntimeError("transient kernel failure")
+            return original(self)
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0
+            ) as service:
+                monkeypatch.setattr(ScanScheduler, "flush", flaky_flush)
+                a = service.spawn(MostEvenSelector(), key="a")
+                task_a = asyncio.create_task(service.ask(a))
+                await asyncio.sleep(0.02)  # a's flush is now in flight
+                b = service.spawn(MostEvenSelector(), key="b")
+                task_b = asyncio.create_task(service.ask(b))
+                with pytest.raises(RuntimeError, match="transient"):
+                    await task_a
+                # b was queued mid-flush; the recovery flush serves it
+                entity = await asyncio.wait_for(task_b, timeout=10)
+                assert entity is not None
+                assert calls["n"] >= 2
+
+        run(scenario())
+
+    def test_answer_during_flush_never_yields_stale_pending_question(self):
+        # Regression: session K is re-queued while QUESTION_PENDING (here
+        # via a concurrent result() waiter); a flush reports K as
+        # already-pending.  If the user answers that question and asks
+        # again *while the flush runs*, the waiter must get the NEXT
+        # question — not the just-answered entity back.
+        import threading
+
+        collection = make_collection(n_sets=60)
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0, max_batch=None
+            ) as service:
+                k1 = service.spawn(InfoGainSelector())
+                service.spawn(InfoGainSelector())  # keeps the all-waiting
+                # shortcut from firing so the budget timer drives flushes
+                first = await service.ask(k1)
+                result_task = asyncio.create_task(service.result(k1))
+                await asyncio.sleep(0)
+
+                original = service.scheduler.flush
+                entered, gate = threading.Event(), threading.Event()
+
+                def slow_flush():
+                    entered.set()
+                    gate.wait(10)
+                    return original()
+
+                service.scheduler.flush = slow_flush
+                while not entered.is_set():
+                    await asyncio.sleep(0.001)
+                # mid-flush: answer the pending question, ask for the next
+                service.answer(k1, True)
+                ask_task = asyncio.create_task(service.ask(k1))
+                await asyncio.sleep(0.005)
+                service.scheduler.flush = original
+                gate.set()
+
+                second = await asyncio.wait_for(ask_task, timeout=10)
+                assert second != first
+                # the user's protocol continues without tripping over a
+                # "reply already recorded" error
+                service.answer(k1, False)
+                result_task.cancel()
+
+        run(scenario())
+
+    def test_request_for_already_finished_key_resolves_from_results(self):
+        # The race the flush must tolerate: a key is queued for advancement
+        # but an earlier flush already retired it.  _advance_sync answers
+        # such requests from the results store instead of raising.
+        collection = SetCollection.from_named_sets(FIG1_SETS)
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0
+            ) as service:
+                key = service.spawn(MostEvenSelector(), initial={"e"})
+                assert (await service.result(key)).resolved
+                report, prefinished = service._advance_sync([key], {})
+                assert report.questions == {}
+                assert prefinished[key].resolved
+
+        run(scenario())
+
+
+class TestLifecycle:
+    def test_results_accumulate_and_ask_returns_none(self):
+        collection = make_collection(n_sets=50)
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0
+            ) as service:
+                keys = [service.spawn(InfoGainSelector()) for _ in range(4)]
+                oracles = {
+                    k: SimulatedUser(collection, target_index=10 + j)
+                    for j, k in enumerate(keys)
+                }
+                await asyncio.gather(
+                    *(drive_user(service, k, oracles[k]) for k in keys)
+                )
+                assert service.n_active == 0
+                assert set(service.results) == set(keys)
+                for k in keys:
+                    assert await service.ask(k) is None
+                    assert (await service.result(k)).resolved
+
+        run(scenario())
+
+    def test_service_binds_to_one_loop(self):
+        collection = make_collection(n_sets=40)
+        service = AsyncDiscoveryService(collection, flush_after_ms=1.0)
+
+        async def first():
+            key = service.spawn(MostEvenSelector(), key="u")
+            return await service.ask(key)
+
+        asyncio.run(first())
+
+        async def second():
+            return await service.ask("u")
+
+        with pytest.raises(RuntimeError, match="different event loop"):
+            asyncio.run(second())
+
+    def test_aclose_is_idempotent(self):
+        collection = make_collection(n_sets=40)
+
+        async def scenario():
+            service = AsyncDiscoveryService(collection)
+            await service.aclose()
+            await service.aclose()
+            with pytest.raises(RuntimeError, match="closed"):
+                service.spawn(MostEvenSelector())
+
+        run(scenario())
+
+    def test_stats_are_scheduler_stats(self):
+        collection = make_collection(n_sets=40)
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0
+            ) as service:
+                assert service.stats is service.scheduler.stats
+                key = service.spawn(MostEvenSelector())
+                oracle = SimulatedUser(collection, target_index=1)
+                await drive_user(service, key, oracle)
+                assert service.stats.ticks > 0
+                assert service.stats.selections > 0
+                assert service.stats.seconds > 0.0
+
+        run(scenario())
+
+    def test_release_caches_after_all_sessions_finish(self):
+        collection = make_collection(n_sets=60)
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0, max_batch=4
+            ) as service:
+                keys = [service.spawn(MostEvenSelector()) for _ in range(6)]
+                oracles = {
+                    k: SimulatedUser(collection, target_index=5 + j)
+                    for j, k in enumerate(keys)
+                }
+                await asyncio.gather(
+                    *(drive_user(service, k, oracles[k]) for k in keys)
+                )
+            assert collection.cached_mask_count() == 0
+
+        collection.clear_caches()
+        run(scenario())

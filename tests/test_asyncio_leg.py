@@ -1,0 +1,80 @@
+"""Native pytest-asyncio tests for the async serving front-end.
+
+The bulk of the async-service suite (``test_async_service.py``) drives
+its own event loops via ``asyncio.run`` so it runs everywhere; this
+module is the part that exercises the service under **pytest-asyncio's
+own loop management** (``@pytest.mark.asyncio`` coroutine tests sharing
+the plugin-provided loop), which is how downstream asyncio applications
+will actually host it.  CI's asyncio leg installs the plugin; without it
+this module skips itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+pytest.importorskip("pytest_asyncio")
+
+from repro.core.discovery import DiscoverySession  # noqa: E402
+from repro.core.selection import InfoGainSelector, MostEvenSelector  # noqa: E402
+from repro.data.synthetic import SyntheticConfig, generate_collection  # noqa: E402
+from repro.oracle import SimulatedUser  # noqa: E402
+from repro.serve import AsyncDiscoveryService  # noqa: E402
+
+
+def make_collection(n_sets: int = 60, seed: int = 3):
+    return generate_collection(
+        SyntheticConfig(
+            n_sets=n_sets, size_lo=10, size_hi=16, overlap=0.8, seed=seed
+        ),
+        backend="bigint",
+    )
+
+
+@pytest.mark.asyncio
+async def test_service_under_plugin_managed_loop():
+    # The service must bind to whatever loop the host framework provides
+    # (here: pytest-asyncio's), not only loops it created itself.
+    collection = make_collection()
+    async with AsyncDiscoveryService(
+        collection, flush_after_ms=1.0, max_batch=4
+    ) as service:
+        keys = [service.spawn(InfoGainSelector()) for _ in range(6)]
+        oracles = {
+            k: SimulatedUser(collection, target_index=7 + j)
+            for j, k in enumerate(keys)
+        }
+
+        async def drive(key):
+            while (entity := await service.ask(key)) is not None:
+                service.answer(key, oracles[key](entity))
+            return await service.result(key)
+
+        results = await asyncio.gather(*(drive(k) for k in keys))
+    assert all(r.resolved for r in results)
+    # parity against sequential runs on the same loop-less path
+    for j, key in enumerate(keys):
+        expected = DiscoverySession(collection, InfoGainSelector()).run(
+            SimulatedUser(collection, target_index=7 + j)
+        )
+        assert results[j].transcript == expected.transcript
+
+
+@pytest.mark.asyncio
+async def test_cancellation_under_plugin_managed_loop():
+    collection = make_collection(n_sets=40)
+    async with AsyncDiscoveryService(
+        collection, flush_after_ms=50.0, max_batch=None
+    ) as service:
+        key = service.spawn(MostEvenSelector())
+        task = asyncio.create_task(service.ask(key))
+        await asyncio.sleep(0)
+        task.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await task
+        oracle = SimulatedUser(collection, target_index=3)
+        while (entity := await service.ask(key)) is not None:
+            service.answer(key, oracle(entity))
+        assert (await service.result(key)).resolved

@@ -137,3 +137,37 @@ class TestBaseballCommand:
         out = capsys.readouterr().out
         assert "target T6" in out
         assert "questions:" in out
+
+
+class TestServeDemoCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve-demo"])
+        assert args.users == 200
+        assert args.flush_after_ms == 2.0
+        assert args.max_batch == 64
+        assert args.selector == "infogain"
+
+    def test_demo_runs_and_reports(self, capsys):
+        code = main(
+            [
+                "serve-demo", "--users", "24", "--n-sets", "200",
+                "--jitter-ms", "1", "--flush-after-ms", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 24 concurrent users" in out
+        assert "24 resolved" in out
+        assert "ask() latency" in out
+        assert "scheduler:" in out
+
+    def test_demo_with_zero_jitter_and_klp(self, capsys):
+        # klp exercises the scheduler's fallback-selector path end to end
+        code = main(
+            [
+                "serve-demo", "--users", "6", "--n-sets", "80",
+                "--jitter-ms", "0", "--selector", "klp",
+            ]
+        )
+        assert code == 0
+        assert "served 6 concurrent users" in capsys.readouterr().out

@@ -57,6 +57,14 @@ def test_concurrent_sessions(capsys):
     assert "engine stats" in out
 
 
+def test_async_service(capsys):
+    run_example("async_service.py", ["24", "200"])
+    out = capsys.readouterr().out
+    assert "served 24 independent users" in out
+    assert "ask() latency" in out
+    assert "scheduler:" in out
+
+
 def test_weighted_priors(capsys):
     run_example("weighted_priors.py")
     out = capsys.readouterr().out

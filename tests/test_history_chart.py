@@ -1,0 +1,158 @@
+"""Tests for benchmarks/render_history_chart.py (trajectory SVG chart).
+
+The renderer is a stdlib-only script CI runs after appending the bench
+history; these tests load it by path (benchmarks/ is not a package) and
+check the properties the committed artifact relies on: determinism,
+indexed series, graceful empty-history handling, and collision-free
+direct labels.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import re
+from pathlib import Path
+
+_SCRIPT = (
+    Path(__file__).parent.parent / "benchmarks" / "render_history_chart.py"
+)
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location(
+        "render_history_chart", _SCRIPT
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+chart = _load()
+
+
+def history_entry(sha: str, benches: dict) -> str:
+    return json.dumps({"sha": sha, "run": "1", "benches": benches})
+
+
+def write_history(tmp_path: Path, lines: list[str]) -> Path:
+    path = tmp_path / "trajectory.jsonl"
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+class TestSeriesExtraction:
+    def test_series_names_strip_bench_wrapper(self):
+        assert chart.series_name("BENCH_sessions.json", "speedup") == "sessions"
+        assert (
+            chart.series_name("BENCH_kernels.json", "scan_s")
+            == "kernels · scan_s"
+        )
+
+    def test_collect_series_aligns_missing_entries(self):
+        entries = [
+            {"benches": {"BENCH_a.json": {"speedup": 2.0}}},
+            {
+                "benches": {
+                    "BENCH_a.json": {"speedup": 3.0},
+                    "BENCH_b.json": {"speedup": 5.0},
+                }
+            },
+        ]
+        series = chart.collect_series(entries)
+        assert series["a"] == [2.0, 3.0]
+        assert series["b"] == [None, 5.0]  # absent before it first appears
+
+    def test_collect_series_skips_junk_values(self):
+        entries = [
+            {"benches": {"BENCH_a.json": {"speedup": -1, "ok": 2.0}}},
+        ]
+        series = chart.collect_series(entries)
+        assert "a · ok" in series
+        assert not any("speedup" in name for name in series)
+
+    def test_indexed_divides_by_first_recorded_value(self):
+        assert chart.indexed([None, 2.0, 3.0]) == [None, 1.0, 1.5]
+        assert chart.indexed([None, None]) == [None, None]
+
+
+class TestRendering:
+    def test_empty_history_renders_placeholder(self):
+        svg = chart.render_svg([])
+        assert svg.startswith("<svg")
+        assert "No history yet" in svg
+
+    def test_deterministic_output(self, tmp_path):
+        lines = [
+            history_entry("a" * 9, {"BENCH_a.json": {"speedup": 2.0}}),
+            history_entry("b" * 9, {"BENCH_a.json": {"speedup": 2.4}}),
+        ]
+        path = write_history(tmp_path, lines)
+        out1, out2 = tmp_path / "one.svg", tmp_path / "two.svg"
+        chart.main([str(_SCRIPT), str(path), str(out1)])
+        chart.main([str(_SCRIPT), str(path), str(out2)])
+        assert out1.read_bytes() == out2.read_bytes()
+
+    def test_lines_markers_and_labels_present(self, tmp_path):
+        lines = [
+            history_entry(
+                f"{i:09d}",
+                {
+                    "BENCH_a.json": {"speedup": 2.0 + 0.1 * i},
+                    "BENCH_b.json": {"speedup": 5.0 - 0.1 * i},
+                },
+            )
+            for i in range(4)
+        ]
+        path = write_history(tmp_path, lines)
+        out = tmp_path / "chart.svg"
+        chart.main([str(_SCRIPT), str(path), str(out)])
+        svg = out.read_text()
+        assert svg.count("<path") == 2  # one line per series
+        assert svg.count("<circle") >= 8 + 2  # 4 points x 2 + legend chips
+        assert ">a</text>" in svg and ">b</text>" in svg  # direct labels
+        assert "000000000" in svg  # sha tick labels
+
+    def test_direct_labels_never_collide(self, tmp_path):
+        # Five series ending at nearly the same value: labels must be
+        # nudged apart, not stacked on one another.
+        benches = {
+            f"BENCH_s{i}.json": {"speedup": 2.0 + i * 1e-3} for i in range(5)
+        }
+        path = write_history(
+            tmp_path, [history_entry("c" * 9, benches)] * 2
+        )
+        out = tmp_path / "chart.svg"
+        chart.main([str(_SCRIPT), str(path), str(out)])
+        svg = out.read_text()
+        ys = sorted(
+            float(m.group(2))
+            for m in re.finditer(
+                r'<text x="([\d.]+)" y="([\d.]+)"[^>]*>s\d</text>', svg
+            )
+        )
+        assert len(ys) == 5
+        assert all(b - a >= 13 for a, b in zip(ys, ys[1:]))
+
+    def test_single_entry_history_renders_points(self, tmp_path):
+        path = write_history(
+            tmp_path,
+            [history_entry("d" * 9, {"BENCH_a.json": {"speedup": 3.0}})],
+        )
+        out = tmp_path / "chart.svg"
+        chart.main([str(_SCRIPT), str(path), str(out)])
+        svg = out.read_text()
+        assert "<circle" in svg  # a lone run still shows its data point
+        assert "<path" not in svg  # but no line segment
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        path = write_history(
+            tmp_path,
+            [
+                "{not json",
+                history_entry("e" * 9, {"BENCH_a.json": {"speedup": 2.0}}),
+            ],
+        )
+        out = tmp_path / "chart.svg"
+        assert chart.main([str(_SCRIPT), str(path), str(out)]) == 0
+        assert "No history yet" not in out.read_text()

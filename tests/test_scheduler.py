@@ -1,0 +1,540 @@
+"""Tests for the serving state machine + scan scheduler layers.
+
+``repro.serve`` is split into a session state machine
+(:mod:`repro.serve.state`), a latency-budgeted scan scheduler
+(:mod:`repro.serve.scheduler`) and thin front-ends.  This module covers
+the two lower layers directly — phases, registry bookkeeping and answer
+validation, flush policy (fake-clock latency budget, batch watermark),
+out-of-order answering, sessions joining mid-stream — and proves the
+golden equivalence: the lock-step engine routed through the scheduler
+produces byte-identical transcripts to sequential sessions.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.discovery import DiscoverySession
+from repro.core.lookahead import KLPSelector
+from repro.core.selection import InfoGainSelector, MostEvenSelector
+from repro.data.synthetic import SyntheticConfig, generate_collection
+from repro.oracle import SimulatedUser, UnsureUser
+from repro.serve import (
+    Phase,
+    ScanScheduler,
+    SessionEngine,
+    SessionRegistry,
+)
+
+from conftest import FIG1_SETS
+from test_engine import serialize_results
+
+
+def make_collection(n_sets: int = 100, seed: int = 3, backend: str = "bigint"):
+    return generate_collection(
+        SyntheticConfig(
+            n_sets=n_sets, size_lo=10, size_hi=16, overlap=0.8, seed=seed
+        ),
+        backend=backend,
+    )
+
+
+def sequential(collection, targets, factory=MostEvenSelector):
+    out = []
+    for target in targets:
+        session = DiscoverySession(collection, factory())
+        out.append(session.run(SimulatedUser(collection, target_index=target)))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Session state machine (serve/state.py)
+# --------------------------------------------------------------------- #
+
+
+class TestPhases:
+    def test_phase_progression(self):
+        collection = make_collection(n_sets=40)
+        registry = SessionRegistry(collection)
+        key = registry.spawn(MostEvenSelector())
+        state = registry.state(key)
+        assert state.phase is Phase.NEEDS_SCAN
+
+        scheduler = ScanScheduler(registry)
+        scheduler.submit(state)
+        report = scheduler.flush()
+        assert state.phase is Phase.QUESTION_PENDING
+        assert report.questions[key] == state.session.pending_entity
+
+        oracle = SimulatedUser(collection, target_index=1)
+        while registry.result_of(key) is None:
+            registry.answer(key, oracle(state.session.pending_entity))
+            for needy in registry.needs_question():
+                scheduler.submit(needy)
+            scheduler.flush()
+        assert registry.result_of(key).resolved
+
+    def test_done_without_scan_for_single_candidate(self):
+        from repro.core.collection import SetCollection
+
+        collection = SetCollection.from_named_sets(FIG1_SETS)
+        registry = SessionRegistry(collection)
+        key = registry.spawn(MostEvenSelector(), initial={"e"})  # pins S2
+        assert registry.state(key).phase is Phase.DONE
+
+    def test_done_when_budget_exhausted(self):
+        collection = make_collection(n_sets=40)
+        registry = SessionRegistry(collection)
+        key = registry.spawn(MostEvenSelector(), max_questions=0)
+        assert registry.state(key).session.budget_exhausted
+        assert registry.state(key).phase is Phase.DONE
+
+    def test_needs_question_retires_done_sessions(self):
+        from repro.core.collection import SetCollection
+
+        collection = SetCollection.from_named_sets(FIG1_SETS)
+        registry = SessionRegistry(collection)
+        done_key = registry.spawn(MostEvenSelector(), initial={"e"})
+        live_key = registry.spawn(MostEvenSelector())
+        need = registry.needs_question()
+        assert [s.key for s in need] == [live_key]
+        assert registry.result_of(done_key) is not None
+        assert registry.n_active == 1
+
+
+class TestRegistryAnswerValidation:
+    """Satellite bugfix: answers must never silently corrupt state."""
+
+    def setup_method(self):
+        self.collection = make_collection(n_sets=40)
+        self.registry = SessionRegistry(self.collection)
+        self.scheduler = ScanScheduler(self.registry)
+
+    def test_unknown_key_raises_clear_keyerror(self):
+        with pytest.raises(KeyError, match="unknown session key"):
+            self.registry.answer("nope", True)
+
+    def test_finished_key_raises_clear_keyerror(self):
+        from repro.core.collection import SetCollection
+
+        collection = SetCollection.from_named_sets(FIG1_SETS)
+        registry = SessionRegistry(collection)
+        key = registry.spawn(MostEvenSelector(), initial={"e"})
+        registry.needs_question()  # retires the immediately-done session
+        with pytest.raises(KeyError, match="already finished"):
+            registry.answer(key, True)
+
+    def test_answer_before_any_question_raises(self):
+        key = self.registry.spawn(MostEvenSelector())
+        with pytest.raises(ValueError, match="no pending question"):
+            self.registry.answer(key, True)
+
+    def test_double_answer_before_next_flush_raises(self):
+        key = self.registry.spawn(MostEvenSelector())
+        self.scheduler.submit(self.registry.state(key))
+        report = self.scheduler.flush()
+        self.registry.answer(key, True)
+        with pytest.raises(ValueError, match="no pending question"):
+            self.registry.answer(key, False)
+        # the recorded answer survived intact: exactly one interaction,
+        # with the first reply
+        transcript = self.registry.session(key).transcript
+        assert len(transcript) == 1
+        assert transcript[0].entity == report.questions[key]
+        assert transcript[0].answer is True
+
+    def test_engine_answer_uses_the_same_validation(self):
+        engine = SessionEngine(self.collection)
+        with pytest.raises(KeyError, match="unknown session key"):
+            engine.answer("ghost", True)
+        key = engine.spawn(MostEvenSelector())
+        engine.tick()
+        engine.answer(key, True)
+        with pytest.raises(ValueError, match="no pending question"):
+            engine.answer(key, False)
+
+    def test_duplicate_key_rejected_even_after_finish(self):
+        from repro.core.collection import SetCollection
+
+        collection = SetCollection.from_named_sets(FIG1_SETS)
+        registry = SessionRegistry(collection)
+        registry.spawn(MostEvenSelector(), initial={"e"}, key="k")
+        registry.needs_question()
+        assert registry.result_of("k") is not None
+        with pytest.raises(KeyError, match="duplicate"):
+            registry.spawn(MostEvenSelector(), key="k")
+
+
+# --------------------------------------------------------------------- #
+# Flush policy: latency budget (fake clock) + batch watermark
+# --------------------------------------------------------------------- #
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestFlushPolicy:
+    def test_latency_budget_with_fake_clock(self):
+        collection = make_collection(n_sets=40)
+        registry = SessionRegistry(collection)
+        clock = FakeClock()
+        scheduler = ScanScheduler(registry, flush_after_ms=5.0, clock=clock)
+        assert not scheduler.due()  # empty queue: nothing is ever due
+
+        key = registry.spawn(MostEvenSelector())
+        scheduler.submit(registry.state(key))
+        assert scheduler.deadline() == pytest.approx(0.005)
+        assert not scheduler.due()
+        clock.advance(0.004)
+        assert not scheduler.due()
+        assert not scheduler.should_flush()
+        clock.advance(0.001)
+        assert scheduler.due()
+        assert scheduler.should_flush()
+
+        report = scheduler.flush()
+        assert key in report.questions
+        # the queue drained: the budget re-arms from the next submission
+        assert scheduler.deadline() is None
+        assert not scheduler.due()
+
+    def test_budget_anchored_to_oldest_request(self):
+        collection = make_collection(n_sets=40)
+        registry = SessionRegistry(collection)
+        clock = FakeClock()
+        scheduler = ScanScheduler(registry, flush_after_ms=10.0, clock=clock)
+        k1 = registry.spawn(MostEvenSelector())
+        scheduler.submit(registry.state(k1))
+        clock.advance(0.008)
+        k2 = registry.spawn(InfoGainSelector())
+        scheduler.submit(registry.state(k2))
+        # a late joiner must not push the deadline out
+        assert scheduler.deadline() == pytest.approx(0.010)
+        clock.advance(0.002)
+        assert scheduler.due()
+
+    def test_watermark(self):
+        collection = make_collection(n_sets=40)
+        registry = SessionRegistry(collection)
+        scheduler = ScanScheduler(registry, max_batch=2)
+        k1 = registry.spawn(MostEvenSelector())
+        scheduler.submit(registry.state(k1))
+        assert not scheduler.watermark_hit
+        assert not scheduler.should_flush()
+        k2 = registry.spawn(MostEvenSelector())
+        scheduler.submit(registry.state(k2))
+        assert scheduler.watermark_hit
+        assert scheduler.should_flush()
+
+    def test_no_budget_never_due(self):
+        collection = make_collection(n_sets=40)
+        registry = SessionRegistry(collection)
+        scheduler = ScanScheduler(registry)
+        key = registry.spawn(MostEvenSelector())
+        scheduler.submit(registry.state(key))
+        assert scheduler.deadline() is None
+        assert not scheduler.due()
+        assert not scheduler.should_flush()
+
+    def test_submit_is_idempotent_per_key(self):
+        collection = make_collection(n_sets=40)
+        registry = SessionRegistry(collection)
+        scheduler = ScanScheduler(registry)
+        key = registry.spawn(MostEvenSelector())
+        scheduler.submit(registry.state(key))
+        scheduler.submit(registry.state(key))
+        assert scheduler.pending_requests == 1
+
+    def test_empty_flush_is_free(self):
+        collection = make_collection(n_sets=40)
+        registry = SessionRegistry(collection)
+        scheduler = ScanScheduler(registry)
+        report = scheduler.flush()
+        assert report.questions == {}
+        assert report.finished == {}
+        assert scheduler.stats.batched_scans == 0
+
+
+class TestFlushPhaseRecheck:
+    """flush() re-dispatches requests whose phase changed after submit."""
+
+    def test_already_pending_request_is_rereported(self):
+        collection = make_collection(n_sets=40)
+        registry = SessionRegistry(collection)
+        scheduler = ScanScheduler(registry)
+        key = registry.spawn(MostEvenSelector())
+        scheduler.submit(registry.state(key))
+        first = scheduler.flush().questions[key]
+        # resubmitted while its question is still unanswered (the async
+        # front-end's resubmission race)
+        scheduler.submit(registry.state(key))
+        report = scheduler.flush()
+        assert report.questions == {}
+        assert report.already_pending == {key: first}
+
+    def test_done_request_is_finished_not_scanned(self):
+        from repro.core.collection import SetCollection
+
+        collection = SetCollection.from_named_sets(FIG1_SETS)
+        registry = SessionRegistry(collection)
+        key = registry.spawn(MostEvenSelector(), initial={"e"})
+        scheduler = ScanScheduler(registry)
+        scheduler.submit(registry.state(key))
+        report = scheduler.flush()
+        assert report.questions == {}
+        assert report.finished[key].resolved
+        assert scheduler.stats.batched_scans == 0
+
+
+# --------------------------------------------------------------------- #
+# Scheduler-driven serving: out-of-order answers, mid-stream joins
+# --------------------------------------------------------------------- #
+
+
+class TestSchedulerServing:
+    def drive(self, registry, scheduler, oracles, answer_order=None):
+        """Serve to completion, answering each round in a chosen order."""
+        rounds = 0
+        while registry.n_active:
+            for state in registry.needs_question():
+                scheduler.submit(state)
+            scheduler.flush()
+            pending = registry.pending()
+            keys = list(pending)
+            if answer_order is not None:
+                keys = answer_order(keys, rounds)
+            for key in keys:
+                registry.answer(key, oracles[key](pending[key]))
+            rounds += 1
+            assert rounds < 200, "scheduler failed to make progress"
+
+    @pytest.mark.parametrize("order_name", ["reversed", "shuffled"])
+    def test_out_of_order_answers_keep_parity(self, order_name):
+        collection = make_collection(n_sets=80, seed=5)
+        rng = random.Random(19)
+        targets = [rng.randrange(collection.n_sets) for _ in range(14)]
+        collection.clear_caches()
+        seq = sequential(collection, targets)
+        collection.clear_caches()
+        registry = SessionRegistry(collection)
+        scheduler = ScanScheduler(registry)
+        oracles = {}
+        for i, target in enumerate(targets):
+            registry.spawn(MostEvenSelector(), key=i)
+            oracles[i] = SimulatedUser(collection, target_index=target)
+        order_rng = random.Random(7)
+
+        def order(keys, rounds):
+            if order_name == "reversed":
+                return list(reversed(keys))
+            shuffled = list(keys)
+            order_rng.shuffle(shuffled)
+            return shuffled
+
+        self.drive(registry, scheduler, oracles, answer_order=order)
+        for i in range(len(targets)):
+            assert registry.results[i].transcript == seq[i].transcript
+            assert registry.results[i].candidates == seq[i].candidates
+
+    def test_partial_answers_between_flushes(self):
+        # Only half the pending sessions answer before the next flush —
+        # the unanswered ones must be untouched by it.
+        collection = make_collection(n_sets=60, seed=8)
+        targets = [3, 11, 25, 40, 52, 9]
+        collection.clear_caches()
+        seq = sequential(collection, targets)
+        collection.clear_caches()
+        registry = SessionRegistry(collection)
+        scheduler = ScanScheduler(registry)
+        oracles = {
+            i: SimulatedUser(collection, target_index=t)
+            for i, t in enumerate(targets)
+        }
+        for i in range(len(targets)):
+            registry.spawn(MostEvenSelector(), key=i)
+        rounds = 0
+        while registry.n_active:
+            for state in registry.needs_question():
+                scheduler.submit(state)
+            scheduler.flush()
+            pending = registry.pending()
+            # answer only every other session this round
+            for j, (key, entity) in enumerate(sorted(pending.items())):
+                if (j + rounds) % 2 == 0:
+                    registry.answer(key, oracles[key](entity))
+            rounds += 1
+            assert rounds < 300
+        for i in range(len(targets)):
+            assert registry.results[i].transcript == seq[i].transcript
+
+    def test_sessions_joining_mid_stream(self):
+        collection = make_collection(n_sets=80, seed=4)
+        rng = random.Random(23)
+        targets = [rng.randrange(collection.n_sets) for _ in range(12)]
+        collection.clear_caches()
+        seq = sequential(collection, targets, InfoGainSelector)
+        collection.clear_caches()
+        registry = SessionRegistry(collection)
+        scheduler = ScanScheduler(registry)
+        oracles = {}
+        joined = 0
+
+        def join_next():
+            nonlocal joined
+            i = joined
+            registry.spawn(InfoGainSelector(), key=i)
+            oracles[i] = SimulatedUser(collection, target_index=targets[i])
+            joined += 1
+
+        join_next()
+        join_next()
+        rounds = 0
+        while registry.n_active or joined < len(targets):
+            # two more users join every round, right between flushes
+            for _ in range(2):
+                if joined < len(targets):
+                    join_next()
+            for state in registry.needs_question():
+                scheduler.submit(state)
+            scheduler.flush()
+            for key, entity in registry.pending().items():
+                registry.answer(key, oracles[key](entity))
+            rounds += 1
+            assert rounds < 300
+        for i in range(len(targets)):
+            assert registry.results[i].transcript == seq[i].transcript
+
+    def test_dont_know_answers_via_scheduler(self):
+        collection = make_collection(n_sets=60, seed=5)
+        rng = random.Random(31)
+        targets = [rng.randrange(collection.n_sets) for _ in range(8)]
+        oracles = {
+            i: UnsureUser(collection, 0.3, target_index=t, seed=50 + i)
+            for i, t in enumerate(targets)
+        }
+        collection.clear_caches()
+        seq = []
+        for i, t in enumerate(targets):
+            session = DiscoverySession(collection, MostEvenSelector())
+            seq.append(
+                session.run(
+                    UnsureUser(collection, 0.3, target_index=t, seed=50 + i)
+                )
+            )
+        collection.clear_caches()
+        registry = SessionRegistry(collection)
+        scheduler = ScanScheduler(registry)
+        for i in range(len(targets)):
+            registry.spawn(MostEvenSelector(), key=i)
+        self.drive(registry, scheduler, oracles)
+        for i in range(len(targets)):
+            assert registry.results[i].transcript == seq[i].transcript
+
+
+# --------------------------------------------------------------------- #
+# Golden equivalence: lock-step tick() through the scheduler
+# --------------------------------------------------------------------- #
+
+
+class TestGoldenEquivalenceThroughScheduler:
+    """The refactored engine is a thin scheduler client — and provably so.
+
+    Byte-identical serialized transcripts (the PR 2-4 golden contract)
+    through the new submit/flush path, plus a direct check that tick()
+    really routes through ScanScheduler.flush.
+    """
+
+    @pytest.mark.parametrize(
+        "factory", [MostEvenSelector, InfoGainSelector, lambda: KLPSelector(k=2)]
+    )
+    def test_engine_through_scheduler_matches_sequential_bytes(self, factory):
+        collection = make_collection(n_sets=110, seed=13)
+        rng = random.Random(29)
+        targets = [rng.randrange(collection.n_sets) for _ in range(10)]
+        collection.clear_caches()
+        golden = serialize_results(
+            [
+                DiscoverySession(collection, factory()).run(
+                    SimulatedUser(collection, target_index=t)
+                )
+                for t in targets
+            ]
+        )
+        collection.clear_caches()
+        engine = SessionEngine(collection)
+        for i, t in enumerate(targets):
+            engine.add(
+                DiscoverySession(collection, factory()),
+                oracle=SimulatedUser(collection, target_index=t),
+                key=i,
+            )
+        results = engine.run()
+        got = serialize_results([results[i] for i in range(len(targets))])
+        assert got == golden
+
+    def test_tick_routes_through_scheduler_flush(self, monkeypatch):
+        collection = make_collection(n_sets=40)
+        engine = SessionEngine(collection)
+        assert isinstance(engine.scheduler, ScanScheduler)
+        calls = {"flush": 0}
+        original = ScanScheduler.flush
+
+        def counting_flush(self):
+            calls["flush"] += 1
+            return original(self)
+
+        monkeypatch.setattr(ScanScheduler, "flush", counting_flush)
+        engine.spawn(
+            MostEvenSelector(),
+            oracle=SimulatedUser(collection, target_index=2),
+        )
+        engine.run()
+        assert calls["flush"] == engine.stats.ticks > 0
+
+    def test_engine_and_raw_scheduler_agree(self):
+        # The same sessions served via SessionEngine.tick and via a
+        # hand-driven registry+scheduler loop produce identical bytes.
+        collection = make_collection(n_sets=70, seed=21)
+        targets = [2, 9, 33, 41]
+        collection.clear_caches()
+        engine = SessionEngine(collection)
+        for i, t in enumerate(targets):
+            engine.add(
+                DiscoverySession(collection, MostEvenSelector()),
+                oracle=SimulatedUser(collection, target_index=t),
+                key=i,
+            )
+        via_engine = engine.run()
+        collection.clear_caches()
+        registry = SessionRegistry(collection)
+        scheduler = ScanScheduler(registry)
+        oracles = {
+            i: SimulatedUser(collection, target_index=t)
+            for i, t in enumerate(targets)
+        }
+        for i in range(len(targets)):
+            registry.spawn(MostEvenSelector(), key=i)
+        rounds = 0
+        while registry.n_active:
+            for state in registry.needs_question():
+                scheduler.submit(state)
+            scheduler.flush()
+            for key, entity in registry.pending().items():
+                registry.answer(key, oracles[key](entity))
+            rounds += 1
+            assert rounds < 200
+        assert serialize_results(
+            [via_engine[i] for i in range(len(targets))]
+        ) == serialize_results(
+            [registry.results[i] for i in range(len(targets))]
+        )
