@@ -1,0 +1,87 @@
+"""Talking to a running discovery server over HTTP and WebSocket.
+
+Where ``async_service.py`` runs everything inside one interpreter, this
+example is the split deployment: a real server process hosts the
+collection (start one first, in another terminal)::
+
+    PYTHONPATH=src python -m repro serve --port 8000 --n-sets 2000
+
+and this script is a *remote* client discovering two targets against it
+— one session pull-style over the HTTP routes (create / long-poll
+question / answer / result), one push-style over the ``/ws`` WebSocket
+endpoint.  Both use the stdlib client in :mod:`repro.serve.client`; any
+language with an HTTP library could do the same (the curl transcript in
+``docs/serving.md`` shows the raw wire shape).
+
+The oracle here cheats by rebuilding the server's synthetic collection
+client-side (same seed) so it can answer honestly; a real deployment
+would have an actual user behind the answers.
+
+Run:  python examples/http_client.py [host] [port]
+"""
+
+import asyncio
+import sys
+
+from repro.data.synthetic import SyntheticConfig, generate_collection
+from repro.oracle import SimulatedUser
+from repro.serve.client import (
+    HttpConnection,
+    HttpSessionClient,
+    WsSessionClient,
+)
+
+HOST = sys.argv[1] if len(sys.argv) > 1 else "127.0.0.1"
+PORT = int(sys.argv[2]) if len(sys.argv) > 2 else 8000
+
+# The server's default synthetic collection (python -m repro serve with
+# no --collection): rebuild it so the simulated oracles know the truth.
+COLLECTION = generate_collection(
+    SyntheticConfig(n_sets=2000, size_lo=30, size_hi=40, overlap=0.85, seed=42)
+)
+
+
+async def pull_style(target: int) -> None:
+    oracle = SimulatedUser(COLLECTION, target_index=target)
+    async with HttpSessionClient(HOST, PORT) as client:
+        created = await client.create(selector="infogain")
+        print(
+            f"[http] session {created['session']}: "
+            f"{created['n_candidates']} candidates"
+        )
+        payload = await client.run(oracle)
+        print(
+            f"[http] resolved={payload['resolved']} in "
+            f"{payload['n_questions']} questions -> "
+            f"candidates {payload['candidates']}"
+        )
+
+
+async def push_style(target: int) -> None:
+    oracle = SimulatedUser(COLLECTION, target_index=target)
+    async with WsSessionClient(HOST, PORT) as client:
+        created = await client.create(selector="infogain")
+        print(f"[ws]   session {created['session']}: questions are pushed")
+        payload = await client.run(oracle)
+        print(
+            f"[ws]   resolved={payload['resolved']} in "
+            f"{payload['n_questions']} questions -> "
+            f"candidates {payload['candidates']}"
+        )
+
+
+async def main() -> None:
+    # Two concurrent sessions, one per transport, same server.
+    await asyncio.gather(pull_style(target=7), push_style(target=1234))
+
+    async with HttpConnection(HOST, PORT) as conn:
+        _, health = await conn.request("GET", "/healthz")
+        print(f"server: {health}")
+        _, metrics = await conn.request("GET", "/metrics")
+        for line in metrics.splitlines():
+            if line.startswith("repro_ask_latency_seconds{"):
+                print(f"server: {line}")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

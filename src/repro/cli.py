@@ -11,7 +11,12 @@ Subcommands:
 * ``serve-demo`` — drive the asyncio serving stack
   (:class:`repro.serve.AsyncDiscoveryService`) with hundreds of simulated
   jittery-latency users and print throughput + question-latency
-  percentiles.
+  percentiles;
+* ``serve`` — run the real HTTP/WebSocket server
+  (:class:`repro.serve.DiscoveryApp`) over a collection file or a
+  synthetic collection, with graceful drain on SIGINT/SIGTERM; the
+  default host is the stdlib embedded server, ``--uvicorn`` runs the
+  same ASGI app under uvicorn (the ``http`` extra).
 
 Installed as ``repro-setdisc`` (see pyproject) and runnable as
 ``python -m repro``.
@@ -235,6 +240,95 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_collection(args: argparse.Namespace):
+    if args.collection is not None:
+        return load_collection(args.collection)
+    return generate_collection(
+        SyntheticConfig(
+            n_sets=args.n_sets,
+            size_lo=args.size_lo,
+            size_hi=args.size_hi,
+            overlap=args.overlap,
+            seed=args.seed,
+        )
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve import AsyncDiscoveryService, DiscoveryApp, EmbeddedServer
+
+    collection = _serve_collection(args)
+    info = {
+        "n_sets": collection.n_sets,
+        "n_entities": collection.n_entities,
+        "backend": collection.backend,
+    }
+
+    if args.uvicorn:
+        try:
+            import uvicorn
+        except ImportError:
+            print(
+                "uvicorn is not installed; install the 'http' extra or "
+                "drop --uvicorn to use the embedded server",
+                file=sys.stderr,
+            )
+            return 1
+
+        # uvicorn owns the loop and signals; the app's lifespan shutdown
+        # runs the drain (grace 0 — uvicorn already waited for handlers).
+        service = AsyncDiscoveryService(
+            collection,
+            flush_after_ms=args.flush_after_ms,
+            max_batch=args.max_batch,
+        )
+        app = DiscoveryApp(
+            service, require_auth=not args.no_auth, collection_info=info
+        )
+        uvicorn.run(app, host=args.host, port=args.port, log_level="warning")
+        return 0
+
+    async def serve() -> int:
+        async with AsyncDiscoveryService(
+            collection,
+            flush_after_ms=args.flush_after_ms,
+            max_batch=args.max_batch,
+        ) as service:
+            app = DiscoveryApp(
+                service, require_auth=not args.no_auth, collection_info=info
+            )
+            server = EmbeddedServer(app, host=args.host, port=args.port)
+            await server.start()
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(sig, stop.set)
+            # The readiness line the bench/CI parse for the bound port —
+            # keep the exact format.
+            print(f"serving on http://{args.host}:{server.port}", flush=True)
+            await stop.wait()
+            print(
+                f"draining ({args.drain_grace_s:.1f}s grace) ...", flush=True
+            )
+            # Drain the app first: new sessions already get 503 and every
+            # in-flight waiter resolves (or is rejected with ServiceClosed)
+            # before the listener closes, so no request dies with a reset.
+            await app.drain(grace_s=args.drain_grace_s)
+            try:
+                # 3.12+ wait_closed() also waits for connection handlers;
+                # idle keep-alive peers shouldn't stall shutdown forever.
+                await asyncio.wait_for(server.aclose(), timeout=1.0)
+            except (asyncio.TimeoutError, TimeoutError):
+                pass
+            print("drained; bye", flush=True)
+        return 0
+
+    return asyncio.run(serve())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-setdisc",
@@ -330,6 +424,58 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--variable", action="store_true")
     serve.add_argument("--metric", choices=["AD", "H"], default="AD")
     serve.set_defaults(func=_cmd_serve_demo)
+
+    http = sub.add_parser(
+        "serve",
+        help="run the HTTP/WebSocket discovery server",
+    )
+    http.add_argument("--host", default="127.0.0.1")
+    http.add_argument(
+        "--port",
+        type=int,
+        default=8000,
+        help="TCP port (0 picks a free one; see the readiness line)",
+    )
+    http.add_argument(
+        "--collection",
+        default=None,
+        help="collection file (.json or text); omit for synthetic",
+    )
+    http.add_argument("--n-sets", type=int, default=2000)
+    http.add_argument("--size-lo", type=int, default=30)
+    http.add_argument("--size-hi", type=int, default=40)
+    http.add_argument("--overlap", type=float, default=0.85)
+    http.add_argument("--seed", type=int, default=42)
+    http.add_argument(
+        "--flush-after-ms",
+        type=float,
+        default=2.0,
+        help="scan-batching latency budget of the scheduler",
+    )
+    http.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="queued requests that trigger an immediate flush",
+    )
+    http.add_argument(
+        "--no-auth",
+        action="store_true",
+        help="skip bearer-token checks (trusted loopback only)",
+    )
+    http.add_argument(
+        "--drain-grace-s",
+        type=float,
+        default=5.0,
+        help="seconds in-flight sessions get to finish on shutdown",
+    )
+    http.add_argument(
+        "--uvicorn",
+        action="store_true",
+        help="host the ASGI app under uvicorn (the 'http' extra) "
+        "instead of the embedded stdlib server",
+    )
+    http.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -15,24 +15,36 @@ per-step latency budgets are tight.  The stack has three layers
    (:mod:`repro.serve.engine`) and the asyncio
    :class:`AsyncDiscoveryService` (:mod:`repro.serve.async_service`),
    which let sessions join, answer and finish independently while the
-   kernel still sees large stacked scans.
+   kernel still sees large stacked scans;
+4. the network edge — :class:`DiscoveryApp` (:mod:`repro.serve.http`),
+   an ASGI app exposing sessions over HTTP and WebSocket with
+   :class:`ServiceMetrics` SLO export, hosted by the stdlib
+   :class:`EmbeddedServer` or any ASGI server (uvicorn extra).
 
 Whatever the front-end, every session's transcript is bit-identical to a
 sequential :meth:`~repro.core.discovery.DiscoverySession.run` — the stack
 changes how work is batched, never what a session observes.
 """
 
-from .async_service import AsyncDiscoveryService, percentile
+from .async_service import AsyncDiscoveryService, ServiceClosed, percentile
 from .engine import EngineStats, SessionEngine
-from .scheduler import FlushReport, ScanScheduler
+from .http import DiscoveryApp, EmbeddedServer
+from .metrics import LatencyReservoir, ServiceMetrics
+from .scheduler import FlushPolicy, FlushReport, ScanScheduler
 from .state import Phase, SessionRegistry, SessionState
 
 __all__ = [
     "AsyncDiscoveryService",
+    "DiscoveryApp",
+    "EmbeddedServer",
     "EngineStats",
+    "FlushPolicy",
     "FlushReport",
+    "LatencyReservoir",
     "Phase",
     "ScanScheduler",
+    "ServiceClosed",
+    "ServiceMetrics",
     "SessionEngine",
     "SessionRegistry",
     "SessionState",

@@ -42,10 +42,23 @@ from typing import Hashable, Iterable, Mapping
 
 from ..core.collection import SetCollection
 from ..core.discovery import DiscoveryResult, DiscoverySession
+from .metrics import ServiceMetrics, quantile_sorted
 from .scheduler import FlushReport, ScanScheduler
 from .state import SessionRegistry
 
-__all__ = ["AsyncDiscoveryService", "percentile"]
+__all__ = ["AsyncDiscoveryService", "ServiceClosed", "percentile"]
+
+
+class ServiceClosed(RuntimeError):
+    """The service was closed (or is draining) and cannot serve this call.
+
+    Raised by every verb after :meth:`AsyncDiscoveryService.aclose`, by
+    :meth:`~AsyncDiscoveryService.add`/:meth:`~AsyncDiscoveryService.spawn`
+    once a drain began, and *delivered to* any ``ask()``/``result()``
+    waiter still pending when the service closes — a waiter must end with
+    a clear error, never hang forever.  The HTTP edge
+    (:mod:`repro.serve.http`) maps it to ``503 Service Unavailable``.
+    """
 
 
 def percentile(sorted_values: "list[float]", q: float) -> float:
@@ -54,10 +67,7 @@ def percentile(sorted_values: "list[float]", q: float) -> float:
     The serving demos and benchmarks all report ``ask()`` latency
     p50/p95 through this one helper so the figures stay comparable.
     """
-    if not sorted_values:
-        return 0.0
-    at = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
-    return sorted_values[at]
+    return quantile_sorted(sorted_values, q)
 
 
 class AsyncDiscoveryService:
@@ -100,8 +110,12 @@ class AsyncDiscoveryService:
             max_batch=max_batch,
         )
         self.stats = self.scheduler.stats
+        self.metrics = ServiceMetrics(self)
         #: keys awaiting advancement (ordered set; the loop thread owns it)
         self._needy: dict[Hashable, None] = {}
+        #: clock reading when the oldest entry of ``_needy`` arrived — the
+        #: ``first_at`` the shared :class:`FlushPolicy` evaluates against
+        self._needy_first_at: float | None = None
         #: recorded replies not yet applied (applied at the next flush, on
         #: the flush thread, so ALL session mutation is single-threaded)
         self._replies: dict[Hashable, bool | None] = {}
@@ -115,6 +129,7 @@ class AsyncDiscoveryService:
         self._flush_timer: asyncio.TimerHandle | None = None
         self._flush_task: asyncio.Task | None = None
         self._flushing = False
+        self._draining = False
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -126,7 +141,7 @@ class AsyncDiscoveryService:
     ) -> Hashable:
         """Attach a session; returns its key.  Sessions may join at any
         time — including while a flush for other sessions is running."""
-        self._check_open()
+        self._check_accepting()
         return self.registry.add(session, key=key)
 
     def spawn(
@@ -139,7 +154,7 @@ class AsyncDiscoveryService:
     ) -> Hashable:
         """Construct a :class:`DiscoverySession` over the service's
         collection and :meth:`add` it in one call."""
-        self._check_open()
+        self._check_accepting()
         return self.registry.spawn(
             selector,
             initial=initial,
@@ -151,6 +166,31 @@ class AsyncDiscoveryService:
     @property
     def n_active(self) -> int:
         return self.registry.n_active
+
+    @property
+    def queued_requests(self) -> int:
+        """Loop-side requests awaiting the next flush (metrics gauge)."""
+        return len(self._needy)
+
+    @property
+    def accepting(self) -> bool:
+        """True while new sessions may join (not closed, not draining)."""
+        return not (self._closed or self._draining)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop accepting new sessions; keep serving the attached ones.
+
+        The graceful-shutdown first step: after this, :meth:`add` and
+        :meth:`spawn` raise :class:`ServiceClosed` while every live
+        session still asks, answers and finishes normally.  Follow with
+        :meth:`aclose` once :attr:`n_active` drains (or a grace deadline
+        passes) — the HTTP edge's drain sequence does exactly that.
+        """
+        self._draining = True
 
     @property
     def results(self) -> Mapping[Hashable, DiscoveryResult]:
@@ -180,9 +220,15 @@ class AsyncDiscoveryService:
             and key not in self._inflight_replies
         ):
             return state.session.pending_entity
+        start = time.perf_counter()
         future = self._wait_on(self._ask_waiters, key)
         self._request(key)
-        return await future
+        entity = await future
+        # The user-observed ask-to-question latency (the SLO the flush
+        # policy budgets): only waits are recorded — the fast path above
+        # returns an already-selected question and costs nothing.
+        self.metrics.observe_ask(time.perf_counter() - start)
+        return entity
 
     def answer(self, key: Hashable, value: bool | None) -> None:
         """Record the user's reply to session ``key``'s pending question.
@@ -226,7 +272,10 @@ class AsyncDiscoveryService:
     # ------------------------------------------------------------------ #
 
     def _request(self, key: Hashable) -> None:
-        self._needy[key] = None
+        if key not in self._needy:
+            self._needy[key] = None
+            if self._needy_first_at is None:
+                self._needy_first_at = time.perf_counter()
         self._maybe_flush()
 
     def _maybe_flush(self) -> None:
@@ -236,8 +285,13 @@ class AsyncDiscoveryService:
             # running flush re-arms scheduling when it ends.
             return
         assert self._loop is not None
-        watermark = self.scheduler.max_batch
-        if watermark is not None and len(self._needy) >= watermark:
+        # The watermark/budget decision is the scheduler's FlushPolicy,
+        # evaluated over THIS loop-side queue (requests keep accumulating
+        # here while a flush runs on the worker thread) — one rule, two
+        # queues, no drift.
+        now = time.perf_counter()
+        policy = self.scheduler.policy
+        if policy.should_flush(len(self._needy), self._needy_first_at, now):
             self._start_flush()
             return
         if len(self._needy) >= self.registry.n_active:
@@ -247,7 +301,8 @@ class AsyncDiscoveryService:
             self._start_flush()
             return
         if self._flush_timer is None:
-            delay = (self.scheduler.flush_after_ms or 0.0) / 1000.0
+            deadline = policy.deadline(self._needy_first_at)
+            delay = 0.0 if deadline is None else max(0.0, deadline - now)
             self._flush_timer = self._loop.call_later(delay, self._on_timer)
 
     def _on_timer(self) -> None:
@@ -266,6 +321,7 @@ class AsyncDiscoveryService:
     async def _flush(self) -> None:
         needy = list(self._needy)
         self._needy.clear()
+        self._needy_first_at = None
         replies, self._replies = self._replies, {}
         self._inflight_replies = frozenset(replies)
         start = time.perf_counter()
@@ -396,10 +452,24 @@ class AsyncDiscoveryService:
 
     def _check_open(self) -> None:
         if self._closed:
-            raise RuntimeError("AsyncDiscoveryService is closed")
+            raise ServiceClosed("AsyncDiscoveryService is closed")
+
+    def _check_accepting(self) -> None:
+        self._check_open()
+        if self._draining:
+            raise ServiceClosed(
+                "AsyncDiscoveryService is draining; not accepting new "
+                "sessions"
+            )
 
     async def aclose(self) -> None:
-        """Stop flushing, cancel outstanding waiters, free the executor."""
+        """Stop flushing, reject outstanding waiters, free the executor.
+
+        Waiters still pending — including ``result()`` waiters of sessions
+        that were never asked a question, which no future flush would ever
+        resolve — are rejected with a clear :class:`ServiceClosed` instead
+        of being left to hang (or die with an anonymous cancellation).
+        """
         if self._closed:
             return
         self._closed = True
@@ -412,10 +482,19 @@ class AsyncDiscoveryService:
                 await task
             except Exception:
                 pass  # the flush already failed its waiters
+        closed = ServiceClosed(
+            "AsyncDiscoveryService closed while this wait was pending"
+        )
         for waiters in (self._ask_waiters, self._result_waiters):
             for bucket in list(waiters.values()):
                 for fut in list(bucket):
-                    fut.cancel()
+                    if not fut.done():
+                        fut.set_exception(closed)
+                        # An abandoned waiter (its ask() was cancelled and
+                        # nobody will ever await it) must not log an
+                        # "exception was never retrieved" warning at GC;
+                        # live awaiters still receive the exception.
+                        fut.exception()
             waiters.clear()
         if self._executor is not None:
             self._executor.shutdown(wait=True)

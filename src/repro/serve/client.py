@@ -1,0 +1,294 @@
+"""Minimal asyncio client for the HTTP/WebSocket serving edge.
+
+The load benchmark (``benchmarks/bench_http.py``) drives thousands of
+concurrent sessions against a real server process; a third-party HTTP
+client would be a new dependency and a synchronous one would serialize
+the load.  This module is the smallest useful client instead: one
+keep-alive HTTP/1.1 connection per :class:`HttpSessionClient`, one
+websocket per :class:`WsSessionClient`, JSON verbs matching the routes of
+:class:`~repro.serve.http.DiscoveryApp`.  The tests reuse it, and it
+doubles as the quickstart Python client in ``docs/serving.md``.
+
+It understands exactly what :class:`~repro.serve.http.EmbeddedServer`
+and uvicorn emit for this app — Content-Length JSON bodies, no chunked
+responses — which is all a session client needs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import secrets
+
+from .http import encode_ws_frame, read_ws_frame
+
+__all__ = ["HttpConnection", "HttpSessionClient", "WsSessionClient"]
+
+
+class HttpConnection:
+    """One keep-alive HTTP/1.1 connection speaking JSON."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        token: str | None = None,
+    ) -> tuple[int, dict | str]:
+        """One round-trip; returns ``(status, parsed body)``.
+
+        Reconnects transparently if the server closed the idle keep-alive
+        connection between requests.
+        """
+        if self._writer is None:
+            await self.connect()
+        try:
+            return await self._round_trip(method, path, body, token)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            await self.aclose()
+            await self.connect()
+            return await self._round_trip(method, path, body, token)
+
+    async def _round_trip(
+        self,
+        method: str,
+        path: str,
+        body: dict | None,
+        token: str | None,
+    ) -> tuple[int, dict | str]:
+        assert self._reader is not None and self._writer is not None
+        payload = b"" if body is None else json.dumps(body).encode()
+        head = [
+            f"{method} {path} HTTP/1.1".encode(),
+            f"host: {self.host}:{self.port}".encode(),
+            b"content-length: " + str(len(payload)).encode(),
+        ]
+        if body is not None:
+            head.append(b"content-type: application/json")
+        if token is not None:
+            head.append(b"authorization: Bearer " + token.encode())
+        self._writer.write(b"\r\n".join(head) + b"\r\n\r\n" + payload)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split(b" ", 2)[1])
+        headers: dict[bytes, bytes] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.partition(b":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get(b"content-length", b"0"))
+        raw = await self._reader.readexactly(length) if length else b""
+        if headers.get(b"connection", b"").lower() == b"close":
+            await self.aclose()
+        content_type = headers.get(b"content-type", b"")
+        if content_type.startswith(b"application/json") and raw:
+            return status, json.loads(raw)
+        return status, raw.decode("utf-8", "replace")
+
+    async def __aenter__(self) -> "HttpConnection":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+
+class _UnexpectedStatus(RuntimeError):
+    def __init__(self, status: int, body) -> None:
+        super().__init__(f"unexpected HTTP {status}: {body!r}")
+        self.status = status
+        self.body = body
+
+
+class HttpSessionClient:
+    """One discovery session over the HTTP routes (pull-style)."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.conn = HttpConnection(host, port)
+        self.session: str | None = None
+        self.token: str | None = None
+
+    async def __aenter__(self) -> "HttpSessionClient":
+        await self.conn.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.conn.aclose()
+
+    async def create(self, **spec) -> dict:
+        """``POST /sessions``; remembers the session id and token."""
+        status, body = await self.conn.request("POST", "/sessions", spec)
+        if status != 201:
+            raise _UnexpectedStatus(status, body)
+        assert isinstance(body, dict)
+        self.session = body["session"]
+        self.token = body["token"]
+        return body
+
+    async def next_question(self) -> int | None:
+        """``GET .../question``: the entity id, ``None`` once finished."""
+        status, body = await self.conn.request(
+            "GET", f"/sessions/{self.session}/question", token=self.token
+        )
+        if status != 200:
+            raise _UnexpectedStatus(status, body)
+        assert isinstance(body, dict)
+        return body["entity"]
+
+    async def send_answer(self, value: "bool | None") -> None:
+        status, body = await self.conn.request(
+            "POST",
+            f"/sessions/{self.session}/answer",
+            {"answer": value},
+            token=self.token,
+        )
+        if status != 200:
+            raise _UnexpectedStatus(status, body)
+
+    async def result(self) -> dict:
+        status, body = await self.conn.request(
+            "GET", f"/sessions/{self.session}/result", token=self.token
+        )
+        if status != 200:
+            raise _UnexpectedStatus(status, body)
+        assert isinstance(body, dict)
+        return body
+
+    async def run(self, oracle) -> dict:
+        """Drive the whole session with ``oracle`` answering (bench core)."""
+        while (entity := await self.next_question()) is not None:
+            await self.send_answer(oracle(entity))
+        return await self.result()
+
+
+class WsSessionClient:
+    """One push-style discovery session over the ``/ws`` endpoint."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self.session: str | None = None
+        self.token: str | None = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        key = base64.b64encode(secrets.token_bytes(16)).decode()
+        self._writer.write(
+            (
+                f"GET /ws HTTP/1.1\r\nhost: {self.host}:{self.port}\r\n"
+                f"upgrade: websocket\r\nconnection: Upgrade\r\n"
+                f"sec-websocket-key: {key}\r\n"
+                f"sec-websocket-version: 13\r\n\r\n"
+            ).encode()
+        )
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        status = int(status_line.split(b" ", 2)[1])
+        while True:  # drain the handshake headers
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+        if status != 101:
+            raise ConnectionError(f"websocket upgrade refused: {status}")
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "WsSessionClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    async def send_json(self, payload: dict) -> None:
+        assert self._writer is not None
+        self._writer.write(
+            encode_ws_frame(0x1, json.dumps(payload).encode(), mask=True)
+        )
+        await self._writer.drain()
+
+    async def receive_json(self) -> "dict | None":
+        """Next JSON message; ``None`` once the server closed."""
+        assert self._reader is not None and self._writer is not None
+        while True:
+            frame = await read_ws_frame(self._reader)
+            if frame is None:
+                return None
+            opcode, payload = frame
+            if opcode == 0x1:
+                return json.loads(payload.decode())
+            if opcode == 0x8:
+                try:
+                    self._writer.write(encode_ws_frame(0x8, payload[:2]))
+                    await self._writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+                return None
+            if opcode == 0x9:
+                self._writer.write(encode_ws_frame(0xA, payload, mask=True))
+                await self._writer.drain()
+
+    async def create(self, **spec) -> dict:
+        """Create the session as the first message of the connection."""
+        await self.send_json({"type": "create", **spec})
+        created = await self.receive_json()
+        if created is None or created.get("type") != "created":
+            raise ConnectionError(f"create refused: {created!r}")
+        self.session = created["session"]
+        self.token = created["token"]
+        return created
+
+    async def run(self, oracle) -> dict:
+        """Answer pushed questions with ``oracle`` until the result."""
+        while True:
+            message = await self.receive_json()
+            if message is None:
+                raise ConnectionError("server closed before the result")
+            kind = message.get("type")
+            if kind == "question":
+                await self.send_json(
+                    {"type": "answer", "value": oracle(message["entity"])}
+                )
+            elif kind == "result":
+                return message
+            elif kind == "error":
+                raise RuntimeError(
+                    f"server error: {message.get('message')!r}"
+                )

@@ -1,0 +1,244 @@
+"""SLO metrics for the serving stack: latency percentiles, queue depth.
+
+The scheduler's :class:`~repro.serve.scheduler.EngineStats` counts *work*
+(flushes, scans, selections).  A network edge needs *SLO* figures on top:
+what latency users actually observe, how deep the request queue runs, and
+how full each batched flush is.  :class:`ServiceMetrics` layers those over
+an ``EngineStats`` without touching the scheduler's hot path — the only
+per-request cost is one :meth:`observe_ask` append into a bounded
+reservoir.
+
+The figures exported (and gated in CI via ``benchmarks/bench_http.py``):
+
+* **ask latency p50/p95/p99** — time from ``ask()`` to question delivery,
+  over a sliding window of recent observations (count and sum are
+  lifetime totals, so Prometheus ``rate()`` works on them);
+* **queue depth** — requests waiting for the next batched flush;
+* **flush occupancy** — mean requests served per flush, i.e. how well the
+  latency budget converts waiting users into stacked kernel work;
+* **sessions by phase** — active sessions in ``needs-scan`` /
+  ``question-pending`` plus lifetime ``finished``.
+
+:meth:`render_prometheus` serializes everything in the Prometheus text
+exposition format (``GET /metrics`` on the HTTP edge,
+:mod:`repro.serve.http`); the dict form (:meth:`snapshot`) feeds JSON
+consumers like the bench reports.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Iterable
+
+__all__ = ["LatencyReservoir", "ServiceMetrics", "quantile_sorted"]
+
+
+def quantile_sorted(sorted_values: "list[float]", q: float) -> float:
+    """Nearest-rank quantile of an ascending-sorted list (0.0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    at = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[at]
+
+
+class LatencyReservoir:
+    """Bounded sliding window of latency observations plus lifetime totals.
+
+    Percentiles are computed over the newest ``window`` observations (a
+    long-lived server must reflect *current* tail latency, not its whole
+    history); ``count``/``total_seconds`` never reset, which is what
+    Prometheus counters want.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        self._window: deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self._window.append(seconds)
+        self.count += 1
+        self.total_seconds += seconds
+
+    def quantiles(self, qs: Iterable[float]) -> dict[float, float]:
+        """``{q: seconds}`` for each requested quantile, one sort."""
+        ordered = sorted(self._window)
+        return {q: quantile_sorted(ordered, q) for q in qs}
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+
+#: the quantiles every latency summary exports (the SLO trio)
+SLO_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class ServiceMetrics:
+    """SLO view over one serving front-end (duck-typed, no hard coupling).
+
+    ``source`` is anything exposing the async-service shape used here:
+    ``stats`` (an :class:`~repro.serve.scheduler.EngineStats`),
+    ``registry`` (a :class:`~repro.serve.state.SessionRegistry`), a
+    ``scheduler`` with ``pending_requests``, and optionally
+    ``queued_requests`` for loop-side queues the scheduler cannot see
+    (:class:`~repro.serve.async_service.AsyncDiscoveryService` keeps its
+    request queue on the event loop between flushes).
+    """
+
+    def __init__(
+        self,
+        source,
+        *,
+        window: int = 4096,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._source = source
+        self._clock = clock
+        self.ask_latency = LatencyReservoir(window=window)
+        self.ws_sessions = 0  # live push-style websocket sessions
+        #: HTTP request counter, ``(route, status) -> count`` — filled by
+        #: the HTTP edge; empty (and un-rendered) for in-process serving
+        self.http_requests: dict[tuple[str, int], int] = {}
+        self._started_at = clock()
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def observe_ask(self, seconds: float) -> None:
+        """Record one user-observed ask-to-question latency."""
+        self.ask_latency.observe(seconds)
+
+    def observe_http(self, route: str, status: int) -> None:
+        """Count one HTTP request by route template and response status."""
+        key = (route, status)
+        self.http_requests[key] = self.http_requests.get(key, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # Derived gauges
+    # ------------------------------------------------------------------ #
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for the next batched flush (loop + scheduler)."""
+        depth = self._source.scheduler.pending_requests
+        queued = getattr(self._source, "queued_requests", None)
+        if queued is not None:
+            depth += queued
+        return depth
+
+    @property
+    def flush_occupancy(self) -> float:
+        """Mean scan requests served per flush (0.0 before the first)."""
+        stats = self._source.stats
+        if stats.ticks == 0:
+            return 0.0
+        return stats.flushed_requests / stats.ticks
+
+    def sessions_by_phase(self) -> dict[str, int]:
+        """Active sessions per phase plus lifetime ``finished`` count."""
+        counts = {"needs-scan": 0, "question-pending": 0}
+        for state in self._source.registry.active_states():
+            counts[state.phase.value] = counts.get(state.phase.value, 0) + 1
+        counts["finished"] = len(self._source.registry.results)
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """JSON-friendly summary (the bench reports embed this)."""
+        quantiles = self.ask_latency.quantiles(SLO_QUANTILES)
+        stats = self._source.stats
+        return {
+            "ask_latency_ms": {
+                f"p{int(q * 100)}": quantiles[q] * 1000.0
+                for q in SLO_QUANTILES
+            },
+            "ask_count": self.ask_latency.count,
+            "queue_depth": self.queue_depth,
+            "flush_occupancy": self.flush_occupancy,
+            "sessions": self.sessions_by_phase(),
+            "flushes": stats.ticks,
+            "stacked_scans": stats.batched_scans,
+            "scan_cache_hits": stats.scan_cache_hits,
+            "uptime_s": self._clock() - self._started_at,
+        }
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (``GET /metrics``)."""
+        stats = self._source.stats
+        quantiles = self.ask_latency.quantiles(SLO_QUANTILES)
+        lines = [
+            "# HELP repro_ask_latency_seconds Time from ask() to question "
+            "delivery, sliding window.",
+            "# TYPE repro_ask_latency_seconds summary",
+        ]
+        for q in SLO_QUANTILES:
+            lines.append(
+                f'repro_ask_latency_seconds{{quantile="{q}"}} '
+                f"{quantiles[q]:.9f}"
+            )
+        lines += [
+            f"repro_ask_latency_seconds_sum "
+            f"{self.ask_latency.total_seconds:.9f}",
+            f"repro_ask_latency_seconds_count {self.ask_latency.count}",
+            "# HELP repro_queue_depth Scan requests awaiting the next "
+            "batched flush.",
+            "# TYPE repro_queue_depth gauge",
+            f"repro_queue_depth {self.queue_depth}",
+            "# HELP repro_flush_occupancy Mean scan requests served per "
+            "flush.",
+            "# TYPE repro_flush_occupancy gauge",
+            f"repro_flush_occupancy {self.flush_occupancy:.6f}",
+            "# HELP repro_sessions Sessions by serving phase (finished is "
+            "a lifetime count).",
+            "# TYPE repro_sessions gauge",
+        ]
+        for phase, count in sorted(self.sessions_by_phase().items()):
+            lines.append(f'repro_sessions{{phase="{phase}"}} {count}')
+        lines += [
+            "# HELP repro_websocket_sessions Live push-style websocket "
+            "sessions.",
+            "# TYPE repro_websocket_sessions gauge",
+            f"repro_websocket_sessions {self.ws_sessions}",
+            "# HELP repro_flushes_total Scheduling rounds executed.",
+            "# TYPE repro_flushes_total counter",
+            f"repro_flushes_total {stats.ticks}",
+            "# HELP repro_flushed_requests_total Scan requests served by "
+            "those rounds.",
+            "# TYPE repro_flushed_requests_total counter",
+            f"repro_flushed_requests_total {stats.flushed_requests}",
+            "# HELP repro_stacked_scans_total Stacked kernel passes issued.",
+            "# TYPE repro_stacked_scans_total counter",
+            f"repro_stacked_scans_total {stats.batched_scans}",
+            "# HELP repro_scanned_masks_total Distinct sub-collection masks "
+            "scanned.",
+            "# TYPE repro_scanned_masks_total counter",
+            f"repro_scanned_masks_total {stats.scanned_masks}",
+            "# HELP repro_scan_cache_hits_total Scans answered from the "
+            "stats cache.",
+            "# TYPE repro_scan_cache_hits_total counter",
+            f"repro_scan_cache_hits_total {stats.scan_cache_hits}",
+            "# HELP repro_selections_total Questions selected.",
+            "# TYPE repro_selections_total counter",
+            f"repro_selections_total {stats.selections}",
+            "# HELP repro_flush_seconds_total Wall-clock seconds inside "
+            "flush rounds.",
+            "# TYPE repro_flush_seconds_total counter",
+            f"repro_flush_seconds_total {stats.seconds:.9f}",
+        ]
+        if self.http_requests:
+            lines += [
+                "# HELP repro_http_requests_total HTTP requests by route "
+                "template and status.",
+                "# TYPE repro_http_requests_total counter",
+            ]
+            for (route, status), count in sorted(self.http_requests.items()):
+                lines.append(
+                    f'repro_http_requests_total{{route="{route}",'
+                    f'status="{status}"}} {count}'
+                )
+        return "\n".join(lines) + "\n"

@@ -19,16 +19,16 @@ one stacked kernel pass per :meth:`ScanScheduler.flush`:
 * the :class:`~repro.serve.async_service.AsyncDiscoveryService` flushes
   when either the batch-size watermark (``max_batch``) is hit or the
   oldest queued request has waited ``flush_after_ms`` — large stacked
-  scans *and* a bounded per-question latency.  (It enforces those knobs
-  over its *own* event-loop-side request queue — requests must keep
-  accumulating while a flush runs on the worker thread — plus an
-  all-sessions-waiting shortcut; the queue here is only filled at flush
-  time.  Keep the two in agreement when touching either.)
+  scans *and* a bounded per-question latency.
 
-For synchronous drivers that poll instead, :meth:`due`,
-:attr:`watermark_hit`, :meth:`deadline` and :meth:`should_flush` expose
-the same policy over an injectable ``clock`` — which is also how the
-tests drive the budget with a fake clock.  Whatever the cadence, one
+The decision itself lives in exactly one place: :class:`FlushPolicy`, a
+pure function of ``(queued, first_at, now)``.  The scheduler applies it
+to its own queue (:meth:`due`, :attr:`watermark_hit`, :meth:`deadline`,
+:meth:`should_flush`, over an injectable ``clock`` — which is also how
+the tests drive the budget with a fake clock); the async service applies
+the *same* policy object to its event-loop-side queue (requests must
+keep accumulating there while a flush runs on the worker thread), plus
+an all-sessions-waiting shortcut of its own.  Whatever the cadence, one
 flush is bit-identical to the lock-step engine advancing the same
 sessions — selection is deterministic given each session's own state, so
 transcripts never depend on how requests were batched (the
@@ -53,12 +53,59 @@ from .state import (
 )
 
 
+@dataclass(frozen=True)
+class FlushPolicy:
+    """*When* to flush, as a pure function — the single home of the rule.
+
+    Both the scheduler (over its own request queue) and the async service
+    (over its event-loop-side queue) answer "should we flush now?" by
+    calling this object, so the two can never drift apart.
+
+    ``flush_after_ms`` is the latency budget: the oldest queued request
+    waits at most this long before a batched pass answers it (``None``
+    disables the budget — the front-end flushes explicitly).
+    ``max_batch`` is the batch-size watermark: this many queued requests
+    trigger an immediate flush (``None`` disables the watermark).
+    """
+
+    flush_after_ms: float | None = None
+    max_batch: int | None = None
+
+    def watermark_hit(self, queued: int) -> bool:
+        """True once ``queued`` requests fill the watermark."""
+        return self.max_batch is not None and queued >= self.max_batch
+
+    def deadline(self, first_at: float | None) -> float | None:
+        """Clock value at which the oldest request's budget ends.
+
+        ``first_at`` is the clock reading when the oldest currently-queued
+        request arrived (``None`` while the queue is empty).
+        """
+        if first_at is None or self.flush_after_ms is None:
+            return None
+        return first_at + self.flush_after_ms / 1000.0
+
+    def due(self, first_at: float | None, now: float) -> bool:
+        """True once the latency budget of the oldest request expired."""
+        deadline = self.deadline(first_at)
+        return deadline is not None and now >= deadline
+
+    def should_flush(
+        self, queued: int, first_at: float | None, now: float
+    ) -> bool:
+        """The flush trigger: watermark hit or latency budget due."""
+        return self.watermark_hit(queued) or self.due(first_at, now)
+
+
 @dataclass
 class EngineStats:
     """Aggregate scheduler/engine work counters (serving metrics)."""
 
     #: scheduling rounds executed (lock-step ticks or async flushes)
     ticks: int = 0
+    #: scan requests those rounds served (flush occupancy numerator —
+    #: :class:`~repro.serve.metrics.ServiceMetrics` divides by ticks)
+    flushed_requests: int = 0
     #: stacked kernel passes issued (at most one per flush)
     batched_scans: int = 0
     #: distinct sub-collection masks scanned by those passes
@@ -125,13 +172,24 @@ class ScanScheduler:
     ) -> None:
         self.registry = registry
         self.collection = registry.collection
-        self.flush_after_ms = flush_after_ms
-        self.max_batch = max_batch
+        self.policy = FlushPolicy(
+            flush_after_ms=flush_after_ms, max_batch=max_batch
+        )
         self.stats = EngineStats()
         self._clock = clock
         self._queue: list[SessionState] = []
         self._queued: set[Hashable] = set()
         self._first_at: float | None = None
+
+    @property
+    def flush_after_ms(self) -> float | None:
+        """The policy's latency budget (see :class:`FlushPolicy`)."""
+        return self.policy.flush_after_ms
+
+    @property
+    def max_batch(self) -> int | None:
+        """The policy's batch watermark (see :class:`FlushPolicy`)."""
+        return self.policy.max_batch
 
     # ------------------------------------------------------------------ #
     # Request queue + flush policy
@@ -154,27 +212,25 @@ class ScanScheduler:
     @property
     def watermark_hit(self) -> bool:
         """True once ``max_batch`` requests are queued."""
-        return (
-            self.max_batch is not None
-            and len(self._queue) >= self.max_batch
-        )
+        return self.policy.watermark_hit(len(self._queue))
 
     def deadline(self) -> float | None:
         """Clock value at which the oldest queued request's budget ends."""
-        if self._first_at is None or self.flush_after_ms is None:
-            return None
-        return self._first_at + self.flush_after_ms / 1000.0
+        return self.policy.deadline(self._first_at)
 
     def due(self, now: float | None = None) -> bool:
         """True once the latency budget of the oldest request expired."""
-        deadline = self.deadline()
-        if deadline is None:
-            return False
-        return (self._clock() if now is None else now) >= deadline
+        return self.policy.due(
+            self._first_at, self._clock() if now is None else now
+        )
 
     def should_flush(self, now: float | None = None) -> bool:
         """Flush trigger: batch watermark hit or latency budget due."""
-        return self.watermark_hit or self.due(now)
+        return self.policy.should_flush(
+            len(self._queue),
+            self._first_at,
+            self._clock() if now is None else now,
+        )
 
     # ------------------------------------------------------------------ #
     # The batched pass
@@ -191,6 +247,7 @@ class ScanScheduler:
         queue, self._queue = self._queue, []
         self._queued.clear()
         self._first_at = None
+        self.stats.flushed_requests += len(queue)
         report = FlushReport()
         need: list[SessionState] = []
         for state in queue:

@@ -25,7 +25,7 @@ from repro.core.lookahead import KLPSelector
 from repro.core.selection import InfoGainSelector, MostEvenSelector
 from repro.data.synthetic import SyntheticConfig, generate_collection
 from repro.oracle import SimulatedUser, UnsureUser
-from repro.serve import AsyncDiscoveryService
+from repro.serve import AsyncDiscoveryService, ServiceClosed
 
 from conftest import FIG1_SETS
 
@@ -362,7 +362,7 @@ class TestCancellation:
 
         run(scenario())
 
-    def test_aclose_cancels_outstanding_waiters(self):
+    def test_aclose_rejects_outstanding_waiters(self):
         collection = make_collection(n_sets=40)
 
         async def scenario():
@@ -373,7 +373,7 @@ class TestCancellation:
             task = asyncio.create_task(service.result(key))
             await asyncio.sleep(0.01)
             await service.aclose()
-            with pytest.raises(asyncio.CancelledError):
+            with pytest.raises(ServiceClosed, match="closed while"):
                 await task
             with pytest.raises(RuntimeError, match="closed"):
                 await service.ask(key)
