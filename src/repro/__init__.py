@@ -43,6 +43,8 @@ from .core import (
     H,
     CostMetric,
     DecisionTree,
+    DeltaBatch,
+    DeltaError,
     DiscoveryResult,
     DiscoverySession,
     DuplicateSetError,
@@ -91,6 +93,8 @@ __all__ = [
     "AsyncDiscoveryService",
     "CostMetric",
     "DecisionTree",
+    "DeltaBatch",
+    "DeltaError",
     "DiscoveryResult",
     "DiscoverySession",
     "DuplicateSetError",

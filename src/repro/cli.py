@@ -286,7 +286,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
         )
         app = DiscoveryApp(
-            service, require_auth=not args.no_auth, collection_info=info
+            service,
+            require_auth=not args.no_auth,
+            collection_info=info,
+            session_ttl_s=args.session_ttl_s,
+            admin_token=args.admin_token,
         )
         uvicorn.run(app, host=args.host, port=args.port, log_level="warning")
         return 0
@@ -298,7 +302,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
         ) as service:
             app = DiscoveryApp(
-                service, require_auth=not args.no_auth, collection_info=info
+                service,
+                require_auth=not args.no_auth,
+                collection_info=info,
+                session_ttl_s=args.session_ttl_s,
+                admin_token=args.admin_token,
             )
             server = EmbeddedServer(app, host=args.host, port=args.port)
             await server.start()
@@ -462,6 +470,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-auth",
         action="store_true",
         help="skip bearer-token checks (trusted loopback only)",
+    )
+    http.add_argument(
+        "--session-ttl",
+        dest="session_ttl_s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="expire session handles idle this long (default: never)",
+    )
+    http.add_argument(
+        "--admin-token",
+        default=None,
+        help="bearer token enabling POST /admin/delta (default: disabled)",
     )
     http.add_argument(
         "--drain-grace-s",

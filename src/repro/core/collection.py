@@ -9,15 +9,29 @@ A :class:`SetCollection` stores:
   ``C`` by entity ``e`` (the yes/no outcome of one membership question) is
   ``C+ = C & mask[e]`` and ``C- = C & ~mask[e]``.
 
-The collection is immutable after construction.  Sub-collections are plain
-integer bitmasks (:mod:`repro.core.bitmask`), never copies of the sets, so
-algorithms can explore millions of sub-collections cheaply and use the masks
-directly as memoisation keys.
+The collection is **content-immutable**: no operation ever changes which
+sets a constructed collection holds.  Mutation is expressed as *versioning*
+instead — :meth:`SetCollection.apply_delta` takes a :class:`DeltaBatch` of
+additions, removals and membership updates and returns a **new** collection
+at ``epoch + 1`` that shares every unchanged structure (entity masks,
+bit-matrix segments, cached informative stats) with its parent copy-on-write,
+so a small delta costs O(changed) while readers of the old epoch keep a
+consistent snapshot.  The one in-place operation is :meth:`reshard`, which
+swaps the *execution strategy* (kernel sharding) without touching content and
+therefore keeps the same epoch.  Sub-collections are plain integer bitmasks
+(:mod:`repro.core.bitmask`), never copies of the sets, so algorithms can
+explore millions of sub-collections cheaply and use the masks directly as
+memoisation keys.
 
 Uniqueness: the paper assumes all sets are unique ("if not, duplicates can be
 removed without affecting the search task").  Construction therefore either
 rejects duplicates (default) or silently merges them (``dedupe=True``),
-remembering which input names collapsed onto each stored set.
+remembering which input names collapsed onto each stored set.  Deltas always
+reject duplicates: a batch whose result would contain two equal sets raises
+:class:`DuplicateSetError`.
+
+See ``docs/collections.md`` for the epoch model end to end (core deltas,
+kernel segment sharing, serving epoch-pinning).
 """
 
 from __future__ import annotations
@@ -33,11 +47,95 @@ class DuplicateSetError(ValueError):
     """Raised when two input sets are equal and ``dedupe`` is off."""
 
 
+class DeltaError(ValueError):
+    """Raised when a :class:`DeltaBatch` is inconsistent with the collection.
+
+    Examples: removing or updating a set name the collection does not have,
+    adding a name that already exists (without removing it in the same
+    batch), removing a membership label that is not a member.  The failed
+    :meth:`SetCollection.apply_delta` leaves the collection untouched.
+    """
+
+
 #: Default bound on the per-mask informative-stats cache.  Sustained
 #: multi-session serving visits an ever-growing stream of sub-collection
 #: masks; an unbounded cache is a memory leak, so entries are evicted in
 #: least-recently-used order beyond this many masks.
 DEFAULT_INFORMATIVE_CACHE_SIZE = 8192
+
+
+class DeltaBatch:
+    """One atomic batch of collection mutations, applied by
+    :meth:`SetCollection.apply_delta`.
+
+    The builder methods chain and may be called repeatedly::
+
+        batch = (
+            DeltaBatch()
+            .add_sets({"S9": ["milk", "eggs"]})
+            .remove_sets(["S3"])
+            .update_membership("S1", add=["butter"], remove=["salt"])
+        )
+        newer = collection.apply_delta(batch)   # epoch N+1
+
+    Semantics (validated against the target collection at apply time):
+
+    * ``add_sets`` — each name must be new, *unless* the same batch removes
+      it, which reads as an atomic replacement (the new set reuses the old
+      set's slot).
+    * ``remove_sets`` — each name must exist and may be removed only once.
+    * ``update_membership`` — the named set must exist and must not be
+      removed in the same batch; removing a label that is not a member is
+      an error, adding a label that is already a member is a no-op.
+
+    A batch is a pure description: it holds no reference to any collection
+    and the same batch may be applied to several collections.
+    """
+
+    __slots__ = ("_adds", "_removes", "_updates")
+
+    def __init__(self) -> None:
+        self._adds: list[tuple[str, tuple[Hashable, ...]]] = []
+        self._removes: list[str] = []
+        self._updates: list[
+            tuple[str, tuple[Hashable, ...], tuple[Hashable, ...]]
+        ] = []
+
+    def add_sets(
+        self, named: Mapping[str, Iterable[Hashable]]
+    ) -> "DeltaBatch":
+        """Queue new sets from a ``name -> iterable of labels`` mapping."""
+        for name, labels in named.items():
+            self._adds.append((name, tuple(labels)))
+        return self
+
+    def remove_sets(self, names: Iterable[str]) -> "DeltaBatch":
+        """Queue existing sets for removal, by name."""
+        self._removes.extend(names)
+        return self
+
+    def update_membership(
+        self,
+        name: str,
+        add: Iterable[Hashable] = (),
+        remove: Iterable[Hashable] = (),
+    ) -> "DeltaBatch":
+        """Queue a membership edit of the named set (labels in, labels out)."""
+        self._updates.append((name, tuple(add), tuple(remove)))
+        return self
+
+    def __len__(self) -> int:
+        """Number of queued operations (adds + removes + updates)."""
+        return len(self._adds) + len(self._removes) + len(self._updates)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaBatch(adds={len(self._adds)}, "
+            f"removes={len(self._removes)}, updates={len(self._updates)})"
+        )
 
 
 class SetCollection:
@@ -93,6 +191,7 @@ class SetCollection:
         "_informative_cache",
         "_informative_cache_size",
         "_kernel",
+        "_epoch",
     )
 
     def __init__(
@@ -150,6 +249,7 @@ class SetCollection:
         self._full_mask: int = full_mask(len(self._sets))
         self._informative_cache: dict[int, tuple[Sequence[int], Sequence[int]]] = {}
         self._informative_cache_size = informative_cache_size
+        self._epoch = 0
         self._kernel = kernels.make_kernel(
             backend,
             self._sets,
@@ -201,6 +301,17 @@ class SetCollection:
         return self._full_mask
 
     @property
+    def epoch(self) -> int:
+        """Version number of this collection's content.
+
+        A freshly constructed collection is epoch 0; each
+        :meth:`apply_delta` returns a collection at ``epoch + 1``.
+        :meth:`reshard` changes only execution strategy and keeps the
+        epoch.
+        """
+        return self._epoch
+
+    @property
     def backend(self) -> str:
         """Name of the entity-statistics kernel backend in use.
 
@@ -227,6 +338,12 @@ class SetCollection:
         kept (its entries are exact under any sharding).  ``shards`` of
         ``None``/``0``/``1`` restores the unsharded kernel.  The
         multi-session engine calls this for ``SessionEngine(shards=...)``.
+
+        This is the one *in-place* mutation of a collection.  It never
+        changes content — sets, names, masks and every statistic are
+        untouched — so the :attr:`epoch` stays the same.  Content changes
+        go through :meth:`apply_delta`, which versions instead of
+        mutating.
         """
         base = getattr(self._kernel, "base_name", self._kernel.name)
         old = self._kernel
@@ -240,6 +357,236 @@ class SetCollection:
         )
         if hasattr(old, "close"):
             old.close()
+
+    # ------------------------------------------------------------------ #
+    # Epoch versioning: copy-on-write deltas
+    # ------------------------------------------------------------------ #
+
+    def apply_delta(self, batch: DeltaBatch) -> "SetCollection":
+        """Apply a :class:`DeltaBatch` and return the epoch ``N+1`` collection.
+
+        The result is a new, independent :class:`SetCollection` sharing
+        every unchanged structure with this one copy-on-write:
+
+        * the :class:`~repro.core.universe.Universe` is shared outright
+          (interning is append-only, so new labels are safe to add);
+        * the entity-mask index is a dict copy with only the masks of
+          entities belonging to changed sets rewritten;
+        * the kernel patches only the bit-matrix columns (and, for
+          :class:`~repro.core.kernels.sharded.ShardedKernel`, only the
+          shards) that the delta touches, on the same backend family;
+        * cached informative stats survive for every mask that selects no
+          changed slot.
+
+        A delta touching ``k`` sets therefore costs ``O(k)`` set slots —
+        plus one pass over the entity rows for the matrix column patch —
+        instead of an ``O(n x m)`` rebuild, and this collection remains
+        fully usable: in-flight readers of epoch ``N`` keep an exact
+        snapshot.
+
+        Slot layout is deterministic so that an equal-content rebuild is
+        byte-identical: an added set fills the slot of a removed one
+        (ascending removal order, batch add order), extra adds append at
+        the tail, and when removals outnumber adds the kept tail sets swap
+        down into the remaining holes (lowest hole takes the lowest kept
+        tail set) before the set axis truncates.  Set order carries no
+        semantic weight — every statistic is order-independent — it only
+        pins down bit positions.
+
+        Raises :class:`DeltaError` on an inconsistent batch and
+        :class:`DuplicateSetError` if the result would contain two equal
+        sets; either way this collection is left untouched (at most some
+        new labels were interned into the shared universe, which is
+        harmless).  An empty batch returns ``self`` unchanged — no new
+        epoch.
+        """
+        if not isinstance(batch, DeltaBatch):
+            raise TypeError(
+                f"apply_delta expects a DeltaBatch, got {type(batch).__name__}"
+            )
+        if not batch:
+            return self
+        n_old = len(self._sets)
+
+        # -- resolve removals against this collection ------------------- #
+        removed: dict[int, str] = {}
+        for name in batch._removes:
+            idx = self._index_by_name.get(name)
+            if idx is None:
+                raise DeltaError(f"remove_sets: unknown set name {name!r}")
+            if idx in removed:
+                raise DeltaError(f"remove_sets: set {name!r} removed twice")
+            removed[idx] = name
+
+        # -- resolve membership updates --------------------------------- #
+        updated: dict[int, frozenset[int]] = {}
+        for name, add_labels, remove_labels in batch._updates:
+            idx = self._index_by_name.get(name)
+            if idx is None:
+                raise DeltaError(
+                    f"update_membership: unknown set name {name!r}"
+                )
+            if idx in removed:
+                raise DeltaError(
+                    f"update_membership: set {name!r} is removed in the "
+                    f"same batch"
+                )
+            members = set(updated.get(idx, self._sets[idx]))
+            for label in remove_labels:
+                if label not in self.universe:
+                    raise DeltaError(
+                        f"update_membership: {label!r} is not a member "
+                        f"of set {name!r}"
+                    )
+                eid = self.universe.id_of(label)
+                if eid not in members:
+                    raise DeltaError(
+                        f"update_membership: {label!r} is not a member "
+                        f"of set {name!r}"
+                    )
+                members.discard(eid)
+            for label in add_labels:
+                members.add(self.universe.intern(label))
+            updated[idx] = frozenset(members)
+
+        # -- resolve additions ------------------------------------------ #
+        added_names: list[str] = []
+        added_sets: list[frozenset[int]] = []
+        for name, labels in batch._adds:
+            if name in added_names:
+                raise DeltaError(
+                    f"add_sets: duplicate name {name!r} in one batch"
+                )
+            existing = self._index_by_name.get(name)
+            if existing is not None and existing not in removed:
+                raise DeltaError(
+                    f"add_sets: set name {name!r} already exists; remove "
+                    f"it in the same batch to replace it"
+                )
+            added_names.append(name)
+            added_sets.append(
+                frozenset(self.universe.intern(label) for label in labels)
+            )
+
+        # -- slot layout: replace, append, swap-from-tail, truncate ----- #
+        new_sets = list(self._sets)
+        new_names = list(self._names)
+        dirty_new: set[int] = set()  # new-space slots whose content is new
+        dirty_old: set[int] = set()  # old-space slots whose content is gone
+        moved: dict[int, int] = {}  # old tail slot -> hole it fills
+        for idx, fs in updated.items():
+            if fs == self._sets[idx]:
+                continue  # the update netted out: slot stays clean
+            new_sets[idx] = fs
+            dirty_new.add(idx)
+            dirty_old.add(idx)
+        removal_order = sorted(removed)
+        n_replaced = min(len(removal_order), len(added_sets))
+        for i in range(n_replaced):
+            slot = removal_order[i]
+            new_sets[slot] = added_sets[i]
+            new_names[slot] = added_names[i]
+            dirty_new.add(slot)
+            dirty_old.add(slot)
+        n_new = n_old - len(removal_order) + len(added_sets)
+        for i in range(n_replaced, len(added_sets)):
+            new_sets.append(added_sets[i])
+            new_names.append(added_names[i])
+            dirty_new.add(len(new_sets) - 1)
+        if len(removal_order) > n_replaced:
+            holes = set(removal_order[n_replaced:])
+            low_holes = sorted(h for h in holes if h < n_new)
+            kept_tail = [
+                t for t in range(n_new, n_old) if t not in holes
+            ]
+            for hole, tail in zip(low_holes, kept_tail):
+                new_sets[hole] = new_sets[tail]
+                new_names[hole] = new_names[tail]
+                moved[tail] = hole
+                dirty_new.add(hole)
+                dirty_old.add(hole)
+            dirty_old.update(range(n_new, n_old))
+            dirty_new.difference_update(range(n_new, n_old))
+            del new_sets[n_new:]
+            del new_names[n_new:]
+
+        # -- uniqueness + set index (copy, pop old, insert new) --------- #
+        index_by_set = dict(self._index_by_set)
+        for slot in dirty_old:
+            index_by_set.pop(self._sets[slot], None)
+        for slot in sorted(dirty_new):
+            fs = new_sets[slot]
+            other = index_by_set.get(fs)
+            if other is not None:
+                raise DuplicateSetError(
+                    f"delta would make set {new_names[slot]!r} a duplicate "
+                    f"of set {new_names[other]!r}"
+                )
+            index_by_set[fs] = slot
+
+        # -- entity masks: clear old bits, set new bits, drop zeros ----- #
+        masks = dict(self._entity_masks)
+        touched: set[int] = set()
+        for slot in dirty_old:
+            bit = 1 << slot
+            for eid in self._sets[slot]:
+                masks[eid] &= ~bit
+                touched.add(eid)
+        for slot in dirty_new:
+            bit = 1 << slot
+            for eid in new_sets[slot]:
+                masks[eid] = masks.get(eid, 0) | bit
+        for eid in touched:
+            if masks[eid] == 0:
+                del masks[eid]
+
+        # -- names index (first-wins needs the full rebuild) and aliases  #
+        name_index: dict[str, int] = {}
+        for idx, name in enumerate(new_names):
+            name_index.setdefault(name, idx)
+        aliases: dict[int, tuple[str, ...]] = {}
+        for old_idx, extra in self._aliases.items():
+            if old_idx in removed:
+                continue  # a removed set takes its merged aliases with it
+            aliases[moved.get(old_idx, old_idx)] = extra
+
+        # -- informative-stats cache carry-over ------------------------- #
+        # A cached entry depends only on the membership of the sets its
+        # mask selects; it survives iff the mask touches no old-space
+        # dirty slot (truncated slots are dirty, so no separate guard).
+        dirty_old_mask = 0
+        for slot in dirty_old:
+            dirty_old_mask |= 1 << slot
+        cache: dict[int, tuple[Sequence[int], Sequence[int]]] = {}
+        cap = self._informative_cache_size
+        for mask, stats in self._informative_cache.items():
+            if mask & dirty_old_mask == 0:
+                cache[mask] = stats  # parent order keeps LRU recency
+
+        # -- kernel: same backend family, patched segments -------------- #
+        sets_tuple = tuple(new_sets)
+        delta = kernels.KernelDelta(
+            dirty_new=tuple(sorted(dirty_new)),
+            dirty_old=tuple(sorted(dirty_old)),
+        )
+        kernel = kernels.delta_kernel(
+            self._kernel, sets_tuple, masks, n_new, delta
+        )
+
+        child = object.__new__(SetCollection)
+        child.universe = self.universe
+        child._sets = sets_tuple
+        child._names = tuple(new_names)
+        child._aliases = aliases
+        child._index_by_set = index_by_set
+        child._index_by_name = name_index
+        child._entity_masks = masks
+        child._full_mask = full_mask(n_new)
+        child._informative_cache = cache
+        child._informative_cache_size = cap
+        child._kernel = kernel
+        child._epoch = self._epoch + 1
+        return child
 
     @property
     def sets(self) -> tuple[frozenset[int], ...]:

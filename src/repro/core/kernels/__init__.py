@@ -50,7 +50,7 @@ import os
 import warnings
 
 from . import native_backend
-from .base import EntityStatsKernel
+from .base import EntityStatsKernel, KernelDelta
 from .bigint import BigIntKernel
 from .native_backend import HAS_NATIVE, NativeKernel
 from .numpy_backend import HAS_NUMPY, NumpyKernel
@@ -216,6 +216,51 @@ def make_kernel(
     return BigIntKernel(sets, entity_masks, n_sets)
 
 
+def delta_kernel(
+    old: EntityStatsKernel,
+    sets: "tuple[frozenset[int], ...]",
+    entity_masks: "dict[int, int]",
+    n_sets: int,
+    delta: KernelDelta,
+) -> EntityStatsKernel:
+    """Build the epoch ``N+1`` kernel from its epoch ``N`` parent.
+
+    The backend family is *inherited*, never re-routed: a collection that
+    started on numpy stays numpy (and sharded stays sharded, same executor)
+    across every delta, so two epochs of one collection always produce
+    results on the same code path.  What each family shares with its
+    parent:
+
+    * big-int — nothing to share: its constructor just stores references
+      to the new index, which is already O(1);
+    * numpy / native — the packed bit-matrix, copied flat and patched only
+      in the delta's dirty columns (:meth:`NumpyKernel.from_delta`);
+    * sharded — the sub-kernel *objects* of every shard the delta does not
+      touch (:meth:`ShardedKernel.from_delta`); when the inherited shard
+      bounds cannot represent the new size it falls back to a fresh
+      sharded build on the same base/executor.
+
+    ``old`` is left fully usable — epoch N readers keep an exact snapshot.
+    """
+    if isinstance(old, ShardedKernel):
+        kernel = ShardedKernel.from_delta(
+            old, sets, entity_masks, n_sets, delta
+        )
+        if kernel is not None:
+            return kernel
+        return make_kernel(
+            old.base_name,
+            sets,
+            entity_masks,
+            n_sets,
+            shards=old.n_shards,
+            shard_executor=old.executor_kind,
+        )
+    if isinstance(old, NumpyKernel):  # NativeKernel is-a NumpyKernel
+        return type(old).from_delta(old, sets, entity_masks, n_sets, delta)
+    return BigIntKernel(sets, entity_masks, n_sets)
+
+
 __all__ = [
     "AUTO_MIN_CELLS",
     "BACKEND_ENV_VAR",
@@ -225,6 +270,7 @@ __all__ = [
     "EntityStatsKernel",
     "HAS_NATIVE",
     "HAS_NUMPY",
+    "KernelDelta",
     "KernelTuning",
     "NativeFallbackWarning",
     "NativeKernel",
@@ -233,6 +279,7 @@ __all__ = [
     "ShardedKernel",
     "TUNING_ENV_VAR",
     "available_backends",
+    "delta_kernel",
     "filter_excluded",
     "get_tuning",
     "make_kernel",

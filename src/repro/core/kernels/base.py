@@ -32,9 +32,36 @@ entities to its children).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..bitmask import iter_bits
+
+
+@dataclass(frozen=True)
+class KernelDelta:
+    """Slot-level description of one collection delta, for kernel reuse.
+
+    :meth:`~repro.core.collection.SetCollection.apply_delta` computes this
+    once and hands it to :func:`repro.core.kernels.delta_kernel` so the new
+    epoch's kernel can patch a copy of its parent instead of repacking the
+    whole index.  Both tuples are sorted ascending.
+
+    Attributes
+    ----------
+    dirty_new:
+        Set slots (columns) of the **new** index whose content must be
+        (re)written: updated in place, replaced, appended, or filled by a
+        set swapped down from the truncated tail.
+    dirty_old:
+        Set slots of the **old** index whose previous content is gone:
+        updated, replaced, vacated by a swap, or truncated off the tail.
+        Every slot ``< new n_sets`` in here is also in ``dirty_new``; the
+        remainder lie in the truncated range ``[new n_sets, old n_sets)``.
+    """
+
+    dirty_new: tuple[int, ...]
+    dirty_old: tuple[int, ...]
 
 
 class EntityStatsKernel(ABC):

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from .base import EntityStatsKernel
+from .base import EntityStatsKernel, KernelDelta
 from .tuning import CSR_MIN_MEMBERSHIP, KernelTuning, get_tuning
 
 try:
@@ -98,6 +98,118 @@ class NumpyKernel(EntityStatsKernel):
         )
         self._total_membership = sum(len(s) for s in sets)
         self._avg_set_size = self._total_membership / n_sets if n_sets else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Copy-on-write delta construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_delta(
+        cls,
+        old: "NumpyKernel",
+        sets: Sequence[frozenset[int]],
+        entity_masks: dict[int, int],
+        n_sets: int,
+        delta: KernelDelta,
+    ) -> "NumpyKernel":
+        """Kernel over a delta-applied index, patching the parent's matrix.
+
+        The expensive part of :meth:`__init__` is the per-entity big-int
+        pack loop over the whole index; a delta touching ``k`` set slots
+        only needs those ``k`` *columns* rewritten, so this copies the
+        parent matrix (a flat memcpy) and patches the dirty bit columns,
+        grouped by 64-bit word.  When the entity row set changed, surviving
+        rows are gathered from the parent and rows of brand-new entities
+        start zero — correct, because a new entity's membership lies
+        entirely in dirty slots, which the patch rewrites wholesale.
+
+        Works for any subclass (the native backend inherits it via
+        ``cls``); the parent matrix is never modified, so epoch N readers
+        keep an exact snapshot.
+        """
+        self = cls.__new__(cls)
+        EntityStatsKernel.__init__(self, sets, entity_masks, n_sets)
+        self._tuning = old._tuning
+        self._n_words = max(1, (n_sets + 63) // 64)
+        self._n_bytes = self._n_words * 8
+        copy_words = min(self._n_words, old._n_words)
+        row_eids = np.fromiter(
+            sorted(entity_masks), dtype=np.int64, count=len(entity_masks)
+        )
+        if len(row_eids) == len(old._row_eids) and np.array_equal(
+            row_eids, old._row_eids
+        ):
+            row_eids = old._row_eids  # share the parent's row frame
+            self._row_of = old._row_of
+            self._rows_dense = old._rows_dense
+            if self._n_words == old._n_words:
+                matrix = old._matrix.copy()
+            else:
+                matrix = np.zeros(
+                    (len(row_eids), self._n_words), dtype=np.uint64
+                )
+                matrix[:, :copy_words] = old._matrix[:, :copy_words]
+        else:
+            matrix = np.zeros((len(row_eids), self._n_words), dtype=np.uint64)
+            if len(row_eids) and len(old._row_eids):
+                pos = np.searchsorted(old._row_eids, row_eids)
+                pos = np.minimum(pos, len(old._row_eids) - 1)
+                kept = old._row_eids[pos] == row_eids
+                matrix[kept, :copy_words] = old._matrix[pos[kept], :copy_words]
+            self._row_of = {
+                eid: row for row, eid in enumerate(row_eids.tolist())
+            }
+            self._rows_dense = bool(
+                len(row_eids)
+                and int(row_eids[0]) == 0
+                and int(row_eids[-1]) == len(row_eids) - 1
+            )
+        self._row_eids = row_eids
+        # Patch the dirty columns, grouped by word: one vectorized clear
+        # per touched word, then one row-scatter OR per dirty set.
+        row_of = self._row_of
+        clear_bits: dict[int, int] = {}
+        set_bits: dict[int, list[tuple[int, "np.ndarray"]]] = {}
+        for slot in delta.dirty_new:
+            word, bit = divmod(slot, 64)
+            clear_bits[word] = clear_bits.get(word, 0) | (1 << bit)
+            members = sets[slot]
+            if members:
+                rows = np.fromiter(
+                    (row_of[e] for e in members),
+                    dtype=np.int64,
+                    count=len(members),
+                )
+                set_bits.setdefault(word, []).append((1 << bit, rows))
+        for slot in delta.dirty_old:
+            # Vacated/truncated old columns that still fall inside the new
+            # word range carry stale bits (shared rows keep the parent's
+            # words); clear them.  dirty_new slots are covered above.
+            if slot < self._n_words * 64:
+                word, bit = divmod(slot, 64)
+                clear_bits[word] = clear_bits.get(word, 0) | (1 << bit)
+        for word, bits in clear_bits.items():
+            if word < self._n_words:
+                matrix[:, word] &= np.uint64(0xFFFFFFFFFFFFFFFF ^ bits)
+        for word, patches in set_bits.items():
+            column = matrix[:, word]
+            for bit, rows in patches:
+                column[rows] |= np.uint64(bit)
+        if n_sets < self._n_words * 64:
+            # Bits at/above n_sets select nothing anywhere, but keep the
+            # matrix canonical (CSR builds and tests compare it raw).
+            tail = n_sets - (self._n_words - 1) * 64
+            matrix[:, -1] &= np.uint64((1 << tail) - 1)
+        self._matrix = matrix
+        self._set_indptr = None  # CSR mirror rebuilt lazily on demand
+        self._set_flat_rows = None
+        self._total_membership = (
+            old._total_membership
+            - sum(len(old._sets[j]) for j in delta.dirty_old)
+            + sum(len(sets[j]) for j in delta.dirty_new)
+        )
+        self._avg_set_size = self._total_membership / n_sets if n_sets else 0.0
+        return self
 
     # ------------------------------------------------------------------ #
     # Packing helpers

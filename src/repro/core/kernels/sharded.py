@@ -34,10 +34,11 @@ from __future__ import annotations
 import itertools
 import os
 import weakref
+from bisect import bisect_right
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Sequence
 
-from .base import EntityStatsKernel
+from .base import EntityStatsKernel, KernelDelta
 from .bigint import BigIntKernel
 from .native_backend import HAS_NATIVE, NativeKernel
 from .numpy_backend import HAS_NUMPY, NumpyKernel
@@ -163,6 +164,101 @@ class ShardedKernel(EntityStatsKernel):
         if self.executor_kind == "process":
             self._token = next(_next_token)
             _FORK_REGISTRY[self._token] = self
+
+    # ------------------------------------------------------------------ #
+    # Copy-on-write delta construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_delta(
+        cls,
+        old: "ShardedKernel",
+        sets: Sequence[frozenset[int]],
+        entity_masks: dict[int, int],
+        n_sets: int,
+        delta: KernelDelta,
+    ) -> "ShardedKernel | None":
+        """Sharded kernel over a delta-applied index, reusing clean shards.
+
+        Shard bounds are inherited, with only the last shard's upper bound
+        following ``n_sets`` — so a delta touching one set range rebuilds
+        only the shards whose ``[lo, hi)`` it intersects; every other
+        sub-kernel object is *shared* with the parent (sub-kernels are
+        content-immutable, and entities absent from a shard's sliced index
+        count 0 there).  Shards with a vectorized base are additionally
+        rebuilt whenever the entity key set changed, because their
+        set-major gather returns counts positionally aligned to the shard's
+        own row frame and that frame must match :attr:`_all_eids`; a
+        big-int shard indexes entities by id and reuses fine.  Dirty
+        vectorized shards patch via :meth:`NumpyKernel.from_delta`.
+
+        Returns ``None`` when the inherited bounds cannot represent the new
+        size (the set axis shrank past the last shard's start, or to a
+        single set) — the caller falls back to a fresh
+        :func:`~repro.core.kernels.make_kernel`.
+        """
+        if n_sets <= old._bounds[-1][0] or n_sets <= 1:
+            return None
+        self = cls.__new__(cls)
+        EntityStatsKernel.__init__(self, sets, entity_masks, n_sets)
+        self.base_name = old.base_name
+        self.executor_kind = old.executor_kind
+        bounds = list(old._bounds[:-1]) + [(old._bounds[-1][0], n_sets)]
+        self._bounds = bounds
+        rows_changed = entity_masks.keys() != old._entity_masks.keys()
+        dirty_shards: set[int] = set()
+        if n_sets != old._n_sets:
+            dirty_shards.add(len(bounds) - 1)
+        shard_los = [lo for lo, _ in bounds]
+        for slot in delta.dirty_new:
+            dirty_shards.add(bisect_right(shard_los, slot) - 1)
+        shards: list[EntityStatsKernel] = []
+        for s, (lo, hi) in enumerate(bounds):
+            old_shard = old._shards[s]
+            vectorized = isinstance(old_shard, NumpyKernel)
+            if s not in dirty_shards and not (rows_changed and vectorized):
+                shards.append(old_shard)
+                continue
+            width = hi - lo
+            valid = (1 << width) - 1
+            sliced = {e: (m >> lo) & valid for e, m in entity_masks.items()}
+            if vectorized:
+                hi_old = old._bounds[s][1]
+                local = KernelDelta(
+                    dirty_new=tuple(
+                        j - lo for j in delta.dirty_new if lo <= j < hi
+                    ),
+                    dirty_old=tuple(
+                        j - lo for j in delta.dirty_old if lo <= j < hi_old
+                    ),
+                )
+                shards.append(
+                    type(old_shard).from_delta(
+                        old_shard, sets[lo:hi], sliced, width, local
+                    )
+                )
+            else:
+                shards.append(BigIntKernel(sets[lo:hi], sliced, width))
+        self._shards = shards
+        self.n_shards = len(shards)
+        self.name = f"{self.base_name}[x{self.n_shards}]"
+        if rows_changed:
+            if HAS_NUMPY and self.base_name in ("numpy", "native"):
+                self._all_eids = np.fromiter(
+                    sorted(entity_masks),
+                    dtype=np.int64,
+                    count=len(entity_masks),
+                )
+            else:
+                self._all_eids = sorted(entity_masks)
+        else:
+            self._all_eids = old._all_eids
+        self._pool = None
+        self._token = None
+        if self.executor_kind == "process":
+            self._token = next(_next_token)
+            _FORK_REGISTRY[self._token] = self
+        return self
 
     # ------------------------------------------------------------------ #
     # Worker-pool plumbing

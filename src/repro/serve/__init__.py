@@ -23,12 +23,16 @@ per-step latency budgets are tight.  The stack has three layers
 
 Whatever the front-end, every session's transcript is bit-identical to a
 sequential :meth:`~repro.core.discovery.DiscoverySession.run` — the stack
-changes how work is batched, never what a session observes.
+changes how work is batched, never what a session observes.  That
+guarantee survives mutation: collections version by epoch
+(``docs/collections.md``), every front-end exposes ``apply_delta``, each
+session stays pinned to the epoch it started on, and the scheduler groups
+stacked flushes per epoch.
 """
 
 from .async_service import AsyncDiscoveryService, ServiceClosed, percentile
 from .engine import EngineStats, SessionEngine
-from .http import DiscoveryApp, EmbeddedServer
+from .http import DiscoveryApp, EmbeddedServer, delta_batch_from_spec
 from .metrics import LatencyReservoir, ServiceMetrics
 from .scheduler import FlushPolicy, FlushReport, ScanScheduler
 from .state import Phase, SessionRegistry, SessionState
@@ -48,5 +52,6 @@ __all__ = [
     "SessionEngine",
     "SessionRegistry",
     "SessionState",
+    "delta_batch_from_spec",
     "percentile",
 ]

@@ -100,7 +100,6 @@ class AsyncDiscoveryService:
         max_batch: int | None = 64,
         release_caches: bool = True,
     ) -> None:
-        self.collection = collection
         self.registry = SessionRegistry(
             collection, release_caches=release_caches
         )
@@ -131,6 +130,19 @@ class AsyncDiscoveryService:
         self._flushing = False
         self._draining = False
         self._closed = False
+        #: collection deltas applied through this service (metrics counter)
+        self.deltas_applied = 0
+
+    @property
+    def collection(self) -> SetCollection:
+        """The *current* collection epoch (what new sessions spawn on).
+
+        :meth:`apply_delta` advances it; sessions already running stay
+        pinned to the epoch they started on.  The shared universe never
+        changes across epochs, so label translation through this property
+        is valid for questions of any epoch's session.
+        """
+        return self.registry.collection
 
     # ------------------------------------------------------------------ #
     # Session attachment (delegated to the registry)
@@ -195,6 +207,79 @@ class AsyncDiscoveryService:
     @property
     def results(self) -> Mapping[Hashable, DiscoveryResult]:
         return self.registry.results
+
+    # ------------------------------------------------------------------ #
+    # Collection mutation (epoch versioning)
+    # ------------------------------------------------------------------ #
+
+    async def apply_delta(self, batch) -> SetCollection:
+        """Apply a :class:`~repro.core.collection.DeltaBatch` live.
+
+        Runs ``collection.apply_delta(batch)`` on the flush executor —
+        the single thread that owns all session/kernel mutation — so the
+        delta is strictly ordered against in-flight flushes: every stacked
+        scan runs entirely before or entirely after it, never across it.
+        New sessions spawned after this returns start on the new epoch;
+        running sessions keep their pinned epoch and finish with
+        transcripts byte-identical to a delta-free run.  An old epoch's
+        collection (and kernel) is garbage-collected once its last pinned
+        session finishes — nothing else holds a reference.
+
+        Returns the new current collection.  Raises whatever
+        :meth:`~repro.core.collection.SetCollection.apply_delta` raises on
+        an inconsistent batch, leaving the current epoch in place.
+        """
+        self._check_open()
+        self._bind_loop()
+        registry = self.registry
+
+        def _apply() -> "tuple[SetCollection, bool]":
+            current = registry.collection
+            new = current.apply_delta(batch)
+            if new is current:  # empty batch: no new epoch
+                return new, False
+            registry.advance_collection(new)
+            return new, True
+
+        assert self._loop is not None
+        new, advanced = await self._loop.run_in_executor(
+            self._ensure_executor(), _apply
+        )
+        if advanced:
+            self.deltas_applied += 1
+        return new
+
+    async def expire(self, key: Hashable) -> bool:
+        """Discard an abandoned live session (the TTL-expiry path).
+
+        Refuses (returns ``False``) when the session is unknown, already
+        finished, or shows any sign of life — queued work, an unapplied
+        reply, or a pending ``ask``/``result`` waiter — so an active
+        session can never be expired out from under its user.  The
+        discard itself runs on the flush executor, serialized with all
+        other session mutation.  No result is recorded; the HTTP edge
+        answers later requests for the key with ``session_expired``.
+        """
+        self._check_open()
+        self._bind_loop()
+        if (
+            key in self._needy
+            or key in self._replies
+            or key in self._inflight_replies
+            or any(
+                not fut.done() for fut in self._ask_waiters.get(key, [])
+            )
+            or any(
+                not fut.done() for fut in self._result_waiters.get(key, [])
+            )
+        ):
+            return False
+        if self.registry.result_of(key) is not None:
+            return False  # finished normally; the result map owns it
+        assert self._loop is not None
+        return await self._loop.run_in_executor(
+            self._ensure_executor(), self.registry.discard, key
+        )
 
     # ------------------------------------------------------------------ #
     # The three serving verbs

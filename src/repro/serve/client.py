@@ -23,7 +23,12 @@ import secrets
 
 from .http import encode_ws_frame, read_ws_frame
 
-__all__ = ["HttpConnection", "HttpSessionClient", "WsSessionClient"]
+__all__ = [
+    "AdminClient",
+    "HttpConnection",
+    "HttpSessionClient",
+    "WsSessionClient",
+]
 
 
 class HttpConnection:
@@ -185,6 +190,56 @@ class HttpSessionClient:
         while (entity := await self.next_question()) is not None:
             await self.send_answer(oracle(entity))
         return await self.result()
+
+
+class AdminClient:
+    """Operator-side client for the admin surface (``POST /admin/delta``).
+
+    Speaks the JSON delta shape of
+    :func:`~repro.serve.http.delta_batch_from_spec`, authorized by the
+    server's ``admin_token`` (never a session token)::
+
+        async with AdminClient(host, port, token) as admin:
+            info = await admin.apply_delta(
+                add={"S9": ["milk", "eggs"]},
+                remove=["S3"],
+                update={"S1": {"add": ["butter"]}},
+            )
+            # info["epoch"] is the collection epoch now serving spawns
+    """
+
+    def __init__(self, host: str, port: int, token: str) -> None:
+        self.conn = HttpConnection(host, port)
+        self.token = token
+
+    async def __aenter__(self) -> "AdminClient":
+        await self.conn.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.conn.aclose()
+
+    async def apply_delta(
+        self,
+        add: "dict | None" = None,
+        remove: "list | None" = None,
+        update: "dict | None" = None,
+    ) -> dict:
+        """Apply one delta batch; returns the server's epoch summary."""
+        body: dict = {}
+        if add:
+            body["add"] = add
+        if remove:
+            body["remove"] = remove
+        if update:
+            body["update"] = update
+        status, payload = await self.conn.request(
+            "POST", "/admin/delta", body, token=self.token
+        )
+        if status != 200:
+            raise _UnexpectedStatus(status, payload)
+        assert isinstance(payload, dict)
+        return payload
 
 
 class WsSessionClient:

@@ -97,12 +97,31 @@ class SessionEngine:
                 and resolve_executor_name(shard_executor) != current_exec
             ):
                 collection.reshard(shards, executor=shard_executor)
-        self.collection = collection
         self.registry = SessionRegistry(
             collection, release_caches=release_caches
         )
         self.scheduler = ScanScheduler(self.registry)
         self.stats = self.scheduler.stats
+
+    @property
+    def collection(self) -> SetCollection:
+        """The current collection epoch (what new sessions spawn on)."""
+        return self.registry.collection
+
+    def apply_delta(self, batch) -> SetCollection:
+        """Apply a :class:`~repro.core.collection.DeltaBatch` between ticks.
+
+        New sessions spawn on the returned epoch; running sessions stay
+        pinned to theirs — the next :meth:`tick` groups stacked scans per
+        epoch, so every transcript stays byte-identical to a delta-free
+        run.  Call between :meth:`tick`/:meth:`answer` rounds (the engine
+        is single-threaded by design).
+        """
+        current = self.registry.collection
+        new = current.apply_delta(batch)
+        if new is not current:
+            self.registry.advance_collection(new)
+        return new
 
     # ------------------------------------------------------------------ #
     # Session registry (delegated)

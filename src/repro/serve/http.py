@@ -11,6 +11,7 @@ pieces, deliberately separable:
       GET  /sessions/{id}/question    await the next question (long-poll)
       POST /sessions/{id}/answer      record the user's reply
       GET  /sessions/{id}/result      await the session's outcome
+      POST /admin/delta               apply a collection delta batch
       GET  /metrics                   Prometheus text exposition
       GET  /healthz                   liveness/drain status
       GET  /ws                        WebSocket push-style sessions
@@ -21,6 +22,21 @@ pieces, deliberately separable:
   while in-flight sessions finish.  Being plain ASGI, the app runs under
   ``uvicorn`` unchanged (the ``http`` extra) — production deployments
   should prefer that.
+
+  ``POST /admin/delta`` is the mutation edge of the epoch-versioned
+  collection model (``docs/collections.md``): it takes a JSON delta
+  batch, applies it through
+  :meth:`~repro.serve.async_service.AsyncDiscoveryService.apply_delta`,
+  and answers with the new epoch.  It is disabled unless the app was
+  constructed with an ``admin_token``, which the request must present as
+  its bearer token — the per-session tokens never authorize it.
+
+  Abandoned sessions no longer leak: give the app a ``session_ttl_s``
+  and a lazy sweep (piggy-backed on request handling and on the drain
+  poll loop) expires handles idle past the TTL, provided the service
+  agrees the session is not mid-interaction.  Expired ids answer 404
+  ``session_expired`` — deliberately distinct from ``unknown-session``
+  so clients can tell "come back later won't help" from a typo.
 
 * :class:`EmbeddedServer` — a stdlib-only ``asyncio`` HTTP/1.1 +
   WebSocket (RFC 6455) server hosting any ASGI app, so tests, CI and the
@@ -54,6 +70,7 @@ from typing import Awaitable, Callable, Hashable, Mapping
 from urllib.parse import unquote
 
 from ..core.bounds import metric_by_name
+from ..core.collection import DeltaBatch, DeltaError, DuplicateSetError
 from ..core.lookahead import KLPSelector
 from ..core.selection import (
     InfoGainSelector,
@@ -66,6 +83,7 @@ __all__ = [
     "DiscoveryApp",
     "EmbeddedServer",
     "build_selector_from_spec",
+    "delta_batch_from_spec",
     "result_payload",
 ]
 
@@ -128,6 +146,46 @@ def build_selector_from_spec(spec: Mapping) -> object:
     raise ValueError(f"unknown selector {name!r}")
 
 
+def delta_batch_from_spec(spec: Mapping) -> DeltaBatch:
+    """A :class:`DeltaBatch` from the ``POST /admin/delta`` JSON shape.
+
+    ``{"add": {name: [labels]}, "remove": [names],
+    "update": {name: {"add": [labels], "remove": [labels]}}}`` — every
+    key optional, malformed shapes raise ``ValueError`` (mapped to 400
+    by the route handler; unknown names/labels surface later as
+    :class:`~repro.core.collection.DeltaError`).
+    """
+    batch = DeltaBatch()
+    adds = spec.get("add", {})
+    if not isinstance(adds, Mapping):
+        raise ValueError("'add' must be an object of {name: [labels]}")
+    for name, members in adds.items():
+        if not isinstance(members, (list, tuple)):
+            raise ValueError(f"'add' members of {name!r} must be a list")
+        batch.add_sets({name: members})
+    removes = spec.get("remove", ())
+    if not isinstance(removes, (list, tuple)):
+        raise ValueError("'remove' must be a list of set names")
+    if removes:
+        batch.remove_sets(removes)
+    updates = spec.get("update", {})
+    if not isinstance(updates, Mapping):
+        raise ValueError("'update' must be an object of {name: {...}}")
+    for name, change in updates.items():
+        if not isinstance(change, Mapping):
+            raise ValueError(f"'update' entry {name!r} must be an object")
+        add = change.get("add", ())
+        drop = change.get("remove", ())
+        if not isinstance(add, (list, tuple)) or not isinstance(
+            drop, (list, tuple)
+        ):
+            raise ValueError(
+                f"'update' entry {name!r} needs list-valued add/remove"
+            )
+        batch.update_membership(name, add=add, remove=drop)
+    return batch
+
+
 def result_payload(key: Hashable, result) -> dict:
     """JSON shape of a finished session's ``DiscoveryResult``.
 
@@ -161,6 +219,16 @@ class _SessionHandle:
     key: Hashable
     token: str
     created_at: float = field(default_factory=time.monotonic)
+    last_seen: float = field(default_factory=time.monotonic)
+
+    def touch(self) -> None:
+        self.last_seen = time.monotonic()
+
+
+#: how many expired session ids are remembered for the 404
+#: ``session_expired`` distinction (bounded so the memory of expired
+#: sessions cannot itself become the leak the TTL sweep removes)
+EXPIRED_IDS_REMEMBERED = 4096
 
 
 class DiscoveryApp:
@@ -177,6 +245,17 @@ class DiscoveryApp:
     collection_info:
         Optional static facts merged into ``GET /healthz`` (the CLI puts
         the collection shape and backend here).
+    session_ttl_s:
+        Idle TTL for HTTP session handles.  A session not touched by any
+        authorized request for this long is expired by a lazy sweep
+        (requests and the drain loop trigger it) *if* the service agrees
+        it is idle — mid-interaction sessions are never reaped.  Expired
+        ids answer 404 ``session_expired``; ``None`` (default) keeps the
+        pre-TTL behaviour of remembering every handle forever.
+    admin_token:
+        Bearer token authorizing ``POST /admin/delta``.  ``None``
+        (default) disables the admin surface entirely (403
+        ``admin-disabled``); session tokens never authorize it.
     """
 
     def __init__(
@@ -185,12 +264,22 @@ class DiscoveryApp:
         *,
         require_auth: bool = True,
         collection_info: Mapping | None = None,
+        session_ttl_s: float | None = None,
+        admin_token: str | None = None,
     ) -> None:
+        if session_ttl_s is not None and session_ttl_s <= 0:
+            raise ValueError("session_ttl_s must be positive (or None)")
         self.service = service
         self.metrics = service.metrics
         self.require_auth = require_auth
         self.collection_info = dict(collection_info or {})
+        self.session_ttl_s = session_ttl_s
+        self.admin_token = admin_token
         self._sessions: dict[str, _SessionHandle] = {}
+        #: expired sid -> None, insertion-ordered so the oldest memories
+        #: fall off first once EXPIRED_IDS_REMEMBERED is reached
+        self._expired: dict[str, None] = {}
+        self._next_sweep = 0.0
         self._draining = False
 
     # ------------------------------------------------------------------ #
@@ -222,8 +311,54 @@ class DiscoveryApp:
         while self.service.n_active and (
             deadline is None or time.monotonic() < deadline
         ):
+            # The drain poll doubles as the TTL sweeper's last chance:
+            # abandoned sessions past their TTL are reaped here instead
+            # of pinning the drain until its grace deadline.
+            await self.sweep_expired()
             await asyncio.sleep(poll_s)
         await self.service.aclose()
+
+    # ------------------------------------------------------------------ #
+    # Session TTL sweep
+    # ------------------------------------------------------------------ #
+
+    async def sweep_expired(self, force: bool = False) -> int:
+        """Expire session handles idle past ``session_ttl_s``.
+
+        Lazy by design: piggy-backed on request handling (throttled to at
+        most one pass per quarter-TTL) and on the drain poll loop, so no
+        background task is needed.  A handle is reaped only when the
+        service's :meth:`~repro.serve.async_service.AsyncDiscoveryService.expire`
+        agrees the session is idle — pending questions in flight,
+        undelivered replies or waiting long-polls all veto it.  Returns
+        the number of sessions expired by this pass.
+        """
+        ttl = self.session_ttl_s
+        if ttl is None:
+            return 0
+        now = time.monotonic()
+        if not force and now < self._next_sweep:
+            return 0
+        self._next_sweep = now + max(ttl / 4.0, 0.05)
+        reaped = 0
+        for sid, handle in list(self._sessions.items()):
+            if now - handle.last_seen < ttl:
+                continue
+            if self.service.registry.result_of(handle.key) is not None:
+                # Finished but never collected: the handle is all that
+                # leaks (the result map is drainable separately), so just
+                # forget it.
+                pass
+            elif not await self.service.expire(handle.key):
+                continue  # mid-interaction; retry next sweep
+            if self._sessions.get(sid) is handle:
+                del self._sessions[sid]
+            self._expired[sid] = None
+            self.metrics.sessions_expired += 1
+            reaped += 1
+        while len(self._expired) > EXPIRED_IDS_REMEMBERED:
+            self._expired.pop(next(iter(self._expired)))
+        return reaped
 
     # ------------------------------------------------------------------ #
     # ASGI entry point
@@ -263,12 +398,19 @@ class DiscoveryApp:
         path = scope["path"]
         route = path
         status = 500
+        await self.sweep_expired()
         try:
             if path == "/sessions":
                 route = "/sessions"
                 self._require_method(method, "POST")
                 body = await self._read_json(receive)
                 status, payload = await self._create_session(body)
+            elif path == "/admin/delta":
+                route = "/admin/delta"
+                self._require_method(method, "POST")
+                self._authorize_admin(scope)
+                body = await self._read_json(receive)
+                status, payload = await self._apply_delta(body)
             elif match := _SESSION_ROUTE.match(path):
                 sid, verb = match.group(1), match.group(2)
                 route = f"/sessions/{{id}}/{verb}"
@@ -368,8 +510,16 @@ class DiscoveryApp:
     def _authorize(self, scope, sid: str) -> _SessionHandle:
         handle = self._sessions.get(sid)
         if handle is None:
+            if sid in self._expired:
+                raise _HTTPError(
+                    404,
+                    "session_expired",
+                    f"session {sid!r} expired after "
+                    f"{self.session_ttl_s}s idle",
+                )
             raise _HTTPError(404, "unknown-session", f"no session {sid!r}")
         if not self.require_auth:
+            handle.touch()
             return handle
         token = self._bearer_token(scope)
         if token is None:
@@ -380,7 +530,22 @@ class DiscoveryApp:
             raise _HTTPError(
                 403, "wrong-token", f"token does not match session {sid!r}"
             )
+        handle.touch()
         return handle
+
+    def _authorize_admin(self, scope) -> None:
+        """Gate ``/admin/delta``: only the configured admin token passes."""
+        if self.admin_token is None:
+            raise _HTTPError(
+                403, "admin-disabled", "no admin token configured"
+            )
+        token = self._bearer_token(scope)
+        if token is None:
+            raise _HTTPError(
+                401, "missing-token", "admin routes need a bearer token"
+            )
+        if not secrets.compare_digest(token, self.admin_token):
+            raise _HTTPError(403, "wrong-token", "not the admin token")
 
     # ------------------------------------------------------------------ #
     # Route handlers
@@ -477,11 +642,29 @@ class DiscoveryApp:
         result = await self.service.result(handle.key)
         return 200, result_payload(handle.key, result)
 
+    async def _apply_delta(self, body: Mapping) -> tuple[int, dict]:
+        try:
+            batch = delta_batch_from_spec(body)
+        except (ValueError, TypeError) as exc:
+            raise _HTTPError(400, "bad-delta", str(exc)) from None
+        try:
+            collection = await self.service.apply_delta(batch)
+        except (DeltaError, DuplicateSetError) as exc:
+            raise _HTTPError(400, "bad-delta", str(exc)) from None
+        return 200, {
+            "epoch": collection.epoch,
+            "n_sets": len(collection),
+            "n_entities": collection.n_entities,
+            "applied": bool(batch),
+        }
+
     def _health(self) -> dict:
         return {
             "status": "draining" if self._draining else "ok",
             "active_sessions": self.service.n_active,
             "finished_sessions": len(self.service.registry.results),
+            "tracked_sessions": len(self._sessions),
+            "epoch": self.service.collection.epoch,
             **self.collection_info,
         }
 
@@ -558,11 +741,16 @@ class DiscoveryApp:
                 self.require_auth
                 and not secrets.compare_digest(token, handle.token)
             ):
-                await self._ws_error(
-                    send, "unknown-session", "bad session or token"
+                code = (
+                    "session_expired"
+                    if handle is None
+                    and str(request.get("session")) in self._expired
+                    else "unknown-session"
                 )
+                await self._ws_error(send, code, "bad session or token")
                 await self._ws_close(send, 1008)
                 return
+            handle.touch()
             await self._ws_json(
                 send, {"type": "attached", "session": str(handle.key)}
             )

@@ -97,6 +97,9 @@ class ServiceMetrics:
         self._clock = clock
         self.ask_latency = LatencyReservoir(window=window)
         self.ws_sessions = 0  # live push-style websocket sessions
+        #: sessions reaped by the HTTP edge's TTL sweep (lifetime counter,
+        #: incremented by the edge — in-process serving never expires)
+        self.sessions_expired = 0
         #: HTTP request counter, ``(route, status) -> count`` — filled by
         #: the HTTP edge; empty (and un-rendered) for in-process serving
         self.http_requests: dict[tuple[str, int], int] = {}
@@ -136,6 +139,20 @@ class ServiceMetrics:
             return 0.0
         return stats.flushed_requests / stats.ticks
 
+    @property
+    def collection_epoch(self) -> int:
+        """Epoch number of the collection new sessions currently spawn on."""
+        return self._source.registry.collection.epoch
+
+    def live_epochs(self) -> dict[int, int]:
+        """Active sessions pinned to each still-referenced epoch."""
+        return self._source.registry.live_epochs()
+
+    @property
+    def deltas_applied(self) -> int:
+        """Delta batches the front-end has applied (0 if it cannot)."""
+        return getattr(self._source, "deltas_applied", 0)
+
     def sessions_by_phase(self) -> dict[str, int]:
         """Active sessions per phase plus lifetime ``finished`` count."""
         counts = {"needs-scan": 0, "question-pending": 0}
@@ -161,6 +178,13 @@ class ServiceMetrics:
             "queue_depth": self.queue_depth,
             "flush_occupancy": self.flush_occupancy,
             "sessions": self.sessions_by_phase(),
+            "collection_epoch": self.collection_epoch,
+            "live_epochs": {
+                str(epoch): count
+                for epoch, count in sorted(self.live_epochs().items())
+            },
+            "deltas_applied": self.deltas_applied,
+            "sessions_expired": self.sessions_expired,
             "flushes": stats.ticks,
             "stacked_scans": stats.batched_scans,
             "scan_cache_hits": stats.scan_cache_hits,
@@ -200,6 +224,25 @@ class ServiceMetrics:
         for phase, count in sorted(self.sessions_by_phase().items()):
             lines.append(f'repro_sessions{{phase="{phase}"}} {count}')
         lines += [
+            "# HELP repro_collection_epoch Epoch new sessions spawn on "
+            "(bumped by each applied delta batch).",
+            "# TYPE repro_collection_epoch gauge",
+            f"repro_collection_epoch {self.collection_epoch}",
+            "# HELP repro_epoch_sessions Active sessions pinned to each "
+            "still-referenced collection epoch.",
+            "# TYPE repro_epoch_sessions gauge",
+        ]
+        for epoch, count in sorted(self.live_epochs().items()):
+            lines.append(f'repro_epoch_sessions{{epoch="{epoch}"}} {count}')
+        lines += [
+            "# HELP repro_deltas_applied_total Delta batches applied to "
+            "the served collection.",
+            "# TYPE repro_deltas_applied_total counter",
+            f"repro_deltas_applied_total {self.deltas_applied}",
+            "# HELP repro_sessions_expired_total Sessions reaped by the "
+            "HTTP edge's idle TTL sweep.",
+            "# TYPE repro_sessions_expired_total counter",
+            f"repro_sessions_expired_total {self.sessions_expired}",
             "# HELP repro_websocket_sessions Live push-style websocket "
             "sessions.",
             "# TYPE repro_websocket_sessions gauge",

@@ -41,6 +41,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
+from ..core.collection import SetCollection
 from ..core.discovery import DiscoveryResult
 from ..core.kernels import filter_excluded, select_best_many
 from ..core.selection import NoInformativeEntityError
@@ -171,7 +172,6 @@ class ScanScheduler:
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.registry = registry
-        self.collection = registry.collection
         self.policy = FlushPolicy(
             flush_after_ms=flush_after_ms, max_batch=max_batch
         )
@@ -180,6 +180,17 @@ class ScanScheduler:
         self._queue: list[SessionState] = []
         self._queued: set[Hashable] = set()
         self._first_at: float | None = None
+
+    @property
+    def collection(self) -> "SetCollection":
+        """The registry's *current* epoch (new sessions' collection).
+
+        A property, not a snapshot: after
+        :meth:`~repro.serve.state.SessionRegistry.advance_collection` the
+        scheduler follows automatically.  Flushes group work by each
+        session's own pinned collection regardless.
+        """
+        return self.registry.collection
 
     @property
     def flush_after_ms(self) -> float | None:
@@ -267,7 +278,34 @@ class ScanScheduler:
     def _advance(
         self, need: list[SessionState], report: FlushReport
     ) -> None:
-        collection = self.collection
+        """Advance ``need``, grouped by each session's pinned epoch.
+
+        All sessions usually share the current collection and this is one
+        group; after an
+        :meth:`~repro.core.collection.SetCollection.apply_delta`, sessions
+        pinned to older epochs get their own stacked pass against *their*
+        collection — masks are only comparable within one epoch, and this
+        is exactly what keeps a pinned session's transcript byte-identical
+        across deltas.  Groups run in first-submission order, so the
+        common single-epoch case is unchanged.
+        """
+        by_collection: dict[int, tuple[SetCollection, list[SessionState]]] = {}
+        for state in need:
+            collection = state.session.collection
+            group = by_collection.get(id(collection))
+            if group is None:
+                by_collection[id(collection)] = (collection, [state])
+            else:
+                group[1].append(state)
+        for collection, group in by_collection.values():
+            self._advance_group(collection, group, report)
+
+    def _advance_group(
+        self,
+        collection: SetCollection,
+        need: list[SessionState],
+        report: FlushReport,
+    ) -> None:
         registry = self.registry
         # -- 1. one stacked scan for every distinct mask ----------------- #
         for state in need:

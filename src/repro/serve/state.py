@@ -154,6 +154,16 @@ class SessionRegistry:
     attach/spawn sessions, validate answers, retire finished sessions into
     :attr:`results`, and release cached informative stats once no active
     session still holds the mask (``release_caches=False`` to opt out).
+
+    **Epochs.** :attr:`collection` is the *current* epoch: the one new
+    sessions spawn against.  :meth:`advance_collection` moves it forward
+    after a :meth:`~repro.core.collection.SetCollection.apply_delta`;
+    sessions already attached stay **pinned** to the epoch they started on
+    (``state.session.collection``), so their transcripts are unaffected by
+    later deltas.  An old epoch object is kept alive only by its pinned
+    sessions — when the last one finishes, nothing references it and it is
+    garbage-collected.  Mask reference counts are kept per epoch: the same
+    integer mask means different sub-collections on different epochs.
     """
 
     def __init__(
@@ -163,7 +173,7 @@ class SessionRegistry:
         self._release = release_caches
         self._states: dict[Hashable, SessionState] = {}
         self._results: dict[Hashable, DiscoveryResult] = {}
-        self._mask_refs: dict[int, int] = {}
+        self._mask_refs: dict[tuple[int, int], int] = {}
         self._auto_key = 0
 
     # ------------------------------------------------------------------ #
@@ -182,9 +192,19 @@ class SessionRegistry:
         """
         if session.collection is not self.collection:
             raise ValueError(
-                "session discovers over a different collection; "
-                "an engine batches masks of one shared collection"
+                "session discovers over a different collection (or a "
+                "stale epoch); an engine batches masks of one shared "
+                "collection — spawn() pins new sessions to the current "
+                "epoch atomically"
             )
+        return self._attach(session, oracle, key)
+
+    def _attach(
+        self,
+        session: DiscoverySession,
+        oracle: Oracle | None,
+        key: Hashable | None,
+    ) -> Hashable:
         if key is None:
             key = self._auto_key
             self._auto_key += 1
@@ -203,15 +223,58 @@ class SessionRegistry:
         key: Hashable | None = None,
     ) -> Hashable:
         """Construct a :class:`DiscoverySession` over the registry's
-        collection and :meth:`add` it in one call."""
+        collection and :meth:`add` it in one call.
+
+        The current epoch is read once, so a concurrent
+        :meth:`advance_collection` pins this session to either the old or
+        the new epoch consistently — never a mix.
+        """
+        collection = self.collection
         session = DiscoverySession(
-            self.collection,
+            collection,
             selector,
             initial=initial,
             initial_ids=initial_ids,
             max_questions=max_questions,
         )
-        return self.add(session, oracle=oracle, key=key)
+        return self._attach(session, oracle=oracle, key=key)
+
+    def advance_collection(self, collection: SetCollection) -> None:
+        """Make ``collection`` the current epoch for new sessions.
+
+        Active sessions are untouched: each stays pinned to the collection
+        object it was spawned against, so in-flight scans and transcripts
+        keep an exact snapshot.  The new collection must be a later epoch
+        of the same lineage (same shared universe) — normally the return
+        value of ``self.collection.apply_delta(batch)``.
+        """
+        current = self.collection
+        if collection is current:
+            return
+        if collection.universe is not current.universe:
+            raise ValueError(
+                "advance_collection expects a delta-derived collection "
+                "sharing the current collection's universe"
+            )
+        if collection.epoch <= current.epoch:
+            raise ValueError(
+                f"advance_collection expects a later epoch "
+                f"(current {current.epoch}, got {collection.epoch})"
+            )
+        self.collection = collection
+
+    def live_epochs(self) -> dict[int, int]:
+        """Active-session count per pinned epoch (current epoch included).
+
+        The current epoch is always present (possibly with 0 sessions);
+        older epochs appear only while a session pinned to them is live —
+        exactly the objects a delta cannot yet garbage-collect.
+        """
+        counts = {self.collection.epoch: 0}
+        for state in self._states.values():
+            epoch = state.session.collection.epoch
+            counts[epoch] = counts.get(epoch, 0) + 1
+        return counts
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -300,10 +363,16 @@ class SessionRegistry:
         state.session.answer(value)
 
     def note_visit(self, state: SessionState, mask: int) -> None:
-        """Reference-count ``mask`` against ``state`` for cache release."""
+        """Reference-count ``mask`` against ``state`` for cache release.
+
+        Counted per ``(epoch, mask)``: the cache entries live on the
+        session's pinned collection, and equal integer masks on different
+        epochs are unrelated sub-collections.
+        """
         if mask not in state.visited:
             state.visited.add(mask)
-            self._mask_refs[mask] = self._mask_refs.get(mask, 0) + 1
+            ref = (state.session.collection.epoch, mask)
+            self._mask_refs[ref] = self._mask_refs.get(ref, 0) + 1
 
     def finish(self, state: SessionState) -> DiscoveryResult:
         """Retire ``state`` into :attr:`results`, releasing its masks.
@@ -322,18 +391,39 @@ class SessionRegistry:
         result = state.session.result()
         self._results[state.key] = result
         self._states.pop(state.key)
+        self._release_visited(state)
+        return result
+
+    def discard(self, key: Hashable) -> bool:
+        """Drop a live session without recording a result.
+
+        The expiry path for abandoned sessions: the state is removed, its
+        visited masks are released exactly as :meth:`finish` would, and no
+        entry lands in :attr:`results`.  Returns whether ``key`` was live.
+        """
+        state = self._states.pop(key, None)
+        if state is None:
+            return False
+        self._release_visited(state)
+        return True
+
+    def _release_visited(self, state: SessionState) -> None:
+        # Release against the session's *pinned* collection: its cached
+        # stats live on that epoch, not necessarily the current one.
+        collection = state.session.collection
+        epoch = collection.epoch
         for mask in state.visited:
-            refs = self._mask_refs.get(mask, 0) - 1
+            ref = (epoch, mask)
+            refs = self._mask_refs.get(ref, 0) - 1
             if refs > 0:
-                self._mask_refs[mask] = refs
+                self._mask_refs[ref] = refs
             else:
-                self._mask_refs.pop(mask, None)
+                self._mask_refs.pop(ref, None)
                 if self._release:
                     # Nobody active still holds this sub-collection: give
                     # its cached stats back before the LRU has to.
-                    self.collection.release_cached(mask)
+                    collection.release_cached(mask)
         state.visited = set()
-        return result
 
     def __repr__(self) -> str:
         return (

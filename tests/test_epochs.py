@@ -1,0 +1,474 @@
+"""Epoch-versioned serving: pinning, grouping, deltas end to end.
+
+The core/kernel side of ``apply_delta`` is fuzzed in
+``tests/test_parity_fuzz.py``; this module holds the *serving* contract
+of the epoch model (``docs/collections.md``):
+
+* the :class:`SessionRegistry` pins every session to the collection it
+  started on, tracks live epochs, and validates ``advance_collection``;
+* sessions started before a delta finish with transcripts byte-identical
+  to a delta-free run on their pinned epoch — over the lock-step engine,
+  the asyncio service and the real HTTP edge;
+* old epochs are garbage-collectable the moment their last session
+  finishes (``live_epochs`` drops them, per-epoch cache refs drain);
+* ``POST /admin/delta`` is admin-token-gated and bumps the served epoch;
+* the TTL sweep expires abandoned HTTP sessions with a distinct 404
+  ``session_expired`` and a ``sessions_expired_total`` metric.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.collection import DeltaBatch, SetCollection
+from repro.core.discovery import DiscoverySession
+from repro.core.selection import MostEvenSelector
+from repro.data.synthetic import SyntheticConfig, generate_collection
+from repro.oracle import SimulatedUser
+from repro.serve import (
+    AsyncDiscoveryService,
+    DiscoveryApp,
+    EmbeddedServer,
+    SessionEngine,
+    SessionRegistry,
+)
+from repro.serve.client import AdminClient, HttpSessionClient
+
+
+def make_collection(n_sets: int = 40, seed: int = 11) -> SetCollection:
+    return generate_collection(
+        SyntheticConfig(
+            n_sets=n_sets, size_lo=8, size_hi=14, overlap=0.8, seed=seed
+        ),
+        backend="bigint",
+    )
+
+
+def sample_delta(coll: SetCollection) -> DeltaBatch:
+    """A batch that visibly changes the collection: add, remove, update."""
+    labels = [coll.universe.label(e) for e in range(min(coll.n_entities, 9))]
+    return (
+        DeltaBatch()
+        .add_sets({"delta-a": labels[:5], "delta-b": labels[3:9]})
+        .remove_sets([coll.name_of(coll.n_sets - 1)])
+        .update_membership(coll.name_of(0), add=[labels[-1]])
+    )
+
+
+def transcript_of(result) -> list:
+    return [
+        (i.entity, i.answer, i.candidates_before, i.candidates_after)
+        for i in result.transcript
+    ]
+
+
+def sequential_golden(collection, target) -> list:
+    session = DiscoverySession(collection, MostEvenSelector())
+    result = session.run(SimulatedUser(collection, target_index=target))
+    return transcript_of(result)
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60))
+
+
+# --------------------------------------------------------------------- #
+# Registry: pinning, advance validation, live epochs
+# --------------------------------------------------------------------- #
+
+
+class TestRegistryEpochs:
+    def test_advance_requires_same_universe_and_later_epoch(self):
+        coll = make_collection()
+        registry = SessionRegistry(coll)
+        stranger = make_collection(seed=99)
+        with pytest.raises(ValueError, match="universe"):
+            registry.advance_collection(stranger)
+        # Same universe but same (zero) epoch: a rebuild is not an advance.
+        rebuilt = SetCollection(
+            [
+                [coll.universe.label(e) for e in sorted(coll._sets[i])]
+                for i in range(coll.n_sets)
+            ],
+            universe=coll.universe,
+        )
+        with pytest.raises(ValueError, match="epoch"):
+            registry.advance_collection(rebuilt)
+        newer = coll.apply_delta(sample_delta(coll))
+        registry.advance_collection(newer)
+        assert registry.collection is newer
+        # Idempotent on the same object, still rejecting stale epochs.
+        registry.advance_collection(newer)
+        with pytest.raises(ValueError, match="epoch"):
+            registry.advance_collection(coll)
+
+    def test_sessions_pin_their_spawn_epoch(self):
+        coll = make_collection()
+        registry = SessionRegistry(coll)
+        old_key = registry.spawn(MostEvenSelector())
+        newer = coll.apply_delta(sample_delta(coll))
+        registry.advance_collection(newer)
+        new_key = registry.spawn(MostEvenSelector())
+        assert registry.session(old_key).collection is coll
+        assert registry.session(new_key).collection is newer
+        assert registry.live_epochs() == {coll.epoch: 1, newer.epoch: 1}
+
+    def test_live_epochs_drop_when_last_session_leaves(self):
+        coll = make_collection()
+        registry = SessionRegistry(coll)
+        key = registry.spawn(MostEvenSelector())
+        newer = coll.apply_delta(sample_delta(coll))
+        registry.advance_collection(newer)
+        assert coll.epoch in registry.live_epochs()
+        assert registry.discard(key)
+        # The old epoch is gone; the current one always reports.
+        assert registry.live_epochs() == {newer.epoch: 0}
+        assert not any(
+            epoch == coll.epoch for epoch, _ in registry._mask_refs
+        )
+
+
+# --------------------------------------------------------------------- #
+# Engine: lock-step sessions across a mid-run delta
+# --------------------------------------------------------------------- #
+
+
+class TestEngineEpochs:
+    def test_pinned_sessions_finish_with_golden_transcripts(self):
+        coll = make_collection()
+        engine = SessionEngine(coll)
+        old_targets = {f"old-{t}": t for t in (3, 11, 24)}
+        oracles = {}
+        for key, target in old_targets.items():
+            engine.spawn(MostEvenSelector(), key=key)
+            oracles[key] = SimulatedUser(coll, target_index=target)
+
+        # A couple of lock-step rounds on epoch 0, then mutate mid-run.
+        for _ in range(2):
+            for key, entity in engine.tick().items():
+                engine.answer(key, oracles[key](entity))
+        newer = engine.apply_delta(sample_delta(coll))
+        assert newer.epoch == 1 and engine.collection is newer
+
+        new_targets = {f"new-{t}": t for t in (0, engine.collection.n_sets - 1)}
+        for key, target in new_targets.items():
+            engine.spawn(MostEvenSelector(), key=key)
+            oracles[key] = SimulatedUser(newer, target_index=target)
+
+        while engine.n_active:
+            pending = engine.tick()
+            if not pending:
+                pending = engine.pending()
+            for key, entity in pending.items():
+                engine.answer(key, oracles[key](entity))
+
+        for key, target in old_targets.items():
+            assert transcript_of(engine.results[key]) == sequential_golden(
+                coll, target
+            ), f"pinned session {key} diverged from its epoch-0 golden"
+        for key, target in new_targets.items():
+            assert transcript_of(engine.results[key]) == sequential_golden(
+                newer, target
+            ), f"post-delta session {key} diverged from its epoch-1 golden"
+
+    def test_empty_delta_keeps_epoch(self):
+        engine = SessionEngine(make_collection())
+        before = engine.collection
+        assert engine.apply_delta(DeltaBatch()) is before
+        assert engine.collection is before
+
+
+# --------------------------------------------------------------------- #
+# Async service: apply_delta under concurrent sessions + epoch GC
+# --------------------------------------------------------------------- #
+
+
+class TestAsyncServiceEpochs:
+    def test_concurrent_sessions_span_a_delta(self):
+        coll = make_collection()
+        old_targets = [2, 9, 31]
+        transcripts: dict[str, list] = {}
+
+        async def drive(service, key, oracle):
+            while (entity := await service.ask(key)) is not None:
+                service.answer(key, oracle(entity))
+            result = await service.result(key)
+            transcripts[key] = transcript_of(result)
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                coll, flush_after_ms=1.0
+            ) as service:
+                first = []
+                for t in old_targets:
+                    key = f"old-{t}"
+                    service.spawn(MostEvenSelector(), key=key)
+                    first.append(
+                        asyncio.create_task(
+                            drive(
+                                service,
+                                key,
+                                SimulatedUser(coll, target_index=t),
+                            )
+                        )
+                    )
+                # Let the first flush hand out questions, then mutate.
+                await asyncio.sleep(0.02)
+                newer = await service.apply_delta(sample_delta(coll))
+                assert newer.epoch == 1
+                assert service.collection is newer
+                assert service.deltas_applied == 1
+                # Empty batches are a no-op, not an epoch bump.
+                assert (await service.apply_delta(DeltaBatch())) is newer
+                assert service.deltas_applied == 1
+                second = []
+                for t in (0, 5):
+                    service.spawn(MostEvenSelector(), key=f"new-{t}")
+                    second.append(
+                        asyncio.create_task(
+                            drive(
+                                service,
+                                f"new-{t}",
+                                SimulatedUser(newer, target_index=t),
+                            )
+                        )
+                    )
+                await asyncio.gather(*first, *second)
+                # Every pinned session gone: only epoch 1 stays live.
+                assert service.registry.live_epochs() == {1: 0}
+                return newer
+
+        newer = run(scenario())
+        for t in old_targets:
+            assert transcripts[f"old-{t}"] == sequential_golden(coll, t), (
+                f"pinned session old-{t} diverged across the delta"
+            )
+        for t in (0, 5):
+            assert transcripts[f"new-{t}"] == sequential_golden(newer, t)
+
+    def test_expire_refuses_live_sessions(self):
+        coll = make_collection()
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                coll, flush_after_ms=1.0
+            ) as service:
+                key = service.spawn(MostEvenSelector())
+                entity = await service.ask(key)
+                assert entity is not None
+                # An un-flushed reply is a sign of life: refuse expiry.
+                service.answer(key, True)
+                assert not await service.expire(key)
+                entity = await service.ask(key)
+                assert entity is not None
+                # Delivered question, no waiters, no queued work: reap it.
+                assert await service.expire(key)
+                assert not await service.expire(key)  # already gone
+                with pytest.raises(KeyError):
+                    service.answer(key, True)
+
+        run(scenario())
+
+
+# --------------------------------------------------------------------- #
+# HTTP edge: /admin/delta, epoch metrics, TTL expiry
+# --------------------------------------------------------------------- #
+
+
+async def _serve(collection, **app_kwargs):
+    service = AsyncDiscoveryService(collection, flush_after_ms=1.0)
+    await service.__aenter__()
+    app = DiscoveryApp(service, **app_kwargs)
+    server = EmbeddedServer(app, port=0)
+    await server.start()
+    return service, app, server
+
+
+class TestHttpEpochs:
+    def test_admin_delta_auth_and_epoch_bump(self):
+        coll = make_collection()
+
+        async def scenario():
+            service, app, server = await _serve(coll, admin_token="s3cret")
+            try:
+                async with AdminClient(
+                    server.host, server.port, "s3cret"
+                ) as admin:
+                    # Wrong/missing tokens never pass, session tokens
+                    # neither (there are none yet anyway).
+                    status, body = await admin.conn.request(
+                        "POST", "/admin/delta", {}
+                    )
+                    assert (status, body["error"]) == (401, "missing-token")
+                    status, body = await admin.conn.request(
+                        "POST", "/admin/delta", {}, token="wrong"
+                    )
+                    assert (status, body["error"]) == (403, "wrong-token")
+                    # Malformed and inapplicable deltas are clean 400s.
+                    status, body = await admin.conn.request(
+                        "POST", "/admin/delta", {"add": 3}, token="s3cret"
+                    )
+                    assert (status, body["error"]) == (400, "bad-delta")
+                    status, body = await admin.conn.request(
+                        "POST",
+                        "/admin/delta",
+                        {"remove": ["no-such-set"]},
+                        token="s3cret",
+                    )
+                    assert (status, body["error"]) == (400, "bad-delta")
+
+                    info = await admin.apply_delta(
+                        add={"delta-a": [coll.universe.label(0)]},
+                        remove=[coll.name_of(coll.n_sets - 1)],
+                    )
+                    assert info["epoch"] == 1 and info["applied"]
+                    # One add, one remove: the set count is unchanged.
+                    assert info["n_sets"] == coll.n_sets
+
+                    status, body = await admin.conn.request(
+                        "GET", "/healthz"
+                    )
+                    assert body["epoch"] == 1
+                    status, metrics = await admin.conn.request(
+                        "GET", "/metrics"
+                    )
+                    assert "repro_collection_epoch 1" in metrics
+                    assert "repro_deltas_applied_total 1" in metrics
+            finally:
+                await server.aclose()
+                await service.aclose()
+
+        run(scenario())
+
+    def test_admin_disabled_without_token(self):
+        async def scenario():
+            service, app, server = await _serve(make_collection())
+            try:
+                async with AdminClient(
+                    server.host, server.port, "anything"
+                ) as admin:
+                    status, body = await admin.conn.request(
+                        "POST", "/admin/delta", {}, token="anything"
+                    )
+                    assert (status, body["error"]) == (403, "admin-disabled")
+            finally:
+                await server.aclose()
+                await service.aclose()
+
+        run(scenario())
+
+    def test_inflight_http_session_survives_delta_with_golden(self):
+        coll = make_collection()
+        target = 13
+        oracle = SimulatedUser(coll, target_index=target)
+
+        async def scenario():
+            service, app, server = await _serve(coll, admin_token="t0k")
+            try:
+                async with HttpSessionClient(
+                    server.host, server.port
+                ) as client:
+                    await client.create(selector="most-even")
+                    first = await client.next_question()
+                    assert first is not None
+                    async with AdminClient(
+                        server.host, server.port, "t0k"
+                    ) as admin:
+                        info = await admin.apply_delta(
+                            add={"delta-a": [coll.universe.label(1)]}
+                        )
+                        assert info["epoch"] == 1
+                    await client.send_answer(oracle(first))
+                    while (e := await client.next_question()) is not None:
+                        await client.send_answer(oracle(e))
+                    payload = await client.result()
+                return payload
+            finally:
+                await server.aclose()
+                await service.aclose()
+
+        payload = run(scenario())
+        golden = sequential_golden(coll, target)
+        got = [
+            (
+                i["entity"],
+                i["answer"],
+                i["candidates_before"],
+                i["candidates_after"],
+            )
+            for i in payload["transcript"]
+        ]
+        assert got == golden, "HTTP session did not stay pinned to epoch 0"
+
+    def test_ttl_sweep_expires_abandoned_sessions(self):
+        coll = make_collection()
+
+        async def scenario():
+            service, app, server = await _serve(coll, session_ttl_s=0.3)
+            try:
+                async with HttpSessionClient(
+                    server.host, server.port
+                ) as abandoned, HttpSessionClient(
+                    server.host, server.port
+                ) as live:
+                    await abandoned.create(selector="most-even")
+                    await live.create(selector="most-even")
+                    # The abandoned session takes one question and walks
+                    # away mid-interaction-free: expirable once idle.
+                    assert await abandoned.next_question() is not None
+                    # Keep the live session touched inside its TTL while
+                    # the abandoned one ages past it.
+                    await asyncio.sleep(0.2)
+                    assert await live.next_question() is not None
+                    await asyncio.sleep(0.2)
+                    # Any request triggers the lazy sweep.
+                    assert await live.next_question() is not None
+                    status, body = await live.conn.request(
+                        "GET",
+                        f"/sessions/{abandoned.session}/question",
+                        token=abandoned.token,
+                    )
+                    assert status == 404
+                    assert body["error"] == "session_expired"
+                    # Unknown ids still answer unknown-session.
+                    status, body = await live.conn.request(
+                        "GET",
+                        "/sessions/nope/question",
+                        token=abandoned.token,
+                    )
+                    assert body["error"] == "unknown-session"
+                    # The live session (pending waiter-free but touched
+                    # recently) is untouched.
+                    assert live.session in app._sessions
+                    assert abandoned.session not in app._sessions
+                    status, metrics = await live.conn.request(
+                        "GET", "/metrics"
+                    )
+                    assert "repro_sessions_expired_total 1" in metrics
+            finally:
+                await server.aclose()
+                await service.aclose()
+
+        run(scenario())
+
+    def test_snapshot_carries_epoch_figures(self):
+        coll = make_collection()
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                coll, flush_after_ms=1.0
+            ) as service:
+                await service.apply_delta(
+                    DeltaBatch().add_sets(
+                        {"delta-a": [coll.universe.label(0)]}
+                    )
+                )
+                snap = service.metrics.snapshot()
+                assert snap["collection_epoch"] == 1
+                assert snap["deltas_applied"] == 1
+                assert snap["live_epochs"] == {"1": 0}
+                assert snap["sessions_expired"] == 0
+
+        run(scenario())

@@ -23,14 +23,19 @@ import random
 
 import pytest
 
-from repro.core.collection import SetCollection
+from repro.core.collection import (
+    DeltaBatch,
+    DeltaError,
+    DuplicateSetError,
+    SetCollection,
+)
 from repro.core.kernels import (
     HAS_NATIVE,
     HAS_NUMPY,
     KernelTuning,
     select_best_many,
 )
-from repro.core.selection import information_gain
+from repro.core.selection import InfoGainSelector, information_gain
 
 N_SEEDS = 200
 
@@ -258,3 +263,208 @@ def test_shard_executors_agree(executor):
     for m in masks:
         assert coll.informative_entities(m) == ref.informative_entities(m)
     coll._kernel.close()
+
+
+# --------------------------------------------------------------------- #
+# Delta fuzz: epoch chains vs from-scratch rebuilds
+# --------------------------------------------------------------------- #
+
+N_DELTA_SEEDS = 120
+DELTA_STEPS = 4
+
+
+def _delta_variants():
+    """Backend variants every delta chain replays over (all four families)."""
+    variants = [
+        ("bigint", dict(backend="bigint")),
+        ("bigint-sharded", dict(backend="bigint", shards=3)),
+    ]
+    if HAS_NUMPY:
+        variants += [
+            ("numpy", dict(backend="numpy")),
+            ("numpy-sharded", dict(backend="numpy", shards=4)),
+        ]
+    if HAS_NATIVE:
+        variants += [
+            ("native", dict(backend="native")),
+            ("native-sharded", dict(backend="native", shards=4)),
+        ]
+    return variants
+
+
+def random_delta_batch(rng: random.Random, coll: SetCollection, tag: str) -> DeltaBatch:
+    """One seeded random mutation batch against the current collection.
+
+    Mixes removals, additions (sometimes reusing a just-removed name — the
+    atomic-replacement path), membership edits, and occasionally fresh
+    entity labels (universe growth).  Drawn only from deterministic
+    orderings so the same seed replays the same chain.
+    """
+    batch = DeltaBatch()
+    names = [coll.name_of(i) for i in range(coll.n_sets)]
+    labels = [coll.universe.label(e) for e in range(coll.n_entities)]
+    removed: list[str] = []
+    if coll.n_sets > 3 and rng.random() < 0.7:
+        removed = rng.sample(names, rng.randint(1, min(3, coll.n_sets - 2)))
+        batch.remove_sets(removed)
+    added_names: set[str] = set()
+    for j in range(rng.randint(0, 3)):
+        size = rng.randint(1, max(2, len(labels) // 3))
+        members = set(rng.sample(labels, min(size, len(labels))))
+        if rng.random() < 0.4:
+            members.add(f"e{tag}.{j}")  # a fresh entity label
+        if removed and rng.random() < 0.3:
+            name = removed[0]  # replace the removed slot atomically
+        else:
+            name = f"D{tag}.{j}"
+        if name in added_names:
+            continue
+        added_names.add(name)
+        batch.add_sets({name: sorted(members, key=repr)})
+    survivors = [n for n in names if n not in removed]
+    n_updates = min(len(survivors), rng.randint(0, 2))
+    for name in rng.sample(survivors, n_updates):
+        current = [
+            coll.universe.label(e) for e in sorted(coll._sets[coll.index_of(name)])
+        ]
+        drop = rng.sample(current, min(len(current), rng.randint(0, 2)))
+        pool = [x for x in labels if x not in set(current)]
+        gain = rng.sample(pool, min(len(pool), rng.randint(0, 2)))
+        if rng.random() < 0.2:
+            gain = list(gain) + [f"u{tag}.x"]
+        if drop or gain:
+            batch.update_membership(name, add=gain, remove=drop)
+    return batch
+
+
+def _rebuild(coll: SetCollection, backend_kwargs: dict) -> SetCollection:
+    """From-scratch rebuild of ``coll``'s exact content on a shared universe.
+
+    Interning into the *same* universe keeps entity ids identical, which
+    is what makes stats (and packed matrices) directly comparable.
+    """
+    return SetCollection(
+        [[coll.universe.label(e) for e in sorted(coll._sets[i])]
+         for i in range(coll.n_sets)],
+        names=list(coll.names),
+        universe=coll.universe,
+        **backend_kwargs,
+    )
+
+
+def _assert_stats_equal(coll, ref, masks, ctx):
+    for m in masks:
+        got, want = coll.informative_stats(m), ref.informative_stats(m)
+        assert _as_list(got[0]) == _as_list(want[0]), (
+            f"{ctx} informative eids diverged on mask {m:#x}"
+        )
+        assert _as_list(got[1]) == _as_list(want[1]), (
+            f"{ctx} informative counts diverged on mask {m:#x}"
+        )
+    probe = list(range(-1, ref.n_entities + 2))
+    for m in masks[:4]:
+        assert coll.positive_counts(m, probe) == ref.positive_counts(m, probe), (
+            f"{ctx} positive_counts diverged on mask {m:#x}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(N_DELTA_SEEDS))
+def test_delta_chain_matches_rebuild(seed):
+    """Chained ``apply_delta`` is indistinguishable from a fresh build.
+
+    One seeded mutation chain replays over every backend family; after
+    each step the evolved collection must match a from-scratch rebuild of
+    the same content — names, members, informative stats, counts — and
+    the vectorized backends must match the rebuilt packed bit-matrix
+    *byte for byte*.
+    """
+    raw = random_raw_sets(seed)
+    rng = random.Random(seed ^ 0xDE17A)
+    evolved = {
+        label: SetCollection(raw, **kwargs)
+        for label, kwargs in _delta_variants()
+    }
+    kwargs_of = dict(_delta_variants())
+    driver = evolved["bigint"]
+    for step in range(DELTA_STEPS):
+        batch = random_delta_batch(rng, driver, f"{seed}.{step}")
+        outcomes = {}
+        for label, coll in evolved.items():
+            try:
+                outcomes[label] = coll.apply_delta(batch)
+            except (DeltaError, DuplicateSetError) as exc:
+                outcomes[label] = type(exc).__name__
+        kinds = {repr(o) if isinstance(o, str) else "ok" for o in outcomes.values()}
+        assert len(kinds) == 1, (
+            f"[delta-fuzz seed={seed} step={step}] backends disagreed on "
+            f"whether the batch applies: {outcomes}"
+        )
+        if isinstance(outcomes["bigint"], str):
+            continue  # invalid batch: atomicity keeps every epoch unchanged
+        evolved = outcomes
+        driver = evolved["bigint"]
+    # Epoch bookkeeping: every applied non-empty batch bumped by one.
+    applied = driver.epoch
+    assert 0 <= applied <= DELTA_STEPS
+    mask_rng = random.Random(seed ^ 0x0FF5E7)
+    masks = word_boundary_masks(mask_rng, driver.n_sets, driver.full_mask)
+    for label, coll in evolved.items():
+        ctx = f"[delta-fuzz seed={seed} backend={label}]"
+        rebuilt = _rebuild(driver, kwargs_of[label])
+        assert coll.epoch == applied, f"{ctx} epoch drifted"
+        assert coll.names == rebuilt.names, f"{ctx} names diverged"
+        assert [coll._sets[i] for i in range(coll.n_sets)] == [
+            rebuilt._sets[i] for i in range(rebuilt.n_sets)
+        ], f"{ctx} set contents diverged"
+        assert coll._entity_masks == rebuilt._entity_masks, (
+            f"{ctx} entity masks diverged"
+        )
+        _assert_stats_equal(coll, rebuilt, masks, ctx)
+        if label in ("numpy", "native"):
+            assert (
+                coll._kernel._matrix.tobytes()
+                == rebuilt._kernel._matrix.tobytes()
+            ), f"{ctx} packed bit-matrix diverged from the rebuild"
+
+
+@pytest.mark.parametrize("seed", range(0, N_DELTA_SEEDS, 10))
+def test_delta_chain_golden_transcripts(seed):
+    """Discovery transcripts on an evolved epoch equal a rebuild's.
+
+    The end-to-end form of the rebuild equivalence: running the same
+    sessions (selector, target, initial examples) over the delta-evolved
+    collection and over its from-scratch rebuild must produce identical
+    transcripts, question for question.
+    """
+    from repro.core.discovery import DiscoverySession
+    from repro.oracle.user import SimulatedUser
+
+    raw = random_raw_sets(seed)
+    for label, kwargs in _delta_variants():
+        if label not in ("bigint", "numpy", "native"):
+            continue
+        # Re-seeded per backend so every family replays the same chain.
+        rng = random.Random(seed ^ 0x90A1)
+        evolved = SetCollection(raw, **kwargs)
+        for step in range(DELTA_STEPS):
+            batch = random_delta_batch(rng, evolved, f"{seed}.{step}")
+            try:
+                evolved = evolved.apply_delta(batch)
+            except (DeltaError, DuplicateSetError):
+                continue
+        rebuilt = _rebuild(evolved, kwargs)
+        for target in range(0, evolved.n_sets, max(1, evolved.n_sets // 3)):
+            runs = []
+            for c in (evolved, rebuilt):
+                session = DiscoverySession(c, InfoGainSelector())
+                result = session.run(SimulatedUser(c, target_index=target))
+                runs.append(result)
+            a, b = runs
+            assert [
+                (i.entity, i.answer, i.candidates_before, i.candidates_after)
+                for i in a.transcript
+            ] == [
+                (i.entity, i.answer, i.candidates_before, i.candidates_after)
+                for i in b.transcript
+            ], f"[delta-fuzz seed={seed} backend={label}] transcript diverged"
+            assert a.resolved == b.resolved and a.candidates == b.candidates
