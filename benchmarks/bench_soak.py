@@ -1,0 +1,105 @@
+"""Soak benchmark: sustained hostile traffic against the real server.
+
+Runs one seeded server-mode soak (``repro.soak``) — restarts, answer
+storms, live deltas and connection drops, a full invariant sweep — and
+reports the throughput the edge sustained *while* surviving it.  Unlike
+``bench_http`` (a clean burst of well-behaved clients), this number is
+questions/sec under chaos: sessions are being killed by restarts,
+replayed over reconnects, shed by backpressure, and every surviving
+transcript is replay-verified before the bench will report at all.
+
+Writes ``benchmarks/out/BENCH_soak.json``; its ``speedup`` object
+(``{"questions_per_s": ...}``) joins the trajectory history with the
+other benches.  Scale knobs (environment):
+
+* ``REPRO_SOAK_BENCH_SEED`` — the run seed (default 42)
+* ``REPRO_SOAK_BENCH_DURATION`` — soak seconds (default 30)
+* ``REPRO_SOAK_BENCH_USERS`` — base virtual users (default 24)
+* ``REPRO_SOAK_BENCH_SETS`` — sets in the collection (default 400)
+* ``REPRO_SOAK_BENCH_FAULTS`` — fault list (default restart,storm,delta,drop)
+* ``REPRO_SOAK_BENCH_MIN_QPS`` — gated questions/sec floor (default 5)
+
+The throughput here is *think-time bound* by design (virtual users
+deliberate before answering, per their scripts) — the floor is a
+liveness gate, not a capacity benchmark; ``bench_http`` measures raw
+edge capacity.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.kernels import HAS_NUMPY
+from repro.soak import SoakConfig, run_soak
+
+_OUT_PATH = Path(__file__).parent / "out" / "BENCH_soak.json"
+
+
+def _bench_config() -> SoakConfig:
+    faults = tuple(
+        f.strip()
+        for f in os.environ.get(
+            "REPRO_SOAK_BENCH_FAULTS", "restart,storm,delta,drop"
+        ).split(",")
+        if f.strip()
+    )
+    return SoakConfig(
+        seed=int(os.environ.get("REPRO_SOAK_BENCH_SEED", "42")),
+        duration_s=float(os.environ.get("REPRO_SOAK_BENCH_DURATION", "30")),
+        mode="server",
+        faults=faults,
+        users=int(os.environ.get("REPRO_SOAK_BENCH_USERS", "24")),
+        n_sets=int(os.environ.get("REPRO_SOAK_BENCH_SETS", "400")),
+        think_ms=60.0,
+        session_ttl_s=4.0,
+    ).with_overload_defaults()
+
+
+def run_soak_bench(out_path: Path = _OUT_PATH) -> dict:
+    """One full soak; asserts every invariant held, writes the report."""
+    cfg = _bench_config()
+    soak = run_soak(cfg, log=lambda msg: print(f"soak: {msg}"))
+    assert soak.ok, (
+        f"soak invariants violated: {json.dumps(soak.violations, indent=2)}"
+    )
+    assert soak.parity_checked > 0, "no transcripts were replay-verified"
+    report = {
+        "bench": "soak",
+        "config": soak.config,
+        "results": soak.results,
+        "counters": soak.counters,
+        "lives": soak.lives,
+        "rss_slopes_mb_s": soak.rss_slopes_mb_s,
+        "parity_checked": soak.parity_checked,
+        # Absolute sustained throughput under chaos; no sequential
+        # baseline makes sense for a fault-injection run.
+        "speedup": {"questions_per_s": soak.results["questions_per_s"]},
+    }
+    out_path.parent.mkdir(exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy backend unavailable")
+def test_soak_bench_floor():
+    report = run_soak_bench()
+    min_qps = float(os.environ.get("REPRO_SOAK_BENCH_MIN_QPS", "5"))
+    qps = report["results"]["questions_per_s"]
+    # Invariants (parity, metrics honesty, epoch GC, clean drain, RSS)
+    # are asserted inside run_soak_bench; this gate is the chaos SLO.
+    assert qps >= min_qps, (
+        f"sustained only {qps:.1f} questions/s under faults "
+        f"(floor {min_qps:.0f}): {json.dumps(report, indent=2)}"
+    )
+
+
+def main() -> None:
+    report = run_soak_bench()
+    print(json.dumps(report, indent=2))
+    print(f"written to {_OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,12 @@ Subcommands:
   (:class:`repro.serve.DiscoveryApp`) over a collection file or a
   synthetic collection, with graceful drain on SIGINT/SIGTERM; the
   default host is the stdlib embedded server, ``--uvicorn`` runs the
-  same ASGI app under uvicorn (the ``http`` extra).
+  same ASGI app under uvicorn (the ``http`` extra);
+* ``soak`` — the deterministic fault-injecting soak/chaos harness
+  (:mod:`repro.soak`): seeded hostile virtual users against a real
+  server child (or the in-process service) under restarts, drops,
+  storms, deltas and overload, exiting non-zero on any invariant
+  violation (``docs/soak.md``).
 
 Installed as ``repro-setdisc`` (see pyproject) and runnable as
 ``python -m repro``.
@@ -284,6 +289,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             collection,
             flush_after_ms=args.flush_after_ms,
             max_batch=args.max_batch,
+            max_sessions=args.max_sessions,
+            max_queued=args.max_queued,
+            overload_policy=args.overload_policy,
+            retry_after_s=args.retry_after_s,
         )
         app = DiscoveryApp(
             service,
@@ -300,6 +309,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             collection,
             flush_after_ms=args.flush_after_ms,
             max_batch=args.max_batch,
+            max_sessions=args.max_sessions,
+            max_queued=args.max_queued,
+            overload_policy=args.overload_policy,
+            retry_after_s=args.retry_after_s,
         ) as service:
             app = DiscoveryApp(
                 service,
@@ -335,6 +348,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
     return asyncio.run(serve())
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from .soak import FAULTS_BY_MODE, SoakConfig, run_soak
+
+    faults = tuple(f for f in args.faults.split(",") if f)
+    try:
+        cfg = SoakConfig(
+            seed=args.seed,
+            duration_s=args.duration,
+            mode=args.mode,
+            faults=faults,
+            users=args.users,
+            n_sets=args.n_sets,
+            size_lo=args.size_lo,
+            size_hi=args.size_hi,
+            overlap=args.overlap,
+            flush_after_ms=args.flush_after_ms,
+            max_batch=args.max_batch,
+            session_ttl_s=args.session_ttl_s,
+            max_sessions=args.max_sessions,
+            max_queued=args.max_queued,
+            overload_policy=args.overload_policy,
+            retry_after_s=args.retry_after_s,
+            ws_fraction=args.ws_fraction,
+            abandon_rate=args.abandon_rate,
+            dk_rate=args.dk_rate,
+            think_ms=args.think_ms,
+            stuck_after_s=args.stuck_after_s,
+            rss_limit_mb_s=args.rss_limit_mb_s,
+            epoch_cap=args.epoch_cap,
+        )
+    except ValueError as exc:
+        print(f"soak: {exc}", file=sys.stderr)
+        print(
+            f"soak: faults per mode: {FAULTS_BY_MODE}", file=sys.stderr
+        )
+        return 2
+
+    report = run_soak(cfg, log=lambda msg: print(f"soak: {msg}", flush=True))
+    if args.report:
+        from pathlib import Path
+
+        Path(args.report).write_text(
+            report.to_json() + "\n", encoding="utf-8"
+        )
+        print(f"soak: report written to {args.report}", flush=True)
+    print(report.to_json(), flush=True)
+    if not report.ok:
+        print(
+            f"soak: FAILED with {len(report.violations)} violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"soak: OK — {report.counters['sessions_completed']} sessions, "
+        f"{report.parity_checked} transcripts replay-verified, "
+        f"{report.lives} server life/lives",
+        flush=True,
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -472,6 +546,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip bearer-token checks (trusted loopback only)",
     )
     http.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        help="reject session creation past this many active sessions "
+        "(HTTP 429 / WS busy; default: unbounded)",
+    )
+    http.add_argument(
+        "--max-queued",
+        type=int,
+        default=None,
+        help="bound on requests queued for the next flush; new requests "
+        "past it are shed or parked per --overload-policy "
+        "(default: unbounded)",
+    )
+    http.add_argument(
+        "--overload-policy",
+        choices=["shed", "wait"],
+        default="shed",
+        help="at --max-queued: 'shed' answers 429, 'wait' parks the "
+        "request until a flush frees room",
+    )
+    http.add_argument(
+        "--retry-after-s",
+        type=float,
+        default=1.0,
+        help="Retry-After hint attached to 429 responses",
+    )
+    http.add_argument(
         "--session-ttl",
         dest="session_ttl_s",
         type=float,
@@ -497,6 +599,76 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of the embedded stdlib server",
     )
     http.set_defaults(func=_cmd_serve)
+
+    soak = sub.add_parser(
+        "soak",
+        help="fault-injecting soak/chaos run; non-zero exit on violations",
+    )
+    soak.add_argument("--seed", type=int, default=42)
+    soak.add_argument(
+        "--duration",
+        type=float,
+        default=30.0,
+        help="seconds of scheduled traffic (joins and faults; in-flight "
+        "sessions are allowed to finish after it)",
+    )
+    soak.add_argument(
+        "--faults",
+        default="storm,delta",
+        help="comma-separated fault kinds: restart,storm,delta,drop,"
+        "overload (server mode) / stall,storm,delta,drop,overload "
+        "(inprocess)",
+    )
+    soak.add_argument(
+        "--mode",
+        choices=["server", "inprocess"],
+        default="server",
+        help="'server' boots a real `repro serve` child; 'inprocess' "
+        "drives AsyncDiscoveryService directly",
+    )
+    soak.add_argument("--users", type=int, default=24)
+    soak.add_argument("--n-sets", type=int, default=400)
+    soak.add_argument("--size-lo", type=int, default=12)
+    soak.add_argument("--size-hi", type=int, default=20)
+    soak.add_argument("--overlap", type=float, default=0.75)
+    soak.add_argument("--flush-after-ms", type=float, default=2.0)
+    soak.add_argument("--max-batch", type=int, default=64)
+    soak.add_argument(
+        "--session-ttl",
+        dest="session_ttl_s",
+        type=float,
+        default=4.0,
+        metavar="SECONDS",
+        help="idle TTL handed to the server; abandoned sessions must be "
+        "reaped within it",
+    )
+    soak.add_argument("--max-sessions", type=int, default=None)
+    soak.add_argument("--max-queued", type=int, default=None)
+    soak.add_argument(
+        "--overload-policy", choices=["shed", "wait"], default="shed"
+    )
+    soak.add_argument("--retry-after-s", type=float, default=0.2)
+    soak.add_argument("--ws-fraction", type=float, default=0.3)
+    soak.add_argument("--abandon-rate", type=float, default=0.15)
+    soak.add_argument("--dk-rate", type=float, default=0.05)
+    soak.add_argument(
+        "--think-ms",
+        type=float,
+        default=150.0,
+        help="max per-question think time of a regular user",
+    )
+    soak.add_argument("--stuck-after-s", type=float, default=20.0)
+    soak.add_argument(
+        "--rss-limit-mb-s",
+        type=float,
+        default=6.0,
+        help="RSS growth slope ceiling per server life (MiB/s)",
+    )
+    soak.add_argument("--epoch-cap", type=int, default=5)
+    soak.add_argument(
+        "--report", default=None, help="also write the JSON report here"
+    )
+    soak.set_defaults(func=_cmd_soak)
 
     return parser
 

@@ -30,11 +30,17 @@ session stays pinned to the epoch it started on, and the scheduler groups
 stacked flushes per epoch.
 """
 
-from .async_service import AsyncDiscoveryService, ServiceClosed, percentile
+from .async_service import (
+    AsyncDiscoveryService,
+    ServiceClosed,
+    ServiceOverloaded,
+    SessionExpired,
+    percentile,
+)
 from .engine import EngineStats, SessionEngine
 from .http import DiscoveryApp, EmbeddedServer, delta_batch_from_spec
 from .metrics import LatencyReservoir, ServiceMetrics
-from .scheduler import FlushPolicy, FlushReport, ScanScheduler
+from .scheduler import FlushPolicy, FlushReport, ScanScheduler, SchedulerSaturated
 from .state import Phase, SessionRegistry, SessionState
 
 __all__ = [
@@ -47,9 +53,12 @@ __all__ = [
     "LatencyReservoir",
     "Phase",
     "ScanScheduler",
+    "SchedulerSaturated",
     "ServiceClosed",
     "ServiceMetrics",
+    "ServiceOverloaded",
     "SessionEngine",
+    "SessionExpired",
     "SessionRegistry",
     "SessionState",
     "delta_batch_from_spec",

@@ -46,7 +46,13 @@ from .metrics import ServiceMetrics, quantile_sorted
 from .scheduler import FlushReport, ScanScheduler
 from .state import SessionRegistry
 
-__all__ = ["AsyncDiscoveryService", "ServiceClosed", "percentile"]
+__all__ = [
+    "AsyncDiscoveryService",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "SessionExpired",
+    "percentile",
+]
 
 
 class ServiceClosed(RuntimeError):
@@ -58,6 +64,36 @@ class ServiceClosed(RuntimeError):
     waiter still pending when the service closes — a waiter must end with
     a clear error, never hang forever.  The HTTP edge
     (:mod:`repro.serve.http`) maps it to ``503 Service Unavailable``.
+    """
+
+
+class ServiceOverloaded(RuntimeError):
+    """The service shed this call to keep its queues bounded.
+
+    Raised by :meth:`AsyncDiscoveryService.add`/:meth:`spawn` when
+    ``max_sessions`` active sessions already exist, and by
+    :meth:`ask`/:meth:`result` under the ``"shed"`` overload policy when
+    ``max_queued`` requests are already waiting for the next flush.
+    Carries ``retry_after_s``, the service's hint for when capacity is
+    likely back; the HTTP edge maps this to ``429 Too Many Requests``
+    with a ``Retry-After`` header, the WebSocket edge to a ``busy``
+    close.  Recorded replies (:meth:`answer`) are never shed — a reply
+    frees capacity, it does not consume it.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class SessionExpired(RuntimeError):
+    """The session was reaped (TTL expiry) while this call waited on it.
+
+    Delivered to any ``ask()``/``result()`` waiter still pending when
+    :meth:`AsyncDiscoveryService.expire` discards the session — a
+    long-poll on an expired session must learn its fate immediately, not
+    wait out its poll timeout.  The HTTP edge maps it to
+    ``404 session_expired``.
     """
 
 
@@ -90,6 +126,23 @@ class AsyncDiscoveryService:
         As for :class:`~repro.serve.engine.SessionEngine`: release a
         finished session's cached scan stats once no active session
         shares them.
+    max_sessions:
+        Admission bound: :meth:`add`/:meth:`spawn` raise
+        :class:`ServiceOverloaded` while this many sessions are active.
+        ``None`` (the default) keeps today's unbounded behavior.
+    max_queued:
+        Queue bound: once this many requests wait for the next flush, a
+        *new* ``ask()``/``result()`` request is shed (``"shed"`` policy)
+        or parks until a flush drains the queue (``"wait"`` policy).
+        Requests for keys already queued, and replies, always pass —
+        they cannot grow the queue.  ``None`` disables the bound.
+    overload_policy:
+        ``"shed"`` (raise :class:`ServiceOverloaded`, the HTTP edge's
+        429) or ``"wait"`` (block the caller until there is room —
+        bounded memory, unbounded caller patience).
+    retry_after_s:
+        The back-off hint carried by every :class:`ServiceOverloaded`
+        this service raises (the HTTP ``Retry-After`` value).
     """
 
     def __init__(
@@ -99,7 +152,16 @@ class AsyncDiscoveryService:
         flush_after_ms: float = 2.0,
         max_batch: int | None = 64,
         release_caches: bool = True,
+        max_sessions: int | None = None,
+        max_queued: int | None = None,
+        overload_policy: str = "shed",
+        retry_after_s: float = 1.0,
     ) -> None:
+        if overload_policy not in ("shed", "wait"):
+            raise ValueError(
+                f"overload_policy must be 'shed' or 'wait', "
+                f"not {overload_policy!r}"
+            )
         self.registry = SessionRegistry(
             collection, release_caches=release_caches
         )
@@ -132,6 +194,15 @@ class AsyncDiscoveryService:
         self._closed = False
         #: collection deltas applied through this service (metrics counter)
         self.deltas_applied = 0
+        self.max_sessions = max_sessions
+        self.max_queued = max_queued
+        self.overload_policy = overload_policy
+        self.retry_after_s = retry_after_s
+        #: deepest the loop-side queue has ever been (metrics gauge)
+        self.queued_high_watermark = 0
+        #: set whenever a flush drains ``_needy`` — "wait" admissions park
+        #: on it (recreated per wake so every parked caller re-checks room)
+        self._room: asyncio.Event | None = None
 
     @property
     def collection(self) -> SetCollection:
@@ -154,6 +225,7 @@ class AsyncDiscoveryService:
         """Attach a session; returns its key.  Sessions may join at any
         time — including while a flush for other sessions is running."""
         self._check_accepting()
+        self._check_capacity()
         return self.registry.add(session, key=key)
 
     def spawn(
@@ -167,6 +239,7 @@ class AsyncDiscoveryService:
         """Construct a :class:`DiscoverySession` over the service's
         collection and :meth:`add` it in one call."""
         self._check_accepting()
+        self._check_capacity()
         return self.registry.spawn(
             selector,
             initial=initial,
@@ -253,12 +326,22 @@ class AsyncDiscoveryService:
         """Discard an abandoned live session (the TTL-expiry path).
 
         Refuses (returns ``False``) when the session is unknown, already
-        finished, or shows any sign of life — queued work, an unapplied
-        reply, or a pending ``ask``/``result`` waiter — so an active
-        session can never be expired out from under its user.  The
-        discard itself runs on the flush executor, serialized with all
-        other session mutation.  No result is recorded; the HTTP edge
-        answers later requests for the key with ``session_expired``.
+        finished, or has *queued work* — a request awaiting the next
+        flush, an unapplied reply, or a reply being applied right now —
+        so a session actively being advanced is never expired mid-step.
+        A pending ``ask``/``result`` waiter does NOT veto expiry: a
+        waiter with no queued work is a long-poll whose client has
+        typically vanished (the TTL is what decided the session is
+        abandoned), and holding the session alive for it would leak the
+        session — and its epoch pin — forever.  Instead, any such waiter
+        is woken with :class:`SessionExpired` the moment the discard
+        lands, which the HTTP edge maps to ``404 session_expired``.
+
+        The discard itself runs on the flush executor, serialized with
+        all other session mutation, and releases the session's epoch pin
+        (the discarded state held the only session→collection reference),
+        so expiring the last session of an old epoch lets that epoch be
+        garbage-collected.  No result is recorded.
         """
         self._check_open()
         self._bind_loop()
@@ -266,20 +349,30 @@ class AsyncDiscoveryService:
             key in self._needy
             or key in self._replies
             or key in self._inflight_replies
-            or any(
-                not fut.done() for fut in self._ask_waiters.get(key, [])
-            )
-            or any(
-                not fut.done() for fut in self._result_waiters.get(key, [])
-            )
         ):
             return False
         if self.registry.result_of(key) is not None:
             return False  # finished normally; the result map owns it
         assert self._loop is not None
-        return await self._loop.run_in_executor(
+        discarded = await self._loop.run_in_executor(
             self._ensure_executor(), self.registry.discard, key
         )
+        if discarded:
+            self._expire_waiters(key)
+        return discarded
+
+    def _expire_waiters(self, key: Hashable) -> None:
+        """Wake ``key``'s pending waiters with :class:`SessionExpired`."""
+        expired = SessionExpired(
+            f"session {key!r} expired while this wait was pending"
+        )
+        for waiters in (self._ask_waiters, self._result_waiters):
+            for fut in waiters.pop(key, []):
+                if not fut.done():
+                    fut.set_exception(expired)
+                    # As in aclose(): an abandoned waiter must not log an
+                    # "exception was never retrieved" warning at GC.
+                    fut.exception()
 
     # ------------------------------------------------------------------ #
     # The three serving verbs
@@ -292,7 +385,11 @@ class AsyncDiscoveryService:
         with :meth:`result`).  Idempotent while an answer is outstanding:
         asking again returns the same pending entity.  Cancelling a
         pending ``ask`` is safe — the session itself still advances with
-        the next flush; only the waiter is abandoned.
+        the next flush; only the waiter is abandoned.  Under a
+        ``max_queued`` bound a *new* request may be shed with
+        :class:`ServiceOverloaded` (``"shed"``) or parked until a flush
+        makes room (``"wait"``); the fast path and already-queued keys
+        are exempt.
         """
         self._check_open()
         self._bind_loop()
@@ -305,6 +402,7 @@ class AsyncDiscoveryService:
             and key not in self._inflight_replies
         ):
             return state.session.pending_entity
+        await self._admit_request(key)
         start = time.perf_counter()
         future = self._wait_on(self._ask_waiters, key)
         self._request(key)
@@ -348,9 +446,58 @@ class AsyncDiscoveryService:
         if done is not None:
             return done
         self.registry.state(key)  # clear KeyError for unknown keys
+        await self._admit_request(key)
         future = self._wait_on(self._result_waiters, key)
         self._request(key)
         return await future
+
+    # ------------------------------------------------------------------ #
+    # Backpressure (admission control)
+    # ------------------------------------------------------------------ #
+
+    def _check_capacity(self) -> None:
+        if (
+            self.max_sessions is not None
+            and self.registry.n_active >= self.max_sessions
+        ):
+            self.metrics.observe_rejection("sessions")
+            raise ServiceOverloaded(
+                f"session limit reached ({self.max_sessions} active); "
+                f"retry once a session finishes or expires",
+                retry_after_s=self.retry_after_s,
+            )
+
+    async def _admit_request(self, key: Hashable) -> None:
+        """Gate one new ``ask``/``result`` request on queue room.
+
+        A key already queued rides the existing request for free — it
+        cannot grow the queue.  Otherwise, at ``max_queued``: shed raises
+        :class:`ServiceOverloaded`; wait parks on an event the next flush
+        sets when it drains the queue (then re-checks — several parked
+        callers may race for the freed room).
+        """
+        if self.max_queued is None or key in self._needy:
+            return
+        while len(self._needy) >= self.max_queued:
+            if self.overload_policy == "shed":
+                self.metrics.observe_rejection("asks")
+                raise ServiceOverloaded(
+                    f"request queue full ({self.max_queued} waiting for "
+                    f"the next flush); retry after the flush budget",
+                    retry_after_s=self.retry_after_s,
+                )
+            if self._room is None:
+                self._room = asyncio.Event()
+            room = self._room
+            await room.wait()
+            self._check_open()
+            if key in self._needy:
+                return
+
+    def _signal_room(self) -> None:
+        if self._room is not None:
+            self._room.set()
+            self._room = None
 
     # ------------------------------------------------------------------ #
     # Flush scheduling (event-loop side)
@@ -361,6 +508,8 @@ class AsyncDiscoveryService:
             self._needy[key] = None
             if self._needy_first_at is None:
                 self._needy_first_at = time.perf_counter()
+            if len(self._needy) > self.queued_high_watermark:
+                self.queued_high_watermark = len(self._needy)
         self._maybe_flush()
 
     def _maybe_flush(self) -> None:
@@ -407,13 +556,16 @@ class AsyncDiscoveryService:
         needy = list(self._needy)
         self._needy.clear()
         self._needy_first_at = None
+        # The queue just drained: parked "wait"-policy admissions may race
+        # for the freed room while the flush runs on the worker thread.
+        self._signal_room()
         replies, self._replies = self._replies, {}
         self._inflight_replies = frozenset(replies)
         start = time.perf_counter()
         failure: BaseException | None = None
         try:
             assert self._loop is not None
-            report, prefinished = await self._loop.run_in_executor(
+            report, prefinished, vanished = await self._loop.run_in_executor(
                 self._ensure_executor(), self._advance_sync, needy, replies
             )
         except BaseException as exc:
@@ -437,6 +589,11 @@ class AsyncDiscoveryService:
             raise failure
         self.stats.ticks += 1
         self.stats.seconds += time.perf_counter() - start
+        for key in vanished:
+            # Discarded (expired) between request and flush: only this
+            # key's waiters fail, with the precise exception — the rest of
+            # the batch already advanced normally.
+            self._expire_waiters(key)
         self._resolve(report, prefinished)
         # Requests that arrived while this flush ran start the next cycle.
         self._flush_task = None
@@ -450,21 +607,40 @@ class AsyncDiscoveryService:
         self,
         needy: list[Hashable],
         replies: dict[Hashable, bool | None],
-    ) -> tuple[FlushReport, dict[Hashable, DiscoveryResult]]:
+    ) -> tuple[
+        FlushReport, dict[Hashable, DiscoveryResult], list[Hashable]
+    ]:
         registry = self.registry
+        vanished: list[Hashable] = []
         for key, value in replies.items():
-            registry.state(key).session.answer(value)
+            try:
+                state = registry.state(key)
+            except KeyError:
+                # Discarded between answer() and this flush (expire() only
+                # vetoes on keys it can see queued; a reply recorded in the
+                # same loop turn as its discard check can slip past).  The
+                # reply dies with the session; only this key's waiters
+                # fail, not the whole batch.
+                vanished.append(key)
+                continue
+            state.session.answer(value)
         prefinished: dict[Hashable, DiscoveryResult] = {}
         for key in needy:
             done = registry.result_of(key)
             if done is not None:  # retired by an earlier flush
                 prefinished[key] = done
                 continue
+            try:
+                state = registry.state(key)
+            except KeyError:  # expired between request and flush
+                if key not in vanished:
+                    vanished.append(key)
+                continue
             # flush() re-checks each request's phase itself, so a request
             # whose state changed since submission is always dispatched
             # correctly (DONE -> retired, QUESTION_PENDING -> re-reported).
-            self.scheduler.submit(registry.state(key))
-        return self.scheduler.flush(), prefinished
+            self.scheduler.submit(state)
+        return self.scheduler.flush(), prefinished, vanished
 
     # ------------------------------------------------------------------ #
     # Waiter resolution (event-loop side)
@@ -567,6 +743,8 @@ class AsyncDiscoveryService:
                 await task
             except Exception:
                 pass  # the flush already failed its waiters
+        # Parked "wait"-policy admissions must wake and see the close.
+        self._signal_room()
         closed = ServiceClosed(
             "AsyncDiscoveryService closed while this wait was pending"
         )

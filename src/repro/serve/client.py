@@ -27,8 +27,44 @@ __all__ = [
     "AdminClient",
     "HttpConnection",
     "HttpSessionClient",
+    "ServerBusy",
+    "SessionExpiredError",
     "WsSessionClient",
 ]
+
+
+class ServerBusy(RuntimeError):
+    """The server shed this request under load (HTTP 429 / WS ``busy``).
+
+    Carries ``retry_after_s``, the server's back-off hint (the
+    ``Retry-After`` value on HTTP, the ``retry_after_s`` body field on
+    either transport; 1.0 when the server sent none).  The soak harness
+    and well-behaved clients sleep that long and retry.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class SessionExpiredError(RuntimeError):
+    """The server reaped this session via its idle TTL (``session_expired``).
+
+    Retrying will not help — the session and its state are gone; start a
+    new session instead.
+    """
+
+
+def _busy_from_body(body) -> ServerBusy:
+    retry_after = 1.0
+    if isinstance(body, dict):
+        try:
+            retry_after = float(body.get("retry_after_s", 1.0))
+        except (TypeError, ValueError):
+            pass
+    return ServerBusy(
+        f"server overloaded: {body!r}", retry_after_s=retry_after
+    )
 
 
 class HttpConnection:
@@ -132,7 +168,13 @@ class _UnexpectedStatus(RuntimeError):
 
 
 class HttpSessionClient:
-    """One discovery session over the HTTP routes (pull-style)."""
+    """One discovery session over the HTTP routes (pull-style).
+
+    Backpressure surfaces as typed exceptions: HTTP 429 raises
+    :class:`ServerBusy` (with the server's ``retry_after_s`` hint) and a
+    404 ``session_expired`` raises :class:`SessionExpiredError`; other
+    unexpected statuses stay the generic internal error.
+    """
 
     def __init__(self, host: str, port: int) -> None:
         self.conn = HttpConnection(host, port)
@@ -146,11 +188,24 @@ class HttpSessionClient:
     async def __aexit__(self, *exc_info) -> None:
         await self.conn.aclose()
 
+    @staticmethod
+    def _check(status: int, body, expected: int) -> None:
+        if status == expected:
+            return
+        if status == 429:
+            raise _busy_from_body(body)
+        if (
+            status == 404
+            and isinstance(body, dict)
+            and body.get("error") == "session_expired"
+        ):
+            raise SessionExpiredError(str(body.get("message", body)))
+        raise _UnexpectedStatus(status, body)
+
     async def create(self, **spec) -> dict:
         """``POST /sessions``; remembers the session id and token."""
         status, body = await self.conn.request("POST", "/sessions", spec)
-        if status != 201:
-            raise _UnexpectedStatus(status, body)
+        self._check(status, body, 201)
         assert isinstance(body, dict)
         self.session = body["session"]
         self.token = body["token"]
@@ -161,8 +216,7 @@ class HttpSessionClient:
         status, body = await self.conn.request(
             "GET", f"/sessions/{self.session}/question", token=self.token
         )
-        if status != 200:
-            raise _UnexpectedStatus(status, body)
+        self._check(status, body, 200)
         assert isinstance(body, dict)
         return body["entity"]
 
@@ -173,15 +227,13 @@ class HttpSessionClient:
             {"answer": value},
             token=self.token,
         )
-        if status != 200:
-            raise _UnexpectedStatus(status, body)
+        self._check(status, body, 200)
 
     async def result(self) -> dict:
         status, body = await self.conn.request(
             "GET", f"/sessions/{self.session}/result", token=self.token
         )
-        if status != 200:
-            raise _UnexpectedStatus(status, body)
+        self._check(status, body, 200)
         assert isinstance(body, dict)
         return body
 
@@ -324,11 +376,45 @@ class WsSessionClient:
         """Create the session as the first message of the connection."""
         await self.send_json({"type": "create", **spec})
         created = await self.receive_json()
+        if created is not None and created.get("type") == "error":
+            self._raise_ws_error(created)
         if created is None or created.get("type") != "created":
             raise ConnectionError(f"create refused: {created!r}")
         self.session = created["session"]
         self.token = created["token"]
         return created
+
+    async def attach(self, session: str, token: str) -> dict:
+        """Re-attach to an existing session (the reconnect path).
+
+        The first message of a *fresh* connection: presents the session
+        id and the bearer token minted at creation.  On success the
+        server replies ``attached`` and immediately replays the pending
+        question (if one was in flight when the previous connection
+        dropped), so :meth:`run` resumes exactly where the session left
+        off.
+        """
+        await self.send_json(
+            {"type": "attach", "session": session, "token": token}
+        )
+        reply = await self.receive_json()
+        if reply is not None and reply.get("type") == "error":
+            self._raise_ws_error(reply)
+        if reply is None or reply.get("type") != "attached":
+            raise ConnectionError(f"attach refused: {reply!r}")
+        self.session = session
+        self.token = token
+        return reply
+
+    @staticmethod
+    def _raise_ws_error(message: dict) -> None:
+        code = message.get("error")
+        detail = str(message.get("message", message))
+        if code == "busy":
+            raise ServerBusy(detail)
+        if code == "session_expired":
+            raise SessionExpiredError(detail)
+        raise RuntimeError(f"server error: {detail!r}")
 
     async def run(self, oracle) -> dict:
         """Answer pushed questions with ``oracle`` until the result."""
@@ -344,6 +430,4 @@ class WsSessionClient:
             elif kind == "result":
                 return message
             elif kind == "error":
-                raise RuntimeError(
-                    f"server error: {message.get('message')!r}"
-                )
+                self._raise_ws_error(message)

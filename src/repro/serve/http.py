@@ -62,6 +62,7 @@ import asyncio
 import base64
 import hashlib
 import json
+import math
 import re
 import secrets
 import time
@@ -77,7 +78,12 @@ from ..core.selection import (
     MostEvenSelector,
     RandomSelector,
 )
-from .async_service import AsyncDiscoveryService, ServiceClosed
+from .async_service import (
+    AsyncDiscoveryService,
+    ServiceClosed,
+    ServiceOverloaded,
+    SessionExpired,
+)
 
 __all__ = [
     "DiscoveryApp",
@@ -101,6 +107,7 @@ _PHRASES = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     503: "Service Unavailable",
 }
 
@@ -329,9 +336,11 @@ class DiscoveryApp:
         most one pass per quarter-TTL) and on the drain poll loop, so no
         background task is needed.  A handle is reaped only when the
         service's :meth:`~repro.serve.async_service.AsyncDiscoveryService.expire`
-        agrees the session is idle — pending questions in flight,
-        undelivered replies or waiting long-polls all veto it.  Returns
-        the number of sessions expired by this pass.
+        agrees the session is idle — queued scan work and undelivered
+        replies veto it.  A still-waiting long-poll does *not* veto
+        (after a full idle TTL its client is gone): the expiry wakes it
+        with ``404 session_expired`` immediately.  Returns the number of
+        sessions expired by this pass.
         """
         ttl = self.session_ttl_s
         if ttl is None:
@@ -398,6 +407,8 @@ class DiscoveryApp:
         path = scope["path"]
         route = path
         status = 500
+        sid: str | None = None
+        retry_after: float | None = None
         await self.sweep_expired()
         try:
             if path == "/sessions":
@@ -442,13 +453,42 @@ class DiscoveryApp:
         except _HTTPError as exc:
             status = exc.status
             payload = {"error": exc.code, "message": exc.message}
+        except ServiceOverloaded as exc:
+            # Backpressure: the service shed this call to keep its queues
+            # bounded.  429 with Retry-After is the client's back-off
+            # contract; the hint also rides in the body for clients that
+            # only read JSON.
+            status = 429
+            retry_after = exc.retry_after_s
+            payload = {
+                "error": "overloaded",
+                "message": str(exc),
+                "retry_after_s": exc.retry_after_s,
+            }
+        except SessionExpired as exc:
+            # A long-poll woken because the TTL sweep reaped its session
+            # mid-wait: same 404 session_expired as a post-expiry request,
+            # delivered now instead of after the poll times out.
+            status = 404
+            payload = {"error": "session_expired", "message": str(exc)}
+            if sid is not None:
+                self._sessions.pop(sid, None)
+                self._expired[sid] = None
         except ServiceClosed as exc:
             # The drain path's mirror of the aclose() waiter rejection:
             # an in-flight request caught by shutdown ends with a clear
             # 503, never a hang or a naked connection reset.
             status = 503
             payload = {"error": "draining", "message": str(exc)}
-        await self._send_json(send, status, payload)
+        headers = None
+        if retry_after is not None:
+            headers = [
+                (
+                    b"retry-after",
+                    str(max(1, math.ceil(retry_after))).encode(),
+                )
+            ]
+        await self._send_json(send, status, payload, headers=headers)
         self.metrics.observe_http(route, status)
 
     @staticmethod
@@ -596,6 +636,10 @@ class DiscoveryApp:
             "session": str(handle.key),
             "token": handle.token,
             "n_candidates": state.session.n_candidates,
+            # The collection epoch this session is pinned to — replay
+            # tooling (the soak harness) needs it to pick the right
+            # collection replica for a byte-identical sequential rerun.
+            "epoch": state.session.collection.epoch,
         }
 
     async def _next_question(self, handle: _SessionHandle) -> tuple[int, dict]:
@@ -722,16 +766,25 @@ class DiscoveryApp:
         if kind == "create":
             try:
                 handle = self._spawn_session(request)
+            except ServiceOverloaded as exc:
+                # The WS flavour of the HTTP 429: tell the client it is
+                # load, not protocol, and close with "try again later".
+                self.metrics.observe_rejection("ws-busy")
+                await self._ws_error(send, "busy", str(exc))
+                await self._ws_close(send, 1013)
+                return
             except _HTTPError as exc:
                 await self._ws_error(send, exc.code, exc.message)
                 await self._ws_close(send, 1013 if exc.status == 503 else 1008)
                 return
+            state = self.service.registry.state(handle.key)
             await self._ws_json(
                 send,
                 {
                     "type": "created",
                     "session": str(handle.key),
                     "token": handle.token,
+                    "epoch": state.session.collection.epoch,
                 },
             )
         elif kind == "attach":
@@ -763,13 +816,27 @@ class DiscoveryApp:
 
         key = handle.key
         while True:
-            entity = await self.service.ask(key)
-            if entity is None:
-                result = await self.service.result(key)
-                await self._ws_json(
-                    send, {"type": "result", **result_payload(key, result)}
-                )
-                await self._ws_close(send, 1000)
+            try:
+                entity = await self.service.ask(key)
+                if entity is None:
+                    result = await self.service.result(key)
+                    await self._ws_json(
+                        send,
+                        {"type": "result", **result_payload(key, result)},
+                    )
+                    await self._ws_close(send, 1000)
+                    return
+            except ServiceOverloaded as exc:
+                # Shed mid-session: the session itself survives (nothing
+                # was consumed) — the client may re-attach once load
+                # drops and the pending question will be replayed.
+                self.metrics.observe_rejection("ws-busy")
+                await self._ws_error(send, "busy", str(exc))
+                await self._ws_close(send, 1013)
+                return
+            except SessionExpired as exc:
+                await self._ws_error(send, "session_expired", str(exc))
+                await self._ws_close(send, 1008)
                 return
             label = self.service.collection.universe.label(entity)
             await self._ws_json(
@@ -807,9 +874,17 @@ class DiscoveryApp:
     # Response helpers
     # ------------------------------------------------------------------ #
 
-    async def _send_json(self, send, status: int, payload: dict) -> None:
+    async def _send_json(
+        self,
+        send,
+        status: int,
+        payload: dict,
+        headers: "list[tuple[bytes, bytes]] | None" = None,
+    ) -> None:
         body = json.dumps(payload).encode()
-        await self._send_body(send, status, body, b"application/json")
+        await self._send_body(
+            send, status, body, b"application/json", headers=headers
+        )
 
     async def _send_text(self, send, status: int, text: str) -> None:
         await self._send_body(
@@ -817,7 +892,12 @@ class DiscoveryApp:
         )
 
     async def _send_body(
-        self, send, status: int, body: bytes, content_type: bytes
+        self,
+        send,
+        status: int,
+        body: bytes,
+        content_type: bytes,
+        headers: "list[tuple[bytes, bytes]] | None" = None,
     ) -> None:
         await send(
             {
@@ -826,6 +906,7 @@ class DiscoveryApp:
                 "headers": [
                     (b"content-type", content_type),
                     (b"content-length", str(len(body)).encode()),
+                    *(headers or []),
                 ],
             }
         )

@@ -103,6 +103,15 @@ class ServiceMetrics:
         #: HTTP request counter, ``(route, status) -> count`` — filled by
         #: the HTTP edge; empty (and un-rendered) for in-process serving
         self.http_requests: dict[tuple[str, int], int] = {}
+        #: backpressure sheds by kind: ``sessions`` (admission refused at
+        #: ``max_sessions``), ``asks`` (request shed at ``max_queued``),
+        #: ``ws-busy`` (WebSocket closed with a busy code).  All kinds
+        #: render at 0 so dashboards see the series before the first shed.
+        self.backpressure_rejections: dict[str, int] = {
+            "sessions": 0,
+            "asks": 0,
+            "ws-busy": 0,
+        }
         self._started_at = clock()
 
     # ------------------------------------------------------------------ #
@@ -118,6 +127,12 @@ class ServiceMetrics:
         key = (route, status)
         self.http_requests[key] = self.http_requests.get(key, 0) + 1
 
+    def observe_rejection(self, kind: str) -> None:
+        """Count one backpressure shed (see ``backpressure_rejections``)."""
+        self.backpressure_rejections[kind] = (
+            self.backpressure_rejections.get(kind, 0) + 1
+        )
+
     # ------------------------------------------------------------------ #
     # Derived gauges
     # ------------------------------------------------------------------ #
@@ -130,6 +145,21 @@ class ServiceMetrics:
         if queued is not None:
             depth += queued
         return depth
+
+    def queue_high_watermarks(self) -> dict[str, int]:
+        """Deepest each request queue has ever run, by queue name.
+
+        ``scheduler`` is the scheduler-side queue
+        (``EngineStats.queue_high_watermark``); ``loop`` is the async
+        front-end's event-loop-side queue, present only when the source
+        tracks one.  The operator's sizing signal: how close traffic came
+        to a ``max_queued`` bound.
+        """
+        marks = {"scheduler": self._source.stats.queue_high_watermark}
+        loop = getattr(self._source, "queued_high_watermark", None)
+        if loop is not None:
+            marks["loop"] = loop
+        return marks
 
     @property
     def flush_occupancy(self) -> float:
@@ -185,6 +215,8 @@ class ServiceMetrics:
             },
             "deltas_applied": self.deltas_applied,
             "sessions_expired": self.sessions_expired,
+            "backpressure_rejections": dict(self.backpressure_rejections),
+            "queue_high_watermark": self.queue_high_watermarks(),
             "flushes": stats.ticks,
             "stacked_scans": stats.batched_scans,
             "scan_cache_hits": stats.scan_cache_hits,
@@ -243,6 +275,25 @@ class ServiceMetrics:
             "HTTP edge's idle TTL sweep.",
             "# TYPE repro_sessions_expired_total counter",
             f"repro_sessions_expired_total {self.sessions_expired}",
+            "# HELP repro_backpressure_rejections_total Requests shed to "
+            "keep queues bounded, by kind.",
+            "# TYPE repro_backpressure_rejections_total counter",
+        ]
+        for kind, count in sorted(self.backpressure_rejections.items()):
+            lines.append(
+                f'repro_backpressure_rejections_total{{kind="{kind}"}} '
+                f"{count}"
+            )
+        lines += [
+            "# HELP repro_queue_high_watermark Deepest each request queue "
+            "has ever run.",
+            "# TYPE repro_queue_high_watermark gauge",
+        ]
+        for queue, mark in sorted(self.queue_high_watermarks().items()):
+            lines.append(
+                f'repro_queue_high_watermark{{queue="{queue}"}} {mark}'
+            )
+        lines += [
             "# HELP repro_websocket_sessions Live push-style websocket "
             "sessions.",
             "# TYPE repro_websocket_sessions gauge",

@@ -98,6 +98,16 @@ class FlushPolicy:
         return self.watermark_hit(queued) or self.due(first_at, now)
 
 
+class SchedulerSaturated(RuntimeError):
+    """A :meth:`ScanScheduler.submit` hit the scheduler's ``max_queue``.
+
+    Only raised when the opt-in bound is set; re-submissions of an
+    already-queued key never count against it.  Front-ends that bound
+    their own loop-side queue (the async service's ``max_queued``) keep
+    the scheduler queue bounded transitively and leave this off.
+    """
+
+
 @dataclass
 class EngineStats:
     """Aggregate scheduler/engine work counters (serving metrics)."""
@@ -125,6 +135,11 @@ class EngineStats:
     fallback_selections: int = 0
     #: wall-clock seconds spent inside tick()/flush rounds
     seconds: float = 0.0
+    #: deepest the scheduler's request queue has ever been (backpressure
+    #: gauge: how close the edge came to a bound)
+    queue_high_watermark: int = 0
+    #: submissions refused because ``max_queue`` was full
+    shed_requests: int = 0
 
 
 @dataclass
@@ -162,6 +177,11 @@ class ScanScheduler:
     clock:
         Monotonic time source for the latency budget (injectable for
         tests; defaults to :func:`time.perf_counter`).
+    max_queue:
+        Opt-in hard bound on queued requests: :meth:`submit` raises
+        :class:`SchedulerSaturated` once this many distinct keys wait
+        for a flush.  ``None`` (the default) keeps the queue unbounded —
+        the async front-end bounds its own loop-side queue instead.
     """
 
     def __init__(
@@ -170,6 +190,7 @@ class ScanScheduler:
         flush_after_ms: float | None = None,
         max_batch: int | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        max_queue: int | None = None,
     ) -> None:
         self.registry = registry
         self.policy = FlushPolicy(
@@ -180,6 +201,7 @@ class ScanScheduler:
         self._queue: list[SessionState] = []
         self._queued: set[Hashable] = set()
         self._first_at: float | None = None
+        self.max_queue = max_queue
 
     @property
     def collection(self) -> "SetCollection":
@@ -207,11 +229,27 @@ class ScanScheduler:
     # ------------------------------------------------------------------ #
 
     def submit(self, state: SessionState) -> None:
-        """Queue one session's scan request (idempotent per key)."""
+        """Queue one session's scan request (idempotent per key).
+
+        With ``max_queue`` set, a submission that would grow the queue
+        past the bound raises :class:`SchedulerSaturated` instead (the
+        shed is counted in ``stats.shed_requests``).
+        """
         if state.key in self._queued:
             return
+        if (
+            self.max_queue is not None
+            and len(self._queue) >= self.max_queue
+        ):
+            self.stats.shed_requests += 1
+            raise SchedulerSaturated(
+                f"scheduler queue full ({self.max_queue} requests "
+                f"awaiting a flush)"
+            )
         self._queued.add(state.key)
         self._queue.append(state)
+        if len(self._queue) > self.stats.queue_high_watermark:
+            self.stats.queue_high_watermark = len(self._queue)
         if self._first_at is None:
             self._first_at = self._clock()
 

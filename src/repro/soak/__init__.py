@@ -1,0 +1,58 @@
+"""``repro.soak`` — deterministic fault-injecting soak/chaos harness.
+
+Drives the serving stack (the real ``python -m repro serve`` child
+process, or an in-process :class:`~repro.serve.AsyncDiscoveryService`)
+with a seeded population of hostile virtual users under a pluggable
+fault plan — connection drops, server restarts, answer storms, live
+collection deltas, overload stampedes — while continuously checking
+invariants: transcript parity with sequential replays, no stuck
+sessions, bounded epoch GC, ``/metrics`` honesty and an RSS growth
+ceiling.  ``python -m repro soak --seed S --duration 60 --faults
+restart,storm,delta`` runs it from the CLI and exits non-zero on any
+violation.  See ``docs/soak.md``.
+"""
+
+from .config import ALL_FAULTS, FAULTS_BY_MODE, SoakConfig
+from .driver import (
+    Counters,
+    InprocessSoak,
+    ServerSoak,
+    SoakReport,
+    run_soak,
+)
+from .faults import FaultEvent, build_delta_spec, build_fault_plan
+from .invariants import (
+    GroundTruth,
+    InvariantChecker,
+    RssSampler,
+    SessionRecord,
+    StuckWatchdog,
+    Violation,
+    transcript_rows,
+)
+from .users import ScriptedOracle, UserScript, build_population, make_oracle
+
+__all__ = [
+    "ALL_FAULTS",
+    "Counters",
+    "FAULTS_BY_MODE",
+    "FaultEvent",
+    "GroundTruth",
+    "InprocessSoak",
+    "InvariantChecker",
+    "RssSampler",
+    "ScriptedOracle",
+    "ServerSoak",
+    "SessionRecord",
+    "SoakConfig",
+    "SoakReport",
+    "StuckWatchdog",
+    "UserScript",
+    "Violation",
+    "build_delta_spec",
+    "build_fault_plan",
+    "build_population",
+    "make_oracle",
+    "run_soak",
+    "transcript_rows",
+]

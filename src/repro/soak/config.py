@@ -1,0 +1,142 @@
+"""Configuration for the soak/chaos harness (``repro.soak``).
+
+One :class:`SoakConfig` fully determines a soak run's *schedules*: the
+virtual-user population (``users.py``), the fault plan (``faults.py``)
+and every oracle's answers derive from ``seed`` alone, so two runs with
+the same seed drive the server with the same joins, the same answer
+storms, the same delta batches and the same lies — only wall-clock
+interleaving differs, and the invariant checker (``invariants.py``)
+holds regardless of interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..data.synthetic import SyntheticConfig, generate_collection
+
+#: fault kinds each mode can inject.  ``restart`` needs a real child
+#: process; ``stall`` needs to reach inside the scheduler, which only the
+#: in-process mode can.
+FAULTS_BY_MODE = {
+    "server": ("restart", "storm", "delta", "drop", "overload"),
+    "inprocess": ("stall", "storm", "delta", "drop", "overload"),
+}
+
+ALL_FAULTS = ("restart", "stall", "storm", "delta", "drop", "overload")
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Everything one soak run needs; hashable and JSON-friendly.
+
+    ``users`` is the number of scripted virtual users that join over the
+    first ~80% of ``duration_s`` (Poisson arrivals); storms and the
+    overload burst add more on top.  ``faults`` picks the fault plan —
+    see :data:`FAULTS_BY_MODE` for what each mode supports.
+    """
+
+    seed: int = 42
+    duration_s: float = 30.0
+    mode: str = "server"  # "server" | "inprocess"
+    faults: tuple[str, ...] = ("storm", "delta")
+    users: int = 24
+
+    # collection shape (mirrors `python -m repro serve` so the harness
+    # can rebuild the server's exact collection client-side)
+    n_sets: int = 400
+    size_lo: int = 12
+    size_hi: int = 20
+    overlap: float = 0.75
+
+    # serving knobs
+    flush_after_ms: float = 2.0
+    max_batch: int = 64
+    session_ttl_s: float = 4.0
+    max_sessions: int | None = None
+    max_queued: int | None = None
+    overload_policy: str = "shed"
+    retry_after_s: float = 0.2
+
+    # population behaviour
+    ws_fraction: float = 0.3
+    abandon_rate: float = 0.15
+    drop_rate: float = 0.25  # of users, when the "drop" fault is on
+    dk_rate: float = 0.05  # per-question "don't know" probability
+    think_ms: float = 150.0  # max per-question think time
+
+    # invariant thresholds
+    stuck_after_s: float = 20.0
+    rss_limit_mb_s: float = 6.0
+    epoch_cap: int = 5
+    quiesce_timeout_s: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULTS_BY_MODE:
+            raise ValueError(f"mode must be server|inprocess, not {self.mode!r}")
+        allowed = FAULTS_BY_MODE[self.mode]
+        for fault in self.faults:
+            if fault not in ALL_FAULTS:
+                raise ValueError(f"unknown fault {fault!r} (know {ALL_FAULTS})")
+            if fault not in allowed:
+                raise ValueError(
+                    f"fault {fault!r} needs mode(s) "
+                    f"{[m for m, fs in FAULTS_BY_MODE.items() if fault in fs]}"
+                    f", not {self.mode!r}"
+                )
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.users < 1:
+            raise ValueError("users must be >= 1")
+
+    def with_overload_defaults(self) -> "SoakConfig":
+        """Fill in a session cap when the overload fault needs one."""
+        if "overload" in self.faults and self.max_sessions is None:
+            return replace(self, max_sessions=max(4, self.users // 3))
+        return self
+
+    @property
+    def synthetic(self) -> SyntheticConfig:
+        return SyntheticConfig(
+            n_sets=self.n_sets,
+            size_lo=self.size_lo,
+            size_hi=self.size_hi,
+            overlap=self.overlap,
+            seed=self.seed,
+        )
+
+    def build_collection(self):
+        """The collection the run serves (and the epoch-0 replica)."""
+        return generate_collection(self.synthetic)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "mode": self.mode,
+            "faults": list(self.faults),
+            "users": self.users,
+            "n_sets": self.n_sets,
+            "size_lo": self.size_lo,
+            "size_hi": self.size_hi,
+            "overlap": self.overlap,
+            "flush_after_ms": self.flush_after_ms,
+            "max_batch": self.max_batch,
+            "session_ttl_s": self.session_ttl_s,
+            "max_sessions": self.max_sessions,
+            "max_queued": self.max_queued,
+            "overload_policy": self.overload_policy,
+            "retry_after_s": self.retry_after_s,
+            "ws_fraction": self.ws_fraction,
+            "abandon_rate": self.abandon_rate,
+            "drop_rate": self.drop_rate,
+            "dk_rate": self.dk_rate,
+            "think_ms": self.think_ms,
+            "stuck_after_s": self.stuck_after_s,
+            "rss_limit_mb_s": self.rss_limit_mb_s,
+            "epoch_cap": self.epoch_cap,
+        }
+
+
+# re-exported so drivers/tests import one module for both
+__all__ = ["ALL_FAULTS", "FAULTS_BY_MODE", "SoakConfig", "field"]

@@ -1,0 +1,1204 @@
+"""Soak/chaos drivers: hostile traffic against the serving stack.
+
+Two drivers share one population, fault plan and invariant checker
+(:func:`run_soak` picks by ``cfg.mode``):
+
+* :class:`ServerSoak` boots ``python -m repro serve`` as a child process
+  and drives it over real sockets — HTTP long-poll and WebSocket users,
+  connection drops with reconnect/``attach``, SIGTERM restarts with a
+  fresh server life, ``POST /admin/delta`` churn mirrored onto local
+  replica collections, and an overload stampede that must bounce off the
+  429/busy backpressure.
+* :class:`InprocessSoak` drives an :class:`AsyncDiscoveryService`
+  directly — same users and invariants, plus the scheduler-stall fault
+  the server child cannot expose.
+
+Every completed session is replayed sequentially at the end against the
+replica of the exact ``(life, epoch)`` it was pinned to; any transcript
+divergence is a violation.  See :mod:`repro.soak.invariants` for the
+full catalogue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import random
+import re
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.collection import SetCollection
+from ..core.selection import InfoGainSelector
+from ..serve.async_service import (
+    AsyncDiscoveryService,
+    ServiceOverloaded,
+)
+from ..serve.client import (
+    AdminClient,
+    HttpConnection,
+    HttpSessionClient,
+    ServerBusy,
+    SessionExpiredError,
+    WsSessionClient,
+)
+from ..serve.http import delta_batch_from_spec
+from ..serve.metrics import quantile_sorted
+from .config import SoakConfig
+from .faults import FaultEvent, build_delta_spec, build_fault_plan
+from .invariants import (
+    GroundTruth,
+    InvariantChecker,
+    RssSampler,
+    SessionRecord,
+    StuckWatchdog,
+    transcript_rows,
+)
+from .users import UserScript, build_population, make_oracle
+
+_SRC = Path(__file__).resolve().parents[2]
+_READY = re.compile(r"^serving on http://([\d.]+):(\d+)$")
+_ADMIN_TOKEN = "soak-admin"
+_PROM_LABELED = re.compile(r'^(\w+)\{(\w+)="([^"]*)"\}\s+(\S+)$')
+
+
+class _ServerGone(Exception):
+    """The server died under a user — expected during a restart fault."""
+
+
+@dataclass
+class Counters:
+    """Harness-side tally across the whole run (all lives)."""
+
+    sessions_started: int = 0
+    sessions_completed: int = 0
+    sessions_abandoned: int = 0
+    sessions_killed: int = 0  # by a restart fault; user retried
+    sessions_expired_seen: int = 0  # 404 session_expired observed
+    questions: int = 0
+    drops: int = 0
+    reattaches: int = 0
+    storms: int = 0
+    restarts: int = 0
+    stalls: int = 0
+    deltas: int = 0
+    busy_total: int = 0
+    user_errors: int = 0
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class SoakReport:
+    ok: bool
+    config: dict
+    violations: list[dict]
+    counters: dict
+    results: dict
+    lives: int
+    rss_slopes_mb_s: list
+    parity_checked: int
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+# ---------------------------------------------------------------------- #
+# Server child process
+# ---------------------------------------------------------------------- #
+
+
+def _server_command(cfg: SoakConfig) -> list[str]:
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--port",
+        "0",
+        "--n-sets",
+        str(cfg.n_sets),
+        "--size-lo",
+        str(cfg.size_lo),
+        "--size-hi",
+        str(cfg.size_hi),
+        "--overlap",
+        str(cfg.overlap),
+        "--seed",
+        str(cfg.seed),
+        "--flush-after-ms",
+        str(cfg.flush_after_ms),
+        "--max-batch",
+        str(cfg.max_batch),
+        "--session-ttl",
+        str(cfg.session_ttl_s),
+        "--admin-token",
+        _ADMIN_TOKEN,
+        "--retry-after-s",
+        str(cfg.retry_after_s),
+        "--drain-grace-s",
+        "10",
+    ]
+    if cfg.max_sessions is not None:
+        command += ["--max-sessions", str(cfg.max_sessions)]
+    if cfg.max_queued is not None:
+        command += ["--max-queued", str(cfg.max_queued)]
+        command += ["--overload-policy", cfg.overload_policy]
+    return command
+
+
+class ServerProcess:
+    """One life of ``python -m repro serve``; port from the readiness line."""
+
+    def __init__(self, cfg: SoakConfig) -> None:
+        self.cfg = cfg
+        self.proc: subprocess.Popen | None = None
+        self.host = "127.0.0.1"
+        self.port = 0
+
+    def start(self, timeout_s: float = 60.0) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(_SRC), env.get("PYTHONPATH")) if p
+        )
+        self.proc = subprocess.Popen(
+            _server_command(self.cfg),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        deadline = time.monotonic() + timeout_s
+        assert self.proc.stdout is not None
+        while True:
+            if time.monotonic() > deadline:
+                self.proc.kill()
+                raise RuntimeError("server never printed its readiness line")
+            line = self.proc.stdout.readline()
+            if not line and self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"server exited early (code {self.proc.returncode})"
+                )
+            if match := _READY.match(line.strip()):
+                self.host, self.port = match.group(1), int(match.group(2))
+                return
+
+    def stop(self, timeout_s: float = 30.0) -> int:
+        assert self.proc is not None
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+        try:
+            self.proc.communicate(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.communicate()
+        return self.proc.returncode
+
+
+def parse_prometheus(text: str) -> dict:
+    """``/metrics`` text into ``{"scalar": {...}, "labeled": {...}}``."""
+    scalar: dict[str, float] = {}
+    labeled: dict[str, dict[str, float]] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        if match := _PROM_LABELED.match(line):
+            name, _, label, value = match.groups()
+            labeled.setdefault(name, {})[label] = float(value)
+        else:
+            parts = line.rsplit(" ", 1)
+            if len(parts) == 2:
+                with contextlib.suppress(ValueError):
+                    scalar[parts[0]] = float(parts[1])
+    return {"scalar": scalar, "labeled": labeled}
+
+
+def snapshot_from_prometheus(text: str) -> tuple[dict, int]:
+    """A :meth:`ServiceMetrics.snapshot`-shaped dict plus live-epoch count."""
+    parsed = parse_prometheus(text)
+    scalar, labeled = parsed["scalar"], parsed["labeled"]
+    phases = labeled.get("repro_sessions", {})
+    rejections = {
+        kind: int(v)
+        for kind, v in labeled.get(
+            "repro_backpressure_rejections_total", {}
+        ).items()
+    }
+    snapshot = {
+        "sessions": {k: int(v) for k, v in phases.items()},
+        "deltas_applied": int(scalar.get("repro_deltas_applied_total", 0)),
+        "collection_epoch": int(scalar.get("repro_collection_epoch", 0)),
+        "backpressure_rejections": rejections,
+    }
+    live_epochs = len(labeled.get("repro_epoch_sessions", {}))
+    return snapshot, live_epochs
+
+
+# ---------------------------------------------------------------------- #
+# Server-mode soak
+# ---------------------------------------------------------------------- #
+
+
+class ServerSoak:
+    def __init__(self, cfg: SoakConfig, log=lambda msg: None) -> None:
+        self.cfg = cfg.with_overload_defaults()
+        self.log = log
+        self.base = self.cfg.build_collection()
+        self.checker = InvariantChecker(cfg.epoch_cap, cfg.rss_limit_mb_s)
+        self.watchdog = StuckWatchdog(cfg.stuck_after_s)
+        self.counters = Counters()
+        self.records: list[SessionRecord] = []
+        #: (life, epoch) -> replica collection, for end-of-run replay
+        self.archive: dict[tuple[int, int], SetCollection] = {}
+        self.latencies: list[float] = []
+        self.rss_slopes: list[float] = []
+        # current life
+        self.life = -1
+        self.server: ServerProcess | None = None
+        self.replicas: list[SetCollection] = []
+        self.soak_counter = 0
+        self.truth = GroundTruth()
+        self.rss: RssSampler | None = None
+        self.ready = asyncio.Event()
+        self.restarting = False
+        self.t0 = 0.0
+        self._extra_tasks: list[asyncio.Task] = []
+
+    # ------------------------------- lifecycle ------------------------- #
+
+    async def _start_life(self) -> None:
+        self.life += 1
+        self.server = ServerProcess(self.cfg)
+        await asyncio.to_thread(self.server.start)
+        self.replicas = [self.base]
+        self.archive[(self.life, 0)] = self.base
+        self.soak_counter = 0
+        self.truth = GroundTruth()
+        assert self.server.proc is not None
+        self.rss = RssSampler(self.server.proc.pid)
+        self.ready.set()
+
+    async def _stop_life(self, *, graceful: bool) -> int:
+        assert self.server is not None
+        self.ready.clear()
+        if self.rss is not None:
+            slope = self.checker.check_rss(self.rss, self.life)
+            if slope is not None:
+                self.rss_slopes.append(round(slope, 4))
+        code = await asyncio.to_thread(
+            self.server.stop, 30.0 if graceful else 10.0
+        )
+        return code
+
+    def _now(self) -> float:
+        return time.monotonic() - self.t0
+
+    def replica_for(self, epoch: int) -> SetCollection:
+        if epoch >= len(self.replicas):
+            # the server applied a delta we have not mirrored yet — the
+            # fault task appends the replica *before* the admin call, so
+            # this indicates a lost update
+            raise RuntimeError(
+                f"server reports epoch {epoch}, replica chain at "
+                f"{len(self.replicas) - 1}"
+            )
+        return self.replicas[epoch]
+
+    # ------------------------------- users ----------------------------- #
+
+    async def _user(self, script: UserScript, start_at: float | None = None) -> None:
+        join = script.join_at if start_at is None else start_at
+        delay = join - self._now()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        for attempt in range(4):
+            await self.ready.wait()
+            life = self.life
+            try:
+                if script.use_ws:
+                    await self._ws_session(script, attempt)
+                else:
+                    await self._http_session(script, attempt)
+                return
+            except _ServerGone:
+                self.counters.sessions_killed += 1
+                continue
+            except (ServerBusy, SessionExpiredError):
+                return  # already counted where raised
+            except Exception as exc:  # noqa: BLE001 - anything else is real
+                if self.restarting or life != self.life:
+                    self.counters.sessions_killed += 1
+                    continue
+                self.counters.user_errors += 1
+                self.truth.user_errors += 1
+                self.checker.add(
+                    "user_error",
+                    f"user {script.uid} attempt {attempt}: "
+                    f"{type(exc).__name__}: {exc}",
+                )
+                return
+            finally:
+                self.watchdog.progressed(script.uid)
+
+    async def _create_http(
+        self, client: HttpSessionClient, script: UserScript
+    ) -> dict | None:
+        """Create with bounded busy-retry; None when capacity never frees."""
+        for _ in range(5):
+            try:
+                created = await client.create(selector="infogain")
+            except ServerBusy as busy:
+                self.truth.busy_http_create += 1
+                self.counters.busy_total += 1
+                if busy.retry_after_s <= 0:
+                    self.checker.add(
+                        "backpressure",
+                        "429 without a positive retry_after_s hint",
+                    )
+                await asyncio.sleep(min(busy.retry_after_s, 0.5))
+                continue
+            self.counters.sessions_started += 1
+            return created
+        return None
+
+    async def _http_session(self, script: UserScript, attempt: int) -> None:
+        assert self.server is not None
+        think_rng = script.think_rng()
+        async with HttpSessionClient(self.server.host, self.server.port) as client:
+            created = await self._create_http(client, script)
+            if created is None:
+                return
+            life = self.life
+            epoch = created["epoch"]
+            replica = self.replica_for(epoch)
+            target = script.pick_target(replica.n_sets, attempt)
+            salt = script.oracle_salt(attempt)
+            oracle = make_oracle(replica, target, self.cfg.dk_rate, salt)
+            answered = 0
+            dropped = False
+            while True:
+                self.watchdog.waiting(script.uid, "http-question")
+                start = time.perf_counter()
+                try:
+                    entity = await client.next_question()
+                except ServerBusy as busy:
+                    self.truth.busy_http_ask += 1
+                    self.counters.busy_total += 1
+                    await asyncio.sleep(min(busy.retry_after_s, 0.5))
+                    continue
+                except SessionExpiredError:
+                    self.counters.sessions_expired_seen += 1
+                    raise
+                finally:
+                    self.watchdog.progressed(script.uid)
+                self.latencies.append(time.perf_counter() - start)
+                if entity is None:
+                    break
+                self.counters.questions += 1
+                if script.think_s > 0:
+                    await asyncio.sleep(think_rng.uniform(0, script.think_s))
+                if script.abandon_after is not None and answered >= script.abandon_after:
+                    self.counters.sessions_abandoned += 1
+                    if script.uid % 2 == 0:
+                        # leave a *dead* long-poll behind: a result()
+                        # poll parks a server-side waiter that nothing
+                        # will ever resolve (the session is stuck at
+                        # QUESTION_PENDING), then the socket dies.  The
+                        # TTL sweep must still reap this session by
+                        # waking the waiter with session_expired — the
+                        # exact leak the expiry rework fixed.
+                        poll = asyncio.create_task(client.result())
+                        await asyncio.sleep(0.05)
+                        poll.cancel()
+                        with contextlib.suppress(
+                            asyncio.CancelledError, Exception
+                        ):
+                            await poll
+                    return
+                if script.drop_at is not None and answered == script.drop_at and not dropped:
+                    dropped = True
+                    await self._http_drop(client, script)
+                    continue  # re-poll; the pending question replays
+                try:
+                    await client.send_answer(oracle(entity))
+                except ServerBusy as busy:
+                    self.truth.busy_http_ask += 1
+                    self.counters.busy_total += 1
+                    await asyncio.sleep(min(busy.retry_after_s, 0.5))
+                    continue
+                answered += 1
+            payload = await client.result()
+            self._record(script, life, epoch, target, salt, payload)
+
+    async def _http_drop(
+        self, client: HttpSessionClient, script: UserScript
+    ) -> None:
+        """Sever the socket mid-long-poll, reconnect, resume the session."""
+        poll = asyncio.create_task(client.next_question())
+        await asyncio.sleep(0.05)
+        await client.conn.aclose()
+        poll.cancel()
+        with contextlib.suppress(asyncio.CancelledError, Exception):
+            await poll
+        await client.conn.connect()
+        self.counters.drops += 1
+
+    async def _ws_session(self, script: UserScript, attempt: int) -> None:
+        assert self.server is not None
+        think_rng = script.think_rng()
+        client = WsSessionClient(self.server.host, self.server.port)
+        await client.connect()
+        try:
+            try:
+                created = await client.create(selector="infogain")
+            except ServerBusy as busy:
+                self.truth.busy_ws_create += 1
+                self.counters.busy_total += 1
+                if busy.retry_after_s <= 0:
+                    self.checker.add(
+                        "backpressure", "ws busy without retry_after_s"
+                    )
+                raise
+            self.counters.sessions_started += 1
+            life = self.life
+            epoch = created["epoch"]
+            replica = self.replica_for(epoch)
+            target = script.pick_target(replica.n_sets, attempt)
+            salt = script.oracle_salt(attempt)
+            oracle = make_oracle(replica, target, self.cfg.dk_rate, salt)
+            answered = 0
+            dropped = False
+            start = time.perf_counter()
+            while True:
+                self.watchdog.waiting(script.uid, "ws-receive")
+                try:
+                    message = await client.receive_json()
+                except ServerBusy as busy:
+                    # mid-session shed: server closed 1013 but the
+                    # session survives — reconnect and re-attach
+                    self.truth.busy_ws_mid += 1
+                    self.counters.busy_total += 1
+                    await asyncio.sleep(min(busy.retry_after_s, 0.5))
+                    client = await self._ws_reattach(client)
+                    continue
+                except SessionExpiredError:
+                    self.counters.sessions_expired_seen += 1
+                    raise
+                finally:
+                    self.watchdog.progressed(script.uid)
+                if message is None:
+                    raise _ServerGone if self.restarting else ConnectionError(
+                        "websocket closed mid-session"
+                    )
+                kind = message.get("type")
+                if kind == "question":
+                    self.latencies.append(time.perf_counter() - start)
+                    self.counters.questions += 1
+                    if script.think_s > 0:
+                        await asyncio.sleep(
+                            think_rng.uniform(0, script.think_s)
+                        )
+                    if (
+                        script.abandon_after is not None
+                        and answered >= script.abandon_after
+                    ):
+                        self.counters.sessions_abandoned += 1
+                        return
+                    if (
+                        script.drop_at is not None
+                        and answered == script.drop_at
+                        and not dropped
+                    ):
+                        dropped = True
+                        client = await self._ws_reattach(client)
+                        self.counters.drops += 1
+                        start = time.perf_counter()
+                        continue  # attach replays the pending question
+                    await client.send_json(
+                        {"type": "answer", "value": oracle(message["entity"])}
+                    )
+                    answered += 1
+                    start = time.perf_counter()
+                elif kind == "result":
+                    self._record(script, life, epoch, target, salt, message)
+                    return
+                elif kind == "error":
+                    if message.get("error") == "busy":
+                        # mid-session shed (max_queued): the server says
+                        # busy and closes 1013 but keeps the session —
+                        # back off, reconnect, re-attach
+                        self.truth.busy_ws_mid += 1
+                        self.counters.busy_total += 1
+                        await asyncio.sleep(self.cfg.retry_after_s)
+                        client = await self._ws_reattach(client)
+                        continue
+                    client._raise_ws_error(message)
+                else:
+                    raise ConnectionError(f"unexpected message {message!r}")
+        finally:
+            with contextlib.suppress(Exception):
+                await client.aclose()
+
+    async def _ws_reattach(self, old: WsSessionClient) -> WsSessionClient:
+        """Drop the socket and re-attach with the session's bearer token."""
+        assert self.server is not None
+        session, token = old.session, old.token
+        assert session is not None and token is not None
+        with contextlib.suppress(Exception):
+            await old.aclose()
+        fresh = WsSessionClient(self.server.host, self.server.port)
+        await fresh.connect()
+        await fresh.attach(session, token)
+        self.counters.reattaches += 1
+        return fresh
+
+    def _record(
+        self,
+        script: UserScript,
+        life: int,
+        epoch: int,
+        target: int,
+        salt: int,
+        payload: dict,
+    ) -> None:
+        self.counters.sessions_completed += 1
+        self.truth.completions += 1
+        self.records.append(
+            SessionRecord(
+                uid=script.uid,
+                life=life,
+                epoch=epoch,
+                target=target,
+                salt=salt,
+                dk_rate=self.cfg.dk_rate,
+                transcript=transcript_rows(payload["transcript"]),
+                resolved=payload["resolved"],
+                candidates=list(payload["candidates"]),
+            )
+        )
+
+    # ------------------------------- faults ---------------------------- #
+
+    async def _fault_task(self, plan: list[FaultEvent]) -> None:
+        for event in plan:
+            delay = event.at - self._now()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if event.kind == "restart":
+                await self._do_restart()
+            elif event.kind == "storm":
+                self.counters.storms += 1
+                self.log(f"storm: +{len(event.scripts)} users")
+                for script in event.scripts:
+                    self._extra_tasks.append(
+                        asyncio.create_task(
+                            self._user(script, start_at=self._now())
+                        )
+                    )
+            elif event.kind == "delta":
+                await self._do_delta(event)
+            elif event.kind == "overload":
+                await self._do_overload(event)
+
+    async def _do_restart(self) -> None:
+        self.counters.restarts += 1
+        self.log(f"restart: ending server life {self.life}")
+        self.restarting = True
+        self.watchdog.pause()
+        await self._stop_life(graceful=False)
+        await self._start_life()
+        self.restarting = False
+        self.watchdog.resume()
+        self.log(f"restart: life {self.life} serving on port {self.server.port}")
+
+    async def _do_delta(self, event: FaultEvent) -> None:
+        if self.restarting:
+            return
+        rng = random.Random(self.cfg.seed ^ (0xDE17A + event.index))
+        spec, counter = build_delta_spec(
+            self.replicas[-1], rng, self.soak_counter
+        )
+        # mirror locally FIRST so any session the server creates on the
+        # new epoch already has its replica (replica_for would fail
+        # otherwise); roll back if the server refuses the batch
+        self.replicas.append(
+            self.replicas[-1].apply_delta(delta_batch_from_spec(spec))
+        )
+        assert self.server is not None
+        try:
+            async with AdminClient(
+                self.server.host, self.server.port, _ADMIN_TOKEN
+            ) as admin:
+                await admin.apply_delta(
+                    add=spec.get("add"),
+                    remove=spec.get("remove"),
+                    update=spec.get("update"),
+                )
+        except Exception as exc:  # noqa: BLE001
+            self.replicas.pop()
+            if self.restarting:
+                return
+            self.checker.add(
+                "delta_failed",
+                f"delta {event.index}: {type(exc).__name__}: {exc}",
+            )
+            return
+        self.soak_counter = counter
+        self.counters.deltas += 1
+        self.truth.deltas_applied += 1
+        self.truth.replica_epoch = len(self.replicas) - 1
+        self.archive[(self.life, self.truth.replica_epoch)] = self.replicas[-1]
+
+    async def _do_overload(self, event: FaultEvent) -> None:
+        """A synchronized stampede that must bounce off backpressure."""
+        assert self.server is not None
+        self.log(f"overload: {event.size} simultaneous creates")
+        busy_before = self.truth.busy_http_create + self.truth.busy_ws_create
+
+        async def stampede(i: int) -> None:
+            script = UserScript(
+                uid=50_000 + i,
+                join_at=0.0,
+                use_ws=i % 7 == 0,
+                abandon_after=None,
+                drop_at=None,
+                think_s=0.0,
+                storm=True,
+            )
+            with contextlib.suppress(
+                ServerBusy, SessionExpiredError, _ServerGone
+            ):
+                if script.use_ws:
+                    await self._ws_session(script, 0)
+                else:
+                    await self._http_session_no_retry(script)
+
+        await asyncio.gather(*(stampede(i) for i in range(event.size)))
+        busy_after = self.truth.busy_http_create + self.truth.busy_ws_create
+        if busy_after == busy_before:
+            self.checker.add(
+                "backpressure",
+                f"overload burst of {event.size} creates against "
+                f"max_sessions={self.cfg.max_sessions} produced no "
+                "429/busy rejection",
+            )
+
+    async def _http_session_no_retry(self, script: UserScript) -> None:
+        """Stampede variant: one create attempt, count the 429, give up."""
+        assert self.server is not None
+        async with HttpSessionClient(self.server.host, self.server.port) as client:
+            try:
+                created = await client.create(selector="infogain")
+            except ServerBusy as busy:
+                self.truth.busy_http_create += 1
+                self.counters.busy_total += 1
+                if busy.retry_after_s <= 0:
+                    self.checker.add(
+                        "backpressure",
+                        "429 without a positive retry_after_s hint",
+                    )
+                return
+            self.counters.sessions_started += 1
+            life, epoch = self.life, created["epoch"]
+            replica = self.replica_for(epoch)
+            target = script.pick_target(replica.n_sets, 0)
+            salt = script.oracle_salt(0)
+            oracle = make_oracle(replica, target, self.cfg.dk_rate, salt)
+            while (entity := await client.next_question()) is not None:
+                self.counters.questions += 1
+                await client.send_answer(oracle(entity))
+            payload = await client.result()
+            self._record(script, life, epoch, target, salt, payload)
+
+    # ------------------------------- monitors -------------------------- #
+
+    async def _monitor_task(self) -> None:
+        while True:
+            await asyncio.sleep(0.5)
+            self.checker.extend(self.watchdog.scan())
+            if self.rss is not None and not self.restarting:
+                self.rss.sample()
+            if not self.restarting and self.ready.is_set():
+                with contextlib.suppress(Exception):
+                    text = await self._scrape()
+                    _, live = snapshot_from_prometheus(text)
+                    self.checker.check_epochs(live, quiesced=False)
+
+    async def _scrape(self) -> str:
+        assert self.server is not None
+        async with HttpConnection(self.server.host, self.server.port) as conn:
+            _, text = await conn.request("GET", "/metrics")
+            return text
+
+    async def _healthz(self) -> dict:
+        assert self.server is not None
+        async with HttpConnection(self.server.host, self.server.port) as conn:
+            _, body = await conn.request("GET", "/healthz")
+            return body
+
+    # ------------------------------- run ------------------------------- #
+
+    async def _quiesce(self) -> None:
+        """Wait for every session to finish or be TTL-reaped."""
+        deadline = time.monotonic() + self.cfg.quiesce_timeout_s + self.cfg.session_ttl_s
+        active = -1
+        while time.monotonic() < deadline:
+            health = await self._healthz()
+            active = health["active_sessions"]
+            if active == 0:
+                return
+            await asyncio.sleep(0.3)
+        self.checker.add(
+            "stuck_session",
+            f"{active} sessions still active "
+            f"{self.cfg.quiesce_timeout_s:.0f}s after the last user left "
+            f"(TTL {self.cfg.session_ttl_s}s) — the sweep cannot reap them",
+        )
+
+    async def _run(self) -> None:
+        population = build_population(self.cfg)
+        plan = build_fault_plan(self.cfg)
+        self.log(
+            f"soak[server]: seed={self.cfg.seed} users={len(population)} "
+            f"faults={[e.kind for e in plan]}"
+        )
+        await self._start_life()
+        self.t0 = time.monotonic()
+        monitor = asyncio.create_task(self._monitor_task())
+        try:
+            user_tasks = [
+                asyncio.create_task(self._user(script))
+                for script in population
+            ]
+            fault = asyncio.create_task(self._fault_task(plan))
+            await asyncio.gather(*user_tasks, fault)
+            if self._extra_tasks:
+                await asyncio.gather(*self._extra_tasks)
+        finally:
+            monitor.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await monitor
+
+        await self._quiesce()
+        text = await self._scrape()
+        snapshot, live = snapshot_from_prometheus(text)
+        self.checker.check_metrics(snapshot, self.truth)
+        self.checker.check_epochs(live, quiesced=True)
+        if self.rss is not None:
+            self.rss.sample()
+        code = await self._stop_life(graceful=True)
+        if code != 0:
+            self.checker.add(
+                "unclean_drain",
+                f"final graceful SIGTERM exited with code {code}",
+            )
+        self.log("soak[server]: replaying transcripts for parity")
+        for record in self.records:
+            self.checker.check_parity(
+                record, self.archive[(record.life, record.epoch)]
+            )
+
+    def run(self) -> SoakReport:
+        start = time.monotonic()
+        try:
+            asyncio.run(
+                asyncio.wait_for(
+                    self._run(), timeout=self.cfg.duration_s * 3 + 120
+                )
+            )
+        except asyncio.TimeoutError:
+            self.checker.add(
+                "harness_timeout",
+                f"run exceeded {self.cfg.duration_s * 3 + 120:.0f}s hard cap",
+            )
+        except Exception as exc:  # noqa: BLE001 - a crash is a red run
+            self.checker.add(
+                "harness_error", f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            if self.server is not None and self.server.proc is not None:
+                with contextlib.suppress(Exception):
+                    if self.server.proc.poll() is None:
+                        self.server.proc.kill()
+                        self.server.proc.communicate()
+        return _report(self, time.monotonic() - start)
+
+
+# ---------------------------------------------------------------------- #
+# In-process soak
+# ---------------------------------------------------------------------- #
+
+
+class InprocessSoak:
+    """Same population and invariants, straight at AsyncDiscoveryService."""
+
+    def __init__(self, cfg: SoakConfig, log=lambda msg: None) -> None:
+        self.cfg = cfg.with_overload_defaults()
+        self.log = log
+        self.base = self.cfg.build_collection()
+        self.checker = InvariantChecker(cfg.epoch_cap, cfg.rss_limit_mb_s)
+        self.watchdog = StuckWatchdog(cfg.stuck_after_s)
+        self.counters = Counters()
+        self.records: list[SessionRecord] = []
+        self.replicas: list[SetCollection] = [self.base]
+        self.soak_counter = 0
+        self.truth = GroundTruth()
+        self.latencies: list[float] = []
+        self.rss_slopes: list[float] = []
+        self.life = 0
+        self.service: AsyncDiscoveryService | None = None
+        self.rss = RssSampler(os.getpid())
+        self.t0 = 0.0
+        self._stall_until = 0.0
+        self._abandoned: dict = {}
+        self._extra_tasks: list[asyncio.Task] = []
+
+    def _now(self) -> float:
+        return time.monotonic() - self.t0
+
+    async def _user(self, script: UserScript, start_at: float | None = None) -> None:
+        join = script.join_at if start_at is None else start_at
+        delay = join - self._now()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        service = self.service
+        assert service is not None
+        think_rng = script.think_rng()
+        try:
+            key = service.spawn(InfoGainSelector())
+        except ServiceOverloaded:
+            self.truth.busy_http_create += 1
+            self.counters.busy_total += 1
+            return
+        self.counters.sessions_started += 1
+        epoch = service.registry.state(key).session.collection.epoch
+        replica = self.replicas[epoch]
+        target = script.pick_target(replica.n_sets, 0)
+        salt = script.oracle_salt(0)
+        oracle = make_oracle(replica, target, self.cfg.dk_rate, salt)
+        answered = 0
+        dropped = False
+        try:
+            while True:
+                self.watchdog.waiting(script.uid, "ask")
+                start = time.perf_counter()
+                try:
+                    entity = await service.ask(key)
+                except ServiceOverloaded as busy:
+                    self.truth.busy_http_ask += 1
+                    self.counters.busy_total += 1
+                    await asyncio.sleep(min(busy.retry_after_s, 0.5))
+                    continue
+                finally:
+                    self.watchdog.progressed(script.uid)
+                self.latencies.append(time.perf_counter() - start)
+                if entity is None:
+                    break
+                self.counters.questions += 1
+                if script.think_s > 0:
+                    await asyncio.sleep(think_rng.uniform(0, script.think_s))
+                if (
+                    script.abandon_after is not None
+                    and answered >= script.abandon_after
+                ):
+                    self.counters.sessions_abandoned += 1
+                    self._abandoned[key] = time.monotonic()
+                    if script.uid % 2 == 0:
+                        # park a result() waiter nothing will resolve —
+                        # expire() must wake it with SessionExpired or
+                        # the session can never be reaped
+                        async def _dead_poll(key=key):
+                            with contextlib.suppress(Exception):
+                                await service.result(key)
+
+                        self._extra_tasks.append(
+                            asyncio.create_task(_dead_poll())
+                        )
+                    return
+                if (
+                    script.drop_at is not None
+                    and answered == script.drop_at
+                    and not dropped
+                ):
+                    # abandon a long-poll waiter mid-wait, then re-ask
+                    dropped = True
+                    self.counters.drops += 1
+                    waiter = asyncio.create_task(service.ask(key))
+                    await asyncio.sleep(0)
+                    waiter.cancel()
+                    with contextlib.suppress(
+                        asyncio.CancelledError, Exception
+                    ):
+                        await waiter
+                    continue
+                service.answer(key, oracle(entity))
+                answered += 1
+            result = await service.result(key)
+            self.counters.sessions_completed += 1
+            self.truth.completions += 1
+            self.records.append(
+                SessionRecord(
+                    uid=script.uid,
+                    life=0,
+                    epoch=epoch,
+                    target=target,
+                    salt=salt,
+                    dk_rate=self.cfg.dk_rate,
+                    transcript=transcript_rows(result.transcript),
+                    resolved=result.resolved,
+                    candidates=list(result.candidates),
+                )
+            )
+        except Exception as exc:  # noqa: BLE001
+            self.counters.user_errors += 1
+            self.truth.user_errors += 1
+            self.checker.add(
+                "user_error",
+                f"user {script.uid}: {type(exc).__name__}: {exc}",
+            )
+
+    async def _fault_task(self, plan: list[FaultEvent]) -> None:
+        service = self.service
+        assert service is not None
+        for event in plan:
+            delay = event.at - self._now()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if event.kind == "stall":
+                self.counters.stalls += 1
+                self._stall_until = time.monotonic() + event.duration_s
+            elif event.kind == "storm":
+                self.counters.storms += 1
+                self.log(f"storm: +{len(event.scripts)} users")
+                for script in event.scripts:
+                    self._extra_tasks.append(
+                        asyncio.create_task(
+                            self._user(script, start_at=self._now())
+                        )
+                    )
+            elif event.kind == "delta":
+                rng = random.Random(self.cfg.seed ^ (0xDE17A + event.index))
+                spec, counter = build_delta_spec(
+                    self.replicas[-1], rng, self.soak_counter
+                )
+                self.replicas.append(
+                    self.replicas[-1].apply_delta(delta_batch_from_spec(spec))
+                )
+                try:
+                    await service.apply_delta(delta_batch_from_spec(spec))
+                except Exception as exc:  # noqa: BLE001
+                    self.replicas.pop()
+                    self.checker.add(
+                        "delta_failed",
+                        f"delta {event.index}: {type(exc).__name__}: {exc}",
+                    )
+                    continue
+                self.soak_counter = counter
+                self.counters.deltas += 1
+                self.truth.deltas_applied += 1
+                self.truth.replica_epoch = len(self.replicas) - 1
+            elif event.kind == "overload":
+                await self._do_overload(event)
+
+    async def _do_overload(self, event: FaultEvent) -> None:
+        service = self.service
+        assert service is not None
+        self.log(f"overload: {event.size} simultaneous spawns")
+        before = self.truth.busy_http_create
+        for i in range(event.size):
+            self._extra_tasks.append(
+                asyncio.create_task(
+                    self._user(
+                        UserScript(
+                            uid=50_000 + i,
+                            join_at=0.0,
+                            use_ws=False,
+                            abandon_after=None,
+                            drop_at=None,
+                            think_s=0.0,
+                            storm=True,
+                        ),
+                        start_at=self._now(),
+                    )
+                )
+            )
+        await asyncio.sleep(0.2)
+        if self.truth.busy_http_create == before and service.max_sessions:
+            # the burst tasks may still be pending; give them one loop
+            await asyncio.sleep(0.5)
+            if self.truth.busy_http_create == before:
+                self.checker.add(
+                    "backpressure",
+                    f"overload burst of {event.size} spawns against "
+                    f"max_sessions={service.max_sessions} produced no "
+                    "rejection",
+                )
+
+    async def _expiry_task(self) -> None:
+        """The TTL sweep the HTTP edge would run, driver-side."""
+        service = self.service
+        assert service is not None
+        while True:
+            await asyncio.sleep(0.25)
+            now = time.monotonic()
+            for key, since in list(self._abandoned.items()):
+                if now - since >= self.cfg.session_ttl_s:
+                    if await service.expire(key):
+                        del self._abandoned[key]
+            self.checker.check_epochs(
+                len(service.registry.live_epochs()), quiesced=False
+            )
+            self.checker.extend(self.watchdog.scan())
+            self.rss.sample()
+
+    def _install_stall(self) -> None:
+        service = self.service
+        assert service is not None
+        scheduler = service.scheduler
+        orig = scheduler.flush
+
+        def flush_with_stall():
+            remaining = self._stall_until - time.monotonic()
+            if remaining > 0:
+                time.sleep(min(remaining, 0.5))
+            return orig()
+
+        scheduler.flush = flush_with_stall
+
+    async def _run(self) -> None:
+        cfg = self.cfg
+        self.service = AsyncDiscoveryService(
+            self.base,
+            flush_after_ms=cfg.flush_after_ms,
+            max_batch=cfg.max_batch,
+            max_sessions=cfg.max_sessions,
+            max_queued=cfg.max_queued,
+            overload_policy=cfg.overload_policy,
+            retry_after_s=cfg.retry_after_s,
+        )
+        if "stall" in cfg.faults:
+            self._install_stall()
+        population = build_population(cfg)
+        plan = build_fault_plan(cfg)
+        self.log(
+            f"soak[inprocess]: seed={cfg.seed} users={len(population)} "
+            f"faults={[e.kind for e in plan]}"
+        )
+        self.t0 = time.monotonic()
+        expiry = asyncio.create_task(self._expiry_task())
+        try:
+            user_tasks = [
+                asyncio.create_task(self._user(s)) for s in population
+            ]
+            fault = asyncio.create_task(self._fault_task(plan))
+            await asyncio.gather(*user_tasks, fault)
+            if self._extra_tasks:
+                await asyncio.gather(*self._extra_tasks)
+            # quiesce: every abandoned session must be reapable once its
+            # TTL elapses — wait it out, then demand an empty registry
+            deadline = time.monotonic() + cfg.session_ttl_s + cfg.quiesce_timeout_s
+            while self._abandoned and time.monotonic() < deadline:
+                await asyncio.sleep(0.2)
+            if self._abandoned:
+                self.checker.add(
+                    "stuck_session",
+                    f"{len(self._abandoned)} abandoned sessions could not "
+                    "be expired after their TTL",
+                )
+        finally:
+            expiry.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await expiry
+        service = self.service
+        if service.n_active != len(self._abandoned):
+            self.checker.add(
+                "stuck_session",
+                f"{service.n_active} sessions active after quiesce "
+                f"({len(self._abandoned)} known-abandoned)",
+            )
+        self.checker.check_epochs(
+            len(service.registry.live_epochs()),
+            quiesced=not self._abandoned,
+        )
+        self.checker.check_metrics(service.metrics.snapshot(), self.truth)
+        await service.aclose()
+        self.log("soak[inprocess]: replaying transcripts for parity")
+        for record in self.records:
+            self.checker.check_parity(record, self.replicas[record.epoch])
+
+    def run(self) -> SoakReport:
+        start = time.monotonic()
+        try:
+            asyncio.run(
+                asyncio.wait_for(
+                    self._run(), timeout=self.cfg.duration_s * 3 + 120
+                )
+            )
+        except asyncio.TimeoutError:
+            self.checker.add(
+                "harness_timeout",
+                f"run exceeded {self.cfg.duration_s * 3 + 120:.0f}s hard cap",
+            )
+        except Exception as exc:  # noqa: BLE001 - a crash is a red run
+            self.checker.add(
+                "harness_error", f"{type(exc).__name__}: {exc}"
+            )
+        slope = self.checker.check_rss(self.rss, 0)
+        if slope is not None:
+            self.rss_slopes.append(round(slope, 4))
+        return _report(self, time.monotonic() - start)
+
+
+def _report(harness, elapsed: float) -> SoakReport:
+    latencies = sorted(harness.latencies)
+    questions = harness.counters.questions
+    results = {
+        "seconds": round(elapsed, 3),
+        "questions": questions,
+        "questions_per_s": round(questions / elapsed, 2) if elapsed else 0.0,
+        "question_latency_ms": {
+            "p50": round(quantile_sorted(latencies, 0.50) * 1000, 3),
+            "p95": round(quantile_sorted(latencies, 0.95) * 1000, 3),
+        }
+        if latencies
+        else {"p50": 0.0, "p95": 0.0},
+    }
+    return SoakReport(
+        ok=harness.checker.ok,
+        config=harness.cfg.to_dict(),
+        violations=[v.to_dict() for v in harness.checker.violations],
+        counters=harness.counters.to_dict(),
+        results=results,
+        lives=harness.life + 1,
+        rss_slopes_mb_s=harness.rss_slopes,
+        parity_checked=harness.checker.parity_checked,
+    )
+
+
+def run_soak(cfg: SoakConfig, log=lambda msg: None) -> SoakReport:
+    """Run one soak per ``cfg.mode``; returns the invariant report."""
+    if cfg.mode == "server":
+        return ServerSoak(cfg, log=log).run()
+    return InprocessSoak(cfg, log=log).run()
+
+
+__all__ = [
+    "Counters",
+    "InprocessSoak",
+    "ServerProcess",
+    "ServerSoak",
+    "SoakReport",
+    "parse_prometheus",
+    "run_soak",
+    "snapshot_from_prometheus",
+]

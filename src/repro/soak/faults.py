@@ -1,0 +1,170 @@
+"""Deterministic fault plan for soak runs.
+
+:func:`build_fault_plan` turns a :class:`~repro.soak.config.SoakConfig`
+into a time-ordered list of :class:`FaultEvent`.  Event *times*, storm
+sizes and delta op streams are pure functions of the seed; the payload of
+a delta event is generated at execution time from the current epoch
+replica (see :func:`build_delta_spec`) so it is always valid against
+whatever the collection has become — but given the same seed and the
+same prior deltas, it is the same batch.
+
+Fault kinds:
+
+``stall``
+    Freeze the scheduler's flush for a fraction of a second
+    (in-process mode only — it monkeypatches the flush callable).
+``drop``
+    No events of its own: enabling it flips ``drop_at`` on in the user
+    population, so users sever their connection mid-long-poll / mid-WS
+    and reconnect (HTTP re-poll, WS ``attach``).
+``restart``
+    SIGTERM the server child, wait for a clean exit, start a fresh one
+    (server mode only).  Surviving users start new sessions.
+``storm``
+    A burst of zero-think users joins at once.
+``delta``
+    Apply a generated :class:`~repro.core.collection.DeltaBatch` via
+    ``POST /admin/delta`` (server) or ``apply_delta`` (in-process),
+    mirrored onto the harness's replica chain.
+``overload``
+    A synchronized stampede of session creations sized to overrun
+    ``max_sessions``; the harness requires at least one 429 back.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.collection import SetCollection
+from .config import SoakConfig
+from .users import UserScript, storm_users
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    at: float  # seconds after run start
+    kind: str
+    #: kind-specific payload: stall seconds, storm scripts, burst size...
+    duration_s: float = 0.0
+    size: int = 0
+    scripts: tuple[UserScript, ...] = field(default=())
+    index: int = 0  # ordinal among events of the same kind
+
+
+def build_fault_plan(cfg: SoakConfig) -> list[FaultEvent]:
+    rng = random.Random(cfg.seed ^ 0x5A5A)
+    events: list[FaultEvent] = []
+    dur = cfg.duration_s
+
+    if "stall" in cfg.faults:
+        n = max(2, int(dur / 8))
+        for i in range(n):
+            events.append(
+                FaultEvent(
+                    at=dur * (i + 1) / (n + 1) + rng.uniform(-0.3, 0.3),
+                    kind="stall",
+                    duration_s=rng.uniform(0.05, 0.25),
+                    index=i,
+                )
+            )
+
+    if "restart" in cfg.faults:
+        # one restart per ~40s, at least one, never in the first or
+        # final fifth (users need time to exist, and the final life must
+        # quiesce)
+        n = max(1, int(dur / 40))
+        for i in range(n):
+            frac = 0.2 + 0.6 * (i + 1) / (n + 1)
+            events.append(FaultEvent(at=dur * frac, kind="restart", index=i))
+
+    if "storm" in cfg.faults:
+        n = max(1, int(dur / 20))
+        for i in range(n):
+            frac = 0.25 + 0.5 * (i + 0.5) / n
+            size = max(4, cfg.users // 4)
+            events.append(
+                FaultEvent(
+                    at=dur * frac,
+                    kind="storm",
+                    size=size,
+                    scripts=tuple(storm_users(cfg, i, size)),
+                    index=i,
+                )
+            )
+
+    if "delta" in cfg.faults:
+        # every ~3s once the population has warmed up
+        n = max(1, int(dur / 3) - 1)
+        for i in range(n):
+            events.append(
+                FaultEvent(
+                    at=dur * 0.15 + i * 3.0 + rng.uniform(0.0, 0.5),
+                    kind="delta",
+                    index=i,
+                )
+            )
+
+    if "overload" in cfg.faults:
+        cap = cfg.max_sessions or max(4, cfg.users // 3)
+        events.append(
+            FaultEvent(
+                at=dur * 0.4,
+                kind="overload",
+                size=cap * 2 + 4,
+                index=0,
+            )
+        )
+
+    events = [e for e in events if 0.0 < e.at < dur]
+    events.sort(key=lambda e: (e.at, e.kind, e.index))
+    return events
+
+
+def build_delta_spec(
+    replica: SetCollection, rng: random.Random, soak_set_counter: int
+) -> tuple[dict, int]:
+    """One ``POST /admin/delta``-shaped spec, valid against ``replica``.
+
+    Deterministic given ``(replica, rng state, soak_set_counter)``.
+    Members are drawn from the replica's *existing* universe labels so
+    the spec round-trips through JSON (synthetic labels are ints) and
+    never trips unknown-label checks.  Returns the spec and the updated
+    soak-set counter (add ops name sets ``soak0``, ``soak1``, ... so
+    removes can target sets the harness itself created).
+    """
+    pool = [
+        replica.universe.label(eid)
+        for eid in rng.sample(range(replica.n_entities), min(64, replica.n_entities))
+    ]
+    spec: dict = {}
+
+    # add one or two fresh sets
+    adds = {}
+    for _ in range(rng.randint(1, 2)):
+        size = rng.randint(4, min(12, len(pool)))
+        adds[f"soak{soak_set_counter}"] = sorted(rng.sample(pool, size))
+        soak_set_counter += 1
+    spec["add"] = adds
+
+    # membership churn on one existing set
+    idx = rng.randrange(replica.n_sets)
+    name = replica.name_of(idx)
+    members = sorted(replica.set_labels(idx))
+    drop = rng.sample(members, min(2, max(0, len(members) - 2)))
+    grow = [lab for lab in pool if lab not in members][:2]
+    if drop or grow:
+        spec["update"] = {name: {"add": grow, "remove": drop}}
+
+    # occasionally retire a soak-added set (never the base collection,
+    # and never the set this same batch just updated)
+    soak_names = [
+        n for n in replica.names if n.startswith("soak") and n != name
+    ]
+    if soak_names and rng.random() < 0.4:
+        spec["remove"] = [rng.choice(soak_names)]
+
+    return spec, soak_set_counter
+
+
+__all__ = ["FaultEvent", "build_delta_spec", "build_fault_plan"]

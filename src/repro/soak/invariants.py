@@ -1,0 +1,353 @@
+"""Continuous invariants checked during and after a soak run.
+
+The harness is only as good as what it *proves*; this module holds the
+five proofs and their bookkeeping:
+
+1. **Transcript parity** — every surviving session's transcript must be
+   byte-identical to a sequential
+   :meth:`~repro.core.discovery.DiscoverySession.run` replay against the
+   epoch replica the session was pinned to
+   (:meth:`InvariantChecker.check_parity`).
+2. **No stuck sessions** — a virtual user awaiting the service for more
+   than ``stuck_after_s`` outside a declared pause window (server
+   restart) is a violation (:class:`StuckWatchdog`).
+3. **Bounded epoch GC** — the number of live collection epochs never
+   exceeds ``epoch_cap`` mid-run, and collapses to exactly the current
+   epoch once the run quiesces (:meth:`InvariantChecker.check_epochs`).
+4. **Metrics honesty** — at the quiesced end of the final server life,
+   ``/metrics`` counters must agree exactly with the harness's ground
+   truth (:meth:`InvariantChecker.check_metrics`).
+5. **Bounded memory** — the serving process's RSS growth slope, least
+   squares over post-warmup samples, stays under a ceiling
+   (:class:`RssSampler`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.discovery import DiscoverySession
+from ..core.collection import SetCollection
+from ..core.selection import InfoGainSelector
+from .users import make_oracle
+
+#: (entity, answer, candidates_before, candidates_after)
+TranscriptRow = tuple[int, bool | None, int, int]
+
+
+@dataclass(frozen=True)
+class Violation:
+    name: str
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "detail": self.detail}
+
+
+@dataclass
+class SessionRecord:
+    """What parity replay needs about one *completed* live session."""
+
+    uid: int
+    life: int
+    epoch: int
+    target: int
+    salt: int
+    dk_rate: float
+    transcript: list[TranscriptRow]
+    resolved: bool
+    candidates: list[int]
+
+
+def transcript_rows(payload_transcript: list) -> list[TranscriptRow]:
+    """Normalize a server result payload (or Interaction list) to rows."""
+    rows: list[TranscriptRow] = []
+    for item in payload_transcript:
+        if isinstance(item, dict):
+            rows.append(
+                (
+                    item["entity"],
+                    item["answer"],
+                    item["candidates_before"],
+                    item["candidates_after"],
+                )
+            )
+        else:  # Interaction
+            rows.append(
+                (
+                    item.entity,
+                    item.answer,
+                    item.candidates_before,
+                    item.candidates_after,
+                )
+            )
+    return rows
+
+
+class StuckWatchdog:
+    """Tracks how long each user has been awaiting the service.
+
+    Users call :meth:`waiting` / :meth:`progressed` around every await
+    on the serving edge.  :meth:`scan` flags anyone stuck longer than
+    the limit — unless the run is inside a declared pause window (a
+    server restart), during which nobody is expected to progress.
+    """
+
+    def __init__(self, stuck_after_s: float) -> None:
+        self.stuck_after_s = stuck_after_s
+        self._waiting: dict[int, tuple[float, str]] = {}
+        self._paused_until = 0.0
+        self._flagged: set[int] = set()
+
+    def waiting(self, uid: int, phase: str) -> None:
+        self._waiting[uid] = (time.monotonic(), phase)
+
+    def progressed(self, uid: int) -> None:
+        self._waiting.pop(uid, None)
+
+    def pause(self, grace_s: float = 2.0) -> None:
+        """Open a pause window; close it by calling :meth:`resume`."""
+        self._paused_until = float("inf")
+        self._grace = grace_s
+
+    def resume(self) -> None:
+        self._paused_until = time.monotonic() + getattr(self, "_grace", 2.0)
+        # waits that began before/through the pause get a fresh clock
+        for uid in list(self._waiting):
+            started, phase = self._waiting[uid]
+            self._waiting[uid] = (time.monotonic(), phase)
+
+    def scan(self) -> list[Violation]:
+        now = time.monotonic()
+        if now < self._paused_until:
+            return []
+        out = []
+        for uid, (started, phase) in self._waiting.items():
+            if uid in self._flagged:
+                continue
+            if now - started > self.stuck_after_s:
+                self._flagged.add(uid)
+                out.append(
+                    Violation(
+                        "stuck_session",
+                        f"user {uid} stuck in {phase!r} for "
+                        f"{now - started:.1f}s (> {self.stuck_after_s}s)",
+                    )
+                )
+        return out
+
+
+class RssSampler:
+    """RSS samples for one server life, slope-checked at life end.
+
+    Reads ``/proc/<pid>/statm`` (resident pages); silently becomes a
+    no-op where ``/proc`` is unavailable so the harness stays portable.
+    """
+
+    def __init__(self, pid: int) -> None:
+        self._path = f"/proc/{pid}/statm"
+        self._page = 4096
+        try:
+            import resource
+
+            self._page = resource.getpagesize()
+        except Exception:
+            pass
+        self.samples: list[tuple[float, int]] = []
+        self.available = True
+
+    def sample(self) -> None:
+        if not self.available:
+            return
+        try:
+            with open(self._path) as fh:
+                resident_pages = int(fh.read().split()[1])
+        except (OSError, IndexError, ValueError):
+            self.available = False
+            return
+        self.samples.append((time.monotonic(), resident_pages * self._page))
+
+    def slope_mb_s(self, warmup_fraction: float = 0.3) -> float | None:
+        """Least-squares RSS slope in MiB/s, or None if too few samples."""
+        pts = self.samples[int(len(self.samples) * warmup_fraction) :]
+        if len(pts) < 10:
+            return None
+        t0 = pts[0][0]
+        xs = [t - t0 for t, _ in pts]
+        ys = [b / (1024.0 * 1024.0) for _, b in pts]
+        n = len(pts)
+        sx, sy = sum(xs), sum(ys)
+        sxx = sum(x * x for x in xs)
+        sxy = sum(x * y for x, y in zip(xs, ys))
+        denom = n * sxx - sx * sx
+        if denom <= 0:
+            return None
+        return (n * sxy - sx * sy) / denom
+
+
+@dataclass
+class GroundTruth:
+    """Harness-side counters ``/metrics`` must agree with (final life)."""
+
+    completions: int = 0
+    user_errors: int = 0
+    deltas_applied: int = 0
+    replica_epoch: int = 0
+    busy_http_create: int = 0
+    busy_ws_create: int = 0
+    busy_http_ask: int = 0
+    busy_ws_mid: int = 0
+
+
+class InvariantChecker:
+    """Accumulates violations; ``ok`` iff none survived the run."""
+
+    def __init__(self, epoch_cap: int, rss_limit_mb_s: float) -> None:
+        self.epoch_cap = epoch_cap
+        self.rss_limit_mb_s = rss_limit_mb_s
+        self.violations: list[Violation] = []
+        self.parity_checked = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, name: str, detail: str) -> None:
+        self.violations.append(Violation(name, detail))
+
+    def extend(self, violations: list[Violation]) -> None:
+        self.violations.extend(violations)
+
+    # ------------------------------------------------------------------ #
+    # 1. transcript parity
+    # ------------------------------------------------------------------ #
+
+    def check_parity(
+        self, record: SessionRecord, replica: SetCollection
+    ) -> None:
+        """Replay ``record`` sequentially against its epoch replica."""
+        oracle = make_oracle(replica, record.target, record.dk_rate, record.salt)
+        result = DiscoverySession(replica, InfoGainSelector()).run(oracle)
+        expected = transcript_rows(result.transcript)
+        self.parity_checked += 1
+        if expected != record.transcript:
+            self.add(
+                "transcript_parity",
+                f"user {record.uid} life {record.life} epoch "
+                f"{record.epoch}: live transcript diverges from "
+                f"sequential replay at row "
+                f"{_first_divergence(expected, record.transcript)} "
+                f"(live {len(record.transcript)} rows, "
+                f"replay {len(expected)} rows)",
+            )
+        elif sorted(result.candidates) != sorted(record.candidates):
+            self.add(
+                "transcript_parity",
+                f"user {record.uid}: transcripts match but final "
+                f"candidates differ (live {record.candidates}, "
+                f"replay {result.candidates})",
+            )
+
+    # ------------------------------------------------------------------ #
+    # 3. epoch GC
+    # ------------------------------------------------------------------ #
+
+    def check_epochs(self, live: int, *, quiesced: bool) -> None:
+        if quiesced:
+            if live != 1:
+                self.add(
+                    "epoch_gc",
+                    f"{live} epochs still live after quiesce "
+                    "(expected only the current epoch)",
+                )
+        elif live > self.epoch_cap:
+            self.add(
+                "epoch_gc",
+                f"{live} live epochs mid-run (cap {self.epoch_cap})",
+            )
+
+    # ------------------------------------------------------------------ #
+    # 4. metrics honesty
+    # ------------------------------------------------------------------ #
+
+    def check_metrics(self, snapshot: dict, truth: GroundTruth) -> None:
+        """Exact cross-check at the quiesced end of the final life.
+
+        ``snapshot`` is :meth:`ServiceMetrics.snapshot` (in-process) or
+        the equivalent dict scraped from ``/metrics`` (server mode).
+        """
+        finished = snapshot.get("sessions", {}).get("finished", 0)
+        if truth.user_errors == 0:
+            if finished != truth.completions:
+                self.add(
+                    "metrics",
+                    f"sessions finished={finished} but harness completed "
+                    f"{truth.completions} this life",
+                )
+        elif finished < truth.completions:
+            self.add(
+                "metrics",
+                f"sessions finished={finished} < harness completions "
+                f"{truth.completions}",
+            )
+        deltas = snapshot.get("deltas_applied", 0)
+        if deltas != truth.deltas_applied:
+            self.add(
+                "metrics",
+                f"deltas_applied={deltas}, harness applied "
+                f"{truth.deltas_applied}",
+            )
+        epoch = snapshot.get("collection_epoch", 0)
+        if epoch != truth.replica_epoch:
+            self.add(
+                "metrics",
+                f"collection_epoch={epoch}, replica at {truth.replica_epoch}",
+            )
+        rej = snapshot.get("backpressure_rejections", {}) or {}
+        expect = {
+            "sessions": truth.busy_http_create + truth.busy_ws_create,
+            "asks": truth.busy_http_ask + truth.busy_ws_mid,
+            "ws-busy": truth.busy_ws_create + truth.busy_ws_mid,
+        }
+        for kind, want in expect.items():
+            got = rej.get(kind, 0)
+            if got != want:
+                self.add(
+                    "metrics",
+                    f"backpressure_rejections[{kind}]={got}, harness "
+                    f"observed {want}",
+                )
+
+    # ------------------------------------------------------------------ #
+    # 5. memory
+    # ------------------------------------------------------------------ #
+
+    def check_rss(self, sampler: RssSampler, life: int) -> float | None:
+        slope = sampler.slope_mb_s()
+        if slope is not None and slope > self.rss_limit_mb_s:
+            self.add(
+                "rss_growth",
+                f"life {life}: RSS slope {slope:.2f} MiB/s exceeds "
+                f"ceiling {self.rss_limit_mb_s} MiB/s",
+            )
+        return slope
+
+
+def _first_divergence(a: list, b: list) -> int:
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return i
+    return min(len(a), len(b))
+
+
+__all__ = [
+    "GroundTruth",
+    "InvariantChecker",
+    "RssSampler",
+    "SessionRecord",
+    "StuckWatchdog",
+    "TranscriptRow",
+    "Violation",
+    "transcript_rows",
+]

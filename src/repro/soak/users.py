@@ -1,0 +1,165 @@
+"""Seeded virtual-user population for soak runs.
+
+Each :class:`UserScript` is a deterministic function of
+``(config.seed, uid)``: when it joins, whether it talks WebSocket or
+HTTP, how long it thinks between answers, whether it abandons its
+session mid-way, and whether it drops its connection to exercise the
+reconnect paths.  The :class:`ScriptedOracle` makes *answers* a pure
+function of the asked entity, so a surviving session's transcript can be
+replayed sequentially against the right epoch replica and compared
+byte-for-byte — no matter how the live run interleaved with other users,
+faults or restarts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.collection import SetCollection
+from ..oracle.user import SimulatedUser
+from .config import SoakConfig
+
+# Knuth multiplicative hash constant; spreads entity ids before mixing
+# with the per-session salt so "don't know" draws decorrelate across
+# sessions that ask the same entities.
+_MIX = 2654435761
+
+
+class ScriptedOracle:
+    """Answers membership questions as a pure function of the entity.
+
+    ``truth`` is a :class:`SimulatedUser` bound to one target set of one
+    epoch replica.  With probability ``dk_rate`` the oracle answers
+    "don't know" — but the draw is hashed from ``(salt, entity)``, not
+    from call order, so a sequential replay that asks the same entities
+    gets the same lies.  That property is what lets the invariant
+    checker replay transcripts recorded from a chaotic live run.
+    """
+
+    def __init__(self, truth: SimulatedUser, dk_rate: float, salt: int) -> None:
+        self.truth = truth
+        self.dk_rate = dk_rate
+        self.salt = salt
+
+    def __call__(self, entity: int) -> bool | None:
+        if self.dk_rate > 0.0:
+            draw = random.Random((self.salt << 17) ^ (entity * _MIX)).random()
+            if draw < self.dk_rate:
+                return None
+        return self.truth(entity)
+
+
+def make_oracle(
+    replica: SetCollection, target_index: int, dk_rate: float, salt: int
+) -> ScriptedOracle:
+    """The oracle a user (or a replay) uses for one session attempt."""
+    return ScriptedOracle(
+        SimulatedUser(replica, target_index=target_index),
+        dk_rate=dk_rate,
+        salt=salt,
+    )
+
+
+@dataclass(frozen=True)
+class UserScript:
+    """One virtual user's precomputed behaviour."""
+
+    uid: int
+    join_at: float  # seconds after run start
+    use_ws: bool
+    #: abandon after answering this many questions (None = finish)
+    abandon_after: int | None
+    #: drop + reconnect right after receiving this question (None = never)
+    drop_at: int | None
+    #: max think seconds; actual per-question think comes from think_rng()
+    think_s: float
+    storm: bool = False  # joined via an answer-storm fault event
+
+    def think_rng(self) -> random.Random:
+        """Per-question think times; fresh stream per (uid, join)."""
+        return random.Random((self.uid << 8) ^ 0xBEEF)
+
+    def pick_target(self, n_sets: int, attempt: int) -> int:
+        """Target set index for this user's ``attempt``-th session.
+
+        A function of (uid, attempt, n_sets) only, so a user killed by a
+        server restart retries with a *new* deterministic target against
+        whatever collection epoch it lands on.
+        """
+        return random.Random((self.uid << 16) ^ (attempt << 4) ^ 0x7A11).randrange(
+            n_sets
+        )
+
+    def oracle_salt(self, attempt: int) -> int:
+        return (self.uid << 10) ^ attempt
+
+
+def build_population(cfg: SoakConfig) -> list[UserScript]:
+    """The base population: Poisson joins over the first ~80% of the run.
+
+    Storm users are *not* here — they are attached to fault events (see
+    :func:`repro.soak.faults.build_fault_plan`) so the driver can spawn
+    them in a burst at the event's moment.
+    """
+    rng = random.Random(cfg.seed)
+    window = cfg.duration_s * 0.8
+    rate = cfg.users / max(window, 1e-9)
+    scripts: list[UserScript] = []
+    t = 0.0
+    drop_on = "drop" in cfg.faults
+    for uid in range(cfg.users):
+        t = min(t + rng.expovariate(rate), window)
+        use_ws = cfg.mode == "server" and rng.random() < cfg.ws_fraction
+        abandon_after = None
+        if rng.random() < cfg.abandon_rate:
+            abandon_after = rng.randint(1, 4)
+        drop_at = None
+        if drop_on and rng.random() < cfg.drop_rate:
+            drop_at = rng.randint(1, 3)
+        # slow answerers: a third of users think up to 3x longer
+        think = cfg.think_ms / 1000.0
+        if rng.random() < 0.33:
+            think *= 3.0
+        scripts.append(
+            UserScript(
+                uid=uid,
+                join_at=t,
+                use_ws=use_ws,
+                abandon_after=abandon_after,
+                drop_at=drop_at,
+                think_s=think,
+            )
+        )
+    return scripts
+
+
+def storm_users(cfg: SoakConfig, event_index: int, size: int) -> list[UserScript]:
+    """A burst of impatient users for one answer-storm event.
+
+    They join together, never think, never abandon — their job is to
+    slam the scheduler with near-simultaneous answers.
+    """
+    base_uid = 10_000 + event_index * 1_000
+    rng = random.Random(cfg.seed ^ (0x570F + event_index))
+    return [
+        UserScript(
+            uid=base_uid + i,
+            join_at=0.0,  # relative to the event, not run start
+            use_ws=cfg.mode == "server" and rng.random() < cfg.ws_fraction,
+            abandon_after=None,
+            drop_at=None,
+            think_s=0.0,
+            storm=True,
+        )
+        for i in range(size)
+    ]
+
+
+__all__ = [
+    "ScriptedOracle",
+    "UserScript",
+    "build_population",
+    "make_oracle",
+    "storm_users",
+]

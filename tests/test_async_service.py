@@ -25,7 +25,12 @@ from repro.core.lookahead import KLPSelector
 from repro.core.selection import InfoGainSelector, MostEvenSelector
 from repro.data.synthetic import SyntheticConfig, generate_collection
 from repro.oracle import SimulatedUser, UnsureUser
-from repro.serve import AsyncDiscoveryService, ServiceClosed
+from repro.serve import (
+    AsyncDiscoveryService,
+    ServiceClosed,
+    ServiceOverloaded,
+    SessionExpired,
+)
 
 from conftest import FIG1_SETS
 
@@ -573,9 +578,12 @@ class TestFlushFailureAndRaces:
             ) as service:
                 key = service.spawn(MostEvenSelector(), initial={"e"})
                 assert (await service.result(key)).resolved
-                report, prefinished = service._advance_sync([key], {})
+                report, prefinished, vanished = service._advance_sync(
+                    [key], {}
+                )
                 assert report.questions == {}
                 assert prefinished[key].resolved
+                assert vanished == []
 
         run(scenario())
 
@@ -667,4 +675,128 @@ class TestLifecycle:
             assert collection.cached_mask_count() == 0
 
         collection.clear_caches()
+        run(scenario())
+
+
+# --------------------------------------------------------------------- #
+# Backpressure: session caps, bounded queues, shed vs wait
+# --------------------------------------------------------------------- #
+
+
+class TestBackpressure:
+    def test_spawn_rejected_at_session_cap(self):
+        collection = make_collection()
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection,
+                flush_after_ms=1.0,
+                max_sessions=2,
+                retry_after_s=0.7,
+            ) as service:
+                service.spawn(MostEvenSelector())
+                service.spawn(MostEvenSelector())
+                with pytest.raises(ServiceOverloaded) as excinfo:
+                    service.spawn(MostEvenSelector())
+                assert excinfo.value.retry_after_s == 0.7
+                snap = service.metrics.snapshot()
+                assert snap["backpressure_rejections"]["sessions"] == 1
+
+        run(scenario())
+
+    def test_capacity_frees_as_sessions_finish(self):
+        collection = make_collection()
+        targets = [4, 17]
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0, max_sessions=1
+            ) as service:
+                payloads = []
+                for target in targets:
+                    key = service.spawn(MostEvenSelector())
+                    oracle = SimulatedUser(collection, target_index=target)
+                    payloads.append(await drive_user(service, key, oracle))
+                    # A finished session no longer counts against the cap.
+                    assert service.n_active == 0
+                return payloads
+
+        results = run(scenario())
+        golden = sequential(collection, targets)
+        assert [sorted(r.candidates) for r in results] == [
+            sorted(g.candidates) for g in golden
+        ]
+
+    def test_shed_policy_bounds_the_ask_queue(self):
+        collection = make_collection()
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection,
+                flush_after_ms=10_000.0,  # nothing flushes by itself
+                max_queued=1,
+                overload_policy="shed",
+            ) as service:
+                k1 = service.spawn(MostEvenSelector())
+                k2 = service.spawn(MostEvenSelector())
+                first = asyncio.ensure_future(service.ask(k1))
+                await asyncio.sleep(0.05)  # k1 is queued for the flush
+                with pytest.raises(ServiceOverloaded):
+                    await service.ask(k2)
+                snap = service.metrics.snapshot()
+                assert snap["backpressure_rejections"]["asks"] == 1
+                # Re-asking for an *already queued* key never sheds.
+                first.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await first
+
+        run(scenario())
+
+    def test_wait_policy_parks_until_a_flush_frees_the_queue(self):
+        collection = make_collection()
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection,
+                flush_after_ms=25.0,
+                max_queued=1,
+                overload_policy="wait",
+            ) as service:
+                k1 = service.spawn(MostEvenSelector())
+                k2 = service.spawn(MostEvenSelector())
+                first = asyncio.ensure_future(service.ask(k1))
+                await asyncio.sleep(0.005)
+                # The queue is full; "wait" parks instead of shedding,
+                # and both asks resolve once flushes drain the queue.
+                second = asyncio.ensure_future(service.ask(k2))
+                e1, e2 = await asyncio.gather(first, second)
+                assert e1 is not None and e2 is not None
+                snap = service.metrics.snapshot()
+                assert snap["backpressure_rejections"].get("asks", 0) == 0
+                assert snap["queue_high_watermark"]["loop"] >= 1
+
+        run(scenario())
+
+    def test_expire_wakes_parked_result_waiter(self):
+        """The dead-long-poll regression, at the service layer: a
+        ``result()`` waiter parked on a QUESTION_PENDING session must be
+        woken with :class:`SessionExpired` when the session is reaped —
+        previously ``expire()`` refused and the waiter leaked forever."""
+        collection = make_collection()
+
+        async def scenario():
+            async with AsyncDiscoveryService(
+                collection, flush_after_ms=1.0
+            ) as service:
+                key = service.spawn(MostEvenSelector())
+                entity = await service.ask(key)
+                assert entity is not None
+                waiter = asyncio.ensure_future(service.result(key))
+                await asyncio.sleep(0.05)
+                assert not waiter.done()
+                assert await service.expire(key)
+                with pytest.raises(SessionExpired):
+                    await asyncio.wait_for(waiter, 5)
+                assert service.n_active == 0
+
         run(scenario())

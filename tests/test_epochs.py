@@ -34,7 +34,11 @@ from repro.serve import (
     SessionEngine,
     SessionRegistry,
 )
-from repro.serve.client import AdminClient, HttpSessionClient
+from repro.serve.client import (
+    AdminClient,
+    HttpConnection,
+    HttpSessionClient,
+)
 
 
 def make_collection(n_sets: int = 40, seed: int = 11) -> SetCollection:
@@ -470,5 +474,98 @@ class TestHttpEpochs:
                 assert snap["deltas_applied"] == 1
                 assert snap["live_epochs"] == {"1": 0}
                 assert snap["sessions_expired"] == 0
+
+        run(scenario())
+
+
+# --------------------------------------------------------------------- #
+# TTL sweep x epoch GC, and waking waiters parked on reaped sessions
+# --------------------------------------------------------------------- #
+
+
+class TestTtlEpochInteraction:
+    def test_ttl_reap_wakes_parked_longpoll_with_404(self):
+        """A long-poll parked on a session nothing will resolve must be
+        woken by the TTL reaper with 404 session_expired — not leak as a
+        server-side waiter forever (regression: expire() used to veto on
+        the parked waiter, keeping the session alive indefinitely)."""
+        coll = make_collection()
+
+        async def scenario():
+            service, app, server = await _serve(coll, session_ttl_s=0.3)
+            try:
+                async with HttpSessionClient(
+                    server.host, server.port
+                ) as client, HttpConnection(
+                    server.host, server.port
+                ) as probe:
+                    await client.create(selector="most-even")
+                    # Put the session into QUESTION_PENDING, then park a
+                    # result() long-poll nothing will ever resolve.
+                    assert await client.next_question() is not None
+                    async with HttpConnection(
+                        server.host, server.port
+                    ) as side:
+                        poll = asyncio.ensure_future(
+                            side.request(
+                                "GET",
+                                f"/sessions/{client.session}/result",
+                                token=client.token,
+                            )
+                        )
+                        await asyncio.sleep(0.45)
+                        assert not poll.done(), (
+                            "long-poll resolved before the TTL sweep ran"
+                        )
+                        # Any request piggybacks the lazy sweep.
+                        await probe.request("GET", "/healthz")
+                        status, body = await asyncio.wait_for(poll, 5)
+                    assert status == 404
+                    assert body["error"] == "session_expired"
+                    assert client.session not in app._sessions
+                    _, metrics = await probe.request("GET", "/metrics")
+                    assert "repro_sessions_expired_total 1" in metrics
+            finally:
+                await server.aclose()
+                await service.aclose()
+
+        run(scenario())
+
+    def test_ttl_sweep_releases_epoch_pin(self):
+        """An abandoned session pinning a pre-delta epoch must release
+        it when the TTL sweep reaps the session: ``live_epochs`` shrinks
+        back to the current epoch and ``/metrics`` drops the old line."""
+        coll = make_collection()
+
+        async def scenario():
+            service, app, server = await _serve(
+                coll, admin_token="t0k", session_ttl_s=0.3
+            )
+            try:
+                async with HttpSessionClient(
+                    server.host, server.port
+                ) as abandoned, AdminClient(
+                    server.host, server.port, "t0k"
+                ) as admin:
+                    await abandoned.create(selector="most-even")
+                    assert await abandoned.next_question() is not None
+                    # Delta bumps the served epoch to 1; the abandoned
+                    # session stays pinned to epoch 0, keeping the old
+                    # replica alive.
+                    info = await admin.apply_delta(
+                        add={"delta-a": [coll.universe.label(0)]}
+                    )
+                    assert info["epoch"] == 1
+                    assert service.registry.live_epochs() == {1: 0, 0: 1}
+                    # Age the session past its TTL; any request sweeps.
+                    await asyncio.sleep(0.45)
+                    await admin.conn.request("GET", "/healthz")
+                    assert service.registry.live_epochs() == {1: 0}
+                    _, metrics = await admin.conn.request("GET", "/metrics")
+                    assert 'repro_epoch_sessions{epoch="1"} 0' in metrics
+                    assert 'epoch="0"' not in metrics
+            finally:
+                await server.aclose()
+                await service.aclose()
 
         run(scenario())

@@ -43,6 +43,7 @@ from repro.serve import (
 from repro.serve.client import (
     HttpConnection,
     HttpSessionClient,
+    ServerBusy,
     WsSessionClient,
 )
 from repro.serve.http import websocket_accept_key
@@ -69,12 +70,17 @@ async def serve(
     flush_after_ms: float = 1.0,
     max_batch: "int | None" = 64,
     require_auth: bool = True,
+    service_kwargs: "dict | None" = None,
+    app_kwargs: "dict | None" = None,
 ):
     """A live embedded server over loopback; yields (app, host, port)."""
     async with AsyncDiscoveryService(
-        collection, flush_after_ms=flush_after_ms, max_batch=max_batch
+        collection,
+        flush_after_ms=flush_after_ms,
+        max_batch=max_batch,
+        **(service_kwargs or {}),
     ) as service:
-        app = DiscoveryApp(service, require_auth=require_auth)
+        app = DiscoveryApp(service, require_auth=require_auth, **(app_kwargs or {}))
         async with EmbeddedServer(app, port=0) as server:
             yield app, server.host, server.port
 
@@ -646,3 +652,138 @@ class TestFlushPolicy:
         from repro.serve import ServiceMetrics
 
         assert ServiceMetrics(Source()).flush_occupancy == 3.0
+
+
+# --------------------------------------------------------------------- #
+# Backpressure (429 / busy) and WebSocket reconnect
+# --------------------------------------------------------------------- #
+
+
+class TestBackpressureAndReconnect:
+    def test_http_429_with_retry_after_header_at_session_cap(self):
+        collection = make_collection()
+
+        async def scenario():
+            async with serve(
+                collection,
+                service_kwargs={"max_sessions": 1, "retry_after_s": 2.5},
+            ) as (app, host, port):
+                async with HttpSessionClient(host, port) as first:
+                    await first.create(selector="most-even")
+                    # The typed client surfaces the shed as ServerBusy
+                    # with the server's body hint.
+                    async with HttpSessionClient(host, port) as second:
+                        with pytest.raises(ServerBusy) as excinfo:
+                            await second.create(selector="most-even")
+                        assert excinfo.value.retry_after_s == 2.5
+                    # Raw socket: the Retry-After header must be present
+                    # and integral (ceil of the configured hint).
+                    reader, writer = await asyncio.open_connection(host, port)
+                    writer.write(
+                        b"POST /sessions HTTP/1.1\r\nhost: t\r\n"
+                        b"content-type: application/json\r\n"
+                        b"content-length: 2\r\nconnection: close\r\n\r\n{}"
+                    )
+                    await writer.drain()
+                    status_line = await reader.readline()
+                    assert b"429" in status_line
+                    headers = {}
+                    while True:
+                        line = await reader.readline()
+                        if line in (b"\r\n", b"\n", b""):
+                            break
+                        name, _, value = line.decode().partition(":")
+                        headers[name.strip().lower()] = value.strip()
+                    writer.close()
+                    assert headers["retry-after"] == "3"
+                    # Both sheds were counted, none admitted.
+                    async with HttpConnection(host, port) as conn:
+                        _, text = await conn.request("GET", "/metrics")
+                    assert (
+                        'repro_backpressure_rejections_total{kind="sessions"} 2'
+                        in text
+                    )
+                    # The first session is still fully usable.
+                    assert await first.next_question() is not None
+
+        run(scenario())
+
+    def test_ws_create_busy_close_at_session_cap(self):
+        collection = make_collection()
+
+        async def scenario():
+            async with serve(
+                collection, service_kwargs={"max_sessions": 1}
+            ) as (app, host, port):
+                async with HttpSessionClient(host, port) as occupant:
+                    await occupant.create(selector="most-even")
+                    ws = WsSessionClient(host, port)
+                    await ws.connect()
+                    with pytest.raises(ServerBusy):
+                        await ws.create(selector="most-even")
+                    await ws.aclose()
+                    async with HttpConnection(host, port) as conn:
+                        _, text = await conn.request("GET", "/metrics")
+                    # Counted at the service (kind="sessions") and at the
+                    # websocket edge (kind="ws-busy").
+                    assert (
+                        'repro_backpressure_rejections_total{kind="sessions"} 1'
+                        in text
+                    )
+                    assert (
+                        'repro_backpressure_rejections_total{kind="ws-busy"} 1'
+                        in text
+                    )
+
+        run(scenario())
+
+    def test_ws_attach_reconnect_replays_pending_question(self):
+        collection = make_collection()
+        target = 23
+
+        async def scenario():
+            oracle = SimulatedUser(collection, target_index=target)
+            async with serve(collection) as (app, host, port):
+                ws = WsSessionClient(host, port)
+                await ws.connect()
+                await ws.create(selector="most-even")
+                session, token = ws.session, ws.token
+                # Answer two questions, receive a third... and vanish
+                # without answering it.
+                for _ in range(2):
+                    message = await ws.receive_json()
+                    assert message["type"] == "question"
+                    await ws.send_json(
+                        {"type": "answer", "value": oracle(message["entity"])}
+                    )
+                pending = await ws.receive_json()
+                assert pending["type"] == "question"
+                await ws.aclose()
+
+                # Reconnect on a fresh socket with the bearer token: the
+                # pending question is replayed verbatim, and the session
+                # runs to completion as if nothing happened.
+                fresh = WsSessionClient(host, port)
+                await fresh.connect()
+                reply = await fresh.attach(session, token)
+                assert reply["session"] == session
+                replayed = await fresh.receive_json()
+                assert replayed["type"] == "question"
+                assert replayed["entity"] == pending["entity"]
+                await fresh.send_json(
+                    {"type": "answer", "value": oracle(replayed["entity"])}
+                )
+                payload = await fresh.run(oracle)
+                await fresh.aclose()
+                # Byte-identical to the sequential in-process run.
+                assert serialize_payloads([payload]) == sequential_golden(
+                    collection, [target]
+                )
+                # A wrong token can never attach.
+                intruder = WsSessionClient(host, port)
+                await intruder.connect()
+                with pytest.raises(RuntimeError):
+                    await intruder.attach(session, "wrong-token")
+                await intruder.aclose()
+
+        run(scenario())

@@ -24,6 +24,7 @@ from repro.oracle import SimulatedUser, UnsureUser
 from repro.serve import (
     Phase,
     ScanScheduler,
+    SchedulerSaturated,
     SessionEngine,
     SessionRegistry,
 )
@@ -538,3 +539,35 @@ class TestGoldenEquivalenceThroughScheduler:
         ) == serialize_results(
             [registry.results[i] for i in range(len(targets))]
         )
+
+
+# --------------------------------------------------------------------- #
+# Bounded scheduler queue (max_queue)
+# --------------------------------------------------------------------- #
+
+
+class TestBoundedQueue:
+    def test_submit_sheds_at_max_queue(self):
+        collection = make_collection(n_sets=40)
+        registry = SessionRegistry(collection)
+        scheduler = ScanScheduler(registry, max_queue=2)
+        keys = [registry.spawn(MostEvenSelector()) for _ in range(3)]
+
+        scheduler.submit(registry.state(keys[0]))
+        scheduler.submit(registry.state(keys[1]))
+        with pytest.raises(SchedulerSaturated):
+            scheduler.submit(registry.state(keys[2]))
+        assert scheduler.stats.shed_requests == 1
+        assert scheduler.pending_requests == 2
+
+        # Resubmitting an already-queued key is idempotent, never a shed.
+        scheduler.submit(registry.state(keys[0]))
+        assert scheduler.stats.shed_requests == 1
+        assert scheduler.stats.queue_high_watermark == 2
+
+        # A flush drains the queue; the shed key can then be admitted.
+        scheduler.flush()
+        assert scheduler.pending_requests == 0
+        scheduler.submit(registry.state(keys[2]))
+        assert scheduler.pending_requests == 1
+        assert scheduler.stats.shed_requests == 1
