@@ -29,6 +29,8 @@ other benches.  Scale knobs (environment):
 * ``REPRO_HTTP_BENCH_MIN_QPS`` — gated questions/sec floor (default 200)
 * ``REPRO_HTTP_BENCH_MAX_P95_MS`` — gated p95 ceiling, ms (default 500)
 * ``REPRO_HTTP_BENCH_UVICORN`` — 1 = host under uvicorn (default 0)
+* ``REPRO_HTTP_BENCH_WORKERS`` — engine worker processes behind the
+  edge (default 0 = the in-process engine; incompatible with uvicorn)
 """
 
 import asyncio
@@ -76,6 +78,7 @@ def _bench_config() -> dict:
         ),
         "max_batch": int(os.environ.get("REPRO_HTTP_BENCH_MAX_BATCH", "256")),
         "uvicorn": os.environ.get("REPRO_HTTP_BENCH_UVICORN", "0") == "1",
+        "workers": int(os.environ.get("REPRO_HTTP_BENCH_WORKERS", "0")),
         # Mirrors the CLI's synthetic defaults so the client-side replica
         # collection (for oracles + parity) is identical to the server's.
         "size_lo": 30,
@@ -112,6 +115,8 @@ def _server_command(cfg: dict) -> list[str]:
     ]
     if cfg["uvicorn"]:
         command.append("--uvicorn")
+    if cfg["workers"]:
+        command += ["--workers", str(cfg["workers"])]
     return command
 
 
@@ -336,6 +341,7 @@ def run_http_bench(out_path: Path = _OUT_PATH) -> dict:
         "bench": "http-load",
         "config": cfg,
         "server": "uvicorn" if cfg["uvicorn"] else "embedded",
+        "workers": cfg["workers"],
         "results": load,
         # No sequential baseline makes sense for a network edge; the
         # trajectory tracks absolute served throughput instead.

@@ -246,16 +246,25 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
 
 
 def _serve_collection(args: argparse.Namespace):
+    """The collection to serve plus the picklable spec that rebuilds it.
+
+    The spec is what ``--workers N`` ships to every engine worker so each
+    rebuilds a byte-identical replica instead of unpickling masks.
+    """
+    backend = getattr(args, "backend", None)
     if args.collection is not None:
-        return load_collection(args.collection)
-    return generate_collection(
-        SyntheticConfig(
-            n_sets=args.n_sets,
-            size_lo=args.size_lo,
-            size_hi=args.size_hi,
-            overlap=args.overlap,
-            seed=args.seed,
-        )
+        spec = {"path": str(args.collection)}
+        return load_collection(args.collection, backend=backend), spec
+    synth = {
+        "n_sets": args.n_sets,
+        "size_lo": args.size_lo,
+        "size_hi": args.size_hi,
+        "overlap": args.overlap,
+        "seed": args.seed,
+    }
+    return (
+        generate_collection(SyntheticConfig(**synth), backend=backend),
+        {"synthetic": synth},
     )
 
 
@@ -263,9 +272,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
-    from .serve import AsyncDiscoveryService, DiscoveryApp, EmbeddedServer
+    from .serve import (
+        AsyncDiscoveryService,
+        ClusterService,
+        DiscoveryApp,
+        EmbeddedServer,
+    )
 
-    collection = _serve_collection(args)
+    if args.workers < 0:
+        print("--workers must be >= 0", file=sys.stderr)
+        return 2
+    if args.workers and args.uvicorn:
+        print(
+            "--workers shards sessions behind the embedded server; "
+            "combine it with uvicorn by fronting `repro serve` yourself",
+            file=sys.stderr,
+        )
+        return 2
+
+    collection, collection_spec = _serve_collection(args)
     info = {
         "n_sets": collection.n_sets,
         "n_entities": collection.n_entities,
@@ -304,8 +329,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         uvicorn.run(app, host=args.host, port=args.port, log_level="warning")
         return 0
 
-    async def serve() -> int:
-        async with AsyncDiscoveryService(
+    def build_service():
+        if args.workers:
+            return ClusterService(
+                collection,
+                workers=args.workers,
+                collection_spec=collection_spec,
+                backend=args.backend,
+                flush_after_ms=args.flush_after_ms,
+                max_batch=args.max_batch,
+                max_sessions=args.max_sessions,
+                max_queued=args.max_queued,
+                overload_policy=args.overload_policy,
+                retry_after_s=args.retry_after_s,
+                restart_workers=not args.no_restart,
+            )
+        return AsyncDiscoveryService(
             collection,
             flush_after_ms=args.flush_after_ms,
             max_batch=args.max_batch,
@@ -313,7 +352,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_queued=args.max_queued,
             overload_policy=args.overload_policy,
             retry_after_s=args.retry_after_s,
-        ) as service:
+        )
+
+    async def serve() -> int:
+        async with build_service() as service:
             app = DiscoveryApp(
                 service,
                 require_auth=not args.no_auth,
@@ -361,6 +403,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             mode=args.mode,
             faults=faults,
             users=args.users,
+            workers=args.workers,
             n_sets=args.n_sets,
             size_lo=args.size_lo,
             size_hi=args.size_hi,
@@ -598,6 +641,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="host the ASGI app under uvicorn (the 'http' extra) "
         "instead of the embedded stdlib server",
     )
+    http.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard sessions across this many engine worker processes "
+        "(0 = single in-process engine, today's default path)",
+    )
+    http.add_argument(
+        "--backend",
+        choices=["bigint", "numpy", "native"],
+        default=None,
+        help="force the entity-statistics kernel backend "
+        "(default: fastest importable)",
+    )
+    http.add_argument(
+        "--no-restart",
+        action="store_true",
+        help="with --workers: leave a dead engine worker down instead "
+        "of restarting it (fault-analysis runs)",
+    )
     http.set_defaults(func=_cmd_serve)
 
     soak = sub.add_parser(
@@ -616,8 +679,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults",
         default="storm,delta",
         help="comma-separated fault kinds: restart,storm,delta,drop,"
-        "overload (server mode) / stall,storm,delta,drop,overload "
-        "(inprocess)",
+        "overload,worker-kill (server mode) / stall,storm,delta,drop,"
+        "overload (inprocess); worker-kill needs --workers >= 2",
     )
     soak.add_argument(
         "--mode",
@@ -627,6 +690,13 @@ def build_parser() -> argparse.ArgumentParser:
         "drives AsyncDiscoveryService directly",
     )
     soak.add_argument("--users", type=int, default=24)
+    soak.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="boot the server child with this many engine worker "
+        "processes (enables the worker-kill fault; server mode only)",
+    )
     soak.add_argument("--n-sets", type=int, default=400)
     soak.add_argument("--size-lo", type=int, default=12)
     soak.add_argument("--size-hi", type=int, default=20)

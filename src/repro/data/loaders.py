@@ -35,7 +35,7 @@ def save_collection_text(
 
 
 def load_collection_text(
-    path: "Path | str", dedupe: bool = False
+    path: "Path | str", dedupe: bool = False, backend: "str | None" = None
 ) -> SetCollection:
     """Read the text format written by :func:`save_collection_text`."""
     names: list[str] = []
@@ -54,7 +54,7 @@ def load_collection_text(
             )
         names.append(fields[0])
         sets.append(fields[1:])
-    return SetCollection(sets, names=names, dedupe=dedupe)
+    return SetCollection(sets, names=names, dedupe=dedupe, backend=backend)
 
 
 def save_collection_json(
@@ -72,7 +72,7 @@ def save_collection_json(
 
 
 def load_collection_json(
-    path: "Path | str", dedupe: bool = False
+    path: "Path | str", dedupe: bool = False, backend: "str | None" = None
 ) -> SetCollection:
     """Read the JSON format written by :func:`save_collection_json`."""
     data = json.loads(Path(path).read_text(encoding="utf-8"))
@@ -81,15 +81,20 @@ def load_collection_json(
     named = data["sets"]
     names = list(named)
     return SetCollection(
-        (named[name] for name in names), names=names, dedupe=dedupe
+        (named[name] for name in names),
+        names=names,
+        dedupe=dedupe,
+        backend=backend,
     )
 
 
-def load_collection(path: "Path | str", dedupe: bool = False) -> SetCollection:
+def load_collection(
+    path: "Path | str", dedupe: bool = False, backend: "str | None" = None
+) -> SetCollection:
     """Dispatch on extension: ``.json`` -> JSON, anything else -> text."""
     if str(path).endswith(".json"):
-        return load_collection_json(path, dedupe=dedupe)
-    return load_collection_text(path, dedupe=dedupe)
+        return load_collection_json(path, dedupe=dedupe, backend=backend)
+    return load_collection_text(path, dedupe=dedupe, backend=backend)
 
 
 def save_collection(collection: SetCollection, path: "Path | str") -> None:

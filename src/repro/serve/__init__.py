@@ -19,7 +19,11 @@ per-step latency budgets are tight.  The stack has three layers
 4. the network edge — :class:`DiscoveryApp` (:mod:`repro.serve.http`),
    an ASGI app exposing sessions over HTTP and WebSocket with
    :class:`ServiceMetrics` SLO export, hosted by the stdlib
-   :class:`EmbeddedServer` or any ASGI server (uvicorn extra).
+   :class:`EmbeddedServer` or any ASGI server (uvicorn extra);
+5. scale-out — :class:`ClusterService` (:mod:`repro.serve.cluster`)
+   shards sessions across N shared-nothing engine worker processes by
+   consistent hash of the session id, the same ``DiscoveryApp`` acting
+   as a thin router (``python -m repro serve --workers N``).
 
 Whatever the front-end, every session's transcript is bit-identical to a
 sequential :meth:`~repro.core.discovery.DiscoverySession.run` — the stack
@@ -35,16 +39,21 @@ from .async_service import (
     ServiceClosed,
     ServiceOverloaded,
     SessionExpired,
+    WorkerLost,
     percentile,
 )
+from .cluster import ClusterError, ClusterService, worker_index_for
 from .engine import EngineStats, SessionEngine
 from .http import DiscoveryApp, EmbeddedServer, delta_batch_from_spec
-from .metrics import LatencyReservoir, ServiceMetrics
+from .metrics import ClusterMetrics, LatencyReservoir, ServiceMetrics
 from .scheduler import FlushPolicy, FlushReport, ScanScheduler, SchedulerSaturated
 from .state import Phase, SessionRegistry, SessionState
 
 __all__ = [
     "AsyncDiscoveryService",
+    "ClusterError",
+    "ClusterMetrics",
+    "ClusterService",
     "DiscoveryApp",
     "EmbeddedServer",
     "EngineStats",
@@ -61,6 +70,8 @@ __all__ = [
     "SessionExpired",
     "SessionRegistry",
     "SessionState",
+    "WorkerLost",
     "delta_batch_from_spec",
+    "worker_index_for",
     "percentile",
 ]

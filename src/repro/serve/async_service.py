@@ -97,6 +97,24 @@ class SessionExpired(RuntimeError):
     """
 
 
+class WorkerLost(RuntimeError):
+    """The engine worker owning this session died mid-call.
+
+    Only the multi-worker topology (:mod:`repro.serve.cluster`) raises
+    this: the owning worker process exited (pipe EOF / waitpid) before
+    replying, so the session's in-memory state is gone — shared-nothing
+    replicas hold no session state for their siblings.  Delivered to any
+    parked long-poll waiting on the dead worker and to every later call
+    routed to one of its sessions.  The HTTP edge maps it to
+    ``503 worker_lost``; clients start a fresh session (which lands on a
+    live worker — the supervisor restarts the dead one in place).
+
+    Defined here rather than in :mod:`repro.serve.cluster` so the edge
+    (:mod:`repro.serve.http`) can catch it without importing the cluster
+    machinery it otherwise never touches.
+    """
+
+
 def percentile(sorted_values: "list[float]", q: float) -> float:
     """Nearest-rank percentile of an ascending-sorted list (0.0 if empty).
 

@@ -29,6 +29,7 @@ __all__ = [
     "HttpSessionClient",
     "ServerBusy",
     "SessionExpiredError",
+    "WorkerLostError",
     "WsSessionClient",
 ]
 
@@ -52,6 +53,16 @@ class SessionExpiredError(RuntimeError):
 
     Retrying will not help — the session and its state are gone; start a
     new session instead.
+    """
+
+
+class WorkerLostError(RuntimeError):
+    """The engine worker owning this session died (``worker_lost``).
+
+    Only a ``--workers N`` server emits it: HTTP 503 with error
+    ``worker_lost``, or the same code on a WebSocket error frame before
+    a 1011 close.  The session's state died with its worker — start a
+    new session; the supervisor restarts the worker in the background.
     """
 
 
@@ -200,6 +211,12 @@ class HttpSessionClient:
             and body.get("error") == "session_expired"
         ):
             raise SessionExpiredError(str(body.get("message", body)))
+        if (
+            status == 503
+            and isinstance(body, dict)
+            and body.get("error") == "worker_lost"
+        ):
+            raise WorkerLostError(str(body.get("message", body)))
         raise _UnexpectedStatus(status, body)
 
     async def create(self, **spec) -> dict:
@@ -414,6 +431,8 @@ class WsSessionClient:
             raise ServerBusy(detail)
         if code == "session_expired":
             raise SessionExpiredError(detail)
+        if code == "worker_lost":
+            raise WorkerLostError(detail)
         raise RuntimeError(f"server error: {detail!r}")
 
     async def run(self, oracle) -> dict:

@@ -1,0 +1,1030 @@
+"""Multi-worker session sharding: N engine processes behind one edge.
+
+One :class:`~repro.serve.scheduler.ScanScheduler` tops out at one
+machine's cores (the flush thread serializes kernel passes per process).
+This module scales the serving stack past that by partitioning *sessions*
+across N engine worker processes:
+
+* each worker owns a full replica of the collection, its own kernel,
+  ``ScanScheduler`` and :class:`~repro.serve.async_service.AsyncDiscoveryService`
+  — **shared-nothing**: no cross-worker state, no shared memory, no locks;
+* sessions are routed by a consistent hash of the session id at
+  create/attach time, so every later call (HTTP long-poll, WebSocket
+  attach, TTL expiry) lands on the owning worker;
+* all traffic is multiplexed over one length-prefixed duplex pipe per
+  worker (``multiprocessing.Pipe`` frames JSON messages via
+  ``send_bytes``/``recv_bytes``); a blocking reader thread per worker
+  posts replies back onto the event loop, so a parked long-poll simply
+  awaits its request's future;
+* ``POST /admin/delta`` fans out to every worker and awaits a per-worker
+  epoch acknowledgement before returning 200 — replicas never diverge by
+  more than the one in-flight delta (a lock serializes fan-outs);
+* a dead worker is detected by pipe EOF, its sessions answer
+  ``503 worker_lost`` (their in-memory state died with the process), and
+  the supervisor restarts it in place — replaying the recorded delta-spec
+  chain so the fresh replica catches up to the current epoch — without
+  disturbing sibling workers.
+
+The HTTP edge (:class:`~repro.serve.http.DiscoveryApp`) stays a thin
+router: :class:`ClusterService` exposes the same verb surface as
+``AsyncDiscoveryService`` (``ask``/``answer``/``result``/``expire``/
+``begin_drain``/``aclose``), plus spec-level entry points
+(:meth:`ClusterService.spawn_from_spec`,
+:meth:`ClusterService.apply_delta_spec`) so session construction and
+delta parsing happen inside the owning worker.  Because routing is by
+opaque session id over a pipe, moving workers to other hosts later is a
+transport change, not an architecture change.
+
+``python -m repro serve --workers N`` builds this topology; ``N = 0``
+keeps the single-process in-process path byte-identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import multiprocessing
+import os
+import secrets
+import threading
+import time
+import zlib
+from typing import Any, Hashable, Mapping
+
+from ..data.loaders import load_collection
+from ..data.synthetic import SyntheticConfig, generate_collection
+from .async_service import (
+    AsyncDiscoveryService,
+    ServiceClosed,
+    ServiceOverloaded,
+    SessionExpired,
+    WorkerLost,
+)
+from .metrics import ClusterMetrics
+
+__all__ = [
+    "ClusterError",
+    "ClusterService",
+    "WorkerLost",
+    "worker_index_for",
+]
+
+
+class ClusterError(RuntimeError):
+    """A cluster protocol violation (bad frame, replica epoch mismatch)."""
+
+
+#: how many lost session ids are remembered so their later requests get a
+#: clear 503 ``worker_lost`` instead of a generic 404 (bounded exactly like
+#: the edge's expired-session memory)
+LOST_IDS_REMEMBERED = 4096
+
+#: reserved request id of the worker's one unsolicited message: the ready
+#: hello it sends after building its replica, before serving requests
+_HELLO_ID = -1
+
+
+def worker_index_for(sid: str, n_workers: int) -> int:
+    """The worker owning session ``sid``: a stable consistent hash.
+
+    CRC32 of the id modulo the worker count — deterministic across
+    processes, restarts and reconnects (no per-process seed, unlike
+    ``hash()``), so an attach routed months of requests later still lands
+    on the same worker index.
+    """
+    return zlib.crc32(sid.encode("utf-8")) % n_workers
+
+
+def _encode(message: Mapping) -> bytes:
+    return json.dumps(message, separators=(",", ":")).encode()
+
+
+# --------------------------------------------------------------------- #
+# Worker process (child side)
+# --------------------------------------------------------------------- #
+
+
+def _build_worker_collection(boot: Mapping):
+    """Rebuild the collection replica a worker serves, from its boot spec.
+
+    Workers never receive a pickled collection: the spec names either a
+    file path or the synthetic-generator parameters, and each replica is
+    rebuilt deterministically — byte-identical across the edge and every
+    worker — then the recorded delta chain is replayed so a *restarted*
+    worker rejoins at the current epoch.
+    """
+    # Imported lazily only in docs; safe at child import time too.
+    from .http import delta_batch_from_spec
+
+    spec = boot["collection"]
+    backend = boot.get("backend")
+    if "path" in spec:
+        collection = load_collection(spec["path"], backend=backend)
+    else:
+        collection = generate_collection(
+            SyntheticConfig(**spec["synthetic"]), backend=backend
+        )
+    for delta_spec in boot.get("deltas", ()):
+        collection = collection.apply_delta(delta_batch_from_spec(delta_spec))
+    return collection
+
+
+class _WorkerServer:
+    """The child-side RPC loop: one request message -> one asyncio task.
+
+    All sends happen on the event-loop thread (requests are dispatched to
+    it via ``call_soon_threadsafe``), so pipe writes need no lock.  Errors
+    cross the pipe as ``{"ok": false, "error": <kind>}`` frames and are
+    re-raised as the matching exception on the parent side, keeping the
+    edge's status mapping identical to the in-process path.
+    """
+
+    def __init__(self, index: int, conn, service, stop: asyncio.Event) -> None:
+        self.index = index
+        self.conn = conn
+        self.service = service
+        self.stop = stop
+        self.tasks: set[asyncio.Task] = set()
+
+    def read_loop(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Blocking reader thread: parent frames -> loop tasks, EOF -> stop."""
+        while True:
+            try:
+                raw = self.conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            try:
+                message = json.loads(raw)
+            except ValueError:
+                continue
+            try:
+                loop.call_soon_threadsafe(self._begin, message)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                break
+        try:
+            loop.call_soon_threadsafe(self.stop.set)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    def _begin(self, message: Mapping) -> None:
+        task = asyncio.ensure_future(self._serve_one(message))
+        self.tasks.add(task)
+        task.add_done_callback(self.tasks.discard)
+
+    def _reply(self, rid, value) -> None:
+        self._send({"id": rid, "ok": True, "value": value})
+
+    def _reply_error(self, rid, kind: str, message: str, **extra) -> None:
+        self._send({"id": rid, "ok": False, "error": kind,
+                    "message": message, **extra})
+
+    def _send(self, message: Mapping) -> None:
+        try:
+            self.conn.send_bytes(_encode(message))
+        except (OSError, ValueError, BrokenPipeError):
+            # Parent went away; the EOF path shuts us down.
+            pass
+
+    async def _serve_one(self, message: Mapping) -> None:
+        from ..core.collection import DeltaError, DuplicateSetError
+
+        rid = message.get("id")
+        op = str(message.get("op", ""))
+        handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
+        try:
+            if handler is None:
+                raise ClusterError(f"unknown op {op!r}")
+            value = await handler(message)
+        except ServiceOverloaded as exc:
+            self._reply_error(rid, "overloaded", str(exc),
+                              retry_after_s=exc.retry_after_s)
+        except SessionExpired as exc:
+            self._reply_error(rid, "expired", str(exc))
+        except ServiceClosed as exc:
+            self._reply_error(rid, "closed", str(exc))
+        except (DeltaError, DuplicateSetError) as exc:
+            self._reply_error(rid, "delta", str(exc))
+        except KeyError as exc:
+            self._reply_error(rid, "key", str(exc.args[0]) if exc.args else "")
+        except (ValueError, TypeError) as exc:
+            self._reply_error(rid, "value", str(exc))
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            self._reply_error(rid, "internal",
+                              f"{type(exc).__name__}: {exc}")
+        else:
+            self._reply(rid, value)
+
+    # ---------------------------- ops --------------------------------- #
+
+    async def _op_ping(self, message):
+        return {"pid": os.getpid()}
+
+    async def _op_spawn(self, message):
+        from .http import build_selector_from_spec
+
+        spec = message["spec"]
+        selector = build_selector_from_spec(spec)
+        key = self.service.spawn(
+            selector,
+            initial=spec.get("initial", ()),
+            max_questions=spec.get("max_questions"),
+            key=message["key"],
+        )
+        state = self.service.registry.state(key)
+        return {
+            "session": str(key),
+            "n_candidates": state.session.n_candidates,
+            "epoch": state.session.collection.epoch,
+        }
+
+    async def _op_ask(self, message):
+        return {"entity": await self.service.ask(message["key"])}
+
+    async def _op_answer(self, message):
+        self.service.answer(message["key"], message["value"])
+        return {}
+
+    async def _op_result(self, message):
+        from .http import result_payload
+
+        key = message["key"]
+        return result_payload(key, await self.service.result(key))
+
+    async def _op_expire(self, message):
+        key = message["key"]
+        if self.service.registry.result_of(key) is not None:
+            # Finished but never collected: the edge may forget its
+            # handle; the result map is retained exactly as in-process.
+            return {"expired": True, "finished": True}
+        return {"expired": bool(await self.service.expire(key)),
+                "finished": False}
+
+    async def _op_delta(self, message):
+        from .http import delta_batch_from_spec
+
+        batch = delta_batch_from_spec(message["spec"])
+        collection = await self.service.apply_delta(batch)
+        return {
+            "epoch": collection.epoch,
+            "n_sets": len(collection),
+            "n_entities": collection.n_entities,
+            "applied": bool(batch),
+        }
+
+    async def _op_metrics(self, message):
+        metrics = self.service.metrics
+        snapshot = metrics.snapshot()
+        stats = self.service.stats
+        # The aggregated edge exposition needs the raw scheduler counters
+        # the JSON snapshot folds away.
+        snapshot["stats"] = {
+            "flushed_requests": stats.flushed_requests,
+            "scanned_masks": stats.scanned_masks,
+            "selections": stats.selections,
+            "flush_seconds": stats.seconds,
+        }
+        snapshot["active"] = self.service.n_active
+        return snapshot
+
+    async def _op_health(self, message):
+        registry = self.service.registry
+        return {
+            "active": registry.n_active,
+            "finished": len(registry.results),
+            "epoch": self.service.collection.epoch,
+        }
+
+    async def _op_drain(self, message):
+        self.service.begin_drain()
+        return {}
+
+    async def _op_close(self, message):
+        await self.service.aclose()
+        self.stop.set()
+        return {}
+
+
+async def _worker_main(index: int, conn, boot: Mapping) -> None:
+    collection = _build_worker_collection(boot)
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    async with AsyncDiscoveryService(
+        collection, **(boot.get("service") or {})
+    ) as service:
+        server = _WorkerServer(index, conn, service, stop)
+        # The hello doubles as the ready handshake: the parent blocks on
+        # it before routing traffic, so a worker that dies building its
+        # replica fails the boot loudly instead of dropping requests.
+        server._send({
+            "id": _HELLO_ID,
+            "ok": True,
+            "value": {
+                "ready": True,
+                "pid": os.getpid(),
+                "epoch": service.collection.epoch,
+            },
+        })
+        reader = threading.Thread(
+            target=server.read_loop,
+            args=(loop,),
+            name=f"repro-worker-{index}-reader",
+            daemon=True,
+        )
+        reader.start()
+        await stop.wait()
+        # Let in-flight request tasks deliver their (possibly
+        # ServiceClosed) replies before the pipe closes under them.
+        if server.tasks:
+            await asyncio.gather(*server.tasks, return_exceptions=True)
+    conn.close()
+
+
+def _worker_entry(index: int, conn, boot: Mapping) -> None:
+    """Spawn-context process target (must be importable, not a closure)."""
+    try:
+        asyncio.run(_worker_main(index, conn, boot))
+    except KeyboardInterrupt:  # pragma: no cover - operator ^C broadcast
+        pass
+
+
+# --------------------------------------------------------------------- #
+# Parent side: one handle per worker process
+# --------------------------------------------------------------------- #
+
+
+def _error_from(message: Mapping, index: int) -> Exception:
+    kind = message.get("error")
+    text = str(message.get("message", ""))
+    if kind == "overloaded":
+        return ServiceOverloaded(
+            text, retry_after_s=float(message.get("retry_after_s", 1.0))
+        )
+    if kind == "expired":
+        return SessionExpired(text)
+    if kind == "closed":
+        return ServiceClosed(text)
+    if kind == "key":
+        return KeyError(text)
+    if kind == "value":
+        return ValueError(text)
+    # "delta" here means a replica applied the same spec differently than
+    # the edge replica — by construction impossible unless replicas
+    # diverged, so it surfaces as a protocol error, not a 400.
+    return ClusterError(f"worker {index} error [{kind}]: {text}")
+
+
+class _WorkerHandle:
+    """Parent-side endpoint of one engine worker process.
+
+    Owns the pipe, the request-id -> future correlation map, and the
+    blocking reader thread that completes those futures from the loop.
+    ``ready`` gates routing: it is true only between a successful boot
+    handshake (+ delta catch-up) and pipe EOF, so restarting workers
+    never receive session traffic mid-replay.
+    """
+
+    def __init__(self, index: int, ctx) -> None:
+        self.index = index
+        self._ctx = ctx
+        self.proc: multiprocessing.process.BaseProcess | None = None
+        self.conn = None
+        self.pid: int | None = None
+        self.boot_epoch = 0
+        self.ready = False
+        self.restarts = 0
+        self.generation = 0
+        self._serving = False  # pipe open and reader attached
+        self._next_id = 0
+        self._pending: dict[int, asyncio.Future] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._on_death = None
+
+    # ------------------------- lifecycle ------------------------------ #
+
+    def start(self, boot: Mapping, timeout_s: float = 120.0) -> None:
+        """Spawn the child and block until its ready hello (thread-safe).
+
+        Called via ``asyncio.to_thread`` so replica builds (which can take
+        seconds at bench scale) never block the event loop.
+        """
+        self.reap()
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        self.proc = self._ctx.Process(
+            target=_worker_entry,
+            args=(self.index, child_conn, boot),
+            name=f"repro-engine-worker-{self.index}",
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+        deadline = time.monotonic() + timeout_s
+        while not parent_conn.poll(0.2):
+            if time.monotonic() > deadline:
+                self.proc.kill()
+                raise ClusterError(
+                    f"worker {self.index} did not become ready within "
+                    f"{timeout_s:.0f}s"
+                )
+            if not self.proc.is_alive() and not parent_conn.poll(0):
+                raise ClusterError(
+                    f"worker {self.index} exited during boot "
+                    f"(exitcode {self.proc.exitcode})"
+                )
+        try:
+            hello = json.loads(parent_conn.recv_bytes())
+        except (EOFError, OSError, ValueError) as exc:
+            raise ClusterError(
+                f"worker {self.index} closed its pipe during boot"
+            ) from exc
+        if hello.get("id") != _HELLO_ID or not hello.get("ok"):
+            raise ClusterError(f"worker {self.index} bad hello: {hello!r}")
+        value = hello.get("value") or {}
+        self.pid = int(value.get("pid", self.proc.pid))
+        self.boot_epoch = int(value.get("epoch", 0))
+        self.generation += 1
+
+    def attach(self, loop: asyncio.AbstractEventLoop, on_death) -> None:
+        """Start the reader thread; must run on the owning event loop."""
+        self._loop = loop
+        self._on_death = on_death
+        self._serving = True
+        thread = threading.Thread(
+            target=self._read_loop,
+            args=(self.conn, self.generation),
+            name=f"repro-cluster-reader-{self.index}",
+            daemon=True,
+        )
+        thread.start()
+
+    def reap(self) -> None:
+        """Join a previous (dead) child so no zombie outlives a restart."""
+        if self.proc is not None:
+            self.proc.join(timeout=5.0)
+            if self.proc.is_alive():  # pragma: no cover - defensive
+                self.proc.kill()
+                self.proc.join(timeout=5.0)
+            self.proc = None
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self.conn = None
+
+    def kill(self) -> None:
+        """SIGKILL the child (fault injection; EOF handling does the rest)."""
+        if self.proc is not None and self.proc.is_alive():
+            self.proc.kill()
+
+    async def close(self, timeout_s: float = 10.0) -> int | None:
+        """Graceful shutdown: close RPC, join, SIGKILL fallback; exitcode."""
+        self.ready = False
+        if self._serving:
+            try:
+                await asyncio.wait_for(self.call("close", routed=False),
+                                       timeout_s)
+            except (WorkerLost, ClusterError, asyncio.TimeoutError):
+                pass
+        self._serving = False
+        proc = self.proc
+        if proc is None:
+            return None
+        await asyncio.to_thread(proc.join, timeout_s)
+        if proc.is_alive():
+            proc.kill()
+            await asyncio.to_thread(proc.join, 5.0)
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        return proc.exitcode
+
+    # --------------------------- RPC ---------------------------------- #
+
+    async def call(self, op: str, *, routed: bool = True, **params) -> Any:
+        """One request/reply round trip; ``WorkerLost`` if the pipe is down.
+
+        ``routed=False`` bypasses the ``ready`` gate for supervisor ops
+        (drain/close/catch-up deltas) that must reach a worker the router
+        is still hiding from session traffic.
+        """
+        if not self._serving or (routed and not self.ready):
+            raise WorkerLost(f"engine worker {self.index} is not serving")
+        rid = self._next_id
+        self._next_id += 1
+        future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        try:
+            self.conn.send_bytes(_encode({"id": rid, "op": op, **params}))
+        except (OSError, ValueError) as exc:
+            self._pending.pop(rid, None)
+            # A failed send means the child is gone even if the reader
+            # thread has not seen EOF yet; run the death path now so the
+            # supervisor restarts without waiting on the reader (the
+            # later EOF callback is a no-op: ``was_serving`` is False).
+            self._handle_eof(self.generation)
+            raise WorkerLost(
+                f"engine worker {self.index} pipe is closed"
+            ) from exc
+        return await future
+
+    # ----------------------- reader thread ---------------------------- #
+
+    def _read_loop(self, conn, generation: int) -> None:
+        while True:
+            try:
+                raw = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            try:
+                message = json.loads(raw)
+            except ValueError:
+                continue
+            try:
+                self._loop.call_soon_threadsafe(self._dispatch, message)
+            except RuntimeError:  # pragma: no cover - loop closed
+                return
+        try:
+            self._loop.call_soon_threadsafe(self._handle_eof, generation)
+        except RuntimeError:  # pragma: no cover - loop closed
+            pass
+
+    def _dispatch(self, message: Mapping) -> None:
+        future = self._pending.pop(message.get("id"), None)
+        if future is None or future.done():
+            return
+        if message.get("ok"):
+            future.set_result(message.get("value"))
+        else:
+            future.set_exception(_error_from(message, self.index))
+
+    def _handle_eof(self, generation: int) -> None:
+        if generation != self.generation:
+            return  # a stale reader of an earlier incarnation
+        was_serving = self._serving
+        self._serving = False
+        self.ready = False
+        self.fail_pending(WorkerLost(f"engine worker {self.index} died"))
+        if was_serving and self._on_death is not None:
+            self._on_death(self)
+
+    def fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+
+# --------------------------------------------------------------------- #
+# Cluster service: the edge-side router
+# --------------------------------------------------------------------- #
+
+
+class _Placement:
+    """Edge bookkeeping for one routed session."""
+
+    __slots__ = ("worker", "finished")
+
+    def __init__(self, worker: int) -> None:
+        self.worker = worker
+        self.finished = False
+
+
+class ClusterService:
+    """Session-sharding router over N engine worker processes.
+
+    Exposes the :class:`AsyncDiscoveryService` verb surface (plus
+    spec-level ``spawn_from_spec``/``apply_delta_spec``) so
+    :class:`~repro.serve.http.DiscoveryApp` fronts either interchangeably.
+    The edge keeps its own collection replica — applying every admin
+    delta locally first — purely for label translation, epoch reporting
+    and restart replay; it runs no kernel and serves no sessions.
+
+    Parameters
+    ----------
+    collection:
+        The edge replica (already built; workers rebuild their own from
+        ``collection_spec``).
+    workers:
+        Number of engine worker processes (>= 1).
+    collection_spec:
+        Picklable recipe every worker rebuilds its replica from:
+        ``{"path": str}`` or ``{"synthetic": {SyntheticConfig kwargs}}``.
+    backend:
+        Kernel backend forced in every worker (``None`` auto-detects).
+    max_sessions:
+        Global admission cap, divided evenly across workers (each worker
+        enforces ``ceil(max_sessions / workers)``).
+    restart_workers:
+        Restart a dead worker in place (default).  Tests disable it to
+        observe the lost state.
+    """
+
+    def __init__(
+        self,
+        collection,
+        *,
+        workers: int,
+        collection_spec: Mapping,
+        backend: str | None = None,
+        flush_after_ms: float = 2.0,
+        max_batch: int | None = 64,
+        max_sessions: int | None = None,
+        max_queued: int | None = None,
+        overload_policy: str = "shed",
+        retry_after_s: float = 1.0,
+        restart_workers: bool = True,
+        boot_timeout_s: float = 120.0,
+        start_method: str = "spawn",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        self._collection = collection
+        self.n_workers = workers
+        self._collection_spec = dict(collection_spec)
+        self._backend = backend
+        self._boot_timeout_s = boot_timeout_s
+        self._restart_workers = restart_workers
+        per_worker_cap = (
+            None
+            if max_sessions is None
+            else max(1, math.ceil(max_sessions / workers))
+        )
+        self._service_kwargs = {
+            "flush_after_ms": flush_after_ms,
+            "max_batch": max_batch,
+            "max_sessions": per_worker_cap,
+            "max_queued": max_queued,
+            "overload_policy": overload_policy,
+            "retry_after_s": retry_after_s,
+        }
+        ctx = multiprocessing.get_context(start_method)
+        self._workers = [_WorkerHandle(i, ctx) for i in range(workers)]
+        #: ordered delta specs applied so far — the replay chain a
+        #: restarted worker needs to rejoin the current epoch (the edge
+        #: epoch always equals ``len(self._delta_specs)``)
+        self._delta_specs: list[dict] = []
+        self._placed: dict[str, _Placement] = {}
+        self._lost: dict[str, None] = {}
+        self._started = False
+        self._draining = False
+        self._closed = False
+        self._delta_lock: asyncio.Lock | None = None
+        self._restart_tasks: set[asyncio.Task] = set()
+        self.metrics = ClusterMetrics(self)
+
+    # ------------------------- properties ----------------------------- #
+
+    @property
+    def collection(self):
+        """The edge replica's current epoch (labels + epoch reporting)."""
+        return self._collection
+
+    @property
+    def accepting(self) -> bool:
+        return self._started and not (self._draining or self._closed)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def worker_index(self, sid: str) -> int:
+        return worker_index_for(sid, self.n_workers)
+
+    @property
+    def workers(self) -> "list[_WorkerHandle]":
+        """The worker handles (fault injection and tests)."""
+        return list(self._workers)
+
+    # ------------------------- lifecycle ------------------------------ #
+
+    def _boot_spec(self) -> dict:
+        return {
+            "collection": dict(self._collection_spec),
+            "backend": self._backend,
+            "deltas": list(self._delta_specs),
+            "service": dict(self._service_kwargs),
+        }
+
+    async def start_workers(self) -> None:
+        """Boot every worker and wait for all ready hellos (idempotent)."""
+        if self._started:
+            return
+        loop = asyncio.get_running_loop()
+        self._delta_lock = asyncio.Lock()
+        boot = self._boot_spec()
+        await asyncio.gather(
+            *(
+                asyncio.to_thread(h.start, boot, self._boot_timeout_s)
+                for h in self._workers
+            )
+        )
+        for handle in self._workers:
+            handle.attach(loop, self._worker_died)
+            handle.ready = True
+        self._started = True
+
+    async def __aenter__(self) -> "ClusterService":
+        await self.start_workers()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    def begin_drain(self) -> None:
+        """Stop admitting sessions; tell every worker to drain too."""
+        if self._draining:
+            return
+        self._draining = True
+        for handle in self._workers:
+            if handle.ready:
+                task = asyncio.ensure_future(self._quiet_drain(handle))
+                self._restart_tasks.add(task)
+                task.add_done_callback(self._restart_tasks.discard)
+
+    @staticmethod
+    async def _quiet_drain(handle: _WorkerHandle) -> None:
+        try:
+            await handle.call("drain", routed=False)
+        except (WorkerLost, ClusterError):
+            pass
+
+    async def aclose(self) -> None:
+        """Drain-close every worker, join and reap all children."""
+        if self._closed:
+            return
+        self._closed = True
+        self._draining = True
+        for task in list(self._restart_tasks):
+            task.cancel()
+        if self._started:
+            await asyncio.gather(
+                *(h.close() for h in self._workers), return_exceptions=True
+            )
+
+    # ---------------------- failure handling -------------------------- #
+
+    def _worker_died(self, handle: _WorkerHandle) -> None:
+        """Pipe-EOF callback (loop thread): orphan sessions, restart."""
+        lost = [
+            sid
+            for sid, place in self._placed.items()
+            if place.worker == handle.index
+        ]
+        for sid in lost:
+            del self._placed[sid]
+            self._lost[sid] = None
+        while len(self._lost) > LOST_IDS_REMEMBERED:
+            self._lost.pop(next(iter(self._lost)))
+        if self._closed or self._draining or not self._restart_workers:
+            return
+        task = asyncio.ensure_future(self._restart_worker(handle))
+        self._restart_tasks.add(task)
+        task.add_done_callback(self._restart_tasks.discard)
+
+    async def _restart_worker(self, handle: _WorkerHandle) -> None:
+        """Boot a replacement in place; siblings keep serving throughout."""
+        while not (self._closed or self._draining):
+            try:
+                await asyncio.to_thread(
+                    handle.start, self._boot_spec(), self._boot_timeout_s
+                )
+            except (ClusterError, OSError):
+                await asyncio.sleep(0.5)
+                continue
+            handle.attach(asyncio.get_running_loop(), self._worker_died)
+            try:
+                # Deltas applied while the replacement was booting: catch
+                # it up (the chain index IS the epoch) before the router
+                # sees it, so live replicas never serve stale epochs.
+                async with self._delta_lock:
+                    behind = self._delta_specs[handle.boot_epoch:]
+                    for spec in behind:
+                        await handle.call("delta", spec=spec, routed=False)
+                    handle.ready = True
+                    handle.restarts += 1
+            except (WorkerLost, ClusterError):
+                continue  # died again mid-catch-up; EOF path re-triggers
+            return
+
+    # ------------------------- routing -------------------------------- #
+
+    def _route(self, key: Hashable) -> tuple[_WorkerHandle, str]:
+        sid = str(key)
+        if sid in self._lost:
+            raise WorkerLost(
+                f"session {sid} was lost when its engine worker died"
+            )
+        place = self._placed.get(sid)
+        if place is None:
+            raise KeyError(f"unknown session key {sid!r}")
+        return self._workers[place.worker], sid
+
+    def _note_finished(self, sid: str) -> None:
+        """Count a finish at the first successful *result fetch*.
+
+        The edge keeps the authoritative lifetime counter because worker
+        restarts reset worker-side counters.  It deliberately counts at
+        result delivery, not at ask-returns-None: a worker killed between
+        the two strands a finish no client ever saw, and the lifetime
+        counter must agree exactly with what clients observed.
+        """
+        place = self._placed.get(sid)
+        if place is not None and not place.finished:
+            place.finished = True
+            self.metrics.sessions_finished += 1
+
+    # ------------------------- verbs ---------------------------------- #
+
+    async def spawn_from_spec(self, spec: Mapping) -> dict:
+        """Create a session on its hash-routed worker; placement info.
+
+        The edge pre-validates the spec (the app's 400 mapping); the
+        owning worker rebuilds the selector and constructs the session so
+        no session object ever crosses the pipe.  If the hashed owner is
+        mid-restart the session overflows to the next ready worker — the
+        placement map, not the hash, is authoritative for later calls.
+        """
+        if self._closed or self._draining:
+            raise ServiceClosed("cluster is draining; no new sessions")
+        sid = secrets.token_hex(8)
+        start = self.worker_index(sid)
+        handle = None
+        for offset in range(self.n_workers):
+            candidate = self._workers[(start + offset) % self.n_workers]
+            if candidate.ready:
+                handle = candidate
+                break
+        if handle is None:
+            raise ServiceOverloaded(
+                "no engine worker is ready (restarts in progress)",
+                retry_after_s=0.5,
+            )
+        try:
+            info = await handle.call("spawn", key=sid, spec=dict(spec))
+        except ServiceOverloaded:
+            self.metrics.observe_rejection("sessions")
+            raise
+        self._placed[sid] = _Placement(handle.index)
+        return info
+
+    async def ask(self, key: Hashable) -> int | None:
+        handle, sid = self._route(key)
+        started = time.perf_counter()
+        try:
+            value = await handle.call("ask", key=sid)
+        except ServiceOverloaded:
+            self.metrics.observe_rejection("asks")
+            raise
+        self.metrics.observe_ask(time.perf_counter() - started)
+        return value["entity"]
+
+    async def answer(self, key: Hashable, value: "bool | None") -> None:
+        handle, sid = self._route(key)
+        await handle.call("answer", key=sid, value=value)
+
+    async def result(self, key: Hashable) -> dict:
+        handle, sid = self._route(key)
+        try:
+            payload = await handle.call("result", key=sid)
+        except ServiceOverloaded:
+            self.metrics.observe_rejection("asks")
+            raise
+        self._note_finished(sid)
+        return payload
+
+    async def expire(self, key: Hashable) -> bool:
+        """TTL-expire ``key`` unless its worker vetoes (mid-interaction).
+
+        Lost sessions expire trivially — their state died with the
+        worker — so the edge's sweep reclaims their handles too.
+        """
+        sid = str(key)
+        if sid in self._lost:
+            return True
+        place = self._placed.get(sid)
+        if place is None:
+            return True
+        handle = self._workers[place.worker]
+        try:
+            value = await handle.call("expire", key=sid)
+        except WorkerLost:
+            return True
+        except KeyError:
+            value = {"expired": True, "finished": False}
+        if not value["expired"]:
+            return False
+        self._placed.pop(sid, None)
+        return True
+
+    async def apply_delta_spec(self, spec: Mapping) -> dict:
+        """Apply one delta: edge replica first, then fan-out with acks.
+
+        The edge applies the batch locally (validating it and fixing the
+        target epoch), records the spec on the replay chain, then awaits
+        every live worker's epoch acknowledgement before returning — so a
+        200 means every serving replica is at the new epoch.  A worker
+        that dies mid-fan-out converges through restart replay instead.
+        Serialized by a lock: at most one delta is in flight cluster-wide.
+        """
+        from .http import delta_batch_from_spec
+
+        if self._closed:
+            raise ServiceClosed("cluster is closed")
+        async with self._delta_lock:
+            batch = delta_batch_from_spec(spec)
+            new_collection = self._collection.apply_delta(batch)
+            if not batch:
+                return {
+                    "epoch": self._collection.epoch,
+                    "n_sets": len(self._collection),
+                    "n_entities": self._collection.n_entities,
+                    "applied": False,
+                }
+            self._collection = new_collection
+            stored = json.loads(_encode(dict(spec)))
+            self._delta_specs.append(stored)
+            self.metrics.deltas_applied += 1
+            target = new_collection.epoch
+            acks = await asyncio.gather(
+                *(
+                    self._delta_to_worker(handle, stored, target)
+                    for handle in self._workers
+                )
+            )
+            acked = [epoch for epoch in acks if epoch is not None]
+            return {
+                "epoch": target,
+                "n_sets": len(new_collection),
+                "n_entities": new_collection.n_entities,
+                "applied": True,
+                "workers_acked": len(acked),
+            }
+
+    async def _delta_to_worker(
+        self, handle: _WorkerHandle, spec: Mapping, target: int
+    ) -> "int | None":
+        if not handle.ready:
+            return None  # restart replay carries this spec
+        try:
+            value = await handle.call("delta", spec=spec)
+        except WorkerLost:
+            return None
+        epoch = int(value["epoch"])
+        if epoch != target:
+            raise ClusterError(
+                f"worker {handle.index} acked epoch {epoch}, "
+                f"edge replica is at {target}"
+            )
+        return epoch
+
+    # ---------------------- aggregate views --------------------------- #
+
+    async def active_count(self) -> int:
+        """Active sessions across all live workers (the drain gate)."""
+        healths = await self._fanout("health")
+        return sum(h["active"] for h in healths if h is not None)
+
+    async def health_info(self) -> dict:
+        """The cluster section of ``GET /healthz``.
+
+        Includes per-worker pids so out-of-process harnesses (the soak
+        driver's worker-kill fault) can target a specific child.
+        """
+        healths = await self._fanout("health")
+        workers = []
+        for handle, health in zip(self._workers, healths):
+            workers.append(
+                {
+                    "worker": handle.index,
+                    "pid": handle.pid,
+                    "up": health is not None,
+                    "restarts": handle.restarts,
+                    "active": 0 if health is None else health["active"],
+                    "epoch": None if health is None else health["epoch"],
+                }
+            )
+        return {
+            "active_sessions": sum(w["active"] for w in workers),
+            "finished_sessions": self.metrics.sessions_finished,
+            "epoch": self._collection.epoch,
+            "workers": workers,
+        }
+
+    async def worker_metrics(self) -> "list[dict | None]":
+        """Per-worker metrics snapshots (``None`` for a down worker)."""
+        return await self._fanout("metrics")
+
+    async def _fanout(self, op: str) -> "list[dict | None]":
+        async def one(handle: _WorkerHandle) -> "dict | None":
+            if not handle.ready:
+                return None
+            try:
+                return await handle.call(op)
+            except (WorkerLost, ClusterError, ServiceClosed):
+                return None
+
+        return await asyncio.gather(*(one(h) for h in self._workers))

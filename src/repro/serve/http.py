@@ -83,6 +83,7 @@ from .async_service import (
     ServiceClosed,
     ServiceOverloaded,
     SessionExpired,
+    WorkerLost,
 )
 
 __all__ = [
@@ -244,7 +245,11 @@ class DiscoveryApp:
     Parameters
     ----------
     service:
-        The :class:`AsyncDiscoveryService` this edge fronts.
+        The :class:`AsyncDiscoveryService` this edge fronts — or a
+        :class:`~repro.serve.cluster.ClusterService` sharding sessions
+        across worker processes.  The app duck-types the differences
+        (spec-level spawn/delta, awaitable verbs, async metrics render)
+        so the single-process path stays byte-identical.
     require_auth:
         When true (default), session-scoped routes demand the bearer
         token minted by ``POST /sessions``.  ``False`` is for trusted
@@ -315,7 +320,7 @@ class DiscoveryApp:
         """
         self.begin_drain()
         deadline = None if grace_s is None else time.monotonic() + grace_s
-        while self.service.n_active and (
+        while await self._active_sessions() and (
             deadline is None or time.monotonic() < deadline
         ):
             # The drain poll doubles as the TTL sweeper's last chance:
@@ -324,6 +329,13 @@ class DiscoveryApp:
             await self.sweep_expired()
             await asyncio.sleep(poll_s)
         await self.service.aclose()
+
+    async def _active_sessions(self) -> int:
+        """Active sessions, local or summed across cluster workers."""
+        counter = getattr(self.service, "active_count", None)
+        if counter is not None:
+            return await counter()
+        return self.service.n_active
 
     # ------------------------------------------------------------------ #
     # Session TTL sweep
@@ -350,13 +362,18 @@ class DiscoveryApp:
             return 0
         self._next_sweep = now + max(ttl / 4.0, 0.05)
         reaped = 0
+        registry = getattr(self.service, "registry", None)
         for sid, handle in list(self._sessions.items()):
             if now - handle.last_seen < ttl:
                 continue
-            if self.service.registry.result_of(handle.key) is not None:
+            if (
+                registry is not None
+                and registry.result_of(handle.key) is not None
+            ):
                 # Finished but never collected: the handle is all that
                 # leaks (the result map is drainable separately), so just
-                # forget it.
+                # forget it.  (Cluster services have no edge registry;
+                # their expire() answers True for finished sessions.)
                 pass
             elif not await self.service.expire(handle.key):
                 continue  # mid-interaction; retry next sweep
@@ -388,6 +405,11 @@ class DiscoveryApp:
         while True:
             message = await receive()
             if message["type"] == "lifespan.startup":
+                # A cluster service boots its worker processes here, so
+                # hosting under uvicorn needs no CLI-side setup hook.
+                starter = getattr(self.service, "start_workers", None)
+                if starter is not None:
+                    await starter()
                 await send({"type": "lifespan.startup.complete"})
             elif message["type"] == "lifespan.shutdown":
                 # The host server (uvicorn) already stopped accepting
@@ -432,22 +454,26 @@ class DiscoveryApp:
                 elif verb == "answer":
                     self._require_method(method, "POST")
                     body = await self._read_json(receive)
-                    status, payload = self._record_answer(handle, body)
+                    status, payload = await self._record_answer(handle, body)
                 else:
                     self._require_method(method, "GET")
                     status, payload = await self._session_result(handle)
             elif path == "/metrics":
                 route = "/metrics"
                 self._require_method(method, "GET")
-                await self._send_text(
-                    send, 200, self.metrics.render_prometheus()
+                arender = getattr(self.metrics, "arender_prometheus", None)
+                text = (
+                    await arender()
+                    if arender is not None
+                    else self.metrics.render_prometheus()
                 )
+                await self._send_text(send, 200, text)
                 self.metrics.observe_http(route, 200)
                 return
             elif path == "/healthz":
                 route = "/healthz"
                 self._require_method(method, "GET")
-                status, payload = 200, self._health()
+                status, payload = 200, await self._health()
             else:
                 raise _HTTPError(404, "not-found", f"no route {path}")
         except _HTTPError as exc:
@@ -480,6 +506,15 @@ class DiscoveryApp:
             # 503, never a hang or a naked connection reset.
             status = 503
             payload = {"error": "draining", "message": str(exc)}
+        except WorkerLost as exc:
+            # Cluster topology only: the engine worker owning this
+            # session died (or died before replying to this parked
+            # long-poll).  Its shared-nothing state is gone, so the
+            # client must start a fresh session — which lands on a live
+            # worker while the supervisor restarts the dead one.  The
+            # handle stays; the TTL sweep reclaims it.
+            status = 503
+            payload = {"error": "worker_lost", "message": str(exc)}
         headers = None
         if retry_after is not None:
             headers = [
@@ -597,10 +632,20 @@ class DiscoveryApp:
                 503, "draining", "server is draining; no new sessions"
             )
 
-    def _spawn_session(self, body: Mapping) -> _SessionHandle:
+    async def _spawn_session(
+        self, body: Mapping
+    ) -> "tuple[_SessionHandle, dict]":
+        """Create a session; returns its handle plus placement facts.
+
+        Validation happens here at the edge (clear 400s without a worker
+        round trip); construction happens in-process or — when the
+        service shards — inside the hash-routed owning worker via
+        ``spawn_from_spec``, which reports the key/epoch/candidate count
+        in its single round trip.
+        """
         self._check_accepting_sessions()
         try:
-            selector = build_selector_from_spec(body)
+            build_selector_from_spec(body)
         except (ValueError, TypeError) as exc:
             raise _HTTPError(400, "bad-selector", str(exc)) from None
         initial = body.get("initial", ())
@@ -617,29 +662,41 @@ class DiscoveryApp:
                 "bad-max-questions",
                 "'max_questions' must be a positive integer",
             )
+        spawner = getattr(self.service, "spawn_from_spec", None)
         try:
-            key = self.service.spawn(
-                selector, initial=initial, max_questions=max_questions
-            )
+            if spawner is not None:
+                info = await spawner(body)
+                key = info["session"]
+            else:
+                key = self.service.spawn(
+                    build_selector_from_spec(body),
+                    initial=initial,
+                    max_questions=max_questions,
+                )
+                state = self.service.registry.state(key)
+                info = {
+                    "session": str(key),
+                    "n_candidates": state.session.n_candidates,
+                    "epoch": state.session.collection.epoch,
+                }
         except KeyError as exc:
             raise _HTTPError(
                 400, "bad-initial", f"unknown initial entity: {exc}"
             ) from None
         handle = _SessionHandle(key=key, token=secrets.token_urlsafe(24))
         self._sessions[str(key)] = handle
-        return handle
+        return handle, info
 
     async def _create_session(self, body: Mapping) -> tuple[int, dict]:
-        handle = self._spawn_session(body)
-        state = self.service.registry.state(handle.key)
+        handle, info = await self._spawn_session(body)
         return 201, {
             "session": str(handle.key),
             "token": handle.token,
-            "n_candidates": state.session.n_candidates,
+            "n_candidates": info["n_candidates"],
             # The collection epoch this session is pinned to — replay
             # tooling (the soak harness) needs it to pick the right
             # collection replica for a byte-identical sequential rerun.
-            "epoch": state.session.collection.epoch,
+            "epoch": info["epoch"],
         }
 
     async def _next_question(self, handle: _SessionHandle) -> tuple[int, dict]:
@@ -658,7 +715,7 @@ class DiscoveryApp:
             "finished": False,
         }
 
-    def _record_answer(
+    async def _record_answer(
         self, handle: _SessionHandle, body: Mapping
     ) -> tuple[int, dict]:
         if "answer" not in body:
@@ -671,7 +728,11 @@ class DiscoveryApp:
                 400, "bad-answer", "'answer' must be true, false or null"
             )
         try:
-            self.service.answer(handle.key, value)
+            reply = self.service.answer(handle.key, value)
+            if reply is not None:
+                # Cluster services validate on the owning worker, so the
+                # verb is a coroutine there; in-process it stays sync.
+                await reply
         except KeyError:
             # The handle exists, so the key is not unknown — the session
             # finished between the question and this answer.
@@ -684,11 +745,22 @@ class DiscoveryApp:
 
     async def _session_result(self, handle: _SessionHandle) -> tuple[int, dict]:
         result = await self.service.result(handle.key)
+        if isinstance(result, dict):
+            # A cluster worker already rendered the payload (the
+            # DiscoveryResult never crosses the pipe).
+            return 200, result
         return 200, result_payload(handle.key, result)
 
     async def _apply_delta(self, body: Mapping) -> tuple[int, dict]:
+        applier = getattr(self.service, "apply_delta_spec", None)
         try:
+            if applier is not None:
+                # Cluster: the edge parses/applies its replica and fans
+                # the spec out to every worker with per-worker epoch acks.
+                return 200, await applier(body)
             batch = delta_batch_from_spec(body)
+        except (DeltaError, DuplicateSetError) as exc:
+            raise _HTTPError(400, "bad-delta", str(exc)) from None
         except (ValueError, TypeError) as exc:
             raise _HTTPError(400, "bad-delta", str(exc)) from None
         try:
@@ -702,13 +774,20 @@ class DiscoveryApp:
             "applied": bool(batch),
         }
 
-    def _health(self) -> dict:
+    async def _health(self) -> dict:
+        reporter = getattr(self.service, "health_info", None)
+        if reporter is not None:
+            base = await reporter()
+        else:
+            base = {
+                "active_sessions": self.service.n_active,
+                "finished_sessions": len(self.service.registry.results),
+                "epoch": self.service.collection.epoch,
+            }
         return {
             "status": "draining" if self._draining else "ok",
-            "active_sessions": self.service.n_active,
-            "finished_sessions": len(self.service.registry.results),
+            **base,
             "tracked_sessions": len(self._sessions),
-            "epoch": self.service.collection.epoch,
             **self.collection_info,
         }
 
@@ -732,6 +811,12 @@ class DiscoveryApp:
             await self._websocket_session(receive, send)
         except ServiceClosed:
             await self._ws_close(send, 1013)
+        except WorkerLost as exc:
+            # The owning engine worker died mid-session (cluster only):
+            # tell the client plainly, then close with "internal error" —
+            # re-attaching cannot help, only a fresh session can.
+            await self._ws_error(send, "worker_lost", str(exc))
+            await self._ws_close(send, 1011)
         except asyncio.CancelledError:  # pragma: no cover - host teardown
             raise
         finally:
@@ -765,7 +850,7 @@ class DiscoveryApp:
         kind = request.get("type")
         if kind == "create":
             try:
-                handle = self._spawn_session(request)
+                handle, info = await self._spawn_session(request)
             except ServiceOverloaded as exc:
                 # The WS flavour of the HTTP 429: tell the client it is
                 # load, not protocol, and close with "try again later".
@@ -777,14 +862,13 @@ class DiscoveryApp:
                 await self._ws_error(send, exc.code, exc.message)
                 await self._ws_close(send, 1013 if exc.status == 503 else 1008)
                 return
-            state = self.service.registry.state(handle.key)
             await self._ws_json(
                 send,
                 {
                     "type": "created",
                     "session": str(handle.key),
                     "token": handle.token,
-                    "epoch": state.session.collection.epoch,
+                    "epoch": info["epoch"],
                 },
             )
         elif kind == "attach":
@@ -820,9 +904,13 @@ class DiscoveryApp:
                 entity = await self.service.ask(key)
                 if entity is None:
                     result = await self.service.result(key)
+                    if not isinstance(result, dict):
+                        # In-process: render the DiscoveryResult; cluster
+                        # workers already shipped the payload as a dict.
+                        result = result_payload(key, result)
                     await self._ws_json(
                         send,
-                        {"type": "result", **result_payload(key, result)},
+                        {"type": "result", **result},
                     )
                     await self._ws_close(send, 1000)
                     return
@@ -860,7 +948,9 @@ class DiscoveryApp:
                 value = answer.get("value")
                 if value is not None and not isinstance(value, bool):
                     raise ValueError("'value' must be true, false or null")
-                self.service.answer(key, value)
+                recorded = self.service.answer(key, value)
+                if recorded is not None:
+                    await recorded  # cluster: validated on the worker
             except (json.JSONDecodeError, TypeError, AttributeError):
                 await self._ws_error(send, "bad-json", "reply was not JSON")
                 await self._ws_close(send, 1008)

@@ -31,7 +31,12 @@ import time
 from collections import deque
 from typing import Callable, Iterable
 
-__all__ = ["LatencyReservoir", "ServiceMetrics", "quantile_sorted"]
+__all__ = [
+    "ClusterMetrics",
+    "LatencyReservoir",
+    "ServiceMetrics",
+    "quantile_sorted",
+]
 
 
 def quantile_sorted(sorted_values: "list[float]", q: float) -> float:
@@ -324,6 +329,264 @@ class ServiceMetrics:
             "# TYPE repro_flush_seconds_total counter",
             f"repro_flush_seconds_total {stats.seconds:.9f}",
         ]
+        if self.http_requests:
+            lines += [
+                "# HELP repro_http_requests_total HTTP requests by route "
+                "template and status.",
+                "# TYPE repro_http_requests_total counter",
+            ]
+            for (route, status), count in sorted(self.http_requests.items()):
+                lines.append(
+                    f'repro_http_requests_total{{route="{route}",'
+                    f'status="{status}"}} {count}'
+                )
+        return "\n".join(lines) + "\n"
+
+
+class ClusterMetrics:
+    """Edge-side metrics for the multi-worker topology
+    (:class:`~repro.serve.cluster.ClusterService`).
+
+    Exposes the same recording surface the HTTP edge expects from
+    :class:`ServiceMetrics` (``observe_http``/``observe_rejection``,
+    ``ws_sessions``, ``sessions_expired``) plus the async renderer
+    :meth:`arender_prometheus`, which fans out to every live worker for a
+    snapshot and merges.
+
+    Aggregation rules keep the exported families *exact* under worker
+    restarts (a restarted worker's counters reset to zero, so naive sums
+    would go backwards):
+
+    * lifetime counters users observe — sessions ``finished``,
+      ``deltas_applied``, backpressure sheds, expirations — are edge-side
+      counters that survive any worker's death;
+    * work gauges (queue depth, session phases, pinned epochs) are summed
+      across live workers — a dead worker's sessions really are gone;
+    * scheduler work counters (flushes, scans, selections) are summed and
+      documented as best-effort across restarts;
+    * per-worker drill-down rides in new single-label families
+      (``repro_worker_up``, ``repro_worker_epoch``, ...) rather than a
+      second label on existing ones, so existing scrape tooling keeps
+      parsing the aggregate series unchanged.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        *,
+        window: int = 4096,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._cluster = cluster
+        self._clock = clock
+        #: end-to-end ask latency as the edge sees it (RPC included) —
+        #: the user-observed figure, unlike per-worker service latency
+        self.ask_latency = LatencyReservoir(window=window)
+        self.ws_sessions = 0
+        self.sessions_expired = 0
+        self.http_requests: dict[tuple[str, int], int] = {}
+        self.backpressure_rejections: dict[str, int] = {
+            "sessions": 0,
+            "asks": 0,
+            "ws-busy": 0,
+        }
+        #: sessions whose result the edge delivered (counted once per
+        #: session, at first result fetch) — survives restarts
+        self.sessions_finished = 0
+        #: admin deltas accepted by the edge (each one reaches every
+        #: worker, so a cross-worker sum would over-count by N)
+        self.deltas_applied = 0
+        self._started_at = clock()
+
+    # Recording (same surface as ServiceMetrics) ----------------------- #
+
+    def observe_ask(self, seconds: float) -> None:
+        self.ask_latency.observe(seconds)
+
+    def observe_http(self, route: str, status: int) -> None:
+        key = (route, status)
+        self.http_requests[key] = self.http_requests.get(key, 0) + 1
+
+    def observe_rejection(self, kind: str) -> None:
+        self.backpressure_rejections[kind] = (
+            self.backpressure_rejections.get(kind, 0) + 1
+        )
+
+    # Export ----------------------------------------------------------- #
+
+    async def arender_prometheus(self) -> str:
+        """Prometheus text exposition, aggregated across the cluster."""
+        snapshots = await self._cluster.worker_metrics()
+        live = [s for s in snapshots if s is not None]
+
+        def total(key: str) -> float:
+            return sum(s.get(key, 0) for s in live)
+
+        def stat_total(key: str) -> float:
+            return sum(s.get("stats", {}).get(key, 0) for s in live)
+
+        sessions = {"needs-scan": 0, "question-pending": 0}
+        epoch_sessions: dict[int, int] = {
+            self._cluster.collection.epoch: 0
+        }
+        watermarks: dict[str, int] = {}
+        for snap in live:
+            for phase, count in snap.get("sessions", {}).items():
+                if phase != "finished":
+                    sessions[phase] = sessions.get(phase, 0) + count
+            for epoch, count in snap.get("live_epochs", {}).items():
+                epoch = int(epoch)
+                epoch_sessions[epoch] = epoch_sessions.get(epoch, 0) + count
+            for queue, mark in snap.get("queue_high_watermark", {}).items():
+                watermarks[queue] = max(watermarks.get(queue, 0), mark)
+        sessions["finished"] = self.sessions_finished
+        flushes = total("flushes")
+        flushed_requests = stat_total("flushed_requests")
+        occupancy = flushed_requests / flushes if flushes else 0.0
+
+        quantiles = self.ask_latency.quantiles(SLO_QUANTILES)
+        lines = [
+            "# HELP repro_ask_latency_seconds Time from ask() to question "
+            "delivery, sliding window.",
+            "# TYPE repro_ask_latency_seconds summary",
+        ]
+        for q in SLO_QUANTILES:
+            lines.append(
+                f'repro_ask_latency_seconds{{quantile="{q}"}} '
+                f"{quantiles[q]:.9f}"
+            )
+        lines += [
+            f"repro_ask_latency_seconds_sum "
+            f"{self.ask_latency.total_seconds:.9f}",
+            f"repro_ask_latency_seconds_count {self.ask_latency.count}",
+            "# HELP repro_queue_depth Scan requests awaiting the next "
+            "batched flush.",
+            "# TYPE repro_queue_depth gauge",
+            f"repro_queue_depth {int(total('queue_depth'))}",
+            "# HELP repro_flush_occupancy Mean scan requests served per "
+            "flush.",
+            "# TYPE repro_flush_occupancy gauge",
+            f"repro_flush_occupancy {occupancy:.6f}",
+            "# HELP repro_sessions Sessions by serving phase (finished is "
+            "a lifetime count).",
+            "# TYPE repro_sessions gauge",
+        ]
+        for phase, count in sorted(sessions.items()):
+            lines.append(f'repro_sessions{{phase="{phase}"}} {count}')
+        lines += [
+            "# HELP repro_collection_epoch Epoch new sessions spawn on "
+            "(bumped by each applied delta batch).",
+            "# TYPE repro_collection_epoch gauge",
+            f"repro_collection_epoch {self._cluster.collection.epoch}",
+            "# HELP repro_epoch_sessions Active sessions pinned to each "
+            "still-referenced collection epoch.",
+            "# TYPE repro_epoch_sessions gauge",
+        ]
+        for epoch, count in sorted(epoch_sessions.items()):
+            lines.append(f'repro_epoch_sessions{{epoch="{epoch}"}} {count}')
+        lines += [
+            "# HELP repro_deltas_applied_total Delta batches applied to "
+            "the served collection.",
+            "# TYPE repro_deltas_applied_total counter",
+            f"repro_deltas_applied_total {self.deltas_applied}",
+            "# HELP repro_sessions_expired_total Sessions reaped by the "
+            "HTTP edge's idle TTL sweep.",
+            "# TYPE repro_sessions_expired_total counter",
+            f"repro_sessions_expired_total {self.sessions_expired}",
+            "# HELP repro_backpressure_rejections_total Requests shed to "
+            "keep queues bounded, by kind.",
+            "# TYPE repro_backpressure_rejections_total counter",
+        ]
+        for kind, count in sorted(self.backpressure_rejections.items()):
+            lines.append(
+                f'repro_backpressure_rejections_total{{kind="{kind}"}} '
+                f"{count}"
+            )
+        lines += [
+            "# HELP repro_queue_high_watermark Deepest each request queue "
+            "has ever run.",
+            "# TYPE repro_queue_high_watermark gauge",
+        ]
+        for queue, mark in sorted(watermarks.items() or {"scheduler": 0}.items()):
+            lines.append(
+                f'repro_queue_high_watermark{{queue="{queue}"}} {mark}'
+            )
+        lines += [
+            "# HELP repro_websocket_sessions Live push-style websocket "
+            "sessions.",
+            "# TYPE repro_websocket_sessions gauge",
+            f"repro_websocket_sessions {self.ws_sessions}",
+            "# HELP repro_flushes_total Scheduling rounds executed "
+            "(summed across workers; best-effort across restarts).",
+            "# TYPE repro_flushes_total counter",
+            f"repro_flushes_total {int(flushes)}",
+            "# HELP repro_flushed_requests_total Scan requests served by "
+            "those rounds.",
+            "# TYPE repro_flushed_requests_total counter",
+            f"repro_flushed_requests_total {int(flushed_requests)}",
+            "# HELP repro_stacked_scans_total Stacked kernel passes issued.",
+            "# TYPE repro_stacked_scans_total counter",
+            f"repro_stacked_scans_total {int(total('stacked_scans'))}",
+            "# HELP repro_scanned_masks_total Distinct sub-collection masks "
+            "scanned.",
+            "# TYPE repro_scanned_masks_total counter",
+            f"repro_scanned_masks_total {int(stat_total('scanned_masks'))}",
+            "# HELP repro_scan_cache_hits_total Scans answered from the "
+            "stats cache.",
+            "# TYPE repro_scan_cache_hits_total counter",
+            f"repro_scan_cache_hits_total {int(total('scan_cache_hits'))}",
+            "# HELP repro_selections_total Questions selected.",
+            "# TYPE repro_selections_total counter",
+            f"repro_selections_total {int(stat_total('selections'))}",
+            "# HELP repro_flush_seconds_total Wall-clock seconds inside "
+            "flush rounds.",
+            "# TYPE repro_flush_seconds_total counter",
+            f"repro_flush_seconds_total {stat_total('flush_seconds'):.9f}",
+            "# HELP repro_cluster_workers Engine worker processes "
+            "configured for this edge.",
+            "# TYPE repro_cluster_workers gauge",
+            f"repro_cluster_workers {self._cluster.n_workers}",
+            "# HELP repro_worker_up Whether each engine worker is serving.",
+            "# TYPE repro_worker_up gauge",
+        ]
+        handles = self._cluster.workers
+        for handle, snap in zip(handles, snapshots):
+            lines.append(
+                f'repro_worker_up{{worker="{handle.index}"}} '
+                f"{1 if snap is not None else 0}"
+            )
+        lines += [
+            "# HELP repro_worker_epoch Collection epoch each live worker "
+            "replica serves (the replica-divergence signal).",
+            "# TYPE repro_worker_epoch gauge",
+        ]
+        for handle, snap in zip(handles, snapshots):
+            if snap is not None:
+                lines.append(
+                    f'repro_worker_epoch{{worker="{handle.index}"}} '
+                    f"{snap.get('collection_epoch', 0)}"
+                )
+        lines += [
+            "# HELP repro_worker_sessions_active Active sessions owned by "
+            "each live worker.",
+            "# TYPE repro_worker_sessions_active gauge",
+        ]
+        for handle, snap in zip(handles, snapshots):
+            if snap is not None:
+                lines.append(
+                    f'repro_worker_sessions_active'
+                    f'{{worker="{handle.index}"}} {snap.get("active", 0)}'
+                )
+        lines += [
+            "# HELP repro_worker_restarts_total Times each worker was "
+            "restarted after dying.",
+            "# TYPE repro_worker_restarts_total counter",
+        ]
+        for handle in handles:
+            lines.append(
+                f'repro_worker_restarts_total{{worker="{handle.index}"}} '
+                f"{handle.restarts}"
+            )
         if self.http_requests:
             lines += [
                 "# HELP repro_http_requests_total HTTP requests by route "

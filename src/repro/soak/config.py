@@ -19,11 +19,26 @@ from ..data.synthetic import SyntheticConfig, generate_collection
 #: process; ``stall`` needs to reach inside the scheduler, which only the
 #: in-process mode can.
 FAULTS_BY_MODE = {
-    "server": ("restart", "storm", "delta", "drop", "overload"),
+    "server": (
+        "restart",
+        "storm",
+        "delta",
+        "drop",
+        "overload",
+        "worker-kill",
+    ),
     "inprocess": ("stall", "storm", "delta", "drop", "overload"),
 }
 
-ALL_FAULTS = ("restart", "stall", "storm", "delta", "drop", "overload")
+ALL_FAULTS = (
+    "restart",
+    "stall",
+    "storm",
+    "delta",
+    "drop",
+    "overload",
+    "worker-kill",
+)
 
 
 @dataclass(frozen=True)
@@ -41,6 +56,7 @@ class SoakConfig:
     mode: str = "server"  # "server" | "inprocess"
     faults: tuple[str, ...] = ("storm", "delta")
     users: int = 24
+    workers: int = 0  # engine worker processes (0 = in-process engine)
 
     # collection shape (mirrors `python -m repro serve` so the harness
     # can rebuild the server's exact collection client-side)
@@ -88,6 +104,15 @@ class SoakConfig:
             raise ValueError("duration_s must be positive")
         if self.users < 1:
             raise ValueError("users must be >= 1")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if "worker-kill" in self.faults and self.workers < 2:
+            raise ValueError(
+                "the worker-kill fault needs --workers >= 2 (a surviving "
+                "sibling is what the isolation invariant checks)"
+            )
+        if self.workers and self.mode != "server":
+            raise ValueError("workers > 0 requires mode='server'")
 
     def with_overload_defaults(self) -> "SoakConfig":
         """Fill in a session cap when the overload fault needs one."""
@@ -116,6 +141,7 @@ class SoakConfig:
             "mode": self.mode,
             "faults": list(self.faults),
             "users": self.users,
+            "workers": self.workers,
             "n_sets": self.n_sets,
             "size_lo": self.size_lo,
             "size_hi": self.size_hi,

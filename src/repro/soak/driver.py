@@ -46,6 +46,7 @@ from ..serve.client import (
     HttpSessionClient,
     ServerBusy,
     SessionExpiredError,
+    WorkerLostError,
     WsSessionClient,
 )
 from ..serve.http import delta_batch_from_spec
@@ -79,13 +80,15 @@ class Counters:
     sessions_started: int = 0
     sessions_completed: int = 0
     sessions_abandoned: int = 0
-    sessions_killed: int = 0  # by a restart fault; user retried
+    sessions_killed: int = 0  # by a restart/worker-kill fault; user retried
     sessions_expired_seen: int = 0  # 404 session_expired observed
     questions: int = 0
     drops: int = 0
     reattaches: int = 0
     storms: int = 0
     restarts: int = 0
+    worker_kills: int = 0
+    worker_restarts_seen: int = 0
     stalls: int = 0
     deltas: int = 0
     busy_total: int = 0
@@ -149,6 +152,8 @@ def _server_command(cfg: SoakConfig) -> list[str]:
         "--drain-grace-s",
         "10",
     ]
+    if cfg.workers:
+        command += ["--workers", str(cfg.workers)]
     if cfg.max_sessions is not None:
         command += ["--max-sessions", str(cfg.max_sessions)]
     if cfg.max_queued is not None:
@@ -330,7 +335,7 @@ class ServerSoak:
                 else:
                     await self._http_session(script, attempt)
                 return
-            except _ServerGone:
+            except (_ServerGone, WorkerLostError):
                 self.counters.sessions_killed += 1
                 continue
             except (ServerBusy, SessionExpiredError):
@@ -609,6 +614,8 @@ class ServerSoak:
                 await self._do_delta(event)
             elif event.kind == "overload":
                 await self._do_overload(event)
+            elif event.kind == "worker-kill":
+                await self._do_worker_kill(event)
 
     async def _do_restart(self) -> None:
         self.counters.restarts += 1
@@ -658,6 +665,79 @@ class ServerSoak:
         self.truth.deltas_applied += 1
         self.truth.replica_epoch = len(self.replicas) - 1
         self.archive[(self.life, self.truth.replica_epoch)] = self.replicas[-1]
+
+    async def _do_worker_kill(self, event: FaultEvent) -> None:
+        """SIGKILL one engine worker; prove recovery and sibling isolation.
+
+        The victim's pid comes from ``/healthz`` (the cluster publishes
+        per-worker pids for exactly this).  Afterwards the harness waits
+        for the supervisor to restart the worker — a bumped ``restarts``
+        with ``up`` true — and checks no *sibling* worker restarted or
+        went down in sympathy.
+        """
+        health = await self._healthz()
+        workers = health.get("workers") or []
+        if len(workers) < 2:
+            self.checker.add(
+                "worker_kill",
+                f"worker-kill fault scheduled but /healthz reports "
+                f"{len(workers)} workers",
+            )
+            return
+        victim = workers[event.size % len(workers)]
+        before = {w["worker"]: w["restarts"] for w in workers}
+        self.log(
+            f"worker-kill: SIGKILL worker {victim['worker']} "
+            f"(pid {victim['pid']})"
+        )
+        try:
+            os.kill(victim["pid"], signal.SIGKILL)
+        except (OSError, ProcessLookupError) as exc:
+            self.checker.add(
+                "worker_kill",
+                f"could not SIGKILL worker {victim['worker']} "
+                f"pid {victim['pid']}: {exc}",
+            )
+            return
+        self.counters.worker_kills += 1
+        deadline = time.monotonic() + 30.0
+        revived = False
+        while time.monotonic() < deadline:
+            await asyncio.sleep(0.25)
+            if self.restarting or not self.ready.is_set():
+                return  # a server restart superseded this check
+            with contextlib.suppress(Exception):
+                health = await self._healthz()
+                now = {
+                    w["worker"]: w for w in health.get("workers") or []
+                }
+                mine = now.get(victim["worker"])
+                if (
+                    mine is not None
+                    and mine["up"]
+                    and mine["restarts"] > before[victim["worker"]]
+                ):
+                    revived = True
+                    break
+        if not revived:
+            self.checker.add(
+                "worker_restart",
+                f"worker {victim['worker']} not restarted within 30s "
+                "of SIGKILL",
+            )
+            return
+        self.counters.worker_restarts_seen += 1
+        for w in health.get("workers") or []:
+            if w["worker"] == victim["worker"]:
+                continue
+            if not w["up"] or w["restarts"] != before.get(w["worker"]):
+                self.checker.add(
+                    "worker_isolation",
+                    f"sibling worker {w['worker']} disturbed by the kill "
+                    f"of worker {victim['worker']}: up={w['up']} "
+                    f"restarts={w['restarts']} "
+                    f"(was {before.get(w['worker'])})",
+                )
 
     async def _do_overload(self, event: FaultEvent) -> None:
         """A synchronized stampede that must bounce off backpressure."""
@@ -733,6 +813,17 @@ class ServerSoak:
                     text = await self._scrape()
                     _, live = snapshot_from_prometheus(text)
                     self.checker.check_epochs(live, quiesced=False)
+                    if self.cfg.workers:
+                        parsed = parse_prometheus(text)
+                        self.checker.check_worker_epochs(
+                            parsed["labeled"].get("repro_worker_epoch", {}),
+                            int(
+                                parsed["scalar"].get(
+                                    "repro_collection_epoch", 0
+                                )
+                            ),
+                            quiesced=False,
+                        )
 
     async def _scrape(self) -> str:
         assert self.server is not None
@@ -749,21 +840,39 @@ class ServerSoak:
     # ------------------------------- run ------------------------------- #
 
     async def _quiesce(self) -> None:
-        """Wait for every session to finish or be TTL-reaped."""
+        """Wait for every session to finish or be TTL-reaped.
+
+        With ``--workers N`` this also waits for any in-flight worker
+        restart to complete — the quiesced invariants (one live epoch,
+        every replica at the edge epoch) are only meaningful against a
+        fully-up cluster.
+        """
         deadline = time.monotonic() + self.cfg.quiesce_timeout_s + self.cfg.session_ttl_s
         active = -1
+        workers_down: list = []
         while time.monotonic() < deadline:
             health = await self._healthz()
             active = health["active_sessions"]
-            if active == 0:
+            workers_down = [
+                w["worker"]
+                for w in health.get("workers") or []
+                if not w["up"]
+            ]
+            if active == 0 and not workers_down:
                 return
             await asyncio.sleep(0.3)
-        self.checker.add(
-            "stuck_session",
-            f"{active} sessions still active "
-            f"{self.cfg.quiesce_timeout_s:.0f}s after the last user left "
-            f"(TTL {self.cfg.session_ttl_s}s) — the sweep cannot reap them",
-        )
+        if active:
+            self.checker.add(
+                "stuck_session",
+                f"{active} sessions still active "
+                f"{self.cfg.quiesce_timeout_s:.0f}s after the last user left "
+                f"(TTL {self.cfg.session_ttl_s}s) — the sweep cannot reap them",
+            )
+        if workers_down:
+            self.checker.add(
+                "worker_restart",
+                f"workers {workers_down} still down after quiesce",
+            )
 
     async def _run(self) -> None:
         population = build_population(self.cfg)
@@ -794,6 +903,13 @@ class ServerSoak:
         snapshot, live = snapshot_from_prometheus(text)
         self.checker.check_metrics(snapshot, self.truth)
         self.checker.check_epochs(live, quiesced=True)
+        if self.cfg.workers:
+            parsed = parse_prometheus(text)
+            self.checker.check_worker_epochs(
+                parsed["labeled"].get("repro_worker_epoch", {}),
+                int(parsed["scalar"].get("repro_collection_epoch", 0)),
+                quiesced=True,
+            )
         if self.rss is not None:
             self.rss.sample()
         code = await self._stop_life(graceful=True)

@@ -29,6 +29,12 @@ Fault kinds:
 ``overload``
     A synchronized stampede of session creations sized to overrun
     ``max_sessions``; the harness requires at least one 429 back.
+``worker-kill``
+    SIGKILL one engine worker child of a ``--workers N`` cluster (the
+    pid comes from ``GET /healthz`` at execution time).  Sessions on
+    the dead worker answer 503 ``worker_lost``; their users re-join.
+    The harness then waits for the supervisor to restart the worker and
+    checks siblings kept serving throughout (server mode, workers >= 2).
 """
 
 from __future__ import annotations
@@ -101,6 +107,23 @@ def build_fault_plan(cfg: SoakConfig) -> list[FaultEvent]:
                 FaultEvent(
                     at=dur * 0.15 + i * 3.0 + rng.uniform(0.0, 0.5),
                     kind="delta",
+                    index=i,
+                )
+            )
+
+    if "worker-kill" in cfg.faults:
+        # like restart, but cheaper to recover from: one kill per ~20s,
+        # clear of the first/final fifth so the final life can quiesce.
+        # ``size`` carries the victim's worker index (round-robin so
+        # repeated kills exercise different shards).
+        n = max(1, int(dur / 20))
+        for i in range(n):
+            frac = 0.2 + 0.6 * (i + 1) / (n + 1)
+            events.append(
+                FaultEvent(
+                    at=dur * frac + rng.uniform(-0.2, 0.2),
+                    kind="worker-kill",
+                    size=i % cfg.workers,
                     index=i,
                 )
             )

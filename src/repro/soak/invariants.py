@@ -20,6 +20,10 @@ five proofs and their bookkeeping:
 5. **Bounded memory** — the serving process's RSS growth slope, least
    squares over post-warmup samples, stays under a ceiling
    (:class:`RssSampler`).
+6. **Replica convergence** — with ``--workers N``, live worker replicas
+   never sit more than one in-flight delta apart, and all match the
+   edge replica's epoch once the run quiesces
+   (:meth:`InvariantChecker.check_worker_epochs`).
 """
 
 from __future__ import annotations
@@ -265,6 +269,39 @@ class InvariantChecker:
             self.add(
                 "epoch_gc",
                 f"{live} live epochs mid-run (cap {self.epoch_cap})",
+            )
+
+    def check_worker_epochs(
+        self, worker_epochs: dict, edge_epoch: int, *, quiesced: bool
+    ) -> None:
+        """Replica divergence across a ``--workers N`` cluster.
+
+        ``worker_epochs`` maps worker index (as scraped, label string) to
+        the epoch its replica serves; dead workers are absent.  Mid-run,
+        live replicas may straddle at most the one delta currently being
+        fanned out; once quiesced every worker must sit exactly at the
+        edge replica's epoch.
+        """
+        if not worker_epochs:
+            return
+        epochs = [int(e) for e in worker_epochs.values()]
+        if quiesced:
+            stragglers = {
+                w: int(e)
+                for w, e in worker_epochs.items()
+                if int(e) != edge_epoch
+            }
+            if stragglers:
+                self.add(
+                    "replica_divergence",
+                    f"after quiesce workers {stragglers} disagree with "
+                    f"edge epoch {edge_epoch}",
+                )
+        elif max(epochs) - min(epochs) > 1:
+            self.add(
+                "replica_divergence",
+                f"worker replicas span epochs {sorted(set(epochs))} "
+                "mid-run (more than one in-flight delta apart)",
             )
 
     # ------------------------------------------------------------------ #
