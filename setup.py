@@ -8,12 +8,31 @@ install — so environments without a toolchain degrade to the
 numpy/bigint backends (the kernel layer warns once and falls back at
 import time).  Set ``REPRO_BUILD_NATIVE=0`` to skip the compile attempt
 outright — CI uses this to prove the fallback path.
+
+SIMD tiers: the AVX2 and AVX-512 popcount sweeps live in their own
+translation units compiled with per-file ``-mavx2`` /
+``-mavx512f -mavx512vpopcntdq`` flags (``simd_build_ext`` below), while
+the rest of the extension keeps the portable baseline.  The binary stays
+runnable on any x86-64: tier selection happens at import via CPUID, so
+the vector code only executes on CPUs that report the feature.  On
+non-x86 targets the per-file flags are skipped and the tier units
+compile to empty stubs (their ``__AVX2__``/``__AVX512__`` guards are
+false), leaving the scalar path only.
 """
 
 import os
 import platform
 
 from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+_IS_X86_64 = platform.machine().lower() in ("x86_64", "amd64")
+
+# Per-source -m flags (gcc/clang only; MSVC builds stay scalar-only).
+_PER_FILE_FLAGS = {
+    "_simd_avx2.c": ["-mavx2"],
+    "_simd_avx512.c": ["-mavx512f", "-mavx512vpopcntdq"],
+}
 
 
 def compile_args():
@@ -26,9 +45,30 @@ def compile_args():
     # (2008), so the flag is safe there; 32-bit x86 is left on the
     # software fallback (a Pentium M would SIGILL on the instruction),
     # and non-x86 targets (aarch64's cnt/addv) need no flag.
-    if platform.machine().lower() in ("x86_64", "amd64"):
+    if _IS_X86_64:
         args.append("-mpopcnt")
     return args
+
+
+class simd_build_ext(build_ext):
+    """build_ext that adds per-source SIMD flags via the unixccompiler
+    ``_compile`` hook.  MSVC's compiler class has no ``_compile`` — there
+    the hook is skipped and every unit builds with the base flags, which
+    leaves the SIMD units as stubs (scalar-only build, still correct)."""
+
+    def build_extensions(self):
+        if _IS_X86_64 and hasattr(self.compiler, "_compile"):
+            original = self.compiler._compile
+
+            def patched(obj, src, ext, cc_args, extra_postargs, pp_opts):
+                extra = _PER_FILE_FLAGS.get(os.path.basename(src))
+                if extra:
+                    extra_postargs = list(extra_postargs) + extra
+                return original(obj, src, ext, cc_args, extra_postargs,
+                                pp_opts)
+
+            self.compiler._compile = patched
+        super().build_extensions()
 
 
 def native_extensions():
@@ -37,11 +77,18 @@ def native_extensions():
     return [
         Extension(
             "repro.core.kernels._native._nativeext",
-            sources=["src/repro/core/kernels/_native/_nativeext.c"],
+            sources=[
+                "src/repro/core/kernels/_native/_nativeext.c",
+                "src/repro/core/kernels/_native/_simd_avx2.c",
+                "src/repro/core/kernels/_native/_simd_avx512.c",
+            ],
             extra_compile_args=compile_args(),
             optional=True,
         )
     ]
 
 
-setup(ext_modules=native_extensions())
+setup(
+    ext_modules=native_extensions(),
+    cmdclass={"build_ext": simd_build_ext},
+)

@@ -18,9 +18,13 @@ with two interchangeable backends:
 * ``native`` (:mod:`~repro.core.kernels.native_backend`) — the same
   bit-matrix driven by a compiled C extension
   (:mod:`~repro.core.kernels._native`): fused AND+popcount+filter sweeps
-  that allocate nothing and release the GIL.  Optional: built by
-  ``setup.py`` when a compiler is present, degrading to numpy with a
-  one-time :class:`NativeFallbackWarning` otherwise.
+  that allocate nothing and release the GIL.  The sweeps are
+  SIMD-dispatched at import (``scalar``/``avx2``/``avx512`` by CPUID;
+  pin a tier with ``REPRO_SIMD``, see
+  :func:`apply_simd_override`) and can fan one scan across an internal
+  pthread pool (the sharded layer's ``"native"`` executor).  Optional:
+  built by ``setup.py`` when a compiler is present, degrading to numpy
+  with a one-time :class:`NativeFallbackWarning` otherwise.
 
 Either backend can additionally be **sharded**
 (:mod:`~repro.core.kernels.sharded`): the set axis is partitioned into
@@ -50,6 +54,11 @@ import os
 import warnings
 
 from . import native_backend
+from ._native import (
+    SIMD_ENV_VAR,
+    SimdFallbackWarning,
+    apply_simd_override,
+)
 from .base import EntityStatsKernel, KernelDelta
 from .bigint import BigIntKernel
 from .native_backend import HAS_NATIVE, NativeKernel
@@ -60,7 +69,11 @@ from .scoring import (
     select_best_many,
     sort_most_even,
 )
-from .sharded import SHARD_EXECUTOR_ENV_VAR, ShardedKernel
+from .sharded import (
+    SHARD_EXECUTOR_ENV_VAR,
+    ShardedKernel,
+    ShardExecutorFallbackWarning,
+)
 from .tuning import (
     DEFAULT_AUTO_MIN_CELLS,
     TUNING_ENV_VAR,
@@ -276,8 +289,12 @@ __all__ = [
     "NativeKernel",
     "NumpyKernel",
     "SHARD_EXECUTOR_ENV_VAR",
+    "SIMD_ENV_VAR",
+    "ShardExecutorFallbackWarning",
     "ShardedKernel",
+    "SimdFallbackWarning",
     "TUNING_ENV_VAR",
+    "apply_simd_override",
     "available_backends",
     "delta_kernel",
     "filter_excluded",

@@ -8,12 +8,24 @@ gating in :mod:`repro.core.kernels` turns that absence into a one-time
 fallback warning; nothing else in the package may import ``_nativeext``
 directly.
 
+SIMD dispatch: the extension selects the widest CPU-supported popcount
+tier at import (``scalar`` < ``avx2`` < ``avx512``, see
+``_nativeext.simd_level()``).  Setting ``REPRO_SIMD`` pins a tier for
+this process — ``REPRO_SIMD=scalar`` proves the portable path, the
+others pin a vector tier for A/B benchmarking.  Requesting a tier the
+build or CPU lacks degrades to the auto-selected one with a one-time
+:class:`SimdFallbackWarning` (results are identical on every tier; only
+throughput differs).
+
 Build it in a source checkout with::
 
     python setup.py build_ext --inplace
 """
 
 from __future__ import annotations
+
+import os
+import warnings
 
 try:
     from . import _nativeext as ext
@@ -23,4 +35,67 @@ except ImportError:  # pragma: no cover - depends on the build environment
 #: Whether the compiled extension imported in this environment.
 HAS_NATIVE_EXT = ext is not None
 
-__all__ = ["HAS_NATIVE_EXT", "ext"]
+#: Environment variable pinning the SIMD tier (``scalar|avx2|avx512``).
+SIMD_ENV_VAR = "REPRO_SIMD"
+
+
+class SimdFallbackWarning(RuntimeWarning):
+    """Emitted once when ``$REPRO_SIMD`` names an unavailable tier.
+
+    A pinned tier can be missing for two reasons: the translation unit
+    was not compiled in (non-x86 target, toolchain without the ``-m``
+    flags) or the running CPU does not report the feature.  Either way
+    the process keeps the auto-selected tier — every tier computes the
+    same exact integer popcounts, so this is a throughput downgrade,
+    never a correctness change — and the warning fires exactly once so
+    logs stay readable under multi-collection serving.
+    """
+
+
+_simd_fallback_warned = False
+
+
+def _warn_simd_fallback(requested: str, active: str) -> None:
+    global _simd_fallback_warned
+    if _simd_fallback_warned:
+        return
+    _simd_fallback_warned = True
+    warnings.warn(
+        f"${SIMD_ENV_VAR}={requested!r} names a SIMD tier this build/CPU "
+        f"does not support; keeping the auto-selected {active!r} tier "
+        "(results are identical on every tier).",
+        SimdFallbackWarning,
+        stacklevel=3,
+    )
+
+
+def apply_simd_override(level: str | None) -> str | None:
+    """Apply a ``REPRO_SIMD`` value; returns the active tier name.
+
+    ``None``/empty leaves the import-time selection in place.  Unknown or
+    unavailable tiers warn once (:class:`SimdFallbackWarning`) and keep
+    the current tier.  No-op (returns ``None``) when the extension is
+    absent.
+    """
+    if ext is None:
+        return None
+    level = (level or "").strip().lower()
+    if not level:
+        return ext.simd_level()
+    try:
+        return ext.set_simd_level(level)
+    except ValueError:
+        _warn_simd_fallback(level, ext.simd_level())
+        return ext.simd_level()
+
+
+if HAS_NATIVE_EXT and os.environ.get(SIMD_ENV_VAR):
+    apply_simd_override(os.environ[SIMD_ENV_VAR])
+
+__all__ = [
+    "HAS_NATIVE_EXT",
+    "SIMD_ENV_VAR",
+    "SimdFallbackWarning",
+    "apply_simd_override",
+    "ext",
+]

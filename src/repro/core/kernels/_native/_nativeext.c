@@ -10,6 +10,21 @@
  * with single fused C passes that allocate nothing and release the GIL —
  * which is what lets the sharded kernel's thread pool scale on columns.
  *
+ * The dense word sweeps are runtime-dispatched across up to three SIMD
+ * tiers (scalar popcnt, AVX2 vpshufb-lookup, AVX-512 vpopcntq) compiled
+ * in separate translation units (_simd_avx2.c / _simd_avx512.c, per-file
+ * -m flags in setup.py).  The best CPU-supported tier is selected once at
+ * import via CPUID (__builtin_cpu_supports); simd_level() /
+ * set_simd_level() expose and override the choice, and the Python loader
+ * honors REPRO_SIMD=scalar|avx2|avx512.  Every tier computes exact
+ * integer popcounts, so results are byte-identical across tiers.
+ *
+ * scan_informative_threaded() additionally partitions the set-axis
+ * columns (words) of a stacked scan across an internal pthread pool
+ * inside one GIL-releasing call: each worker popcounts its word band
+ * into per-band partial counts and the caller merges and filters in C —
+ * no Python futures, no per-shard GIL round-trips.
+ *
  * All arguments are plain buffer-protocol objects (numpy arrays, bytes,
  * memoryviews): no numpy C API, no compile-time dependency beyond the
  * CPython headers.  Buffers must be C-contiguous; lengths are validated
@@ -26,7 +41,15 @@
 #include <Python.h>
 
 #include <stdint.h>
+#include <stdlib.h>
 #include <string.h>
+
+#include "_simd.h"
+
+#if !defined(_WIN32)
+#define REPRO_HAVE_PTHREADS 1
+#include <pthread.h>
+#endif
 
 #if defined(__GNUC__) || defined(__clang__)
 #define POPCOUNT64(x) ((int64_t)__builtin_popcountll(x))
@@ -80,25 +103,12 @@ check_len(Py_ssize_t got, Py_ssize_t want, const char *name)
 }
 
 /* ------------------------------------------------------------------ */
-/* Core loops (GIL released by the callers)                           */
+/* Scalar tier + SIMD dispatch                                        */
 /* ------------------------------------------------------------------ */
 
-/* Nonzero-word indices of one mask; sparse session masks make most of
- * the row pass skippable.  Returns the count written into nz. */
-static Py_ssize_t
-nonzero_words(const uint64_t *mask, Py_ssize_t n_words, Py_ssize_t *nz)
-{
-    Py_ssize_t n_nz = 0;
-    for (Py_ssize_t w = 0; w < n_words; w++) {
-        if (mask[w]) {
-            nz[n_nz++] = w;
-        }
-    }
-    return n_nz;
-}
-
 static inline int64_t
-row_count_dense(const uint64_t *row, const uint64_t *mask, Py_ssize_t n_words)
+row_count_scalar(const uint64_t *row, const uint64_t *mask,
+                 Py_ssize_t n_words)
 {
     /* Four independent accumulators: scalar popcnt has a one-per-cycle
      * throughput but (on many x86 cores) a false output dependency, so a
@@ -117,6 +127,171 @@ row_count_dense(const uint64_t *row, const uint64_t *mask, Py_ssize_t n_words)
     return c0 + c1 + c2 + c3;
 }
 
+static Py_ssize_t
+scan_rows_scalar(const uint64_t *matrix, Py_ssize_t n_rows,
+                 Py_ssize_t n_words, const uint64_t *mask,
+                 int64_t n_selected, int64_t *out_rows, int64_t *out_counts)
+{
+    Py_ssize_t kept = 0;
+    for (Py_ssize_t r = 0; r < n_rows; r++) {
+        int64_t c = row_count_scalar(matrix + r * n_words, mask, n_words);
+        if (c > 0 && c < n_selected) {
+            out_rows[kept] = r;
+            out_counts[kept] = c;
+            kept++;
+        }
+    }
+    return kept;
+}
+
+static void
+and_words_scalar(const uint64_t *row, const uint64_t *mask, uint64_t *dst,
+                 Py_ssize_t n_words)
+{
+    for (Py_ssize_t w = 0; w < n_words; w++) {
+        dst[w] = row[w] & mask[w];
+    }
+}
+
+static const repro_simd_ops scalar_ops = {
+    "scalar",
+    row_count_scalar,
+    scan_rows_scalar,
+    and_words_scalar,
+};
+
+/* The active tier.  Read once (under the GIL) at the top of every entry
+ * point, then passed down into the GIL-released loops, so a concurrent
+ * set_simd_level() never flips an in-flight scan between tiers. */
+static const repro_simd_ops *g_ops = &scalar_ops;
+
+static const char *const simd_tier_names[] = {"scalar", "avx2", "avx512"};
+#define N_SIMD_TIERS 3
+
+static const repro_simd_ops *
+tier_ops(const char *name)
+{
+    if (strcmp(name, "scalar") == 0) {
+        return &scalar_ops;
+    }
+    if (strcmp(name, "avx2") == 0) {
+        return repro_simd_avx2_ops();
+    }
+    if (strcmp(name, "avx512") == 0) {
+        return repro_simd_avx512_ops();
+    }
+    return NULL;
+}
+
+static int
+cpu_supports_tier(const char *name)
+{
+    if (strcmp(name, "scalar") == 0) {
+        return 1;
+    }
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
+    if (strcmp(name, "avx2") == 0) {
+        return __builtin_cpu_supports("avx2") != 0;
+    }
+    if (strcmp(name, "avx512") == 0) {
+        return __builtin_cpu_supports("avx512f") != 0 &&
+               __builtin_cpu_supports("avx512vpopcntdq") != 0;
+    }
+#endif
+    return 0;
+}
+
+/* A tier is usable when its translation unit was compiled in AND the
+ * running CPU reports the feature (which, via libgcc's XCR0 checks,
+ * also covers OS state support for the AVX register files). */
+static int
+tier_usable(const char *name)
+{
+    return tier_ops(name) != NULL && cpu_supports_tier(name);
+}
+
+PyDoc_STRVAR(simd_level_doc,
+             "simd_level()\n--\n\n"
+             "Name of the active SIMD tier: 'scalar', 'avx2' or 'avx512'.");
+
+static PyObject *
+simd_level_fn(PyObject *self, PyObject *noargs)
+{
+    return PyUnicode_FromString(g_ops->name);
+}
+
+PyDoc_STRVAR(available_simd_levels_doc,
+             "available_simd_levels()\n--\n\n"
+             "Tuple of tier names selectable on this build + CPU, in\n"
+             "ascending width order ('scalar' is always present).");
+
+static PyObject *
+available_simd_levels_fn(PyObject *self, PyObject *noargs)
+{
+    PyObject *out = PyList_New(0);
+    if (out == NULL) {
+        return NULL;
+    }
+    for (int i = 0; i < N_SIMD_TIERS; i++) {
+        if (!tier_usable(simd_tier_names[i])) {
+            continue;
+        }
+        PyObject *name = PyUnicode_FromString(simd_tier_names[i]);
+        if (name == NULL || PyList_Append(out, name) != 0) {
+            Py_XDECREF(name);
+            Py_DECREF(out);
+            return NULL;
+        }
+        Py_DECREF(name);
+    }
+    PyObject *tup = PyList_AsTuple(out);
+    Py_DECREF(out);
+    return tup;
+}
+
+PyDoc_STRVAR(set_simd_level_doc,
+             "set_simd_level(level)\n--\n\n"
+             "Switch the active tier ('scalar', 'avx2', 'avx512').  Raises\n"
+             "ValueError when the tier is not compiled in or the CPU lacks\n"
+             "it.  Returns the now-active level.");
+
+static PyObject *
+set_simd_level_fn(PyObject *self, PyObject *args)
+{
+    const char *name;
+    if (!PyArg_ParseTuple(args, "s", &name)) {
+        return NULL;
+    }
+    const repro_simd_ops *ops = tier_usable(name) ? tier_ops(name) : NULL;
+    if (ops == NULL) {
+        PyErr_Format(PyExc_ValueError,
+                     "SIMD level %.32s is not available on this build/CPU",
+                     name);
+        return NULL;
+    }
+    g_ops = ops;
+    return PyUnicode_FromString(g_ops->name);
+}
+
+/* ------------------------------------------------------------------ */
+/* Core loops (GIL released by the callers)                           */
+/* ------------------------------------------------------------------ */
+
+/* Nonzero-word indices of one mask; sparse session masks make most of
+ * the row pass skippable.  Returns the count written into nz. */
+static Py_ssize_t
+nonzero_words(const uint64_t *mask, Py_ssize_t n_words, Py_ssize_t *nz)
+{
+    Py_ssize_t n_nz = 0;
+    for (Py_ssize_t w = 0; w < n_words; w++) {
+        if (mask[w]) {
+            nz[n_nz++] = w;
+        }
+    }
+    return n_nz;
+}
+
 static inline int64_t
 row_count_sparse(const uint64_t *row, const uint64_t *mask,
                  const Py_ssize_t *nz, Py_ssize_t n_nz)
@@ -132,9 +307,10 @@ row_count_sparse(const uint64_t *row, const uint64_t *mask,
 /* counts[i] = popcount(matrix[rows[i]] & mask); rows < 0 or out of range
  * count 0. */
 static void
-counts_for_rows(const uint64_t *matrix, Py_ssize_t n_rows, Py_ssize_t n_words,
-                const int64_t *rows, Py_ssize_t n_out, const uint64_t *mask,
-                const Py_ssize_t *nz, Py_ssize_t n_nz, int64_t *out)
+counts_for_rows(const repro_simd_ops *ops, const uint64_t *matrix,
+                Py_ssize_t n_rows, Py_ssize_t n_words, const int64_t *rows,
+                Py_ssize_t n_out, const uint64_t *mask, const Py_ssize_t *nz,
+                Py_ssize_t n_nz, int64_t *out)
 {
     int sparse = (2 * n_nz < n_words);
     for (Py_ssize_t i = 0; i < n_out; i++) {
@@ -145,42 +321,244 @@ counts_for_rows(const uint64_t *matrix, Py_ssize_t n_rows, Py_ssize_t n_words,
         }
         const uint64_t *row = matrix + (Py_ssize_t)r * n_words;
         out[i] = sparse ? row_count_sparse(row, mask, nz, n_nz)
-                        : row_count_dense(row, mask, n_words);
+                        : ops->row_count(row, mask, n_words);
     }
 }
 
 /* Full-matrix informative scan: keep rows with 0 < count < n_selected. */
 static Py_ssize_t
-scan_one(const uint64_t *matrix, Py_ssize_t n_rows, Py_ssize_t n_words,
-         const uint64_t *mask, int64_t n_selected, const Py_ssize_t *nz,
-         Py_ssize_t n_nz, int64_t *out_rows, int64_t *out_counts)
+scan_one(const repro_simd_ops *ops, const uint64_t *matrix,
+         Py_ssize_t n_rows, Py_ssize_t n_words, const uint64_t *mask,
+         int64_t n_selected, const Py_ssize_t *nz, Py_ssize_t n_nz,
+         int64_t *out_rows, int64_t *out_counts)
 {
-    Py_ssize_t kept = 0;
     if (n_nz == 0) {
         return 0;
     }
     if (2 * n_nz >= n_words) {
-        for (Py_ssize_t r = 0; r < n_rows; r++) {
-            int64_t c = row_count_dense(matrix + r * n_words, mask, n_words);
-            if (c > 0 && c < n_selected) {
-                out_rows[kept] = r;
-                out_counts[kept] = c;
-                kept++;
-            }
-        }
-    } else {
-        for (Py_ssize_t r = 0; r < n_rows; r++) {
-            int64_t c =
-                row_count_sparse(matrix + r * n_words, mask, nz, n_nz);
-            if (c > 0 && c < n_selected) {
-                out_rows[kept] = r;
-                out_counts[kept] = c;
-                kept++;
-            }
+        return ops->scan_rows(matrix, n_rows, n_words, mask, n_selected,
+                              out_rows, out_counts);
+    }
+    Py_ssize_t kept = 0;
+    for (Py_ssize_t r = 0; r < n_rows; r++) {
+        int64_t c = row_count_sparse(matrix + r * n_words, mask, nz, n_nz);
+        if (c > 0 && c < n_selected) {
+            out_rows[kept] = r;
+            out_counts[kept] = c;
+            kept++;
         }
     }
     return kept;
 }
+
+/* Serial stacked scan body, shared by scan_informative_many and the
+ * n_parts<=1 degenerate case of the threaded entry so both are the same
+ * code path by construction. */
+static Py_ssize_t
+scan_many_serial(const repro_simd_ops *ops, const uint64_t *matrix,
+                 Py_ssize_t n_rows, Py_ssize_t n_words,
+                 const uint64_t *mask_base, Py_ssize_t n_masks,
+                 const int64_t *ns_base, Py_ssize_t *nz, int64_t *out_rows,
+                 int64_t *out_counts, int64_t *ip)
+{
+    Py_ssize_t total = 0;
+    ip[0] = 0;
+    for (Py_ssize_t s = 0; s < n_masks; s++) {
+        const uint64_t *mask = mask_base + s * n_words;
+        Py_ssize_t n_nz = nonzero_words(mask, n_words, nz);
+        Py_ssize_t kept =
+            scan_one(ops, matrix, n_rows, n_words, mask, ns_base[s], nz,
+                     n_nz, out_rows + total, out_counts + total);
+        total += kept;
+        ip[s + 1] = total;
+    }
+    return total;
+}
+
+/* ------------------------------------------------------------------ */
+/* Internal pthread pool for the column-partitioned threaded scan     */
+/* ------------------------------------------------------------------ */
+
+/* Word-axis partitioning caps: a scan is split into at most this many
+ * bands (the caller's thread plus pool workers). */
+#define REPRO_MAX_SCAN_PARTS 16
+
+typedef struct {
+    const repro_simd_ops *ops;
+    const uint64_t *matrix;
+    Py_ssize_t n_rows;
+    Py_ssize_t n_words;
+    const uint64_t *masks; /* chunk base: n_masks stacked word vectors */
+    Py_ssize_t n_masks;
+    int64_t *partial; /* n_masks x n_parts x n_rows partial counts */
+    int n_parts;
+    Py_ssize_t wbounds[REPRO_MAX_SCAN_PARTS + 1];
+} scan_job;
+
+/* One worker's share: popcount every row's word band [wbounds[part],
+ * wbounds[part+1]) against each mask in the chunk, into its stripe of
+ * the partial-count buffer.  Counts over disjoint word bands add up
+ * exactly, so the merged result is bit-identical to a serial scan. */
+static void
+scan_job_part(const scan_job *job, int part)
+{
+    Py_ssize_t w_lo = job->wbounds[part];
+    Py_ssize_t w_hi = job->wbounds[part + 1];
+    Py_ssize_t width = w_hi - w_lo;
+    Py_ssize_t *nz =
+        malloc(sizeof(Py_ssize_t) * (size_t)(width > 0 ? width : 1));
+    for (Py_ssize_t s = 0; s < job->n_masks; s++) {
+        const uint64_t *mask = job->masks + s * job->n_words + w_lo;
+        int64_t *out = job->partial +
+                       ((size_t)s * (size_t)job->n_parts + (size_t)part) *
+                           (size_t)job->n_rows;
+        Py_ssize_t n_nz = nz != NULL ? nonzero_words(mask, width, nz) : -1;
+        if (n_nz == 0) {
+            memset(out, 0, sizeof(int64_t) * (size_t)job->n_rows);
+            continue;
+        }
+        if (n_nz > 0 && 2 * n_nz < width) {
+            for (Py_ssize_t r = 0; r < job->n_rows; r++) {
+                out[r] = row_count_sparse(
+                    job->matrix + r * job->n_words + w_lo, mask, nz, n_nz);
+            }
+        } else {
+            for (Py_ssize_t r = 0; r < job->n_rows; r++) {
+                out[r] = job->ops->row_count(
+                    job->matrix + r * job->n_words + w_lo, mask, width);
+            }
+        }
+    }
+    free(nz);
+}
+
+#ifdef REPRO_HAVE_PTHREADS
+
+static struct {
+    int n_workers;
+    pthread_t tids[REPRO_MAX_SCAN_PARTS - 1];
+    pthread_mutex_t lock;
+    pthread_cond_t job_ready;
+    pthread_cond_t job_done;
+    uint64_t generation;
+    int pending;
+    int shutdown;
+    scan_job job;
+} scan_pool = {
+    .lock = PTHREAD_MUTEX_INITIALIZER,
+    .job_ready = PTHREAD_COND_INITIALIZER,
+    .job_done = PTHREAD_COND_INITIALIZER,
+};
+
+/* Serialises whole threaded scans: concurrent Python threads queue here
+ * rather than interleaving jobs on the shared pool. */
+static pthread_mutex_t scan_entry_lock = PTHREAD_MUTEX_INITIALIZER;
+
+static void *
+scan_worker_main(void *arg)
+{
+    int index = (int)(intptr_t)arg;
+    uint64_t seen = 0;
+    pthread_mutex_lock(&scan_pool.lock);
+    for (;;) {
+        while (!scan_pool.shutdown && scan_pool.generation == seen) {
+            pthread_cond_wait(&scan_pool.job_ready, &scan_pool.lock);
+        }
+        if (scan_pool.shutdown) {
+            break;
+        }
+        seen = scan_pool.generation;
+        scan_job job = scan_pool.job; /* copy under the lock */
+        pthread_mutex_unlock(&scan_pool.lock);
+        int part = index + 1; /* part 0 belongs to the dispatching thread */
+        if (part < job.n_parts) {
+            scan_job_part(&job, part);
+        }
+        pthread_mutex_lock(&scan_pool.lock);
+        if (part < job.n_parts) {
+            if (--scan_pool.pending == 0) {
+                pthread_cond_signal(&scan_pool.job_done);
+            }
+        }
+    }
+    pthread_mutex_unlock(&scan_pool.lock);
+    return NULL;
+}
+
+/* Grow the pool to at least `needed` workers; returns how many exist
+ * (thread-creation failure degrades the scan, it does not error). */
+static int
+scan_pool_ensure(int needed)
+{
+    if (needed > REPRO_MAX_SCAN_PARTS - 1) {
+        needed = REPRO_MAX_SCAN_PARTS - 1;
+    }
+    pthread_mutex_lock(&scan_pool.lock);
+    while (scan_pool.n_workers < needed) {
+        int i = scan_pool.n_workers;
+        if (pthread_create(&scan_pool.tids[i], NULL, scan_worker_main,
+                           (void *)(intptr_t)i) != 0) {
+            break;
+        }
+        scan_pool.n_workers++;
+    }
+    int have = scan_pool.n_workers;
+    pthread_mutex_unlock(&scan_pool.lock);
+    return have;
+}
+
+static void
+scan_pool_run(const scan_job *job)
+{
+    pthread_mutex_lock(&scan_pool.lock);
+    scan_pool.job = *job;
+    scan_pool.pending = job->n_parts - 1;
+    scan_pool.generation++;
+    pthread_cond_broadcast(&scan_pool.job_ready);
+    pthread_mutex_unlock(&scan_pool.lock);
+    scan_job_part(job, 0);
+    pthread_mutex_lock(&scan_pool.lock);
+    while (scan_pool.pending > 0) {
+        pthread_cond_wait(&scan_pool.job_done, &scan_pool.lock);
+    }
+    pthread_mutex_unlock(&scan_pool.lock);
+}
+
+/* After fork() only the calling thread survives; reset the pool state in
+ * the child so a later threaded scan lazily respawns workers instead of
+ * deadlocking on a barrier nobody will signal.  (The fork-based process
+ * executors fork from Python while no scan is in flight.) */
+static void
+scan_pool_atfork_child(void)
+{
+    scan_pool.n_workers = 0;
+    scan_pool.pending = 0;
+    scan_pool.generation = 0;
+    scan_pool.shutdown = 0;
+    pthread_mutex_init(&scan_pool.lock, NULL);
+    pthread_cond_init(&scan_pool.job_ready, NULL);
+    pthread_cond_init(&scan_pool.job_done, NULL);
+    pthread_mutex_init(&scan_entry_lock, NULL);
+}
+
+static void
+scan_pool_shutdown(void)
+{
+    pthread_mutex_lock(&scan_pool.lock);
+    int n = scan_pool.n_workers;
+    if (n > 0) {
+        scan_pool.shutdown = 1;
+        pthread_cond_broadcast(&scan_pool.job_ready);
+    }
+    pthread_mutex_unlock(&scan_pool.lock);
+    for (int i = 0; i < n; i++) {
+        pthread_join(scan_pool.tids[i], NULL);
+    }
+    scan_pool.n_workers = 0;
+    scan_pool.shutdown = 0;
+}
+
+#endif /* REPRO_HAVE_PTHREADS */
 
 /* ------------------------------------------------------------------ */
 /* Python entry points                                                */
@@ -228,6 +606,7 @@ popcount_rows(PyObject *self, PyObject *args)
         goto err_out;
     }
     {
+        const repro_simd_ops *ops = g_ops;
         Py_ssize_t n_rows = n_matrix / n_words;
         Py_ssize_t *nz = PyMem_Malloc(sizeof(Py_ssize_t) * (size_t)n_words);
         if (nz == NULL) {
@@ -236,8 +615,8 @@ popcount_rows(PyObject *self, PyObject *args)
         }
         Py_BEGIN_ALLOW_THREADS;
         Py_ssize_t n_nz = nonzero_words(mask.buf, n_words, nz);
-        counts_for_rows(matrix.buf, n_rows, n_words, rows.buf, n_rows_idx,
-                        mask.buf, nz, n_nz, out.buf);
+        counts_for_rows(ops, matrix.buf, n_rows, n_words, rows.buf,
+                        n_rows_idx, mask.buf, nz, n_nz, out.buf);
         Py_END_ALLOW_THREADS;
         PyMem_Free(nz);
     }
@@ -301,6 +680,7 @@ popcount_rows_many(PyObject *self, PyObject *args)
         if (check_len(n_out, n_masks * n_rows_idx, "out") != 0) {
             goto err_out;
         }
+        const repro_simd_ops *ops = g_ops;
         Py_ssize_t n_rows = n_matrix / n_words;
         Py_ssize_t *nz = PyMem_Malloc(sizeof(Py_ssize_t) * (size_t)n_words);
         if (nz == NULL) {
@@ -313,7 +693,7 @@ popcount_rows_many(PyObject *self, PyObject *args)
         for (Py_ssize_t s = 0; s < n_masks; s++) {
             const uint64_t *mask = mask_base + s * n_words;
             Py_ssize_t n_nz = nonzero_words(mask, n_words, nz);
-            counts_for_rows(matrix.buf, n_rows, n_words, rows.buf,
+            counts_for_rows(ops, matrix.buf, n_rows, n_words, rows.buf,
                             n_rows_idx, mask, nz, n_nz,
                             out_base + s * n_rows_idx);
         }
@@ -385,6 +765,7 @@ scan_informative(PyObject *self, PyObject *args)
             check_len(n_oc, n_rows, "out_counts") != 0) {
             goto err_out_counts;
         }
+        const repro_simd_ops *ops = g_ops;
         Py_ssize_t *nz = PyMem_Malloc(sizeof(Py_ssize_t) * (size_t)n_words);
         if (nz == NULL) {
             PyErr_NoMemory();
@@ -393,7 +774,7 @@ scan_informative(PyObject *self, PyObject *args)
         Py_ssize_t kept;
         Py_BEGIN_ALLOW_THREADS;
         Py_ssize_t n_nz = nonzero_words(mask.buf, n_words, nz);
-        kept = scan_one(matrix.buf, n_rows, n_words, mask.buf,
+        kept = scan_one(ops, matrix.buf, n_rows, n_words, mask.buf,
                         (int64_t)n_selected, nz, n_nz, out_rows.buf,
                         out_counts.buf);
         Py_END_ALLOW_THREADS;
@@ -474,27 +855,17 @@ scan_informative_many(PyObject *self, PyObject *args)
             check_len(n_ip, n_masks + 1, "out_indptr") != 0) {
             goto err_indptr;
         }
+        const repro_simd_ops *ops = g_ops;
         Py_ssize_t *nz = PyMem_Malloc(sizeof(Py_ssize_t) * (size_t)n_words);
         if (nz == NULL) {
             PyErr_NoMemory();
             goto err_indptr;
         }
-        Py_ssize_t total = 0;
+        Py_ssize_t total;
         Py_BEGIN_ALLOW_THREADS;
-        const uint64_t *mask_base = masks.buf;
-        const int64_t *ns_base = ns.buf;
-        int64_t *ip = indptr.buf;
-        ip[0] = 0;
-        for (Py_ssize_t s = 0; s < n_masks; s++) {
-            const uint64_t *mask = mask_base + s * n_words;
-            Py_ssize_t n_nz = nonzero_words(mask, n_words, nz);
-            Py_ssize_t kept = scan_one(
-                matrix.buf, n_rows, n_words, mask, ns_base[s], nz, n_nz,
-                (int64_t *)out_rows.buf + total,
-                (int64_t *)out_counts.buf + total);
-            total += kept;
-            ip[s + 1] = total;
-        }
+        total = scan_many_serial(ops, matrix.buf, n_rows, n_words, masks.buf,
+                                 n_masks, ns.buf, nz, out_rows.buf,
+                                 out_counts.buf, indptr.buf);
         Py_END_ALLOW_THREADS;
         PyMem_Free(nz);
         PyBuffer_Release(&indptr);
@@ -519,6 +890,219 @@ err_masks:
 err_matrix:
     PyBuffer_Release(&matrix);
     return NULL;
+}
+
+PyDoc_STRVAR(
+    scan_informative_threaded_doc,
+    "scan_informative_threaded(matrix, n_words, masks, ns, n_threads,"
+    " out_rows, out_counts, out_indptr)\n--\n\n"
+    "scan_informative_many with the word axis partitioned across an\n"
+    "internal pthread pool inside one GIL release: each thread popcounts\n"
+    "its word band into partial counts, the caller merges and filters in\n"
+    "C.  Exact-integer merge keeps results byte-identical to the serial\n"
+    "scan.  n_threads <= 1 (or platforms without pthreads) runs the\n"
+    "serial body.  Returns the total kept.");
+
+static PyObject *
+scan_informative_threaded(PyObject *self, PyObject *args)
+{
+    PyObject *matrix_o, *masks_o, *ns_o, *out_rows_o, *out_counts_o,
+        *indptr_o;
+    Py_ssize_t n_words, n_threads;
+    if (!PyArg_ParseTuple(args, "OnOOnOOO", &matrix_o, &n_words, &masks_o,
+                          &ns_o, &n_threads, &out_rows_o, &out_counts_o,
+                          &indptr_o)) {
+        return NULL;
+    }
+    Py_buffer matrix, masks, ns, out_rows, out_counts, indptr;
+    Py_ssize_t n_matrix, n_mask_words, n_ns, n_or, n_oc, n_ip;
+    if (n_words <= 0) {
+        PyErr_SetString(PyExc_ValueError, "n_words must be positive");
+        return NULL;
+    }
+    if (n_threads < 1) {
+        PyErr_SetString(PyExc_ValueError, "n_threads must be >= 1");
+        return NULL;
+    }
+    if (get_words(matrix_o, &matrix, 0, "matrix", &n_matrix) != 0) {
+        return NULL;
+    }
+    if (get_words(masks_o, &masks, 0, "masks", &n_mask_words) != 0) {
+        goto err_matrix;
+    }
+    if (get_words(ns_o, &ns, 0, "ns", &n_ns) != 0) {
+        goto err_masks;
+    }
+    if (get_words(out_rows_o, &out_rows, 1, "out_rows", &n_or) != 0) {
+        goto err_ns;
+    }
+    if (get_words(out_counts_o, &out_counts, 1, "out_counts", &n_oc) != 0) {
+        goto err_out_rows;
+    }
+    if (get_words(indptr_o, &indptr, 1, "out_indptr", &n_ip) != 0) {
+        goto err_out_counts;
+    }
+    if (n_matrix % n_words != 0 || n_mask_words % n_words != 0) {
+        PyErr_SetString(PyExc_ValueError,
+                        "matrix/masks length not a multiple of n_words");
+        goto err_indptr;
+    }
+    {
+        Py_ssize_t n_rows = n_matrix / n_words;
+        Py_ssize_t n_masks = n_mask_words / n_words;
+        if (check_len(n_ns, n_masks, "ns") != 0 ||
+            check_len(n_or, n_masks * n_rows, "out_rows") != 0 ||
+            check_len(n_oc, n_masks * n_rows, "out_counts") != 0 ||
+            check_len(n_ip, n_masks + 1, "out_indptr") != 0) {
+            goto err_indptr;
+        }
+        const repro_simd_ops *ops = g_ops;
+
+        int n_parts = 1;
+#ifdef REPRO_HAVE_PTHREADS
+        n_parts = n_threads > REPRO_MAX_SCAN_PARTS ? REPRO_MAX_SCAN_PARTS
+                                                   : (int)n_threads;
+        if ((Py_ssize_t)n_parts > n_words) {
+            n_parts = (int)n_words;
+        }
+        if (n_rows == 0 || n_masks == 0) {
+            n_parts = 1;
+        }
+        if (n_parts > 1) {
+            n_parts = scan_pool_ensure(n_parts - 1) + 1;
+        }
+#endif
+        if (n_parts <= 1) {
+            /* Degenerate case: same code path as scan_informative_many. */
+            Py_ssize_t *nz =
+                PyMem_Malloc(sizeof(Py_ssize_t) * (size_t)n_words);
+            if (nz == NULL) {
+                PyErr_NoMemory();
+                goto err_indptr;
+            }
+            Py_ssize_t total;
+            Py_BEGIN_ALLOW_THREADS;
+            total = scan_many_serial(ops, matrix.buf, n_rows, n_words,
+                                     masks.buf, n_masks, ns.buf, nz,
+                                     out_rows.buf, out_counts.buf,
+                                     indptr.buf);
+            Py_END_ALLOW_THREADS;
+            PyMem_Free(nz);
+            PyBuffer_Release(&indptr);
+            PyBuffer_Release(&out_counts);
+            PyBuffer_Release(&out_rows);
+            PyBuffer_Release(&ns);
+            PyBuffer_Release(&masks);
+            PyBuffer_Release(&matrix);
+            return PyLong_FromSsize_t(total);
+        }
+#ifdef REPRO_HAVE_PTHREADS
+        /* Chunk masks so the partial-count buffer stays bounded
+         * (~8 MiB): chunk x n_parts x n_rows int64 partials. */
+        Py_ssize_t budget_elems = (8 << 20) / (Py_ssize_t)sizeof(int64_t);
+        Py_ssize_t chunk = budget_elems / ((Py_ssize_t)n_parts * n_rows);
+        if (chunk < 1) {
+            chunk = 1;
+        }
+        if (chunk > n_masks) {
+            chunk = n_masks;
+        }
+        int64_t *partial = PyMem_Malloc(sizeof(int64_t) * (size_t)chunk *
+                                        (size_t)n_parts * (size_t)n_rows);
+        if (partial == NULL) {
+            PyErr_NoMemory();
+            goto err_indptr;
+        }
+        Py_ssize_t total = 0;
+        Py_BEGIN_ALLOW_THREADS;
+        pthread_mutex_lock(&scan_entry_lock);
+        scan_job job;
+        job.ops = ops;
+        job.matrix = matrix.buf;
+        job.n_rows = n_rows;
+        job.n_words = n_words;
+        job.partial = partial;
+        job.n_parts = n_parts;
+        for (int p = 0; p <= n_parts; p++) {
+            job.wbounds[p] = n_words * (Py_ssize_t)p / (Py_ssize_t)n_parts;
+        }
+        const uint64_t *mask_base = masks.buf;
+        const int64_t *ns_base = ns.buf;
+        int64_t *or_base = out_rows.buf;
+        int64_t *oc_base = out_counts.buf;
+        int64_t *ip = indptr.buf;
+        ip[0] = 0;
+        for (Py_ssize_t s0 = 0; s0 < n_masks; s0 += chunk) {
+            Py_ssize_t sc = n_masks - s0;
+            if (sc > chunk) {
+                sc = chunk;
+            }
+            job.masks = mask_base + s0 * n_words;
+            job.n_masks = sc;
+            scan_pool_run(&job);
+            for (Py_ssize_t s = 0; s < sc; s++) {
+                int64_t n_selected = ns_base[s0 + s];
+                int64_t *acc = partial + (size_t)s * (size_t)n_parts *
+                                             (size_t)n_rows;
+                for (int p = 1; p < n_parts; p++) {
+                    const int64_t *pp = acc + (size_t)p * (size_t)n_rows;
+                    for (Py_ssize_t r = 0; r < n_rows; r++) {
+                        acc[r] += pp[r];
+                    }
+                }
+                for (Py_ssize_t r = 0; r < n_rows; r++) {
+                    int64_t c = acc[r];
+                    if (c > 0 && c < n_selected) {
+                        or_base[total] = r;
+                        oc_base[total] = c;
+                        total++;
+                    }
+                }
+                ip[s0 + s + 1] = total;
+            }
+        }
+        pthread_mutex_unlock(&scan_entry_lock);
+        Py_END_ALLOW_THREADS;
+        PyMem_Free(partial);
+        PyBuffer_Release(&indptr);
+        PyBuffer_Release(&out_counts);
+        PyBuffer_Release(&out_rows);
+        PyBuffer_Release(&ns);
+        PyBuffer_Release(&masks);
+        PyBuffer_Release(&matrix);
+        return PyLong_FromSsize_t(total);
+#endif
+    }
+
+err_indptr:
+    PyBuffer_Release(&indptr);
+err_out_counts:
+    PyBuffer_Release(&out_counts);
+err_out_rows:
+    PyBuffer_Release(&out_rows);
+err_ns:
+    PyBuffer_Release(&ns);
+err_masks:
+    PyBuffer_Release(&masks);
+err_matrix:
+    PyBuffer_Release(&matrix);
+    return NULL;
+}
+
+PyDoc_STRVAR(threaded_scan_available_doc,
+             "threaded_scan_available()\n--\n\n"
+             "True when the in-C pthread-pool scan is compiled in\n"
+             "(everywhere but Windows; the entry point itself always\n"
+             "works, degrading to the serial body).");
+
+static PyObject *
+threaded_scan_available(PyObject *self, PyObject *noargs)
+{
+#ifdef REPRO_HAVE_PTHREADS
+    Py_RETURN_TRUE;
+#else
+    Py_RETURN_FALSE;
+#endif
 }
 
 PyDoc_STRVAR(and_rows_doc,
@@ -565,6 +1149,7 @@ and_rows(PyObject *self, PyObject *args)
         goto err_out;
     }
     {
+        const repro_simd_ops *ops = g_ops;
         Py_ssize_t n_rows = n_matrix / n_words;
         Py_BEGIN_ALLOW_THREADS;
         const uint64_t *mat = matrix.buf;
@@ -578,10 +1163,8 @@ and_rows(PyObject *self, PyObject *args)
                 memset(row_out, 0, sizeof(uint64_t) * (size_t)n_words);
                 continue;
             }
-            const uint64_t *row = mat + (Py_ssize_t)r * n_words;
-            for (Py_ssize_t w = 0; w < n_words; w++) {
-                row_out[w] = row[w] & mk[w];
-            }
+            ops->and_words(mat + (Py_ssize_t)r * n_words, mk, row_out,
+                           n_words);
         }
         Py_END_ALLOW_THREADS;
     }
@@ -612,9 +1195,26 @@ static PyMethodDef native_methods[] = {
      scan_informative_doc},
     {"scan_informative_many", scan_informative_many, METH_VARARGS,
      scan_informative_many_doc},
+    {"scan_informative_threaded", scan_informative_threaded, METH_VARARGS,
+     scan_informative_threaded_doc},
+    {"threaded_scan_available", threaded_scan_available, METH_NOARGS,
+     threaded_scan_available_doc},
     {"and_rows", and_rows, METH_VARARGS, and_rows_doc},
+    {"simd_level", simd_level_fn, METH_NOARGS, simd_level_doc},
+    {"available_simd_levels", available_simd_levels_fn, METH_NOARGS,
+     available_simd_levels_doc},
+    {"set_simd_level", set_simd_level_fn, METH_VARARGS, set_simd_level_doc},
     {NULL, NULL, 0, NULL},
 };
+
+static void
+native_module_free(void *mod)
+{
+    (void)mod;
+#ifdef REPRO_HAVE_PTHREADS
+    scan_pool_shutdown();
+#endif
+}
 
 static struct PyModuleDef native_module = {
     PyModuleDef_HEAD_INIT,
@@ -622,10 +1222,33 @@ static struct PyModuleDef native_module = {
     "Fused AND+popcount primitives over the packed uint64 bit-matrix.",
     -1,
     native_methods,
+    NULL, /* m_slots */
+    NULL, /* m_traverse */
+    NULL, /* m_clear */
+    native_module_free,
 };
 
 PyMODINIT_FUNC
 PyInit__nativeext(void)
 {
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
+    __builtin_cpu_init();
+#endif
+    /* Select the widest usable tier once at import; REPRO_SIMD overrides
+     * are applied by the Python loader via set_simd_level(). */
+    for (int i = N_SIMD_TIERS - 1; i >= 0; i--) {
+        if (tier_usable(simd_tier_names[i])) {
+            g_ops = tier_ops(simd_tier_names[i]);
+            break;
+        }
+    }
+#ifdef REPRO_HAVE_PTHREADS
+    static int atfork_registered = 0;
+    if (!atfork_registered) {
+        pthread_atfork(NULL, NULL, scan_pool_atfork_child);
+        atfork_registered = 1;
+    }
+#endif
     return PyModule_Create(&native_module);
 }

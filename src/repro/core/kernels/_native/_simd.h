@@ -1,0 +1,46 @@
+/* Dispatch surface shared by the popcount kernel translation units.
+ *
+ * The hot loops of _nativeext.c exist in up to three codegen tiers —
+ * scalar (baseline popcnt), AVX2 (vpshufb nibble-lookup popcount over
+ * 256-bit lanes) and AVX-512 (vpopcntq) — each compiled in its own file
+ * with per-file -m flags (setup.py) so the binary stays portable: only
+ * the tier selected at import time ever executes, and selection requires
+ * the CPU to report the feature (CPUID via __builtin_cpu_supports).
+ *
+ * Each tier implements the same three primitives over C-contiguous
+ * uint64 word buffers; results are bit-identical by construction (every
+ * path computes exact integer popcounts), which the parity fuzz harness
+ * enforces across REPRO_SIMD overrides.
+ */
+
+#ifndef REPRO_SIMD_H
+#define REPRO_SIMD_H
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <stdint.h>
+
+typedef struct {
+    const char *name;
+    /* popcount(row & mask) over n_words words (the fused AND+popcount) */
+    int64_t (*row_count)(const uint64_t *row, const uint64_t *mask,
+                         Py_ssize_t n_words);
+    /* dense full-matrix informative scan: keep rows with
+     * 0 < count < n_selected; returns how many were kept.  Row indices
+     * written are relative to the given matrix base pointer. */
+    Py_ssize_t (*scan_rows)(const uint64_t *matrix, Py_ssize_t n_rows,
+                            Py_ssize_t n_words, const uint64_t *mask,
+                            int64_t n_selected, int64_t *out_rows,
+                            int64_t *out_counts);
+    /* dst[w] = row[w] & mask[w] (the partition primitive) */
+    void (*and_words)(const uint64_t *row, const uint64_t *mask,
+                      uint64_t *dst, Py_ssize_t n_words);
+} repro_simd_ops;
+
+/* Each unit returns its ops table, or NULL when the tier was not
+ * compiled in (non-x86 target, or a toolchain without the -m flags). */
+const repro_simd_ops *repro_simd_avx2_ops(void);
+const repro_simd_ops *repro_simd_avx512_ops(void);
+
+#endif /* REPRO_SIMD_H */

@@ -1,0 +1,116 @@
+/* AVX2 tier of the popcount kernels (compiled with -mavx2; see setup.py).
+ *
+ * Popcount uses the vpshufb nibble-lookup technique (Mula): split each
+ * byte into two nibbles, look both up in a 16-entry table of bit counts
+ * held in a ymm register, add, then horizontally reduce with
+ * _mm256_sad_epu8 into four 64-bit lane sums.  Per 256-bit step the
+ * byte counts max out at 8 and the sad sums at 256, so the epi64
+ * accumulator cannot overflow for any realistic row width.
+ */
+
+#include "_simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+static inline __m256i popcount_epu64_avx2(__m256i v) {
+    const __m256i lookup = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low_mask = _mm256_set1_epi8(0x0f);
+    __m256i lo = _mm256_and_si256(v, low_mask);
+    __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+    __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                  _mm256_shuffle_epi8(lookup, hi));
+    return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+static inline int64_t hsum_epi64(__m256i v) {
+    __m128i lo = _mm256_castsi256_si128(v);
+    __m128i hi = _mm256_extracti128_si256(v, 1);
+    __m128i s = _mm_add_epi64(lo, hi);
+    return (int64_t)(_mm_cvtsi128_si64(s) +
+                     _mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s)));
+}
+
+static inline int64_t
+row_count_avx2(const uint64_t *row, const uint64_t *mask, Py_ssize_t n_words)
+{
+    __m256i acc = _mm256_setzero_si256();
+    Py_ssize_t w = 0;
+    for (; w + 8 <= n_words; w += 8) {
+        __m256i a0 = _mm256_loadu_si256((const __m256i *)(row + w));
+        __m256i b0 = _mm256_loadu_si256((const __m256i *)(mask + w));
+        __m256i a1 = _mm256_loadu_si256((const __m256i *)(row + w + 4));
+        __m256i b1 = _mm256_loadu_si256((const __m256i *)(mask + w + 4));
+        acc = _mm256_add_epi64(acc, popcount_epu64_avx2(_mm256_and_si256(a0, b0)));
+        acc = _mm256_add_epi64(acc, popcount_epu64_avx2(_mm256_and_si256(a1, b1)));
+    }
+    for (; w + 4 <= n_words; w += 4) {
+        __m256i a = _mm256_loadu_si256((const __m256i *)(row + w));
+        __m256i b = _mm256_loadu_si256((const __m256i *)(mask + w));
+        acc = _mm256_add_epi64(acc, popcount_epu64_avx2(_mm256_and_si256(a, b)));
+    }
+    int64_t total = hsum_epi64(acc);
+    for (; w < n_words; w++) {
+        total += (int64_t)__builtin_popcountll(row[w] & mask[w]);
+    }
+    return total;
+}
+
+static Py_ssize_t
+scan_rows_avx2(const uint64_t *matrix, Py_ssize_t n_rows, Py_ssize_t n_words,
+               const uint64_t *mask, int64_t n_selected,
+               int64_t *out_rows, int64_t *out_counts)
+{
+    Py_ssize_t kept = 0;
+    for (Py_ssize_t r = 0; r < n_rows; r++) {
+        int64_t c = row_count_avx2(matrix + (size_t)r * (size_t)n_words,
+                                   mask, n_words);
+        if (c > 0 && c < n_selected) {
+            out_rows[kept] = (int64_t)r;
+            out_counts[kept] = c;
+            kept++;
+        }
+    }
+    return kept;
+}
+
+static void
+and_words_avx2(const uint64_t *row, const uint64_t *mask, uint64_t *dst,
+               Py_ssize_t n_words)
+{
+    Py_ssize_t w = 0;
+    for (; w + 4 <= n_words; w += 4) {
+        __m256i a = _mm256_loadu_si256((const __m256i *)(row + w));
+        __m256i b = _mm256_loadu_si256((const __m256i *)(mask + w));
+        _mm256_storeu_si256((__m256i *)(dst + w), _mm256_and_si256(a, b));
+    }
+    for (; w < n_words; w++) {
+        dst[w] = row[w] & mask[w];
+    }
+}
+
+static const repro_simd_ops avx2_ops = {
+    "avx2",
+    row_count_avx2,
+    scan_rows_avx2,
+    and_words_avx2,
+};
+
+const repro_simd_ops *
+repro_simd_avx2_ops(void)
+{
+    return &avx2_ops;
+}
+
+#else /* !__AVX2__ */
+
+const repro_simd_ops *
+repro_simd_avx2_ops(void)
+{
+    return NULL;
+}
+
+#endif

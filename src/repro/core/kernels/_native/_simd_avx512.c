@@ -1,0 +1,97 @@
+/* AVX-512 tier of the popcount kernels (compiled with
+ * -mavx512f -mavx512vpopcntdq; see setup.py).
+ *
+ * VPOPCNTDQ gives a hardware per-qword popcount (_mm512_popcnt_epi64),
+ * so the fused AND+popcount is a load/load/and/popcnt/add chain over
+ * 512-bit lanes with a scalar tail.  Selection of this tier requires
+ * the CPU to report avx512vpopcntdq via CPUID, which on GCC/Clang also
+ * implies the OS has enabled the zmm state (XCR0 checks inside
+ * __builtin_cpu_supports).
+ */
+
+#include "_simd.h"
+
+#if defined(__AVX512F__) && defined(__AVX512VPOPCNTDQ__)
+
+#include <immintrin.h>
+
+static inline int64_t
+row_count_avx512(const uint64_t *row, const uint64_t *mask, Py_ssize_t n_words)
+{
+    __m512i acc = _mm512_setzero_si512();
+    Py_ssize_t w = 0;
+    for (; w + 16 <= n_words; w += 16) {
+        __m512i a0 = _mm512_loadu_si512((const void *)(row + w));
+        __m512i b0 = _mm512_loadu_si512((const void *)(mask + w));
+        __m512i a1 = _mm512_loadu_si512((const void *)(row + w + 8));
+        __m512i b1 = _mm512_loadu_si512((const void *)(mask + w + 8));
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(a0, b0)));
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(a1, b1)));
+    }
+    for (; w + 8 <= n_words; w += 8) {
+        __m512i a = _mm512_loadu_si512((const void *)(row + w));
+        __m512i b = _mm512_loadu_si512((const void *)(mask + w));
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(a, b)));
+    }
+    int64_t total = (int64_t)_mm512_reduce_add_epi64(acc);
+    for (; w < n_words; w++) {
+        total += (int64_t)__builtin_popcountll(row[w] & mask[w]);
+    }
+    return total;
+}
+
+static Py_ssize_t
+scan_rows_avx512(const uint64_t *matrix, Py_ssize_t n_rows, Py_ssize_t n_words,
+                 const uint64_t *mask, int64_t n_selected,
+                 int64_t *out_rows, int64_t *out_counts)
+{
+    Py_ssize_t kept = 0;
+    for (Py_ssize_t r = 0; r < n_rows; r++) {
+        int64_t c = row_count_avx512(matrix + (size_t)r * (size_t)n_words,
+                                     mask, n_words);
+        if (c > 0 && c < n_selected) {
+            out_rows[kept] = (int64_t)r;
+            out_counts[kept] = c;
+            kept++;
+        }
+    }
+    return kept;
+}
+
+static void
+and_words_avx512(const uint64_t *row, const uint64_t *mask, uint64_t *dst,
+                 Py_ssize_t n_words)
+{
+    Py_ssize_t w = 0;
+    for (; w + 8 <= n_words; w += 8) {
+        __m512i a = _mm512_loadu_si512((const void *)(row + w));
+        __m512i b = _mm512_loadu_si512((const void *)(mask + w));
+        _mm512_storeu_si512((void *)(dst + w), _mm512_and_si512(a, b));
+    }
+    for (; w < n_words; w++) {
+        dst[w] = row[w] & mask[w];
+    }
+}
+
+static const repro_simd_ops avx512_ops = {
+    "avx512",
+    row_count_avx512,
+    scan_rows_avx512,
+    and_words_avx512,
+};
+
+const repro_simd_ops *
+repro_simd_avx512_ops(void)
+{
+    return &avx512_ops;
+}
+
+#else /* !(__AVX512F__ && __AVX512VPOPCNTDQ__) */
+
+const repro_simd_ops *
+repro_simd_avx512_ops(void)
+{
+    return NULL;
+}
+
+#endif

@@ -1,0 +1,360 @@
+"""Shared-memory process workers for the sharded kernel.
+
+The fork-based ``executor="process"`` pool inherits the whole index into
+every worker through copy-on-write and re-inherits it on every pool
+restart; ``executor="shm"`` replaces that with explicit
+:mod:`multiprocessing.shared_memory` segments.  The parent publishes each
+shard's packed ``uint64`` bit-matrix into one named segment
+(:class:`ShardSegment`), spawns one **shard-pinned** worker process per
+shard (:class:`ShmWorker`), and each worker attaches the segment *once*,
+rebuilding a read-only shard kernel directly over the shared pages — no
+matrix bytes ever cross a pipe, and a worker services every epoch that
+still uses its shard.
+
+Parity by construction: the worker rebuilds the *same* kernel classes
+(:class:`~repro.core.kernels.numpy_backend.NumpyKernel` /
+:class:`~repro.core.kernels.native_backend.NativeKernel`) over the shared
+matrix and executes the *same* ``_shard_*`` work units the thread and
+process executors run, so results are bit-identical on every executor
+(enforced by ``tests/test_parity_fuzz.py`` and ``tests/test_shm.py``).
+
+Lifecycle: segments and workers are reference-counted.  A
+:class:`~repro.core.kernels.sharded.ShardedKernel` epoch holds one
+reference per shard worker; ``close()`` drops them, and the *last* epoch
+to release a worker shuts the process down and unlinks its segment.
+``from_delta`` re-publishes **only dirty shards** — clean shards keep the
+parent epoch's worker (and segment) via an extra reference, so an
+incremental update ships exactly the bytes that changed.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any
+
+from .native_backend import HAS_NATIVE, NativeKernel
+from .numpy_backend import NumpyKernel
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platform without shm support
+    _shared_memory = None  # type: ignore[assignment]
+
+#: Whether the shared-memory executor can run here (numpy to rebuild the
+#: matrix view, the stdlib shm module, and — checked by the caller —
+#: fork, so workers inherit the module state without re-importing).
+HAS_SHM = np is not None and _shared_memory is not None
+
+#: Wire sentinel replacing argument objects that *are* the parent's
+#: ``_all_eids`` array: the worker substitutes its own copy (shipped once
+#: in the spawn spec), so the full entity-id array never travels per call.
+ALL_EIDS_SENTINEL = "__all_eids__"
+
+
+def encode_args(args: tuple, all_eids) -> tuple:
+    """Replace ``all_eids`` (by identity) with the wire sentinel.
+
+    Walks tuples/lists because the scan-block work unit nests its
+    ``(mask, eids)`` candidate pairs.  Every other value passes through
+    and is pickled by the pipe as-is; pickle's memo keeps shared ``eids``
+    objects shared, which the worker's ``id()``-grouping relies on.
+    """
+
+    def repl(x):
+        if x is all_eids:
+            return ALL_EIDS_SENTINEL
+        if isinstance(x, tuple):
+            return tuple(repl(v) for v in x)
+        if isinstance(x, list):
+            return [repl(v) for v in x]
+        return x
+
+    return tuple(repl(a) for a in args)
+
+
+def decode_args(args: tuple, all_eids) -> tuple:
+    """Inverse of :func:`encode_args`: sentinel -> the worker's array.
+
+    Every sentinel maps to the *same* object so the scan block's
+    ``id(eids)`` grouping still batches them into one stacked pass.
+    """
+
+    def repl(x):
+        if isinstance(x, str) and x == ALL_EIDS_SENTINEL:
+            return all_eids
+        if isinstance(x, tuple):
+            return tuple(repl(v) for v in x)
+        if isinstance(x, list):
+            return [repl(v) for v in x]
+        return x
+
+    return tuple(repl(a) for a in args)
+
+
+class ShardSegment:
+    """One shard's bit-matrix published as a named shared-memory block.
+
+    The parent copies the matrix bytes in (a flat memcpy — the segment is
+    a *snapshot*, deliberately decoupled from the kernel's own array so
+    later epochs can drop the kernel without invalidating workers), and
+    :meth:`destroy` closes and unlinks exactly once.  Zero-row shards
+    still get a 1-byte segment: ``SharedMemory`` rejects ``size=0``.
+    """
+
+    def __init__(self, matrix: "np.ndarray") -> None:
+        data = matrix.tobytes()
+        self.nbytes = len(data)
+        self.shm = _shared_memory.SharedMemory(
+            create=True, size=max(self.nbytes, 1)
+        )
+        self.shm.buf[: self.nbytes] = data
+        self.name = self.shm.name
+        self._destroyed = False
+
+    def destroy(self) -> None:
+        if self._destroyed:
+            return
+        self._destroyed = True
+        self.shm.close()
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reaped
+            pass
+
+    @property
+    def destroyed(self) -> bool:
+        return self._destroyed
+
+
+def build_shard_spec(owner, shard: int) -> dict:
+    """Everything a worker needs to rebuild shard ``shard`` of ``owner``
+    (a :class:`~repro.core.kernels.sharded.ShardedKernel`), minus the
+    matrix itself, which travels via the shared segment."""
+    kernel = owner._shards[shard]
+    return {
+        "base": owner.base_name,
+        "shard": shard,
+        "bounds": list(owner._bounds),
+        "n_sets": owner._n_sets,
+        "rows": int(kernel._matrix.shape[0]),
+        "n_words": kernel._n_words,
+        "width": kernel._n_sets,
+        "row_eids": kernel._row_eids.tobytes(),
+        "rows_dense": kernel._rows_dense,
+        "tuning": kernel._tuning,
+        "total_membership": kernel._total_membership,
+        "avg_set_size": kernel._avg_set_size,
+        "all_eids": np.asarray(owner._all_eids, dtype=np.int64).tobytes(),
+    }
+
+
+def attach_shard_kernel(spec: dict, buf) -> "NumpyKernel":
+    """Rebuild the shard's kernel over an attached segment buffer.
+
+    Mirrors what :meth:`NumpyKernel.__init__` computes, except the matrix
+    is a zero-copy view of the shared pages and the original
+    sets/entity-masks stay behind in the parent (the ``_shard_*`` work
+    units never touch them).  The CSR mirror rebuilds lazily from the
+    shared matrix exactly as it would from a private one.
+    """
+    cls = NativeKernel if spec["base"] == "native" and HAS_NATIVE else NumpyKernel
+    k = cls.__new__(cls)
+    k._sets = ()
+    k._entity_masks = {}
+    k._n_sets = spec["width"]
+    k._valid = (1 << spec["width"]) - 1
+    k._tuning = spec["tuning"]
+    k._n_words = spec["n_words"]
+    k._n_bytes = spec["n_words"] * 8
+    row_eids = np.frombuffer(spec["row_eids"], dtype=np.int64)
+    k._row_eids = row_eids
+    k._matrix = np.frombuffer(
+        buf, dtype=np.uint64, count=spec["rows"] * spec["n_words"]
+    ).reshape(spec["rows"], spec["n_words"])
+    k._row_of = {eid: row for row, eid in enumerate(row_eids.tolist())}
+    k._set_indptr = None
+    k._set_flat_rows = None
+    k._rows_dense = spec["rows_dense"]
+    k._total_membership = spec["total_membership"]
+    k._avg_set_size = spec["avg_set_size"]
+    return k
+
+
+def build_owner_shell(spec: dict, kernel: "NumpyKernel"):
+    """A sparse :class:`ShardedKernel` shell hosting one shard's kernel.
+
+    The worker runs the sharded layer's own ``_shard_*`` methods against
+    this shell — populating only ``_shards[spec['shard']]``, the shard
+    bounds and the entity-id frame — so the per-shard routing (set-major
+    vs row pass, stacked batching) is byte-for-byte the code the thread
+    executor runs in-process.
+    """
+    from .sharded import ShardedKernel
+
+    shell = ShardedKernel.__new__(ShardedKernel)
+    shell._sets = ()
+    shell._entity_masks = {}
+    shell._n_sets = spec["n_sets"]
+    shell._valid = (1 << spec["n_sets"]) - 1
+    shell.base_name = spec["base"]
+    shell.executor_kind = "serial"
+    shell._bounds = [tuple(b) for b in spec["bounds"]]
+    shell.n_shards = len(shell._bounds)
+    shell._shards = [None] * shell.n_shards
+    shell._shards[spec["shard"]] = kernel
+    shell._all_eids = np.frombuffer(spec["all_eids"], dtype=np.int64)
+    shell.name = f"{spec['base']}[shm:{spec['shard']}]"
+    shell._pool = None
+    shell._token = None
+    return shell
+
+
+def _shm_worker_main(conn, spec: dict) -> None:  # pragma: no cover - child
+    """Worker process body: attach once, then serve ``(method, args)``.
+
+    Workers are fork children, so they share the parent's resource-tracker
+    process: the attach's duplicate registration is a no-op there, the
+    worker never unlinks (only :meth:`ShardSegment.destroy` in the parent
+    does), and it must *not* unregister either — that would strip the
+    parent's registration from the shared tracker.  On exit the matrix
+    view is dropped before closing so the mapping releases cleanly.
+    """
+    shm = _shared_memory.SharedMemory(name=spec["segment"])
+    kernel = attach_shard_kernel(spec, shm.buf)
+    shell = build_owner_shell(spec, kernel)
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            break
+        if msg[0] == "__close__":
+            break
+        method, args = msg
+        try:
+            out = getattr(shell, method)(
+                *decode_args(args, shell._all_eids)
+            )
+            conn.send(("ok", out))
+        except BaseException:
+            conn.send(("err", traceback.format_exc()))
+    conn.close()
+    shell._shards[spec["shard"]] = None
+    kernel._matrix = None
+    del kernel
+    try:
+        shm.close()
+    except BufferError:
+        pass
+
+
+class ShmWorker:
+    """A shard-pinned worker process plus its segment, reference-counted.
+
+    One reference per :class:`ShardedKernel` epoch that routes the shard
+    here; :meth:`decref` from the last epoch sends the close message,
+    joins the process and unlinks the segment.  Calls are two-phase
+    (:meth:`submit` returns a result thunk) so the parent can launch every
+    shard's work before collecting any replies; the per-worker lock spans
+    send-to-receive, serializing epochs that share a worker.
+    """
+
+    def __init__(self, spec: dict, segment: ShardSegment, ctx) -> None:
+        self._segment = segment
+        spec = dict(spec, segment=segment.name)
+        parent_conn, child_conn = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_shm_worker_main,
+            args=(child_conn, spec),
+            daemon=True,
+            name=f"repro-shm-{spec['shard']}",
+        )
+        self._proc.start()
+        child_conn.close()
+        self._conn = parent_conn
+        self._lock = threading.Lock()
+        self._ref_lock = threading.Lock()
+        self._refs = 1
+        self.closed = False
+
+    def incref(self) -> "ShmWorker":
+        with self._ref_lock:
+            self._refs += 1
+        return self
+
+    def decref(self) -> None:
+        with self._ref_lock:
+            self._refs -= 1
+            last = self._refs == 0
+        if last:
+            self._shutdown()
+
+    def _shutdown(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._conn.send(("__close__", None))
+        except (OSError, BrokenPipeError):  # pragma: no cover - worker died
+            pass
+        self._proc.join(timeout=10)
+        if self._proc.is_alive():  # pragma: no cover - hung worker
+            self._proc.terminate()
+            self._proc.join(timeout=10)
+        self._conn.close()
+        self._segment.destroy()
+
+    def submit(self, method: str, args: tuple):
+        """Send one call; returns a thunk that receives the reply.
+
+        The lock is taken here and released by the thunk, so interleaved
+        epochs cannot mix their request/reply pairs on the pipe.
+        """
+        self._lock.acquire()
+        try:
+            self._conn.send((method, args))
+        except BaseException:  # pragma: no cover - worker died mid-send
+            self._lock.release()
+            raise
+
+        def result() -> Any:
+            try:
+                status, payload = self._conn.recv()
+            finally:
+                self._lock.release()
+            if status == "err":
+                raise RuntimeError(
+                    f"shm shard worker failed in {method}:\n{payload}"
+                )
+            return payload
+
+        return result
+
+
+def spawn_worker(owner, shard: int, ctx) -> ShmWorker:
+    """Publish shard ``shard`` of ``owner`` and spawn its pinned worker."""
+    segment = ShardSegment(owner._shards[shard]._matrix)
+    try:
+        return ShmWorker(build_shard_spec(owner, shard), segment, ctx)
+    except BaseException:  # pragma: no cover - spawn failure
+        segment.destroy()
+        raise
+
+
+__all__ = [
+    "ALL_EIDS_SENTINEL",
+    "HAS_SHM",
+    "ShardSegment",
+    "ShmWorker",
+    "attach_shard_kernel",
+    "build_owner_shell",
+    "build_shard_spec",
+    "decode_args",
+    "encode_args",
+    "spawn_worker",
+]

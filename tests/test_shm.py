@@ -1,0 +1,435 @@
+"""Shared-memory shard executor: wire format, lifecycle, parity, leaks.
+
+The randomized cross-executor parity sweep lives in
+``tests/test_parity_fuzz.py``; this module pins down the *mechanics* of
+``executor="shm"`` (:mod:`repro.core.kernels.shm`):
+
+* the argument wire format (``_all_eids`` travels as a sentinel, shared
+  ``eids`` objects stay shared after decode);
+* segment publish/attach — the worker-side kernel rebuild is exercised
+  in-process over the parent's own segment buffer;
+* the refcounted worker/segment lifecycle: lazy spawn, close/unlink,
+  reopen-after-close, epoch sharing via ``from_delta`` (clean shards keep
+  the parent's worker, dirty shards respawn), and error propagation from
+  a worker without killing it;
+* the fork-registry leak guard for the plain ``"process"`` executor:
+  ``close()`` and garbage collection both shrink ``_FORK_REGISTRY``.
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+
+import pytest
+
+from repro.core.bitmask import popcount
+from repro.core.collection import DeltaBatch, SetCollection
+from repro.core.kernels import HAS_NUMPY
+from repro.core.kernels import shm as shm_mod
+from repro.core.kernels.sharded import (
+    _FORK_REGISTRY,
+    ShardedKernel,
+    _fork_available,
+)
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
+
+needs_shm = pytest.mark.skipif(
+    not (shm_mod.HAS_SHM and _fork_available()),
+    reason="shm executor needs numpy, shared_memory and fork",
+)
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="needs numpy")
+needs_fork = pytest.mark.skipif(
+    not _fork_available(), reason="needs the fork start method"
+)
+
+
+def raw_sets(n_sets: int = 30, seed: int = 3) -> list[list[str]]:
+    rng = random.Random(seed)
+    seen: set[frozenset[str]] = set()
+    out: list[list[str]] = []
+    while len(out) < n_sets:
+        s = frozenset(
+            f"e{rng.randrange(20)}" for _ in range(rng.randint(2, 6))
+        )
+        if len(s) >= 2 and s not in seen:
+            seen.add(s)
+            out.append(sorted(s))
+    return out
+
+
+def build(raw, **kwargs) -> SetCollection:
+    return SetCollection(raw, **kwargs)
+
+
+def assert_results_equal(a, b) -> None:
+    (ea, ca), (eb, cb) = a, b
+    assert list(map(int, ea)) == list(map(int, eb))
+    assert list(map(int, ca)) == list(map(int, cb))
+
+
+def scan_all(coll: SetCollection):
+    """One of each statistic, through the collection's kernel."""
+    kernel = coll._kernel
+    mask = coll.full_mask
+    n = popcount(mask)
+    eids = sorted(coll.entity_ids())
+    em = coll.entity_mask(eids[0])
+    narrowed = mask & ~em if popcount(mask & ~em) >= 2 else mask
+    return (
+        kernel.scan_informative(mask, n, None),
+        kernel.scan_informative(mask, n, eids[:5]),
+        kernel.scan_informative_many(
+            [mask, narrowed], [n, popcount(narrowed)]
+        ),
+        list(map(int, kernel.positive_counts(mask, eids))),
+        [
+            (int(p), int(r))
+            for p, r in kernel.partition_many(narrowed, eids[:4])
+        ],
+    )
+
+
+def assert_parity(coll: SetCollection, ref: SetCollection) -> None:
+    got, want = scan_all(coll), scan_all(ref)
+    assert_results_equal(got[0], want[0])
+    assert_results_equal(got[1], want[1])
+    for g, w in zip(got[2], want[2]):
+        assert_results_equal(g, w)
+    assert got[3] == want[3]
+    assert got[4] == want[4]
+
+
+# --------------------------------------------------------------------- #
+# Wire format
+# --------------------------------------------------------------------- #
+
+
+class TestWireFormat:
+    def test_all_eids_replaced_by_identity(self):
+        eids = [1, 2, 3]
+        look_alike = [1, 2, 3]
+        args = (0, (5, eids), [eids, look_alike])
+        enc = shm_mod.encode_args(args, eids)
+        # The identical object becomes the sentinel; the equal-but-distinct
+        # look-alike passes through as data (identity, not equality).
+        assert enc == (
+            0,
+            (5, shm_mod.ALL_EIDS_SENTINEL),
+            [shm_mod.ALL_EIDS_SENTINEL, [1, 2, 3]],
+        )
+
+    def test_decode_maps_every_sentinel_to_one_object(self):
+        worker_eids = [7, 8]
+        enc = (
+            0,
+            (shm_mod.ALL_EIDS_SENTINEL, 1),
+            [shm_mod.ALL_EIDS_SENTINEL],
+        )
+        dec = shm_mod.decode_args(enc, worker_eids)
+        assert dec[1][0] is worker_eids
+        assert dec[2][0] is worker_eids
+        # id()-grouping in the scan block relies on this identity.
+        assert dec[1][0] is dec[2][0]
+
+    def test_roundtrip_preserves_other_values(self):
+        args = (3, "x", ["y", 4.5, None], (1, 2))
+        enc = shm_mod.encode_args(args, object())
+        assert shm_mod.decode_args(enc, object()) == args
+
+
+# --------------------------------------------------------------------- #
+# Segments and the worker-side rebuild (in-process)
+# --------------------------------------------------------------------- #
+
+
+@needs_shm
+class TestSegments:
+    def test_segment_roundtrips_matrix_bytes(self):
+        matrix = np.arange(12, dtype=np.uint64).reshape(3, 4)
+        seg = shm_mod.ShardSegment(matrix)
+        try:
+            got = np.frombuffer(
+                bytes(seg.shm.buf[: seg.nbytes]), dtype=np.uint64
+            )
+            assert (got == matrix.ravel()).all()
+        finally:
+            seg.destroy()
+        assert seg.destroyed
+
+    def test_segment_is_a_snapshot(self):
+        matrix = np.ones((2, 2), dtype=np.uint64)
+        seg = shm_mod.ShardSegment(matrix)
+        try:
+            matrix[0, 0] = 99
+            got = np.frombuffer(
+                bytes(seg.shm.buf[: seg.nbytes]), dtype=np.uint64
+            )
+            assert got[0] == 1
+        finally:
+            seg.destroy()
+
+    def test_zero_row_matrix_gets_one_byte_segment(self):
+        seg = shm_mod.ShardSegment(np.empty((0, 3), dtype=np.uint64))
+        try:
+            assert seg.nbytes == 0
+            assert seg.shm.size >= 1
+        finally:
+            seg.destroy()
+
+    def test_destroy_is_idempotent(self):
+        seg = shm_mod.ShardSegment(np.zeros((1, 1), dtype=np.uint64))
+        seg.destroy()
+        seg.destroy()
+        assert seg.destroyed
+
+    def test_attached_kernel_matches_parent_shard(self):
+        coll = build(
+            raw_sets(), backend="numpy", shards=3, shard_executor="serial"
+        )
+        parent = coll._kernel
+        shard = 1
+        spec = shm_mod.build_shard_spec(parent, shard)
+        seg = shm_mod.ShardSegment(parent._shards[shard]._matrix)
+        kernel = shell = None
+        try:
+            kernel = shm_mod.attach_shard_kernel(spec, seg.shm.buf)
+            shell = shm_mod.build_owner_shell(spec, kernel)
+            assert shell.n_shards == parent.n_shards
+            assert shell._shards[shard] is kernel
+            sm = parent._slice(coll.full_mask, shard)
+            want = parent._shard_all_counts(shard, sm)
+            got = shell._shard_all_counts(shard, sm)
+            assert list(map(int, got)) == list(map(int, want))
+            w_full, w_cand = parent._shard_scan_block(
+                shard, (coll.full_mask,), ()
+            )
+            g_full, g_cand = shell._shard_scan_block(
+                shard, (coll.full_mask,), ()
+            )
+            assert [list(map(int, c)) for c in g_full] == [
+                list(map(int, c)) for c in w_full
+            ]
+            assert g_cand == w_cand == []
+        finally:
+            # Drop the matrix view before closing the mapping.
+            if shell is not None:
+                shell._shards[shard] = None
+            if kernel is not None:
+                kernel._matrix = None
+                del kernel
+            seg.destroy()
+
+
+# --------------------------------------------------------------------- #
+# The shm executor end to end
+# --------------------------------------------------------------------- #
+
+
+@needs_shm
+class TestShmExecutor:
+    def test_parity_with_serial(self):
+        raw = raw_sets()
+        ref = build(raw, backend="numpy", shards=3, shard_executor="serial")
+        coll = build(raw, backend="numpy", shards=3, shard_executor="shm")
+        try:
+            assert coll._kernel.executor_kind == "shm"
+            assert_parity(coll, ref)
+        finally:
+            coll._kernel.close()
+
+    @pytest.mark.skipif(
+        not shm_mod.HAS_NATIVE, reason="needs the compiled extension"
+    )
+    def test_parity_with_serial_native_base(self):
+        raw = raw_sets(seed=4)
+        ref = build(raw, backend="native", shards=3, shard_executor="serial")
+        coll = build(raw, backend="native", shards=3, shard_executor="shm")
+        try:
+            assert_parity(coll, ref)
+        finally:
+            coll._kernel.close()
+
+    def test_workers_spawn_lazily(self):
+        coll = build(
+            raw_sets(), backend="numpy", shards=3, shard_executor="shm"
+        )
+        kernel = coll._kernel
+        try:
+            assert kernel._shm_workers == [None, None, None]
+            kernel.scan_informative(coll.full_mask, coll.n_sets, None)
+            assert all(w is not None for w in kernel._shm_workers)
+            assert all(not w.closed for w in kernel._shm_workers)
+        finally:
+            kernel.close()
+
+    def test_close_unlinks_segments_and_reopen_respawns(self):
+        from multiprocessing import shared_memory
+
+        coll = build(
+            raw_sets(), backend="numpy", shards=3, shard_executor="shm"
+        )
+        kernel = coll._kernel
+        kernel.scan_informative(coll.full_mask, coll.n_sets, None)
+        workers = list(kernel._shm_workers)
+        names = [w._segment.name for w in workers]
+        kernel.close()
+        assert kernel._shm_workers is None
+        assert all(w.closed for w in workers)
+        assert all(w._segment.destroyed for w in workers)
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        kernel.close()  # idempotent
+        # The kernel stays usable: workers respawn on the next fan-out.
+        ref = build(
+            raw_sets(), backend="numpy", shards=3, shard_executor="serial"
+        )
+        try:
+            assert_parity(coll, ref)
+            assert all(w is not None for w in kernel._shm_workers)
+        finally:
+            kernel.close()
+
+    def test_worker_error_propagates_without_killing_worker(self):
+        coll = build(
+            raw_sets(), backend="numpy", shards=3, shard_executor="shm"
+        )
+        kernel = coll._kernel
+        try:
+            kernel.scan_informative(coll.full_mask, coll.n_sets, None)
+            worker = kernel._shm_workers[0]
+            thunk = worker.submit("_no_such_method", ())
+            with pytest.raises(RuntimeError, match="_no_such_method"):
+                thunk()
+            # The serve loop answered the error and kept going.
+            ref = build(
+                raw_sets(), backend="numpy", shards=3,
+                shard_executor="serial",
+            )
+            assert_parity(coll, ref)
+        finally:
+            kernel.close()
+
+    def test_bigint_base_rejected(self):
+        with pytest.raises(ValueError, match="vectorized base"):
+            build(
+                raw_sets(), backend="bigint", shards=2, shard_executor="shm"
+            )
+
+    def test_env_requested_shm_degrades_on_bigint(self, monkeypatch):
+        # The env var is a soft preference (a blanket
+        # REPRO_SHARD_EXECUTOR=shm CI leg must not crash big-int
+        # kernels), unlike the hard explicit-argument rejection above.
+        import repro.core.kernels.sharded as sharded_mod
+        from repro.core.kernels.sharded import (
+            SHARD_EXECUTOR_ENV_VAR,
+            ShardExecutorFallbackWarning,
+        )
+
+        monkeypatch.setenv(SHARD_EXECUTOR_ENV_VAR, "shm")
+        monkeypatch.setattr(sharded_mod, "_executor_fallback_warned", False)
+        with pytest.warns(ShardExecutorFallbackWarning, match="packed matrix"):
+            coll = build(raw_sets(), backend="bigint", shards=2)
+        assert coll._kernel.executor_kind == "thread"
+        ref = build(raw_sets(), backend="bigint")
+        assert_parity(coll, ref)
+
+
+@needs_shm
+class TestShmDelta:
+    def _delta_same_entities(self, coll: SetCollection) -> DeltaBatch:
+        """Adds one set of already-known labels: entity keys unchanged,
+        so only the last shard is dirty and clean shards stay shared."""
+        labels = [coll.universe.label(e) for e in sorted(coll.entity_ids())]
+        # Seven members: wider than any generated set, so never a duplicate.
+        return DeltaBatch().add_sets({"delta-extra": labels[:7]})
+
+    def test_from_delta_republishes_only_dirty_shards(self):
+        raw = raw_sets(seed=5)
+        coll = build(raw, backend="numpy", shards=3, shard_executor="shm")
+        kernel = coll._kernel
+        kernel.scan_informative(coll.full_mask, coll.n_sets, None)
+        old_workers = list(kernel._shm_workers)
+        new_coll = coll.apply_delta(self._delta_same_entities(coll))
+        new_kernel = new_coll._kernel
+        try:
+            assert isinstance(new_kernel, ShardedKernel)
+            assert new_kernel.executor_kind == "shm"
+            # Clean shards carried the parent's worker (one extra ref);
+            # the dirty last shard starts unpublished.
+            assert new_kernel._shm_workers[0] is old_workers[0]
+            assert new_kernel._shm_workers[1] is old_workers[1]
+            assert new_kernel._shm_workers[-1] is None
+            ref = build(
+                raw, backend="numpy", shards=3, shard_executor="serial"
+            ).apply_delta(self._delta_same_entities(coll))
+            assert_parity(new_coll, ref)
+        finally:
+            new_kernel.close()
+            kernel.close()
+
+    def test_epoch_sharing_keeps_workers_until_last_close(self):
+        raw = raw_sets(seed=6)
+        coll = build(raw, backend="numpy", shards=3, shard_executor="shm")
+        kernel = coll._kernel
+        kernel.scan_informative(coll.full_mask, coll.n_sets, None)
+        new_coll = coll.apply_delta(self._delta_same_entities(coll))
+        new_kernel = new_coll._kernel
+        shared = new_kernel._shm_workers[0]
+        assert shared is kernel._shm_workers[0]
+        # Old epoch closes first: the shared worker must survive for the
+        # new epoch, which still fans out through it.
+        kernel.close()
+        assert not shared.closed
+        ref = build(
+            raw, backend="numpy", shards=3, shard_executor="serial"
+        ).apply_delta(self._delta_same_entities(coll))
+        assert_parity(new_coll, ref)
+        new_kernel.close()
+        assert shared.closed
+        assert shared._segment.destroyed
+
+
+# --------------------------------------------------------------------- #
+# Fork-registry hygiene (the "process" executor)
+# --------------------------------------------------------------------- #
+
+
+@needs_numpy
+@needs_fork
+class TestForkRegistry:
+    def test_close_shrinks_registry(self):
+        gc.collect()
+        baseline = len(_FORK_REGISTRY)
+        colls = [
+            build(
+                raw_sets(seed=s),
+                backend="numpy",
+                shards=2,
+                shard_executor="process",
+            )
+            for s in range(3)
+        ]
+        assert len(_FORK_REGISTRY) == baseline + 3
+        for coll in colls:
+            coll._kernel.close()
+        assert len(_FORK_REGISTRY) == baseline
+
+    def test_abandoned_kernel_leaves_no_registry_entry(self):
+        gc.collect()
+        baseline = len(_FORK_REGISTRY)
+        coll = build(
+            raw_sets(seed=9),
+            backend="numpy",
+            shards=2,
+            shard_executor="process",
+        )
+        assert len(_FORK_REGISTRY) == baseline + 1
+        del coll
+        gc.collect()
+        assert len(_FORK_REGISTRY) == baseline

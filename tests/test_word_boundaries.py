@@ -17,11 +17,31 @@ import random
 import pytest
 
 from repro.core.collection import SetCollection
-from repro.core.kernels import HAS_NUMPY
+from repro.core.kernels import HAS_NATIVE, HAS_NUMPY
 
-BACKENDS = [("bigint", None), ("bigint", 3)] + (
-    [("numpy", None), ("numpy", 4)] if HAS_NUMPY else []
-)
+#: (backend, shards, shard_executor) triples covering every kernel family
+#: and execution strategy available in this environment.
+BACKENDS = [("bigint", None, None), ("bigint", 3, None)]
+if HAS_NUMPY:
+    BACKENDS += [("numpy", None, None), ("numpy", 4, None)]
+if HAS_NATIVE:
+    BACKENDS += [("native", None, None), ("native", 4, None)]
+    from repro.core.kernels._native import ext as _ext
+
+    if _ext.threaded_scan_available():
+        BACKENDS.append(("native", 4, "native"))
+if HAS_NUMPY:
+    from repro.core.kernels import shm as _shm
+    from repro.core.kernels.sharded import _fork_available
+
+    if _shm.HAS_SHM and _fork_available():
+        BACKENDS.append(("numpy", 3, "shm"))
+
+
+def build(raw, backend, shards, executor) -> SetCollection:
+    return SetCollection(
+        raw, backend=backend, shards=shards, shard_executor=executor
+    )
 
 
 def exact_word_collection(n_sets: int, seed: int = 0) -> list[list[int]]:
@@ -43,12 +63,14 @@ def reference(raw) -> SetCollection:
     return SetCollection(raw, backend="bigint")
 
 
-@pytest.mark.parametrize("n_sets", [63, 64, 65, 127, 128, 129])
-@pytest.mark.parametrize("backend,shards", BACKENDS)
-def test_exact_word_multiples(n_sets, backend, shards):
+@pytest.mark.parametrize(
+    "n_sets", [63, 64, 65, 127, 128, 129, 255, 256, 257]
+)
+@pytest.mark.parametrize("backend,shards,executor", BACKENDS)
+def test_exact_word_multiples(n_sets, backend, shards, executor):
     raw = exact_word_collection(n_sets, seed=n_sets)
     ref = reference(raw)
-    coll = SetCollection(raw, backend=backend, shards=shards)
+    coll = build(raw, backend, shards, executor)
     eids = list(range(-1, ref.n_entities + 2))
     # the highest set's bit lives at the very edge of the last word
     masks = [
@@ -69,13 +91,13 @@ def test_exact_word_multiples(n_sets, backend, shards):
         )
 
 
-@pytest.mark.parametrize("backend,shards", BACKENDS)
-def test_all_zero_tail_words(backend, shards):
+@pytest.mark.parametrize("backend,shards,executor", BACKENDS)
+def test_all_zero_tail_words(backend, shards, executor):
     # 130 sets (3 words) but the probed masks select only word-0 sets, so
     # words 1-2 of the packed mask are entirely zero.
     raw = exact_word_collection(130, seed=9)
     ref = reference(raw)
-    coll = SetCollection(raw, backend=backend, shards=shards)
+    coll = build(raw, backend, shards, executor)
     word0 = (1 << 40) - 1
     masks = [word0, (1 << 63) | 1, 0b1010101]
     for mask in masks:
@@ -86,26 +108,26 @@ def test_all_zero_tail_words(backend, shards):
         assert all(0 < int(c) < mask.bit_count() for c in stats[1])
 
 
-@pytest.mark.parametrize("backend,shards", BACKENDS)
-def test_tail_only_masks(backend, shards):
+@pytest.mark.parametrize("backend,shards,executor", BACKENDS)
+def test_tail_only_masks(backend, shards, executor):
     # The complementary case: word 0 of the packed mask entirely zero.
     raw = exact_word_collection(130, seed=11)
     ref = reference(raw)
-    coll = SetCollection(raw, backend=backend, shards=shards)
+    coll = build(raw, backend, shards, executor)
     tail_only = ref.full_mask & ~((1 << 64) - 1)
     assert coll.informative_entities(tail_only) == ref.informative_entities(
         tail_only
     )
 
 
-@pytest.mark.parametrize("backend,shards", BACKENDS)
-def test_stray_bits_above_n_sets_scan(backend, shards):
+@pytest.mark.parametrize("backend,shards,executor", BACKENDS)
+def test_stray_bits_above_n_sets_scan(backend, shards, executor):
     # Regression: member_union (the small-mask scan path) used to index
     # out of range on mask bits >= n_sets on the big-int backend, while
     # the numpy packing dropped them — backends must agree instead.
     raw = exact_word_collection(65, seed=5)
     ref = reference(raw)
-    coll = SetCollection(raw, backend=backend, shards=shards)
+    coll = build(raw, backend, shards, executor)
     stray = ref.full_mask | (1 << 80) | (1 << 130)
     small_stray = 0b11 | (1 << 90)
     for mask in (stray, small_stray):
@@ -115,10 +137,10 @@ def test_stray_bits_above_n_sets_scan(backend, shards):
         assert coll.entities_in(mask) == ref.entities_in(mask)
 
 
-@pytest.mark.parametrize("backend,shards", BACKENDS)
-def test_single_set_and_empty_masks(backend, shards):
+@pytest.mark.parametrize("backend,shards,executor", BACKENDS)
+def test_single_set_and_empty_masks(backend, shards, executor):
     raw = exact_word_collection(64, seed=3)
-    coll = SetCollection(raw, backend=backend, shards=shards)
+    coll = build(raw, backend, shards, executor)
     assert coll.informative_entities(1 << 63) == []
     assert coll.informative_entities(0) == []
     assert coll.positive_counts(0, [0, 1, 2]) == [0, 0, 0]
